@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the core analyses on the Figure 4/5 workload:
+//! the cost of regenerating one Figure 5 data point (per curve, per
+//! method), plus the exact adversary and the naive bound. The paper claims
+//! the method is "easy to implement with small overhead" — these benches
+//! quantify the overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fnpr_core::{algorithm1, eq4_bound_for_curve, exact_worst_case, naive_bound};
+use fnpr_synth::figure4_all;
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    for (name, curve) in figure4_all() {
+        for q in [20.0, 100.0, 500.0] {
+            group.bench_with_input(
+                BenchmarkId::new(name.replace(' ', "_"), q as u64),
+                &q,
+                |b, &q| {
+                    b.iter(|| algorithm1(black_box(&curve), black_box(q)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_eq4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq4_baseline");
+    let (_, curve) = &figure4_all()[1];
+    for q in [20.0, 100.0, 500.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(q as u64), &q, |b, &q| {
+            b.iter(|| eq4_bound_for_curve(black_box(curve), black_box(q)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_worst_case");
+    group.sample_size(20);
+    let (_, curve) = &figure4_all()[1];
+    for q in [50.0, 200.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(q as u64), &q, |b, &q| {
+            b.iter(|| exact_worst_case(black_box(curve), black_box(q)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_bound");
+    group.sample_size(20);
+    let (_, curve) = &figure4_all()[0];
+    for q in [50.0, 200.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(q as u64), &q, |b, &q| {
+            b.iter(|| naive_bound(black_box(curve), black_box(q)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_eq4,
+    bench_exact_adversary,
+    bench_naive
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the discrete-event simulator: periodic task
+//! sets of growing size under floating-NPR vs. fully-preemptive handling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fnpr_sim::{simulate, Scenario, SimConfig};
+use fnpr_synth::{random_taskset, with_npr_and_curves, Policy, TaskSetParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn scenario_for(n: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    loop {
+        let params = TaskSetParams {
+            n,
+            utilization: 0.6,
+            period_range: (20.0, 400.0),
+            deadline_factor: (1.0, 1.0),
+        };
+        let Ok(base) = random_taskset(&mut rng, &params) else {
+            continue;
+        };
+        if let Ok(Some(tasks)) =
+            with_npr_and_curves(&mut rng, &base, Policy::FixedPriority, 0.7, 0.5)
+        {
+            let horizon = tasks.iter().map(|t| t.period()).fold(0.0f64, f64::max) * 5.0;
+            return Scenario::periodic(&tasks, &[], horizon);
+        }
+    }
+}
+
+fn bench_floating_npr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_floating_npr");
+    group.sample_size(30);
+    for n in [3usize, 6, 10] {
+        let scenario = scenario_for(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.releases.len()),
+            &scenario,
+            |b, s| {
+                b.iter(|| simulate(black_box(s), &SimConfig::floating_npr_fp(1e9)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_preemptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_preemptive");
+    group.sample_size(30);
+    for n in [3usize, 6, 10] {
+        let scenario = scenario_for(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.releases.len()),
+            &scenario,
+            |b, s| {
+                b.iter(|| simulate(black_box(s), &SimConfig::preemptive_fp(1e9)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_floating_npr, bench_preemptive);
+criterion_main!(benches);

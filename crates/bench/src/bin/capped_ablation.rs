@@ -1,0 +1,68 @@
+//! **Extension C** — the arrival-capped Algorithm 1 (future work (ii)).
+//!
+//! Sweeps the preemption cap `N` for the Figure 4 benchmark functions at a
+//! selection of region lengths: the capped bound grows monotonically in `N`
+//! and saturates at the plain Algorithm 1 figure once `N` reaches the
+//! window count. The gap between small-`N` and saturation quantifies the
+//! value of knowing the higher-priority arrival rate.
+//!
+//! CSV on stdout: `curve,q,cap,capped,plain,windows`.
+//!
+//! Usage: `cargo run -p fnpr-bench --bin capped_ablation`
+
+use fnpr_core::{algorithm1, algorithm1_capped};
+use fnpr_synth::figure4_all;
+
+fn main() {
+    println!("curve,q,cap,capped,plain,windows");
+    let caps = [0usize, 1, 2, 5, 10, 20, 50, 100, usize::MAX];
+    let mut failures = 0usize;
+    for (name, curve) in figure4_all() {
+        for q in [20.0, 50.0, 150.0, 500.0] {
+            let plain = algorithm1(&curve, q)
+                .expect("valid")
+                .expect_converged();
+            let mut last = -1.0f64;
+            for &cap in &caps {
+                let capped = algorithm1_capped(&curve, q, cap)
+                    .expect("valid")
+                    .expect("convergent");
+                println!(
+                    "{},{},{},{:.3},{:.3},{}",
+                    name.replace(' ', "_"),
+                    q,
+                    if cap == usize::MAX {
+                        "inf".to_owned()
+                    } else {
+                        cap.to_string()
+                    },
+                    capped.total_delay,
+                    plain.total_delay,
+                    plain.windows
+                );
+                if capped.total_delay + 1e-9 < last {
+                    eprintln!("[FAIL] {name} q={q}: bound not monotone in cap");
+                    failures += 1;
+                }
+                if capped.total_delay > plain.total_delay + 1e-9 {
+                    eprintln!("[FAIL] {name} q={q}: capped exceeds plain");
+                    failures += 1;
+                }
+                last = capped.total_delay;
+            }
+            // Saturation at the window count.
+            let saturated = algorithm1_capped(&curve, q, plain.windows)
+                .expect("valid")
+                .expect("convergent");
+            if (saturated.total_delay - plain.total_delay).abs() > 1e-9 {
+                eprintln!("[FAIL] {name} q={q}: cap = windows must equal plain");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} capped-ablation check(s) failed");
+        std::process::exit(1);
+    }
+    eprintln!("capped ablation: monotone in N, dominated by plain, saturates at the window count");
+}

@@ -1,0 +1,62 @@
+//! **Figure 3** — anatomy of one Algorithm 1 iteration.
+//!
+//! Reproduces the sketch: from the window start `prog`, the anti-diagonal
+//! `D(p) = prog + Q − p` is intersected with `fi` at `p∩`; the window's
+//! charge is `delaymax = max fi over [prog, p∩]` attained at `pmax`; the
+//! next window starts at `prog + Q − delaymax`. Prints every window of a
+//! demonstration curve plus an ASCII rendering of the largest window.
+//!
+//! Usage: `cargo run -p fnpr-bench --bin fig3_iteration`
+
+use fnpr_core::{algorithm1_trace, DelayCurve};
+
+fn main() {
+    // A two-phase curve like the paper's sketch: rising cost, then decay.
+    let curve = DelayCurve::from_breakpoints(
+        [(0.0, 2.0), (30.0, 7.0), (55.0, 3.0), (90.0, 1.0)],
+        130.0,
+    )
+    .expect("static curve");
+    let q = 20.0;
+    let (outcome, windows) = algorithm1_trace(&curve, q).expect("valid parameters");
+    let bound = outcome.expect_converged();
+
+    println!("k,prog,window_end,p_cross,p_max,delay,next_prog");
+    for w in &windows {
+        println!(
+            "{},{},{},{},{},{},{}",
+            w.index, w.progress, w.window_end, w.p_cross, w.p_max, w.delay, w.next_progress
+        );
+    }
+    eprintln!(
+        "total_delay = {}, windows = {}, inflated WCET = {}",
+        bound.total_delay,
+        bound.windows,
+        bound.inflated_wcet()
+    );
+
+    // ASCII sketch of the window with the largest charge.
+    let w = windows
+        .iter()
+        .max_by(|a, b| a.delay.total_cmp(&b.delay))
+        .expect("at least one window");
+    eprintln!("\nFigure 3 quantities for window k = {}:", w.index);
+    eprintln!("  prog      = {:>7.2}  (window start)", w.progress);
+    eprintln!("  prog + Q  = {:>7.2}  (window end)", w.window_end);
+    eprintln!("  p_cross   = {:>7.2}  (fi meets D(p) = prog + Q - p)", w.p_cross);
+    eprintln!("  p_max     = {:>7.2}  (arg max fi on [prog, p_cross])", w.p_max);
+    eprintln!("  delay_max = {:>7.2}  (charged to this window)", w.delay);
+    eprintln!(
+        "  next prog = {:>7.2}  (guaranteed progress Q - delay_max = {:.2})",
+        w.next_progress,
+        q - w.delay
+    );
+    let scale = |v: f64| ((v / curve.max_value()) * 30.0).round() as usize;
+    eprintln!("\n  fi over the window (30-column bars):");
+    let steps = 10usize;
+    for k in 0..=steps {
+        let p = w.progress + (w.p_cross - w.progress) * (k as f64) / (steps as f64);
+        let v = curve.value_at(p);
+        eprintln!("  p={:>7.2} |{} {v:.2}", p, "#".repeat(scale(v)));
+    }
+}

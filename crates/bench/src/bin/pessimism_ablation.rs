@@ -1,0 +1,91 @@
+//! **Extension E** — quantifying Algorithm 1's analysis artifacts.
+//!
+//! The paper notes its bound is pessimistic ("the analysis checks for the
+//! preemption delay in the window of prog and tA, but conservatively
+//! considers the actual preemption to occur at prog"). With the exact
+//! adversary as ground truth, this experiment measures that pessimism —
+//! `Algorithm 1 / exact worst case` — across curve fragmentation (number of
+//! segments) and region length, and as a function of conservative
+//! resampling (the precision/speed dial of `DelayCurve::resampled`).
+//!
+//! CSV on stdout: `segments,q_slack,ratio_alg1,ratio_resampled`.
+//!
+//! Usage: `cargo run -p fnpr-bench --bin pessimism_ablation [trials_per_cell]`
+
+use fnpr_core::{algorithm1, exact_worst_case};
+use fnpr_synth::random_step_curve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    println!("segments,q_slack,ratio_alg1,ratio_resampled");
+    let mut worst: f64 = 1.0;
+    let mut resample_never_tighter = true;
+    for &segments in &[2usize, 6, 16, 40] {
+        for &q_slack in &[1.0f64, 4.0, 16.0] {
+            let mut sum_alg1 = 0.0;
+            let mut sum_resampled = 0.0;
+            let mut counted = 0usize;
+            for trial in 0..trials {
+                let mut rng =
+                    StdRng::seed_from_u64((segments * 1000 + trial) as u64 + q_slack as u64);
+                let curve = random_step_curve(&mut rng, 300.0, segments, 8.0)
+                    .expect("valid curve");
+                let q = curve.max_value() + q_slack;
+                let exact = exact_worst_case(&curve, q)
+                    .expect("valid")
+                    .expect("finite")
+                    .total_delay;
+                if exact <= 1e-9 {
+                    continue;
+                }
+                let alg1 = algorithm1(&curve, q)
+                    .expect("valid")
+                    .expect_converged()
+                    .total_delay;
+                let coarse = curve.resampled(300.0 / 8.0).expect("valid step");
+                let resampled = algorithm1(&coarse, q)
+                    .expect("valid")
+                    .total_delay()
+                    .unwrap_or(f64::INFINITY);
+                sum_alg1 += alg1 / exact;
+                if resampled.is_finite() {
+                    sum_resampled += resampled / exact;
+                    if resampled < alg1 - 1e-9 {
+                        resample_never_tighter = false;
+                    }
+                } else {
+                    sum_resampled += f64::NAN;
+                }
+                worst = worst.max(alg1 / exact);
+                counted += 1;
+            }
+            if counted > 0 {
+                println!(
+                    "{},{},{:.4},{:.4}",
+                    segments,
+                    q_slack,
+                    sum_alg1 / counted as f64,
+                    sum_resampled / counted as f64,
+                );
+            }
+        }
+    }
+    eprintln!("worst Algorithm 1 / exact ratio observed: {worst:.3}x");
+    // Both bounds are sound; the coarse one is *usually* looser, but
+    // Algorithm 1 is not monotone in the curve (window alignment artifacts,
+    // the same effect behind the paper's Q-fluctuations), so an occasional
+    // inversion would not be a bug — report what happened.
+    if resample_never_tighter {
+        eprintln!("resampled (coarse) bounds dominated the fine bounds on every trial");
+    } else {
+        eprintln!(
+            "note: window-alignment artifacts made the coarse bound tighter on \
+             some trial (both bounds remain sound)"
+        );
+    }
+}

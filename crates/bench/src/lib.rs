@@ -1,0 +1,171 @@
+//! # fnpr-bench — figure regeneration and performance benchmarks
+//!
+//! One binary per figure of the paper (plus the extension experiments), and
+//! Criterion benchmarks for the cost of the analyses themselves. Binaries
+//! print CSV to stdout (pipe into a plotting tool of choice) with a human
+//! summary on stderr, and exit non-zero if a shape claim of the paper fails
+//! to reproduce.
+//!
+//! | binary | paper artefact |
+//! |--------|----------------|
+//! | `fig1_cfg` | Figure 1 — CFG start offsets |
+//! | `fig2_runtime` | Figure 2 — naive bound vs. an actual run |
+//! | `fig3_iteration` | Figure 3 — one Algorithm 1 window |
+//! | `fig4_functions` | Figure 4 — the synthetic benchmark functions |
+//! | `fig5_results` | Figure 5 — cumulative delay vs. Q (the headline) |
+//! | `acceptance_ratio` | extension — schedulability acceptance ratios |
+//! | `soundness_sweep` | extension — Theorem 1 / Figure 2 at scale |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// The Figure 5 sweep grid: `Q` values from just above the curve maximum to
+/// half the task length (the paper's x-axis runs to 2000 with `C = 4000`).
+#[must_use]
+pub fn figure5_q_grid() -> Vec<f64> {
+    let mut grid = Vec::new();
+    // Fine resolution at small Q where the curves move fastest...
+    let mut q = 10.5;
+    while q < 100.0 {
+        grid.push(q);
+        q += 2.5;
+    }
+    // ...and coarser afterwards.
+    while q <= 2000.0 {
+        grid.push(q);
+        q += 25.0;
+    }
+    grid
+}
+
+/// Formats an optional value for CSV output (`divergent` for `None`).
+#[must_use]
+pub fn csv_value(v: Option<f64>) -> String {
+    v.map_or_else(|| "divergent".to_owned(), |x| format!("{x:.3}"))
+}
+
+/// Renders series as an ASCII chart with a logarithmic y axis (the paper's
+/// Figure 5 style). Each series gets a single marker character; colliding
+/// points keep the earlier series' marker.
+///
+/// # Panics
+///
+/// Panics if `width`/`height` is zero or no positive data point exists
+/// (misuse in harness code).
+#[must_use]
+pub fn ascii_log_chart(
+    series: &[(char, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width > 1 && height > 1, "bad chart size");
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|&(_, y)| y > 0.0)
+        .collect();
+    assert!(!points.is_empty(), "no positive data");
+    let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).ln();
+    let y_max = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ln();
+    let col = |x: f64| -> usize {
+        if x_max == x_min {
+            0
+        } else {
+            (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+        }
+    };
+    let row = |y: f64| -> usize {
+        if y_max == y_min {
+            0
+        } else {
+            (((y.ln() - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+        }
+    };
+    let mut grid = vec![vec![' '; width]; height];
+    for &(marker, pts) in series {
+        for &(x, y) in pts {
+            if y > 0.0 {
+                let (r, c) = (height - 1 - row(y), col(x));
+                if grid[r][c] == ' ' {
+                    grid[r][c] = marker;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (r, line) in grid.iter().enumerate() {
+        let edge = if r == 0 {
+            format!("{:>9.0} ", y_max.exp())
+        } else if r == height - 1 {
+            format!("{:>9.0} ", y_min.exp())
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&edge);
+        out.push('|');
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} {:<.0}{:>width$.0}\n",
+        "",
+        x_min,
+        x_max,
+        width = width - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_increasing_and_spans_the_axis() {
+        let grid = figure5_q_grid();
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(*grid.first().unwrap() > 10.0);
+        assert!(*grid.last().unwrap() <= 2000.0);
+        assert!(grid.len() > 100);
+    }
+
+    #[test]
+    fn csv_value_formats() {
+        assert_eq!(csv_value(Some(1.5)), "1.500");
+        assert_eq!(csv_value(None), "divergent");
+    }
+
+    #[test]
+    fn chart_places_extremes() {
+        let sota = [(10.0, 1000.0), (100.0, 100.0), (1000.0, 10.0)];
+        let alg1 = [(10.0, 100.0), (100.0, 20.0), (1000.0, 10.0)];
+        let rendered = ascii_log_chart(
+            &[('S', &sota[..]), ('a', &alg1[..])],
+            40,
+            10,
+        );
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 11);
+        // Top row carries the y-max label and the SOTA's first point.
+        assert!(lines[0].contains("1000"));
+        assert!(lines[0].contains('S'));
+        // Both series appear.
+        assert!(rendered.contains('a'));
+        // Log scale: SOTA's mid point (100) sits mid-chart, not near top.
+        let mid_rows: String = lines[3..7].concat();
+        assert!(mid_rows.contains('S'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive data")]
+    fn chart_rejects_empty() {
+        let empty: [(f64, f64); 0] = [];
+        let _ = ascii_log_chart(&[('x', &empty[..])], 10, 5);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the cache substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring the cache model or running analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// The number of cache sets must be at least 1.
+    NoSets,
+    /// The associativity must be at least 1.
+    NoWays,
+    /// The line size must be at least 1 byte.
+    NoLineBytes,
+    /// The reload cost is negative or not finite.
+    BadReloadCost {
+        /// The offending cost.
+        cost: f64,
+    },
+    /// An access list references a basic block outside the analysed graph.
+    UnknownBlock {
+        /// Index of the offending block.
+        index: usize,
+    },
+    /// The dataflow iteration failed to stabilise within the budget.
+    FixpointLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::NoSets => write!(f, "cache must have at least one set"),
+            CacheError::NoWays => write!(f, "cache must have at least one way"),
+            CacheError::NoLineBytes => write!(f, "cache line size must be at least one byte"),
+            CacheError::BadReloadCost { cost } => {
+                write!(f, "reload cost {cost} is negative or not finite")
+            }
+            CacheError::UnknownBlock { index } => {
+                write!(f, "access list references unknown basic block {index}")
+            }
+            CacheError::FixpointLimit { limit } => {
+                write!(f, "dataflow did not stabilise within {limit} passes")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CacheError::NoSets.to_string().contains("set"));
+        assert!(CacheError::BadReloadCost { cost: -2.0 }
+            .to_string()
+            .contains("-2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CacheError>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types for control-flow graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::block::BlockId;
+
+/// Errors raised while building or analysing a control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgError {
+    /// The graph has no blocks.
+    Empty,
+    /// An edge references a block that does not exist.
+    UnknownBlock {
+        /// The offending block id.
+        block: BlockId,
+    },
+    /// A duplicate edge was added between the same pair of blocks.
+    DuplicateEdge {
+        /// Edge source.
+        from: BlockId,
+        /// Edge target.
+        to: BlockId,
+    },
+    /// The entry block has incoming edges.
+    EntryHasPredecessors {
+        /// The entry block.
+        entry: BlockId,
+    },
+    /// A block is unreachable from the entry block.
+    Unreachable {
+        /// The unreachable block.
+        block: BlockId,
+    },
+    /// The graph contains a cycle but the analysis requires acyclicity.
+    Cyclic {
+        /// A block participating in a cycle.
+        witness: BlockId,
+    },
+    /// A block's execution interval is malformed (negative, NaN, min > max).
+    BadInterval {
+        /// The offending block.
+        block: BlockId,
+        /// The interval minimum supplied.
+        min: f64,
+        /// The interval maximum supplied.
+        max: f64,
+    },
+    /// A natural loop is missing an iteration bound.
+    MissingLoopBound {
+        /// The loop's header block.
+        header: BlockId,
+    },
+    /// A loop bound is malformed (zero maximum or min > max).
+    BadLoopBound {
+        /// The loop's header block.
+        header: BlockId,
+        /// Minimum iterations supplied.
+        min_iterations: u64,
+        /// Maximum iterations supplied.
+        max_iterations: u64,
+    },
+    /// An irreducible cycle (no single-header natural loop) was found.
+    Irreducible {
+        /// A block participating in the irreducible region.
+        witness: BlockId,
+    },
+    /// The call graph contains a cycle (recursion is not supported).
+    RecursiveCall {
+        /// Name of a function participating in the cycle.
+        function: String,
+    },
+    /// A call site references an unknown function.
+    UnknownFunction {
+        /// Name of the missing function.
+        function: String,
+    },
+    /// Two functions with the same name were added to a program.
+    DuplicateFunction {
+        /// The duplicated name.
+        function: String,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Empty => write!(f, "control-flow graph has no blocks"),
+            CfgError::UnknownBlock { block } => {
+                write!(f, "edge references unknown block {block}")
+            }
+            CfgError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            CfgError::EntryHasPredecessors { entry } => {
+                write!(f, "entry block {entry} has incoming edges")
+            }
+            CfgError::Unreachable { block } => {
+                write!(f, "block {block} is unreachable from the entry")
+            }
+            CfgError::Cyclic { witness } => {
+                write!(f, "graph contains a cycle through block {witness}")
+            }
+            CfgError::BadInterval { block, min, max } => {
+                write!(
+                    f,
+                    "block {block} has a malformed execution interval [{min}, {max}]"
+                )
+            }
+            CfgError::MissingLoopBound { header } => {
+                write!(f, "loop headed at block {header} has no iteration bound")
+            }
+            CfgError::BadLoopBound {
+                header,
+                min_iterations,
+                max_iterations,
+            } => write!(
+                f,
+                "loop headed at block {header} has malformed bound \
+                 [{min_iterations}, {max_iterations}]"
+            ),
+            CfgError::Irreducible { witness } => {
+                write!(f, "irreducible control flow through block {witness}")
+            }
+            CfgError::RecursiveCall { function } => {
+                write!(f, "call graph is recursive through function `{function}`")
+            }
+            CfgError::UnknownFunction { function } => {
+                write!(f, "call site references unknown function `{function}`")
+            }
+            CfgError::DuplicateFunction { function } => {
+                write!(f, "function `{function}` defined twice")
+            }
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let err = CfgError::UnknownBlock {
+            block: BlockId(7),
+        };
+        assert!(err.to_string().contains('7'));
+        let err = CfgError::RecursiveCall {
+            function: "fib".into(),
+        };
+        assert!(err.to_string().contains("fib"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CfgError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Published example graphs used across tests, benches and examples.
+
+use crate::block::{BlockId, ExecInterval};
+use crate::error::CfgError;
+use crate::graph::{Cfg, CfgBuilder};
+
+/// The 11-block loop-free CFG of the paper's **Figure 1**, reconstructed
+/// from the published per-block execution intervals (left half) and
+/// earliest/latest start offsets (right half).
+///
+/// The figure's node layout does not fully determine the edge set, but the
+/// reconstruction below reproduces the published value multisets *exactly*
+/// under Eqs. 1–3 (see [`figure1_expected_offsets`]):
+///
+/// ```text
+/// edges: 0→1, 0→2, 1→3, 2→3, 3→4, 3→6, 4→5, 4→7, 5→8, 7→8, 6→9, 8→9, 9→10
+///
+/// block exec           start offsets
+///   0   [15,25]          [0,0]
+///   1   [15,25]          [15,25]
+///   2   [20,40]          [15,25]
+///   3   [20,30]          [30,65]
+///   4   [5,5]            [50,95]
+///   5   [10,10]          [55,100]
+///   6   [10,20]          [50,95]
+///   7   [15,25]          [55,100]
+///   8   [40,50]          [65,125]
+///   9   [5,5]            [60,175]
+///  10   [15,35]          [65,180]
+/// ```
+///
+/// Whole-task timing: BCET 80, WCET 215.
+///
+/// # Panics
+///
+/// Never — the construction is statically valid (exercised by tests).
+#[must_use]
+pub fn figure1_cfg() -> Cfg {
+    fn iv(min: f64, max: f64) -> ExecInterval {
+        ExecInterval::new(min, max).expect("static interval")
+    }
+    let mut b = CfgBuilder::new();
+    let b0 = b.labeled_block(iv(15.0, 25.0), "0");
+    let b1 = b.labeled_block(iv(15.0, 25.0), "1");
+    let b2 = b.labeled_block(iv(20.0, 40.0), "2");
+    let b3 = b.labeled_block(iv(20.0, 30.0), "3");
+    let b4 = b.labeled_block(iv(5.0, 5.0), "4");
+    let b5 = b.labeled_block(iv(10.0, 10.0), "5");
+    let b6 = b.labeled_block(iv(10.0, 20.0), "6");
+    let b7 = b.labeled_block(iv(15.0, 25.0), "7");
+    let b8 = b.labeled_block(iv(40.0, 50.0), "8");
+    let b9 = b.labeled_block(iv(5.0, 5.0), "9");
+    let b10 = b.labeled_block(iv(15.0, 35.0), "10");
+    let edges = [
+        (b0, b1),
+        (b0, b2),
+        (b1, b3),
+        (b2, b3),
+        (b3, b4),
+        (b3, b6),
+        (b4, b5),
+        (b4, b7),
+        (b5, b8),
+        (b7, b8),
+        (b6, b9),
+        (b8, b9),
+        (b9, b10),
+    ];
+    for (from, to) in edges {
+        b.edge(from, to).expect("static edge");
+    }
+    b.build().expect("static graph")
+}
+
+/// The `[smin, smax]` start offsets published in Figure 1(b), indexed by
+/// block id, for checking [`StartOffsets::analyze`] against the paper.
+///
+/// [`StartOffsets::analyze`]: crate::StartOffsets::analyze
+#[must_use]
+pub fn figure1_expected_offsets() -> Vec<(BlockId, f64, f64)> {
+    [
+        (0, 0.0, 0.0),
+        (1, 15.0, 25.0),
+        (2, 15.0, 25.0),
+        (3, 30.0, 65.0),
+        (4, 50.0, 95.0),
+        (5, 55.0, 100.0),
+        (6, 50.0, 95.0),
+        (7, 55.0, 100.0),
+        (8, 65.0, 125.0),
+        (9, 60.0, 175.0),
+        (10, 65.0, 180.0),
+    ]
+    .into_iter()
+    .map(|(b, lo, hi)| (BlockId(b), lo, hi))
+    .collect()
+}
+
+/// A small single-loop graph (`entry -> header; header -> body -> header;
+/// header -> exit`) used by loop-reduction tests and docs. Returns the graph
+/// and the ids `(entry, header, body, exit)`.
+///
+/// # Errors
+///
+/// Never in practice; the signature keeps `?` usable in doctests.
+pub fn single_loop_cfg() -> Result<(Cfg, [BlockId; 4]), CfgError> {
+    let mut b = CfgBuilder::new();
+    let entry = b.labeled_block(ExecInterval::new(4.0, 6.0)?, "entry");
+    let header = b.labeled_block(ExecInterval::new(2.0, 3.0)?, "header");
+    let body = b.labeled_block(ExecInterval::new(10.0, 12.0)?, "body");
+    let exit = b.labeled_block(ExecInterval::new(5.0, 7.0)?, "exit");
+    b.edge(entry, header)?;
+    b.edge(header, body)?;
+    b.edge(body, header)?;
+    b.edge(header, exit)?;
+    Ok((b.build()?, [entry, header, body, exit]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offsets::{GraphTiming, StartOffsets};
+
+    #[test]
+    fn figure1_reproduces_published_offsets() {
+        let cfg = figure1_cfg();
+        let offsets = StartOffsets::analyze(&cfg).unwrap();
+        for (b, smin, smax) in figure1_expected_offsets() {
+            assert_eq!(
+                offsets.earliest_start(b),
+                smin,
+                "smin mismatch at {b}"
+            );
+            assert_eq!(offsets.latest_start(b), smax, "smax mismatch at {b}");
+        }
+    }
+
+    #[test]
+    fn figure1_timing() {
+        let timing = GraphTiming::analyze(&figure1_cfg()).unwrap();
+        assert_eq!(timing.bcet, 80.0); // 65 + 15 through the fast path
+        assert_eq!(timing.wcet, 215.0); // 180 + 35 through the slow path
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let cfg = figure1_cfg();
+        assert_eq!(cfg.len(), 11);
+        assert!(cfg.is_acyclic());
+        assert_eq!(cfg.exits().collect::<Vec<_>>(), vec![BlockId(10)]);
+        assert_eq!(cfg.edges().count(), 13);
+    }
+
+    #[test]
+    fn single_loop_fixture_builds() {
+        let (cfg, [_, header, body, _]) = single_loop_cfg().unwrap();
+        assert!(!cfg.is_acyclic());
+        assert!(cfg.successors(body).contains(&header));
+    }
+}

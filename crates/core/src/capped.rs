@@ -1,0 +1,162 @@
+//! Arrival-constrained refinement of Algorithm 1 (the paper's future work
+//! item (ii)).
+//!
+//! Section VII: *"it is indeed impossible for a task to get preempted every
+//! `Qi` time units as assumed by Algorithm 1 unless the periods of the other
+//! tasks enable such a preemption scenario"*. When the higher-priority
+//! workload can release at most `N` jobs while the analysed job is alive,
+//! the job suffers at most `N` preemptions — yet plain Algorithm 1 charges
+//! one delay per `Q`-window regardless.
+//!
+//! The refinement keeps Theorem 1's window structure and simply re-charges:
+//! any run with at most `N` preemptions is covered by *some* `N` of the
+//! per-window charges (Theorem 1's induction maps the `k`-th preemption of a
+//! run to the `k`-th window, and dropping preemptions only advances
+//! progress, so each of the `≤ N` preemptions is still dominated by a
+//! distinct window charge). The sum of the **`N` largest window charges**
+//! therefore upper-bounds the cumulative delay of every `≤ N`-preemption
+//! run — never worse than the plain total, and strictly better whenever the
+//! window count exceeds `N`.
+//!
+//! `fnpr-sched` derives `N` from the task set (releases of higher-priority
+//! tasks during the inflated response window); here the cap is a parameter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm1::{algorithm1_trace, BoundOutcome, DelayBound};
+use crate::curve::DelayCurve;
+use crate::error::AnalysisError;
+
+/// Result of the arrival-capped analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CappedBound {
+    /// The plain Algorithm 1 bound (cap ignored).
+    pub uncapped: DelayBound,
+    /// The applied preemption cap.
+    pub cap: usize,
+    /// Upper bound on the cumulative delay of any run with at most `cap`
+    /// preemptions: the sum of the `cap` largest window charges.
+    pub total_delay: f64,
+    /// Number of windows that actually carry a positive charge.
+    pub charged_windows: usize,
+}
+
+impl CappedBound {
+    /// The inflated WCET `C′ = C + total_delay` under the cap.
+    #[must_use]
+    pub fn inflated_wcet(&self) -> f64 {
+        self.uncapped.wcet + self.total_delay
+    }
+}
+
+/// Runs Algorithm 1 and keeps only the `max_preemptions` largest window
+/// charges (see the module docs for the soundness argument).
+///
+/// # Errors
+///
+/// As [`algorithm1`](crate::algorithm1).
+///
+/// # Examples
+///
+/// ```
+/// use fnpr_core::{algorithm1, algorithm1_capped, DelayCurve};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = DelayCurve::constant(2.0, 10.0)?;
+/// // Plain Algorithm 1 charges three windows (total 6)...
+/// let plain = algorithm1(&f, 4.0)?.expect_converged();
+/// assert_eq!(plain.total_delay, 6.0);
+/// // ...but if the rest of the system can only release one job while this
+/// // one runs, a single charge suffices.
+/// let capped = algorithm1_capped(&f, 4.0, 1)?.expect("converged");
+/// assert_eq!(capped.total_delay, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn algorithm1_capped(
+    curve: &DelayCurve,
+    q: f64,
+    max_preemptions: usize,
+) -> Result<Option<CappedBound>, AnalysisError> {
+    let (outcome, trace) = algorithm1_trace(curve, q)?;
+    let uncapped = match outcome {
+        BoundOutcome::Converged(bound) => bound,
+        BoundOutcome::Divergent { .. } => return Ok(None),
+    };
+    let mut charges: Vec<f64> = trace.iter().map(|w| w.delay).collect();
+    charges.sort_by(|a, b| b.total_cmp(a));
+    let total_delay: f64 = charges.iter().take(max_preemptions).sum();
+    let charged_windows = charges
+        .iter()
+        .take(max_preemptions)
+        .filter(|&&d| d > 0.0)
+        .count();
+    Ok(Some(CappedBound {
+        uncapped,
+        cap: max_preemptions,
+        total_delay,
+        charged_windows,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::algorithm1;
+
+    #[test]
+    fn cap_zero_means_no_delay() {
+        let f = DelayCurve::constant(3.0, 100.0).unwrap();
+        let capped = algorithm1_capped(&f, 10.0, 0).unwrap().unwrap();
+        assert_eq!(capped.total_delay, 0.0);
+        assert_eq!(capped.charged_windows, 0);
+        assert_eq!(capped.inflated_wcet(), 100.0);
+    }
+
+    #[test]
+    fn large_cap_equals_plain_bound() {
+        let f = DelayCurve::from_breakpoints([(0.0, 4.0), (30.0, 1.0)], 90.0).unwrap();
+        let plain = algorithm1(&f, 9.0).unwrap().expect_converged();
+        let capped = algorithm1_capped(&f, 9.0, 10_000).unwrap().unwrap();
+        assert!((capped.total_delay - plain.total_delay).abs() < 1e-12);
+        assert_eq!(capped.uncapped, plain);
+    }
+
+    #[test]
+    fn cap_takes_largest_charges() {
+        // Charges: first windows pay 4 (early expensive phase), later 1.
+        let f = DelayCurve::from_breakpoints([(0.0, 4.0), (20.0, 1.0)], 100.0).unwrap();
+        let capped = algorithm1_capped(&f, 10.0, 2).unwrap().unwrap();
+        // The two largest are the 4s (windows at progress 10 and 16).
+        assert_eq!(capped.total_delay, 8.0);
+        assert_eq!(capped.charged_windows, 2);
+    }
+
+    #[test]
+    fn monotone_in_cap() {
+        let f = DelayCurve::from_breakpoints(
+            [(0.0, 2.0), (25.0, 5.0), (50.0, 0.5)],
+            150.0,
+        )
+        .unwrap();
+        let mut last = 0.0;
+        for cap in 0..12 {
+            let capped = algorithm1_capped(&f, 8.0, cap).unwrap().unwrap();
+            assert!(capped.total_delay >= last - 1e-12);
+            last = capped.total_delay;
+        }
+        let plain = algorithm1(&f, 8.0).unwrap().expect_converged();
+        assert!(last <= plain.total_delay + 1e-12);
+    }
+
+    #[test]
+    fn divergent_reports_none() {
+        let f = DelayCurve::constant(5.0, 100.0).unwrap();
+        assert_eq!(algorithm1_capped(&f, 4.0, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_invalid_q() {
+        let f = DelayCurve::constant(1.0, 10.0).unwrap();
+        assert!(algorithm1_capped(&f, 0.0, 1).is_err());
+    }
+}

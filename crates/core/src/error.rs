@@ -1,0 +1,191 @@
+//! Error types for curve construction and delay-bound analyses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or combining [`DelayCurve`]s.
+///
+/// [`DelayCurve`]: crate::DelayCurve
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// The curve has no segments.
+    Empty,
+    /// The domain end is not a finite, strictly positive number.
+    BadDomain {
+        /// The offending domain end.
+        end: f64,
+    },
+    /// The first breakpoint does not start at time zero.
+    MissingOrigin {
+        /// The first breakpoint actually supplied.
+        first: f64,
+    },
+    /// Breakpoints are not strictly increasing.
+    NonMonotonic {
+        /// Index of the offending breakpoint.
+        index: usize,
+        /// Breakpoint at `index - 1`.
+        previous: f64,
+        /// Breakpoint at `index`.
+        current: f64,
+    },
+    /// A breakpoint lies at or beyond the domain end.
+    BreakpointBeyondEnd {
+        /// Index of the offending breakpoint.
+        index: usize,
+        /// The offending breakpoint.
+        start: f64,
+        /// The domain end.
+        end: f64,
+    },
+    /// A segment value is negative or not finite.
+    BadValue {
+        /// Index of the offending segment.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two curves cover different domains and cannot be combined.
+    DomainMismatch {
+        /// Domain end of the left operand.
+        left: f64,
+        /// Domain end of the right operand.
+        right: f64,
+    },
+    /// An interval query used a malformed interval.
+    BadInterval {
+        /// Interval start.
+        lo: f64,
+        /// Interval end.
+        hi: f64,
+    },
+    /// A sampling step is not finite and strictly positive.
+    BadStep {
+        /// The offending step.
+        step: f64,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "curve has no segments"),
+            CurveError::BadDomain { end } => {
+                write!(f, "domain end {end} is not finite and strictly positive")
+            }
+            CurveError::MissingOrigin { first } => {
+                write!(f, "first breakpoint must be 0, got {first}")
+            }
+            CurveError::NonMonotonic {
+                index,
+                previous,
+                current,
+            } => write!(
+                f,
+                "breakpoints not strictly increasing at index {index}: {previous} >= {current}"
+            ),
+            CurveError::BreakpointBeyondEnd { index, start, end } => write!(
+                f,
+                "breakpoint {start} at index {index} lies at or beyond domain end {end}"
+            ),
+            CurveError::BadValue { index, value } => write!(
+                f,
+                "segment value {value} at index {index} is negative or not finite"
+            ),
+            CurveError::DomainMismatch { left, right } => write!(
+                f,
+                "curves cover different domains: [0, {left}) vs [0, {right})"
+            ),
+            CurveError::BadInterval { lo, hi } => {
+                write!(f, "malformed interval [{lo}, {hi}]")
+            }
+            CurveError::BadStep { step } => {
+                write!(f, "sampling step {step} is not finite and strictly positive")
+            }
+        }
+    }
+}
+
+impl Error for CurveError {}
+
+/// Errors raised by the delay-bound analyses ([`algorithm1`], [`eq4_bound`]).
+///
+/// [`algorithm1`]: crate::algorithm1
+/// [`eq4_bound`]: crate::eq4_bound
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The non-preemptive region length is not finite and strictly positive.
+    InvalidQ {
+        /// The offending region length.
+        q: f64,
+    },
+    /// The worst-case execution time is not finite and strictly positive.
+    InvalidWcet {
+        /// The offending execution time.
+        wcet: f64,
+    },
+    /// The maximum per-preemption delay is negative or not finite.
+    InvalidDelay {
+        /// The offending delay.
+        delay: f64,
+    },
+    /// The iteration budget was exhausted before reaching a fixpoint.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InvalidQ { q } => {
+                write!(f, "non-preemptive region length {q} is not finite and positive")
+            }
+            AnalysisError::InvalidWcet { wcet } => {
+                write!(f, "worst-case execution time {wcet} is not finite and positive")
+            }
+            AnalysisError::InvalidDelay { delay } => {
+                write!(f, "maximum preemption delay {delay} is negative or not finite")
+            }
+            AnalysisError::IterationLimit { limit } => {
+                write!(f, "iteration budget of {limit} exhausted before fixpoint")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_error_display_is_informative() {
+        let err = CurveError::NonMonotonic {
+            index: 3,
+            previous: 5.0,
+            current: 4.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("index 3"));
+        assert!(msg.contains('5'));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn analysis_error_display_is_informative() {
+        let err = AnalysisError::InvalidQ { q: -1.0 };
+        assert!(err.to_string().contains("-1"));
+        let err = AnalysisError::IterationLimit { limit: 42 };
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CurveError>();
+        assert_error::<AnalysisError>();
+    }
+}

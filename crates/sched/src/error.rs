@@ -1,0 +1,96 @@
+//! Error types for the schedulability substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use fnpr_core::AnalysisError;
+
+/// Errors raised while building task sets or running schedulability tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A task parameter is out of range.
+    InvalidTask {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The task set has no tasks.
+    EmptyTaskSet,
+    /// Total utilisation exceeds 1 — no uniprocessor test can pass.
+    Overutilized {
+        /// The total utilisation.
+        utilization: f64,
+    },
+    /// A task needs a non-preemptive region length but none is set.
+    MissingQ {
+        /// Index of the offending task.
+        index: usize,
+    },
+    /// A task needs a preemption-delay curve but none is set.
+    MissingCurve {
+        /// Index of the offending task.
+        index: usize,
+    },
+    /// A fixpoint iteration exhausted its budget.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An underlying delay-bound analysis failed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidTask { what, value } => {
+                write!(f, "invalid task parameter {what} = {value}")
+            }
+            SchedError::EmptyTaskSet => write!(f, "task set has no tasks"),
+            SchedError::Overutilized { utilization } => {
+                write!(f, "task set utilisation {utilization} exceeds 1")
+            }
+            SchedError::MissingQ { index } => {
+                write!(f, "task {index} has no non-preemptive region length")
+            }
+            SchedError::MissingCurve { index } => {
+                write!(f, "task {index} has no preemption-delay curve")
+            }
+            SchedError::IterationLimit { limit } => {
+                write!(f, "fixpoint iteration exhausted its budget of {limit}")
+            }
+            SchedError::Analysis(inner) => write!(f, "delay-bound analysis failed: {inner}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Analysis(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for SchedError {
+    fn from(inner: AnalysisError) -> Self {
+        SchedError::Analysis(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = SchedError::Overutilized { utilization: 1.2 };
+        assert!(err.to_string().contains("1.2"));
+        let err: SchedError = AnalysisError::InvalidQ { q: -1.0 }.into();
+        assert!(err.source().is_some());
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SchedError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Numeric helpers shared by the analyses.
+
+/// `⌈x / y⌉` robust against floating-point representation noise: values
+/// within one ulp of an exact multiple do not round up.
+///
+/// Interference terms in RTA and demand-bound functions hinge on exact
+/// multiples (`ceil(R/T)` at `R = kT`); naive `f64` division turns `1.2/0.4`
+/// into `3.0000000000000004` and silently over-counts a whole job.
+#[must_use]
+pub fn ceil_div(x: f64, y: f64) -> f64 {
+    let ratio = x / y;
+    let up = ratio.ceil();
+    if up > ratio && (ratio - (up - 1.0)) * y <= f64::EPSILON * x.abs() {
+        up - 1.0
+    } else {
+        up
+    }
+}
+
+/// `⌊x / y⌋` robust against representation noise: values within one ulp of
+/// an exact multiple round to that multiple (not one below).
+#[must_use]
+pub fn floor_div(x: f64, y: f64) -> f64 {
+    let ratio = x / y;
+    let down = ratio.floor();
+    if down < ratio && ((down + 1.0) - ratio) * y <= f64::EPSILON * x.abs() {
+        down + 1.0
+    } else {
+        down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_exact_and_noisy() {
+        assert_eq!(ceil_div(20.0, 4.0), 5.0);
+        assert_eq!(ceil_div(20.1, 4.0), 6.0);
+        assert_eq!(ceil_div(1.2, 0.4), 3.0); // 1.2/0.4 = 3.0000000000000004
+        assert_eq!(ceil_div(0.3, 0.1), 3.0);
+        assert_eq!(ceil_div(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn floor_div_exact_and_noisy() {
+        assert_eq!(floor_div(20.0, 4.0), 5.0);
+        assert_eq!(floor_div(19.9, 4.0), 4.0);
+        assert_eq!(floor_div(0.3, 0.1), 3.0); // 0.3/0.1 = 2.9999999999999996
+        assert_eq!(floor_div(0.0, 4.0), 0.0);
+    }
+}

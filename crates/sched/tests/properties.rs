@@ -1,0 +1,228 @@
+//! Property-based tests for the schedulability substrate.
+
+use fnpr_core::DelayCurve;
+use fnpr_sched::{
+    audsley_floating_npr, dbf, delay_tolerance, edf_schedulable, edf_schedulable_with_npr,
+    fp_schedulable_with_delay, inflate_wcets, max_npr_lengths_edf, max_npr_lengths_fp,
+    response_time_analysis, rta_floating_npr, scale_delay_curves, DelayMethod, Task, TaskSet,
+};
+use proptest::prelude::*;
+
+/// Random task set in rate-monotonic order: periods ascending, utilisations
+/// modest so most sets are schedulable enough to exercise the analyses.
+fn arb_taskset() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((2.0f64..50.0, 0.02f64..0.25), 1..6).prop_map(|specs| {
+        let mut period = 0.0;
+        let tasks = specs
+            .iter()
+            .map(|&(gap, u)| {
+                period += gap;
+                let wcet = (u * period).max(0.01);
+                Task::new(wcet, period).expect("valid task")
+            })
+            .collect();
+        TaskSet::new(tasks).expect("non-empty")
+    })
+}
+
+/// Attach a random-ish constant delay curve and a Q to every task.
+fn with_curves(ts: &TaskSet, q_frac: f64, delay_frac: f64) -> TaskSet {
+    TaskSet::new(
+        ts.iter()
+            .map(|t| {
+                let q = (t.wcet() * q_frac).max(0.05);
+                let delay = q * delay_frac; // keeps delay < q: convergent
+                t.clone()
+                    .with_q(q)
+                    .expect("positive q")
+                    .with_delay_curve(DelayCurve::constant(delay, t.wcet()).expect("valid"))
+            })
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Response times are at least C + B and grow with blocking.
+    #[test]
+    fn rta_lower_bound_and_blocking_monotonicity(
+        ts in arb_taskset(),
+        b in 0.0f64..2.0,
+    ) {
+        let zero = vec![0.0; ts.len()];
+        let base = response_time_analysis(&ts, &zero).unwrap();
+        let blocked_terms: Vec<f64> = vec![b; ts.len()];
+        let blocked = response_time_analysis(&ts, &blocked_terms).unwrap();
+        for i in 0..ts.len() {
+            if let Some(r) = base.response_times[i] {
+                prop_assert!(r >= ts.task(i).wcet() - 1e-9);
+                // None = blocking pushed the task over its deadline.
+                if let Some(rb) = blocked.response_times[i] {
+                    prop_assert!(rb >= r - 1e-9);
+                }
+            } else {
+                // Unschedulable without blocking stays unschedulable with.
+                prop_assert!(blocked.response_times[i].is_none());
+            }
+        }
+    }
+
+    /// The demand bound function is non-decreasing and bounded by the
+    /// fluid-flow envelope U·t + Σ Ci.
+    #[test]
+    fn dbf_monotone_and_bounded(ts in arb_taskset(), t1 in 0.0f64..500.0, dt in 0.0f64..200.0) {
+        let a = dbf(&ts, t1);
+        let b = dbf(&ts, t1 + dt);
+        prop_assert!(b >= a - 1e-9);
+        let envelope: f64 =
+            ts.utilization() * (t1 + dt) + ts.iter().map(Task::wcet).sum::<f64>();
+        prop_assert!(b <= envelope + 1e-9);
+    }
+
+    /// Assigning every task its computed maximum region (capped at its own
+    /// WCET) preserves schedulability — the defining property of the
+    /// Bertogna–Baruah / Yao et al. bounds.
+    #[test]
+    fn npr_bounds_are_safe(ts in arb_taskset()) {
+        // EDF.
+        if edf_schedulable(&ts).unwrap() {
+            let bounds = max_npr_lengths_edf(&ts).unwrap();
+            if bounds.feasible() {
+                let qs = bounds.capped_at_wcet(&ts);
+                let with_q = TaskSet::new(
+                    ts.iter()
+                        .zip(&qs)
+                        .map(|(t, &q)| t.clone().with_q(q).unwrap())
+                        .collect(),
+                )
+                .unwrap();
+                prop_assert!(
+                    edf_schedulable_with_npr(&with_q).unwrap(),
+                    "EDF NPR bound unsafe for {:?}",
+                    qs
+                );
+            }
+        }
+        // Fixed priority (rate-monotonic order is how arb_taskset builds).
+        let rta = response_time_analysis(&ts, &vec![0.0; ts.len()]).unwrap();
+        if rta.schedulable() {
+            let bounds = max_npr_lengths_fp(&ts);
+            if bounds.feasible() {
+                let qs = bounds.capped_at_wcet(&ts);
+                let with_q = TaskSet::new(
+                    ts.iter()
+                        .zip(&qs)
+                        .map(|(t, &q)| t.clone().with_q(q).unwrap())
+                        .collect(),
+                )
+                .unwrap();
+                prop_assert!(
+                    rta_floating_npr(&with_q).unwrap().schedulable(),
+                    "FP NPR bound unsafe for {:?}",
+                    qs
+                );
+            }
+        }
+    }
+
+    /// Algorithm 1 inflation never exceeds Eq. 4 inflation, so Eq. 4
+    /// acceptance implies Algorithm 1 acceptance.
+    #[test]
+    fn inflation_dominance(
+        ts in arb_taskset(),
+        q_frac in 0.3f64..0.9,
+        delay_frac in 0.0f64..0.9,
+    ) {
+        let tasks = with_curves(&ts, q_frac, delay_frac);
+        let alg1 = inflate_wcets(&tasks, DelayMethod::Algorithm1).unwrap();
+        let eq4 = inflate_wcets(&tasks, DelayMethod::Eq4).unwrap();
+        for (a, e) in alg1.wcets.iter().zip(&eq4.wcets) {
+            match (a, e) {
+                (Some(a), Some(e)) => prop_assert!(*a <= *e + 1e-9),
+                (None, Some(_)) => prop_assert!(false, "alg1 divergent but eq4 finite"),
+                _ => {}
+            }
+        }
+        let eq4_ok = fp_schedulable_with_delay(&tasks, DelayMethod::Eq4).unwrap();
+        let alg1_ok = fp_schedulable_with_delay(&tasks, DelayMethod::Algorithm1).unwrap();
+        if eq4_ok {
+            prop_assert!(alg1_ok, "Eq. 4 accepted but Algorithm 1 rejected");
+        }
+    }
+
+    /// Audsley dominates any fixed order: whenever the input (RM) order
+    /// passes the floating-NPR RTA, Audsley finds a feasible order too, and
+    /// that order passes the same test.
+    #[test]
+    fn audsley_dominates_input_order(ts in arb_taskset(), q_frac in 0.2f64..0.8) {
+        let with_q = TaskSet::new(
+            ts.iter()
+                .map(|t| t.clone().with_q((t.wcet() * q_frac).max(0.01)).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let input_ok = rta_floating_npr(&with_q).unwrap().schedulable();
+        let assignment = audsley_floating_npr(&with_q).unwrap();
+        if input_ok {
+            prop_assert!(assignment.order().is_some(), "Audsley lost a feasible set");
+        }
+        if let Some(order) = assignment.order() {
+            // The returned order must itself pass.
+            let reordered = TaskSet::new(
+                order.iter().map(|&i| with_q.task(i).clone()).collect(),
+            )
+            .unwrap();
+            prop_assert!(rta_floating_npr(&reordered).unwrap().schedulable());
+            // And be a permutation.
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..with_q.len()).collect::<Vec<_>>());
+        }
+    }
+
+    /// The delay-tolerance bisection is consistent: the found scale is
+    /// accepted, and acceptance is monotone (any smaller scale accepted).
+    #[test]
+    fn delay_tolerance_is_consistent(
+        ts in arb_taskset(),
+        q_frac in 0.3f64..0.9,
+        delay_frac in 0.05f64..0.5,
+        probe in 0.0f64..1.0,
+    ) {
+        let tasks = with_curves(&ts, q_frac, delay_frac);
+        let tolerance = delay_tolerance(&tasks, DelayMethod::Algorithm1, 4.0, 0.05).unwrap();
+        if tolerance.base_infeasible {
+            // Base rejection must be real.
+            prop_assert!(
+                !fp_schedulable_with_delay(&tasks, DelayMethod::None).unwrap()
+            );
+        } else {
+            let at = scale_delay_curves(&tasks, tolerance.max_scale).unwrap();
+            prop_assert!(fp_schedulable_with_delay(&at, DelayMethod::Algorithm1).unwrap());
+            // Monotonicity at a random smaller scale.
+            let smaller = scale_delay_curves(&tasks, tolerance.max_scale * probe).unwrap();
+            prop_assert!(
+                fp_schedulable_with_delay(&smaller, DelayMethod::Algorithm1).unwrap(),
+                "smaller delay scale rejected while larger accepted"
+            );
+        }
+    }
+
+    /// Removing the lowest-priority task never hurts the remaining ones
+    /// under preemptive RTA.
+    #[test]
+    fn rta_is_monotone_in_workload(ts in arb_taskset()) {
+        prop_assume!(ts.len() >= 2);
+        let full = response_time_analysis(&ts, &vec![0.0; ts.len()]).unwrap();
+        let reduced_tasks: Vec<Task> = ts.iter().take(ts.len() - 1).cloned().collect();
+        let reduced_set = TaskSet::new(reduced_tasks).unwrap();
+        let reduced =
+            response_time_analysis(&reduced_set, &vec![0.0; reduced_set.len()]).unwrap();
+        for i in 0..reduced_set.len() {
+            // Identical prefix: higher-priority interference unchanged.
+            prop_assert_eq!(full.response_times[i], reduced.response_times[i]);
+        }
+    }
+}

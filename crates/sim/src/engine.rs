@@ -1,0 +1,555 @@
+//! The discrete-event unicore scheduler.
+//!
+//! Semantics (matching the paper's Section III):
+//!
+//! * a job's *execution clock* advances only while it holds the processor;
+//!   outstanding preemption delay is serviced before useful progress
+//!   resumes;
+//! * a preemption of job `J` at progress `p` charges `fJ(p)` extra execution
+//!   (added to `J`'s outstanding delay at the preemption instant);
+//! * under [`PreemptionMode::FloatingNpr`], a higher-priority release while
+//!   `J` runs arms a region ending `QJ` later (on `J`'s execution clock —
+//!   equivalently wall clock, since `J` runs throughout); releases during an
+//!   active region are collated into the single preemption at its expiry;
+//!   the region dies if `J` completes first;
+//! * event ordering within one instant: completions, then releases, then
+//!   region expiry. A release coinciding with a dispatch is seen by the
+//!   dispatcher (the worst-case "release at the exact start" of the paper is
+//!   approached by releases strictly inside the running interval).
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobRecord, JobState};
+use crate::policy::{PreemptionMode, PriorityPolicy, SimConfig};
+use crate::scenario::Scenario;
+use crate::trace::TraceEvent;
+
+/// Hard cap on processed events (defensive against degenerate scenarios).
+const MAX_EVENTS: usize = 50_000_000;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One record per job, in release order.
+    pub jobs: Vec<JobRecord>,
+    /// Event trace (empty unless [`SimConfig::collect_trace`] was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimResult {
+    /// Records of one task's jobs.
+    pub fn of_task(&self, task: usize) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(move |j| j.task == task)
+    }
+
+    /// `true` when every completed job met its deadline and all jobs
+    /// completed.
+    #[must_use]
+    pub fn all_deadlines_met(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| j.completion.is_some() && j.deadline_met())
+    }
+}
+
+/// Runs a scenario under a configuration.
+///
+/// # Panics
+///
+/// Panics if the scenario references a task index out of range, a release
+/// time is not finite, or the event cap is exceeded (all indicate malformed
+/// generated input rather than recoverable conditions).
+#[must_use]
+pub fn simulate(scenario: &Scenario, config: &SimConfig) -> SimResult {
+    for &(task, at) in &scenario.releases {
+        assert!(task < scenario.tasks.len(), "release for unknown task");
+        assert!(at.is_finite() && at >= 0.0, "bad release time {at}");
+    }
+    let mut jobs: Vec<JobState> = Vec::with_capacity(scenario.releases.len());
+    for &(task, at) in &scenario.releases {
+        if at < config.horizon {
+            let spec = &scenario.tasks[task];
+            jobs.push(JobState::new(jobs.len(), task, at, spec));
+        }
+    }
+    // Release order (already sorted by scenario contract; enforce anyway).
+    jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+    for (k, job) in jobs.iter_mut().enumerate() {
+        job.id = k;
+    }
+
+    let mut engine = Engine {
+        scenario,
+        config,
+        jobs,
+        ready: Vec::new(),
+        running: None,
+        npr_expiry: None,
+        next_release: 0,
+        now: 0.0,
+        trace: Vec::new(),
+        events: 0,
+    };
+    engine.run();
+    SimResult {
+        jobs: engine.jobs.iter().map(JobState::record).collect(),
+        trace: engine.trace,
+    }
+}
+
+struct Engine<'a> {
+    scenario: &'a Scenario,
+    config: &'a SimConfig,
+    jobs: Vec<JobState>,
+    ready: Vec<usize>,
+    running: Option<usize>,
+    npr_expiry: Option<f64>,
+    next_release: usize, // index into jobs (release-sorted)
+    now: f64,
+    trace: Vec<TraceEvent>,
+    events: usize,
+}
+
+impl Engine<'_> {
+    fn run(&mut self) {
+        loop {
+            self.events += 1;
+            assert!(self.events < MAX_EVENTS, "event cap exceeded");
+            self.ingest_releases();
+            if self.running.is_none() {
+                if let Some(job) = self.pop_highest_ready() {
+                    self.dispatch(job);
+                } else if self.next_release < self.jobs.len() {
+                    self.now = self.jobs[self.next_release].release;
+                    continue;
+                } else {
+                    return; // drained
+                }
+            }
+            let running = self.running.expect("dispatched above");
+            let remaining = self.jobs[running].remaining();
+            let completion_t = self.now + remaining;
+            let release_t = self
+                .jobs
+                .get(self.next_release)
+                .map(|j| j.release)
+                .filter(|&t| t < completion_t);
+            let expiry_t = self.npr_expiry.filter(|&t| t < completion_t);
+            let t = [Some(completion_t), release_t, expiry_t]
+                .into_iter()
+                .flatten()
+                .fold(f64::INFINITY, f64::min);
+            self.advance_running(t - self.now);
+            self.now = t;
+            if release_t.is_none() && expiry_t.is_none() {
+                self.complete_running();
+                continue;
+            }
+            // Releases at t are ingested at the top of the loop; they may
+            // arm a region or preempt immediately depending on the mode.
+            self.ingest_releases();
+            if let Some(expiry) = self.npr_expiry {
+                if expiry <= self.now {
+                    self.npr_expiry = None;
+                    self.trace(TraceEvent::NprExpired { at: self.now });
+                    self.preempt_if_outranked();
+                }
+            }
+        }
+    }
+
+    /// Moves all jobs released at or before `now` into the ready queue,
+    /// applying the preemption-mode reaction for each.
+    fn ingest_releases(&mut self) {
+        while self.next_release < self.jobs.len()
+            && self.jobs[self.next_release].release <= self.now
+        {
+            let id = self.next_release;
+            self.next_release += 1;
+            self.ready.push(id);
+            self.trace(TraceEvent::Released {
+                at: self.jobs[id].release,
+                job: id,
+                task: self.jobs[id].task,
+            });
+            let Some(running) = self.running else {
+                continue;
+            };
+            if !self.outranks(id, running) {
+                continue;
+            }
+            match self.config.mode {
+                PreemptionMode::Preemptive => self.preempt(running),
+                PreemptionMode::NonPreemptive => {}
+                PreemptionMode::FloatingNpr => {
+                    if self.npr_expiry.is_none() {
+                        match self.scenario.tasks[self.jobs[running].task].q {
+                            Some(q) => {
+                                self.npr_expiry = Some(self.now + q);
+                                self.trace(TraceEvent::NprStarted {
+                                    at: self.now,
+                                    job: running,
+                                    until: self.now + q,
+                                });
+                            }
+                            // No region length: behave preemptively.
+                            None => self.preempt(running),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Job `a` strictly outranks job `b` (total order; ties broken by task
+    /// index, then release order, so same-task jobs run FIFO even after the
+    /// ready queue has been shuffled by preemptions).
+    fn outranks(&self, a: usize, b: usize) -> bool {
+        let ja = &self.jobs[a];
+        let jb = &self.jobs[b];
+        let key_a = match self.config.policy {
+            PriorityPolicy::FixedPriority => (0.0, ja.task, ja.id),
+            PriorityPolicy::Edf => (ja.abs_deadline, ja.task, ja.id),
+        };
+        let key_b = match self.config.policy {
+            PriorityPolicy::FixedPriority => (0.0, jb.task, jb.id),
+            PriorityPolicy::Edf => (jb.abs_deadline, jb.task, jb.id),
+        };
+        key_a < key_b
+    }
+
+    fn pop_highest_ready(&mut self) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for k in 1..self.ready.len() {
+            if self.outranks(self.ready[k], self.ready[best]) {
+                best = k;
+            }
+        }
+        Some(self.ready.swap_remove(best))
+    }
+
+    fn dispatch(&mut self, job: usize) {
+        self.running = Some(job);
+        let state = &mut self.jobs[job];
+        if state.start.is_none() {
+            state.start = Some(self.now);
+        }
+        self.trace(TraceEvent::Dispatched {
+            at: self.now,
+            job,
+            task: self.jobs[job].task,
+        });
+    }
+
+    fn advance_running(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let job = self.running.expect("advance without a running job");
+        self.jobs[job].advance(dt);
+    }
+
+    fn complete_running(&mut self) {
+        let job = self.running.take().expect("completion without running");
+        self.jobs[job].finish(self.now);
+        self.npr_expiry = None; // a region dies with its job
+        self.trace(TraceEvent::Completed {
+            at: self.now,
+            job,
+            task: self.jobs[job].task,
+        });
+    }
+
+    /// Preempts the running job if some ready job outranks it.
+    fn preempt_if_outranked(&mut self) {
+        let Some(running) = self.running else { return };
+        let outranked = self
+            .ready
+            .iter()
+            .any(|&candidate| self.outranks(candidate, running));
+        if outranked {
+            self.preempt(running);
+        }
+    }
+
+    /// Charges the preemption delay and returns the job to the ready queue.
+    fn preempt(&mut self, job: usize) {
+        debug_assert_eq!(self.running, Some(job));
+        let task = self.jobs[job].task;
+        let progress = self.jobs[job].progress;
+        let delay = self.scenario.tasks[task]
+            .delay_curve
+            .as_ref()
+            .map_or(0.0, |curve| curve.value_at(progress));
+        self.jobs[job].charge_preemption(delay);
+        self.trace(TraceEvent::Preempted {
+            at: self.now,
+            job,
+            task,
+            progress,
+            delay,
+        });
+        self.ready.push(job);
+        self.running = None;
+        self.npr_expiry = None;
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if self.config.collect_trace {
+            self.trace.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SimTask;
+    use fnpr_core::DelayCurve;
+
+    fn task(exec: f64, q: Option<f64>, curve: Option<DelayCurve>) -> SimTask {
+        SimTask {
+            exec_time: exec,
+            deadline: f64::INFINITY,
+            q,
+            delay_curve: curve,
+        }
+    }
+
+    fn fp(mode: PreemptionMode) -> SimConfig {
+        SimConfig {
+            policy: PriorityPolicy::FixedPriority,
+            mode,
+            horizon: 1_000.0,
+            collect_trace: true,
+        }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let s = Scenario {
+            tasks: vec![task(10.0, None, None)],
+            releases: vec![(0, 0.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::Preemptive));
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].completion, Some(10.0));
+        assert_eq!(r.jobs[0].preemptions, 0);
+        assert_eq!(r.jobs[0].cumulative_delay, 0.0);
+        assert_eq!(r.jobs[0].response(), Some(10.0));
+    }
+
+    #[test]
+    fn preemptive_mode_preempts_immediately() {
+        // Victim (low prio) starts at 0; spike at 3 preempts instantly.
+        let curve = DelayCurve::constant(2.0, 10.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(10.0, None, Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::Preemptive));
+        let victim = &r.jobs[0]; // release-sorted: victim released first
+        assert_eq!(victim.task, 1);
+        assert_eq!(victim.preemptions, 1);
+        assert_eq!(victim.cumulative_delay, 2.0);
+        // Timeline: victim 0..3 (progress 3), spike 3..4, victim pays 2 and
+        // finishes remaining 7: 4 + 2 + 7 = 13.
+        assert_eq!(victim.completion, Some(13.0));
+        let spike = &r.jobs[1];
+        assert_eq!(spike.completion, Some(4.0));
+    }
+
+    #[test]
+    fn non_preemptive_mode_never_preempts() {
+        let curve = DelayCurve::constant(2.0, 10.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(10.0, None, Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::NonPreemptive));
+        let victim = &r.jobs[0];
+        assert_eq!(victim.preemptions, 0);
+        assert_eq!(victim.completion, Some(10.0));
+        let spike = &r.jobs[1];
+        assert_eq!(spike.completion, Some(11.0)); // waits for the victim
+    }
+
+    #[test]
+    fn floating_npr_defers_preemption_by_q() {
+        // Victim q=4: spike released at 3 -> region until 7, preemption at
+        // progress 7 (not 3).
+        let curve = DelayCurve::constant(2.0, 10.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(10.0, Some(4.0), Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::FloatingNpr));
+        let victim = &r.jobs[0];
+        assert_eq!(victim.preemptions, 1);
+        assert_eq!(victim.cumulative_delay, 2.0);
+        // Timeline: victim 0..7 (progress 7), spike 7..8, victim pays 2,
+        // remaining 3: completes 8 + 2 + 3 = 13.
+        assert_eq!(victim.completion, Some(13.0));
+        // The trace shows the region.
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NprStarted { until, .. } if *until == 7.0)));
+        // The preemption progress is 7.
+        assert!(r.trace.iter().any(
+            |e| matches!(e, TraceEvent::Preempted { progress, .. } if *progress == 7.0)
+        ));
+    }
+
+    #[test]
+    fn releases_during_active_region_are_collated() {
+        // Two spikes released at 3 and 5, region 3..7: a single preemption
+        // at 7 services both.
+        let curve = DelayCurve::constant(2.0, 20.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(20.0, Some(4.0), Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0), (0, 5.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::FloatingNpr));
+        let victim = &r.jobs[0];
+        assert_eq!(victim.preemptions, 1, "collation failed");
+        assert_eq!(victim.cumulative_delay, 2.0);
+        // victim 0..7; spikes 7..8, 8..9; victim resumes, pays 2 and the
+        // remaining 13: 9 + 2 + 13 = 24.
+        assert_eq!(victim.completion, Some(24.0));
+    }
+
+    #[test]
+    fn region_dies_with_completing_job() {
+        // Victim has only 2 left when the spike arrives; region would end at
+        // 6 but the victim completes at 5; the spike runs right away.
+        let curve = DelayCurve::constant(2.0, 5.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(5.0, Some(3.0), Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::FloatingNpr));
+        let victim = &r.jobs[0];
+        assert_eq!(victim.preemptions, 0);
+        assert_eq!(victim.completion, Some(5.0));
+        let spike = &r.jobs[1];
+        assert_eq!(spike.completion, Some(6.0));
+    }
+
+    #[test]
+    fn lower_priority_release_never_triggers_region() {
+        // A *lower* priority release while the high-priority job runs does
+        // nothing.
+        let s = Scenario {
+            tasks: vec![task(10.0, Some(2.0), None), task(1.0, None, None)],
+            releases: vec![(0, 0.0), (1, 3.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::FloatingNpr));
+        assert_eq!(r.jobs[0].completion, Some(10.0));
+        assert_eq!(r.jobs[0].preemptions, 0);
+        assert_eq!(r.jobs[1].completion, Some(11.0));
+        assert!(!r
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NprStarted { .. })));
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline() {
+        // Task 0 (would win under FP) has a later absolute deadline than
+        // task 1: EDF runs task 1 first.
+        let mut t0 = task(2.0, None, None);
+        t0.deadline = 100.0;
+        let mut t1 = task(2.0, None, None);
+        t1.deadline = 10.0;
+        let s = Scenario {
+            tasks: vec![t0, t1],
+            releases: vec![(0, 0.0), (1, 0.0)],
+        };
+        let config = SimConfig {
+            policy: PriorityPolicy::Edf,
+            mode: PreemptionMode::Preemptive,
+            horizon: 1000.0,
+            collect_trace: false,
+        };
+        let r = simulate(&s, &config);
+        let t1_completion = r.of_task(1).next().unwrap().completion.unwrap();
+        let t0_completion = r.of_task(0).next().unwrap().completion.unwrap();
+        assert!(t1_completion < t0_completion);
+    }
+
+    #[test]
+    fn edf_floating_npr_defers_by_running_tasks_region() {
+        // EDF priorities: the later-released job has the earlier absolute
+        // deadline and would preempt; the running task's region defers it.
+        let mut victim = task(10.0, Some(4.0), Some(DelayCurve::constant(1.0, 10.0).unwrap()));
+        victim.deadline = 100.0;
+        let mut urgent = task(1.0, None, None);
+        urgent.deadline = 5.0; // released at 3 -> absolute 8 < 100
+        let s = Scenario {
+            tasks: vec![victim, urgent],
+            releases: vec![(0, 0.0), (1, 3.0)],
+        };
+        let config = SimConfig {
+            policy: PriorityPolicy::Edf,
+            mode: PreemptionMode::FloatingNpr,
+            horizon: 1000.0,
+            collect_trace: true,
+        };
+        let r = simulate(&s, &config);
+        let victim_rec = r.of_task(0).next().unwrap();
+        assert_eq!(victim_rec.preemptions, 1);
+        // Region 3..7; urgent runs 7..8; victim pays 1, finishes 8+1+3=12.
+        assert_eq!(victim_rec.completion, Some(12.0));
+        let urgent_rec = r.of_task(1).next().unwrap();
+        assert_eq!(urgent_rec.completion, Some(8.0));
+        assert!(urgent_rec.deadline_met());
+    }
+
+    #[test]
+    fn same_task_jobs_run_fifo() {
+        // Two queued jobs of one task must complete in release order, even
+        // after the ready queue has been reshuffled by a preemption.
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(6.0, None, None)],
+            releases: vec![(1, 0.0), (1, 1.0), (0, 2.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::Preemptive));
+        let completions: Vec<(f64, f64)> = r
+            .of_task(1)
+            .map(|j| (j.release, j.completion.unwrap()))
+            .collect();
+        assert_eq!(completions.len(), 2);
+        assert!(completions[0].0 < completions[1].0);
+        assert!(
+            completions[0].1 < completions[1].1,
+            "same-task jobs completed out of release order: {completions:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_miss_is_reported() {
+        let mut t = task(10.0, None, None);
+        t.deadline = 5.0;
+        let s = Scenario {
+            tasks: vec![t],
+            releases: vec![(0, 0.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::Preemptive));
+        assert!(!r.jobs[0].deadline_met());
+        assert!(!r.all_deadlines_met());
+    }
+
+    #[test]
+    fn horizon_truncates_releases() {
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None)],
+            releases: vec![(0, 0.0), (0, 5.0), (0, 2000.0)],
+        };
+        let r = simulate(&s, &fp(PreemptionMode::Preemptive));
+        assert_eq!(r.jobs.len(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Simulation event traces.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduler event (recorded when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job arrived in the ready queue.
+    Released {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+    },
+    /// A job got the processor.
+    Dispatched {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+    },
+    /// A floating non-preemptive region opened for the running job.
+    NprStarted {
+        /// Event time (the triggering release).
+        at: f64,
+        /// The protected (running) job.
+        job: usize,
+        /// When the region expires.
+        until: f64,
+    },
+    /// A region expired (a preemption check follows).
+    NprExpired {
+        /// Event time.
+        at: f64,
+    },
+    /// The running job was preempted and charged a delay.
+    Preempted {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+        /// Progress at the preemption (the `t` of `fi(t)`).
+        progress: f64,
+        /// The charged delay.
+        delay: f64,
+    },
+    /// A job finished.
+    Completed {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn at(&self) -> f64 {
+        match *self {
+            TraceEvent::Released { at, .. }
+            | TraceEvent::Dispatched { at, .. }
+            | TraceEvent::NprStarted { at, .. }
+            | TraceEvent::NprExpired { at }
+            | TraceEvent::Preempted { at, .. }
+            | TraceEvent::Completed { at, .. } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_accessible() {
+        let events = [
+            TraceEvent::Released {
+                at: 1.0,
+                job: 0,
+                task: 0,
+            },
+            TraceEvent::NprExpired { at: 2.5 },
+            TraceEvent::Completed {
+                at: 9.0,
+                job: 0,
+                task: 0,
+            },
+        ];
+        let times: Vec<f64> = events.iter().map(TraceEvent::at).collect();
+        assert_eq!(times, vec![1.0, 2.5, 9.0]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Random task-set generation (UUniFast and friends).
+
+use fnpr_core::DelayCurve;
+use fnpr_sched::{max_npr_lengths_edf, max_npr_lengths_fp, SchedError, Task, TaskSet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::curves::random_unimodal_curve;
+
+/// Draws `n` task utilisations summing to `total` with the classic UUniFast
+/// algorithm (Bini & Buttazzo) — uniform over the simplex, the standard
+/// workload generator of the schedulability literature.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not finite and positive.
+pub fn uunifast<R: Rng>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilisation must be positive"
+    );
+    let mut utilizations = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let next = remaining * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utilizations.push(remaining - next);
+        remaining = next;
+    }
+    utilizations.push(remaining);
+    utilizations
+}
+
+/// Parameters for [`random_taskset`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSetParams {
+    /// Number of tasks.
+    pub n: usize,
+    /// Total utilisation target (UUniFast-distributed).
+    pub utilization: f64,
+    /// Periods drawn log-uniformly from this range.
+    pub period_range: (f64, f64),
+    /// Deadline = period × a factor drawn uniformly from this range
+    /// (`(1.0, 1.0)` for implicit deadlines).
+    pub deadline_factor: (f64, f64),
+}
+
+impl Default for TaskSetParams {
+    fn default() -> Self {
+        Self {
+            n: 5,
+            utilization: 0.6,
+            period_range: (10.0, 1000.0),
+            deadline_factor: (1.0, 1.0),
+        }
+    }
+}
+
+/// Generates a random task set in rate-monotonic (ascending-period) order.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] when a drawn combination is degenerate (e.g. a
+/// deadline below the WCET after applying the factor — rare with sensible
+/// parameters; callers typically resample).
+pub fn random_taskset<R: Rng>(
+    rng: &mut R,
+    params: &TaskSetParams,
+) -> Result<TaskSet, SchedError> {
+    let utilizations = uunifast(rng, params.n, params.utilization);
+    let (lo, hi) = params.period_range;
+    let mut tasks = Vec::with_capacity(params.n);
+    for &u in &utilizations {
+        let period = lo * (hi / lo).powf(rng.gen::<f64>());
+        let wcet = (u * period).max(1e-6).min(period);
+        let factor = rng.gen_range(params.deadline_factor.0..=params.deadline_factor.1);
+        let deadline = (period * factor).clamp(wcet, period);
+        tasks.push(Task::new(wcet, period)?.with_deadline(deadline)?);
+    }
+    tasks.sort_by(|a, b| a.period().total_cmp(&b.period()));
+    TaskSet::new(tasks)
+}
+
+/// Scheduling policy used when deriving maximum region lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Fixed priority, index order (rate-monotonic after generation).
+    FixedPriority,
+    /// Earliest deadline first.
+    Edf,
+}
+
+/// Equips every task of `base` with its maximum admissible `Qi` (capped at
+/// its WCET, scaled by `q_scale ∈ (0, 1]`) and a random unimodal delay curve
+/// whose peak is `delay_frac` of the task's `Qi` (keeping all analyses
+/// convergent when `delay_frac < 1`).
+///
+/// Returns `None` when the base set is not schedulable under the chosen
+/// policy even without preemption costs, or when the derived bounds are
+/// infeasible — callers typically resample.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from the bound computations (e.g.
+/// over-utilised sets under EDF).
+pub fn with_npr_and_curves<R: Rng>(
+    rng: &mut R,
+    base: &TaskSet,
+    policy: Policy,
+    q_scale: f64,
+    delay_frac: f64,
+) -> Result<Option<TaskSet>, SchedError> {
+    let bounds = match policy {
+        Policy::FixedPriority => max_npr_lengths_fp(base),
+        Policy::Edf => max_npr_lengths_edf(base)?,
+    };
+    if !bounds.feasible() {
+        return Ok(None);
+    }
+    let qs = bounds.capped_at_wcet(base);
+    let mut tasks = Vec::with_capacity(base.len());
+    for (task, &q_max) in base.iter().zip(&qs) {
+        let q = (q_max * q_scale).max(f64::MIN_POSITIVE);
+        if !(q.is_finite() && q > 0.0) {
+            return Ok(None);
+        }
+        let peak = q * delay_frac;
+        let curve = random_unimodal_curve(rng, task.wcet(), peak.max(1e-9), task.wcet() / 64.0)
+            .map_err(|_| SchedError::InvalidTask {
+                what: "curve",
+                value: task.wcet(),
+            })?;
+        let clamped: DelayCurve = curve.clamped(peak.max(0.0)).map_err(|_| {
+            SchedError::InvalidTask {
+                what: "curve clamp",
+                value: peak,
+            }
+        })?;
+        tasks.push(task.clone().with_q(q)?.with_delay_curve(clamped));
+    }
+    Ok(Some(TaskSet::new(tasks)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1, 2, 5, 20] {
+            for total in [0.3, 0.7, 0.95] {
+                let us = uunifast(&mut rng, n, total);
+                assert_eq!(us.len(), n);
+                let sum: f64 = us.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "sum {sum} != {total}");
+                assert!(us.iter().all(|&u| u >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn uunifast_rejects_zero_tasks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uunifast(&mut rng, 0, 0.5);
+    }
+
+    #[test]
+    fn random_taskset_respects_params() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = TaskSetParams {
+            n: 8,
+            utilization: 0.65,
+            period_range: (10.0, 100.0),
+            deadline_factor: (0.8, 1.0),
+        };
+        let ts = random_taskset(&mut rng, &params).unwrap();
+        assert_eq!(ts.len(), 8);
+        assert!((ts.utilization() - 0.65).abs() < 0.05);
+        let mut last = 0.0;
+        for t in ts.iter() {
+            assert!(t.period() >= 10.0 && t.period() <= 100.0);
+            assert!(t.deadline() <= t.period());
+            assert!(t.period() >= last);
+            last = t.period();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = TaskSetParams::default();
+        let a = random_taskset(&mut StdRng::seed_from_u64(3), &params).unwrap();
+        let b = random_taskset(&mut StdRng::seed_from_u64(3), &params).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn npr_and_curves_produce_convergent_tasks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = TaskSetParams {
+            n: 4,
+            utilization: 0.5,
+            ..TaskSetParams::default()
+        };
+        let base = random_taskset(&mut rng, &params).unwrap();
+        let equipped = with_npr_and_curves(&mut rng, &base, Policy::FixedPriority, 0.8, 0.5)
+            .unwrap()
+            .expect("feasible at U=0.5");
+        for t in equipped.iter() {
+            let q = t.q().expect("q set");
+            let curve = t.delay_curve().expect("curve set");
+            assert!(curve.max_value() < q, "delay must stay below Q");
+        }
+    }
+}

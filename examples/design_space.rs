@@ -1,0 +1,77 @@
+//! Design-space exploration: delay tolerance, priority assignment, and
+//! runtime budget monitoring.
+//!
+//! Three workflows a system integrator runs on top of the paper's analysis:
+//!
+//! 1. **Delay tolerance** — how much larger could every task's CRPD grow
+//!    (e.g. after shrinking the cache) before the set becomes
+//!    unschedulable? Bisected under both Eq. 4 and Algorithm 1 inflation.
+//! 2. **Priority assignment** — when the given order fails, Audsley's
+//!    algorithm searches for one that works under floating-NPR blocking.
+//! 3. **Remaining budget** — during execution, once a job is known to have
+//!    reached progress `p`, `algorithm1_from` bounds the delay still ahead;
+//!    the remaining worst-case budget is `(C − p) +` that bound.
+//!
+//! Run with: `cargo run --example design_space`
+
+use fnpr::core::algorithm1_from;
+use fnpr::sched::{
+    audsley_floating_npr, delay_tolerance, rta_floating_npr, DelayMethod, Task, TaskSet,
+};
+use fnpr::DelayCurve;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Delay tolerance -------------------------------------------------
+    let curve = |peak: f64, c: f64| DelayCurve::from_breakpoints(
+        [(0.0, peak), (c * 0.4, peak * 0.25)],
+        c,
+    );
+    let tasks = TaskSet::new(vec![
+        Task::new(2.0, 12.0)?
+            .with_q(1.0)?
+            .with_delay_curve(curve(0.3, 2.0)?),
+        Task::new(5.0, 30.0)?
+            .with_q(1.5)?
+            .with_delay_curve(curve(0.5, 5.0)?),
+        Task::new(8.0, 60.0)?
+            .with_q(2.0)?
+            .with_delay_curve(curve(0.8, 8.0)?),
+    ])?;
+    println!("delay tolerance (max CRPD scale before rejection):");
+    for method in [DelayMethod::Eq4, DelayMethod::Algorithm1] {
+        let t = delay_tolerance(&tasks, method, 16.0, 0.01)?;
+        println!("  {method:?}: {:.2}x", t.max_scale);
+    }
+
+    // --- 2. Priority assignment ---------------------------------------------
+    let awkward = TaskSet::new(vec![
+        Task::new(5.0, 20.0)?.with_q(1.0)?,
+        Task::new(1.0, 4.0)?.with_deadline(2.0)?.with_q(0.2)?,
+    ])?;
+    let given_order = rta_floating_npr(&awkward)?.schedulable();
+    let assignment = audsley_floating_npr(&awkward)?;
+    println!("\npriority assignment:");
+    println!("  given order schedulable: {given_order}");
+    match assignment.order() {
+        Some(order) => println!("  Audsley order (original indices): {order:?}"),
+        None => println!("  no fixed-priority order works"),
+    }
+
+    // --- 3. Remaining budget at runtime -------------------------------------
+    let fi = DelayCurve::from_breakpoints([(0.0, 2.0), (40.0, 0.5)], 100.0)?;
+    let q = 10.0;
+    println!("\nremaining worst-case budget of a job (C = 100, Q = {q}):");
+    println!("{:>10} {:>16} {:>18}", "progress", "remaining delay", "remaining budget");
+    for progress in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+        let remaining = algorithm1_from(&fi, q, progress)?
+            .expect_converged()
+            .total_delay;
+        println!(
+            "{:>10.0} {:>16.2} {:>18.2}",
+            progress,
+            remaining,
+            (100.0 - progress) + remaining
+        );
+    }
+    Ok(())
+}

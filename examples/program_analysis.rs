@@ -1,0 +1,117 @@
+//! Whole-program analysis: functions, calls and loops, end to end.
+//!
+//! A small "sensor fusion" task: `main` reads two sensors (calling a shared
+//! `read_sensor` helper), filters the samples in a bounded loop (calling
+//! `fir_step` each iteration), and emits the result. The call graph is
+//! summarised bottom-up (Section IV: "analyzing the leaves first"), loops
+//! are reduced to super-blocks, and the resulting call-inclusive loop-free
+//! graph feeds the CRPD → `fi` → Algorithm 1 pipeline.
+//!
+//! Run with: `cargo run --example program_analysis`
+
+use std::collections::BTreeMap;
+
+use fnpr::cache::{AccessMap, CacheConfig};
+use fnpr::cfg::{CfgBuilder, ExecInterval, Function, LoopBound, Program};
+use fnpr::{algorithm1, analyze_task, eq4_bound_for_curve};
+
+fn iv(min: f64, max: f64) -> Result<ExecInterval, Box<dyn std::error::Error>> {
+    Ok(ExecInterval::new(min, max)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Leaf: fir_step — straight line, fixed cost.
+    let mut fir = CfgBuilder::new();
+    let fir_body = fir.labeled_block(iv(6.0, 8.0)?, "fir_body");
+    let _ = fir_body;
+    let fir_cfg = fir.build()?;
+
+    // Leaf: read_sensor — fast path / retry path.
+    let mut sensor = CfgBuilder::new();
+    let s_entry = sensor.labeled_block(iv(2.0, 2.0)?, "probe");
+    let s_fast = sensor.labeled_block(iv(1.0, 1.0)?, "fast");
+    let s_retry = sensor.labeled_block(iv(5.0, 9.0)?, "retry");
+    let s_join = sensor.labeled_block(iv(1.0, 1.0)?, "done");
+    sensor.edge(s_entry, s_fast)?;
+    sensor.edge(s_entry, s_retry)?;
+    sensor.edge(s_fast, s_join)?;
+    sensor.edge(s_retry, s_join)?;
+    let sensor_cfg = sensor.build()?;
+
+    // Root: main — two sensor reads, a bounded filter loop, emit.
+    let mut main_fn = CfgBuilder::new();
+    let m_init = main_fn.labeled_block(iv(3.0, 4.0)?, "init");
+    let m_read1 = main_fn.labeled_block(iv(1.0, 1.0)?, "read1"); // + call
+    let m_read2 = main_fn.labeled_block(iv(1.0, 1.0)?, "read2"); // + call
+    let m_header = main_fn.labeled_block(iv(1.0, 1.0)?, "filter_header");
+    let m_step = main_fn.labeled_block(iv(2.0, 2.0)?, "filter_step"); // + call
+    let m_emit = main_fn.labeled_block(iv(2.0, 3.0)?, "emit");
+    main_fn.edge(m_init, m_read1)?;
+    main_fn.edge(m_read1, m_read2)?;
+    main_fn.edge(m_read2, m_header)?;
+    main_fn.edge(m_header, m_step)?;
+    main_fn.edge(m_step, m_header)?;
+    main_fn.edge(m_header, m_emit)?;
+    let main_cfg = main_fn.build()?;
+
+    let mut program = Program::new();
+    program.add_function(Function::new("fir_step", fir_cfg))?;
+    program.add_function(Function::new("read_sensor", sensor_cfg))?;
+    program.add_function(
+        Function::new("main", main_cfg)
+            .with_call(m_read1, "read_sensor")
+            .with_call(m_read2, "read_sensor")
+            .with_call(m_step, "fir_step")
+            .with_loop_bound(m_header, LoopBound::new(4, 8)?),
+    )?;
+
+    let order = program.bottom_up_order()?;
+    println!("bottom-up analysis order: {}", order.join(" -> "));
+    let summary = program.analyze_root("main")?;
+    println!(
+        "main (call-inclusive, loops reduced): BCET = {}, WCET = {}",
+        summary.timing.bcet, summary.timing.wcet
+    );
+
+    // Memory: the sample buffer is written by the reads, reused by the
+    // filter loop and the emit block.
+    let cache = CacheConfig::new(16, 1, 16, 6.0)?;
+    let reduced = &summary.reduced;
+    let buffer: Vec<u64> = (0..4).map(|k| 0x4000 + k * 16).collect();
+    let mut accesses = AccessMap::new();
+    for original in [m_read1, m_read2, m_emit] {
+        let Some(reduced_block) = reduced.reduced_block_of(original) else {
+            continue;
+        };
+        for &addr in &buffer {
+            accesses.push(reduced_block, addr);
+        }
+    }
+    if let Some(loop_block) = reduced.reduced_block_of(m_header) {
+        for &addr in &buffer {
+            accesses.push(loop_block, addr);
+        }
+    }
+
+    let analysis = analyze_task(&reduced.cfg, &BTreeMap::new(), &accesses, &cache)?;
+    println!("\nfi(t) over the reduced graph:");
+    for seg in analysis.curve.segments() {
+        println!("  [{:>6.1}, {:>6.1})  ->  {:>5.1}", seg.start, seg.end, seg.value);
+    }
+
+    println!("\ncumulative delay bounds:");
+    println!("{:>6} {:>12} {:>12}", "Q", "Algorithm 1", "Eq. 4");
+    for q in [30.0, 45.0, 60.0, 90.0] {
+        let alg1 = algorithm1(&analysis.curve, q)?;
+        let eq4 = eq4_bound_for_curve(&analysis.curve, q)?;
+        println!(
+            "{:>6.0} {:>12} {:>12}",
+            q,
+            alg1.total_delay()
+                .map_or_else(|| "divergent".into(), |d| format!("{d:.1}")),
+            eq4.total_delay()
+                .map_or_else(|| "divergent".into(), |d| format!("{d:.1}")),
+        );
+    }
+    Ok(())
+}

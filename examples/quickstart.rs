@@ -1,0 +1,52 @@
+//! Quickstart: bound the cumulative preemption delay of one task.
+//!
+//! A task of WCET 100 loads a large working set during its first 40 time
+//! units (preemption there costs up to 8), then computes on a small residue
+//! (preemption costs 1). Under floating non-preemptive regions of length 25
+//! we compare the paper's Algorithm 1 against the Eq. 4 state of the art
+//! and the (unsound) naive point selection.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fnpr::{algorithm1_trace, eq4_bound_for_curve, exact_worst_case, naive_bound, DelayCurve};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fi = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0)?;
+    let q = 25.0;
+
+    println!("task: C = {}, Q = {}", fi.domain_end(), q);
+    println!("fi:   8 while progress < 40, then 1\n");
+
+    let (outcome, windows) = algorithm1_trace(&fi, q)?;
+    let alg1 = outcome.expect_converged();
+    println!("Algorithm 1 windows:");
+    println!("{:>3} {:>10} {:>10} {:>10} {:>8} {:>10}", "k", "prog", "p_cross", "p_max", "delay", "next");
+    for w in &windows {
+        println!(
+            "{:>3} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>10.2}",
+            w.index, w.progress, w.p_cross, w.p_max, w.delay, w.next_progress
+        );
+    }
+    println!();
+
+    let eq4 = eq4_bound_for_curve(&fi, q)?.expect_converged();
+    let naive = naive_bound(&fi, q)?;
+    let exact = exact_worst_case(&fi, q)?.expect("q > max fi");
+
+    println!("cumulative preemption delay bounds:");
+    println!("  naive point selection (UNSOUND): {:>8.2}", naive.total_delay);
+    println!("  exact worst case (adversary):    {:>8.2}", exact.total_delay);
+    println!("  Algorithm 1 (paper, sound):      {:>8.2}", alg1.total_delay);
+    println!("  Eq. 4 state of the art (sound):  {:>8.2}", eq4.total_delay);
+    println!();
+    println!(
+        "inflated WCET C' (Eq. 5): {:.2} (Algorithm 1) vs {:.2} (Eq. 4)",
+        alg1.inflated_wcet(),
+        eq4.inflated_wcet()
+    );
+
+    assert!(naive.total_delay <= exact.total_delay + 1e-9);
+    assert!(exact.total_delay <= alg1.total_delay + 1e-9);
+    assert!(alg1.total_delay <= eq4.total_delay + 1e-9);
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! End-to-end over the structured frontend: a program written as a
+//! statement tree, compiled, cache-analysed, bounded, and validated on the
+//! simulator.
+
+use fnpr::cache::{AccessMap, CacheConfig};
+use fnpr::cfg::ast::{compile, Stmt};
+use fnpr::sim::{check_against_algorithm1, simulate, Scenario, SimConfig, SimTask};
+use fnpr::{algorithm1, analyze_task, eq4_bound_for_curve, exact_worst_case, naive_bound};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A two-phase worker: build a table behind a branch, then iterate over it.
+fn program() -> Stmt {
+    Stmt::seq([
+        Stmt::basic("init", 4.0, 5.0),
+        Stmt::branch(
+            Stmt::basic("build_small", 10.0, 12.0),
+            Stmt::basic("build_large", 20.0, 26.0),
+        ),
+        Stmt::loop_between(
+            2,
+            6,
+            Stmt::seq([
+                Stmt::basic("scan", 3.0, 4.0),
+                Stmt::basic("accumulate", 2.0, 2.0),
+            ]),
+        ),
+        Stmt::basic("emit", 3.0, 3.0),
+    ])
+}
+
+#[test]
+fn structured_program_full_pipeline() {
+    let compiled = compile(&program(), 64).expect("valid program");
+    let cache = CacheConfig::new(16, 1, 16, 7.0).unwrap();
+    let mut accesses = AccessMap::from_code_layout(&compiled.layout, &cache);
+    // The table: written by both build blocks, read by scan and emit.
+    let table: Vec<u64> = (0..4).map(|k| 0x8000 + k * 16).collect();
+    for block in compiled.cfg.blocks() {
+        let is_user = matches!(
+            block.label.as_deref(),
+            Some("build_small" | "build_large" | "scan" | "emit")
+        );
+        if is_user {
+            for &addr in &table {
+                accesses.push(block.id, addr);
+            }
+        }
+    }
+
+    let analysis =
+        analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
+    // Timing: init 5 + large 26 + loop 6x(0+4+2)=36 + emit 3 = 70.
+    assert_eq!(analysis.timing.wcet, 70.0);
+    assert!(analysis.curve.max_value() > 0.0);
+
+    // Bound ordering on the derived curve.
+    let q = analysis.curve.max_value() + 6.0;
+    let naive = naive_bound(&analysis.curve, q).unwrap().total_delay;
+    let exact = exact_worst_case(&analysis.curve, q)
+        .unwrap()
+        .expect("finite")
+        .total_delay;
+    let alg1 = algorithm1(&analysis.curve, q)
+        .unwrap()
+        .expect_converged()
+        .total_delay;
+    let eq4 = eq4_bound_for_curve(&analysis.curve, q)
+        .unwrap()
+        .expect_converged()
+        .total_delay;
+    assert!(naive <= exact + 1e-9);
+    assert!(exact <= alg1 + 1e-9);
+    assert!(alg1 <= eq4 + 1e-9);
+
+    // Simulator validation of the derived curve and bound.
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..10 {
+        let scenario = Scenario::random_interference(
+            analysis.curve.domain_end(),
+            q,
+            &analysis.curve,
+            0.5,
+            2.0,
+            40.0,
+            analysis.curve.domain_end() * 3.0,
+            &mut rng,
+        );
+        let result = simulate(&scenario, &SimConfig::floating_npr_fp(1e9));
+        let check = check_against_algorithm1(&result, 1, &analysis.curve, q).unwrap();
+        assert!(check.holds);
+    }
+}
+
+#[test]
+fn structured_program_as_periodic_task() {
+    // The compiled task becomes one task of a two-task system and survives
+    // a periodic run without deadline misses.
+    let compiled = compile(&program(), 64).expect("valid program");
+    let cache = CacheConfig::new(16, 1, 16, 7.0).unwrap();
+    let accesses = AccessMap::from_code_layout(&compiled.layout, &cache);
+    let analysis =
+        analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
+    let q = analysis.curve.max_value() + 10.0;
+    let inflated = analysis.timing.wcet
+        + algorithm1(&analysis.curve, q)
+            .unwrap()
+            .expect_converged()
+            .total_delay;
+    let scenario = Scenario {
+        tasks: vec![
+            SimTask {
+                exec_time: 5.0,
+                deadline: 100.0,
+                q: None,
+                delay_curve: None,
+            },
+            SimTask {
+                exec_time: analysis.timing.wcet,
+                deadline: inflated + 5.0 * 4.0, // own work + interference slack
+                q: Some(q),
+                delay_curve: Some(analysis.curve.clone()),
+            },
+        ],
+        releases: vec![(1, 0.0), (0, 10.0), (0, 110.0), (1, 300.0), (0, 310.0)],
+    };
+    let result = simulate(&scenario, &SimConfig::floating_npr_fp(1e9));
+    assert!(result.all_deadlines_met());
+}

@@ -1,0 +1,123 @@
+//! End-to-end cross-validation: analysis accepts ⟹ simulation meets
+//! deadlines; simulated delays stay within the per-task Algorithm 1 bounds.
+
+use fnpr::sched::{fp_schedulable_with_delay, DelayMethod, TaskSet};
+use fnpr::sim::{check_against_algorithm1, per_task_metrics, simulate, Scenario, SimConfig};
+use fnpr::synth::{random_taskset, with_npr_and_curves, Policy, TaskSetParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates equipped task sets until `count` have feasible NPR bounds.
+fn equipped_sets(seed: u64, count: usize, utilization: f64) -> Vec<TaskSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = TaskSetParams {
+        n: 4,
+        utilization,
+        period_range: (20.0, 400.0),
+        deadline_factor: (1.0, 1.0),
+    };
+    let mut sets = Vec::new();
+    while sets.len() < count {
+        let Ok(base) = random_taskset(&mut rng, &params) else {
+            continue;
+        };
+        match with_npr_and_curves(&mut rng, &base, Policy::FixedPriority, 0.7, 0.5) {
+            Ok(Some(ts)) => sets.push(ts),
+            _ => continue,
+        }
+    }
+    sets
+}
+
+#[test]
+fn accepted_sets_meet_deadlines_in_simulation() {
+    for (i, tasks) in equipped_sets(99, 25, 0.55).iter().enumerate() {
+        let accepted = fp_schedulable_with_delay(tasks, DelayMethod::Algorithm1).unwrap();
+        if !accepted {
+            continue;
+        }
+        // Synchronous release (the fixed-priority critical instant), two
+        // hyper-ish periods worth of jobs.
+        let horizon = tasks.iter().map(|t| t.period()).fold(0.0f64, f64::max) * 4.0;
+        let scenario = Scenario::periodic(tasks, &[], horizon);
+        let result = simulate(&scenario, &SimConfig::floating_npr_fp(horizon * 4.0));
+        assert!(
+            result.all_deadlines_met(),
+            "set {i}: analysis accepted but simulation missed a deadline"
+        );
+    }
+}
+
+#[test]
+fn simulated_delays_respect_per_task_bounds() {
+    for tasks in equipped_sets(123, 15, 0.6) {
+        let horizon = tasks.iter().map(|t| t.period()).fold(0.0f64, f64::max) * 3.0;
+        let scenario = Scenario::periodic(&tasks, &[], horizon);
+        let result = simulate(&scenario, &SimConfig::floating_npr_fp(horizon * 4.0));
+        for (i, task) in tasks.iter().enumerate() {
+            let (Some(curve), Some(q)) = (task.delay_curve(), task.q()) else {
+                continue;
+            };
+            let check = check_against_algorithm1(&result, i, curve, q).unwrap();
+            assert!(
+                check.holds,
+                "task {i}: observed {} exceeds bound {:?}",
+                check.observed_max, check.bound
+            );
+        }
+    }
+}
+
+#[test]
+fn accepted_sets_survive_sporadic_releases_and_short_jobs() {
+    // Sporadic releases (gaps >= period) and jobs below WCET are both
+    // covered by the periodic worst-case analysis.
+    let mut rng = StdRng::seed_from_u64(314);
+    for (i, tasks) in equipped_sets(42, 15, 0.5).iter().enumerate() {
+        if !fp_schedulable_with_delay(tasks, DelayMethod::Algorithm1).unwrap() {
+            continue;
+        }
+        let horizon = tasks.iter().map(|t| t.period()).fold(0.0f64, f64::max) * 4.0;
+        let scenario = Scenario::sporadic(tasks, 0.4, horizon, &mut rng)
+            .with_execution_scale(0.5, 1.0, &mut rng);
+        let result = simulate(&scenario, &SimConfig::floating_npr_fp(horizon * 4.0));
+        assert!(
+            result.all_deadlines_met(),
+            "set {i}: sporadic run missed a deadline despite acceptance"
+        );
+    }
+}
+
+#[test]
+fn floating_npr_collates_preemptions_vs_fully_preemptive() {
+    let mut fewer = 0usize;
+    let mut total = 0usize;
+    for tasks in equipped_sets(7, 20, 0.65) {
+        let horizon = tasks.iter().map(|t| t.period()).fold(0.0f64, f64::max) * 3.0;
+        let scenario = Scenario::periodic(&tasks, &[], horizon);
+        let npr = simulate(&scenario, &SimConfig::floating_npr_fp(horizon * 4.0));
+        let pre = simulate(&scenario, &SimConfig::preemptive_fp(horizon * 4.0));
+        let npr_p: u64 = per_task_metrics(&npr, tasks.len())
+            .iter()
+            .map(|m| m.preemptions)
+            .sum();
+        let pre_p: u64 = per_task_metrics(&pre, tasks.len())
+            .iter()
+            .map(|m| m.preemptions)
+            .sum();
+        assert!(
+            npr_p <= pre_p,
+            "floating NPR produced more preemptions ({npr_p} > {pre_p})"
+        );
+        total += 1;
+        if npr_p < pre_p {
+            fewer += 1;
+        }
+    }
+    // The deferral must actually collate something on a decent fraction of
+    // workloads, otherwise the mechanism is inert.
+    assert!(
+        fewer * 3 >= total,
+        "floating NPR never collated preemptions ({fewer}/{total})"
+    );
+}

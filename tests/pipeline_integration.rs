@@ -1,0 +1,149 @@
+//! Cross-crate integration: program structure → CRPD → curve → bounds.
+
+use std::collections::BTreeMap;
+
+use fnpr::cache::{AccessMap, CacheConfig};
+use fnpr::cfg::{fixtures, BlockId, CfgBuilder, ExecInterval, Function, LoopBound, Program};
+use fnpr::{algorithm1, analyze_task, eq4_bound_for_curve, exact_worst_case, naive_bound};
+
+fn iv(min: f64, max: f64) -> ExecInterval {
+    ExecInterval::new(min, max).unwrap()
+}
+
+#[test]
+fn figure1_full_stack_ordering() {
+    let cfg = fixtures::figure1_cfg();
+    let cache = CacheConfig::new(16, 1, 16, 8.0).unwrap();
+    let layout: Vec<(BlockId, u64, u64)> = (0..cfg.len())
+        .map(|i| (BlockId(i), i as u64 * 48, 48))
+        .collect();
+    let mut accesses = AccessMap::from_code_layout(&layout, &cache);
+    // A shared buffer read by the diamond arms and the tail.
+    for block in [1usize, 2, 5, 7, 10] {
+        accesses.push(BlockId(block), 0x2000);
+        accesses.push(BlockId(block), 0x2010);
+    }
+    let analysis = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
+    assert_eq!(analysis.timing.wcet, 215.0);
+    assert!(analysis.curve.max_value() > 0.0);
+
+    for q in [analysis.curve.max_value() + 5.0, 80.0, 150.0] {
+        let naive = naive_bound(&analysis.curve, q).unwrap().total_delay;
+        let exact = exact_worst_case(&analysis.curve, q)
+            .unwrap()
+            .map(|w| w.total_delay);
+        let alg1 = algorithm1(&analysis.curve, q).unwrap().total_delay();
+        let eq4 = eq4_bound_for_curve(&analysis.curve, q)
+            .unwrap()
+            .total_delay();
+        if let (Some(exact), Some(alg1), Some(eq4)) = (exact, alg1, eq4) {
+            assert!(naive <= exact + 1e-9, "q={q}");
+            assert!(exact <= alg1 + 1e-9, "q={q}");
+            assert!(alg1 <= eq4 + 1e-9, "q={q}");
+        }
+    }
+}
+
+#[test]
+fn loop_heavy_program_through_pipeline() {
+    // Nested loops with a working set reused across iterations.
+    let mut b = CfgBuilder::new();
+    let entry = b.block(iv(2.0, 2.0));
+    let h_outer = b.block(iv(1.0, 1.0));
+    let h_inner = b.block(iv(1.0, 1.0));
+    let body = b.block(iv(3.0, 4.0));
+    let t_outer = b.block(iv(1.0, 1.0));
+    let exit = b.block(iv(2.0, 3.0));
+    b.edge(entry, h_outer).unwrap();
+    b.edge(h_outer, h_inner).unwrap();
+    b.edge(h_inner, body).unwrap();
+    b.edge(body, h_inner).unwrap();
+    b.edge(h_inner, t_outer).unwrap();
+    b.edge(t_outer, h_outer).unwrap();
+    b.edge(h_outer, exit).unwrap();
+    let cfg = b.build().unwrap();
+    let mut bounds = BTreeMap::new();
+    bounds.insert(h_outer, LoopBound::new(1, 3).unwrap());
+    bounds.insert(h_inner, LoopBound::new(1, 5).unwrap());
+    let cache = CacheConfig::new(8, 2, 16, 10.0).unwrap();
+    let mut accesses = AccessMap::new();
+    accesses.set(body, vec![0, 16, 0, 16]); // hot working set
+    let analysis = analyze_task(&cfg, &bounds, &accesses, &cache).unwrap();
+    // The hot lines are useful across the whole loop nest.
+    assert_eq!(analysis.curve.max_value(), 20.0);
+    // Inner per-iter max: h_inner 1 + body 4 = 5; 5 iters = 25; outer
+    // per-iter: 1 + 25 + 1 = 27; 3 iters = 81; total 2 + 81 + 3 = 86.
+    assert_eq!(analysis.timing.wcet, 86.0);
+    let alg1 = algorithm1(&analysis.curve, 25.0)
+        .unwrap()
+        .expect_converged();
+    let eq4 = eq4_bound_for_curve(&analysis.curve, 25.0)
+        .unwrap()
+        .expect_converged();
+    assert!(alg1.total_delay <= eq4.total_delay);
+}
+
+#[test]
+fn program_with_calls_summarises_bottom_up() {
+    // A root whose hot block calls a helper; the helper's cost lands in the
+    // calling block's interval, lengthening its execution window.
+    let mut helper = CfgBuilder::new();
+    let ha = helper.block(iv(4.0, 6.0));
+    let hb = helper.block(iv(1.0, 1.0));
+    helper.edge(ha, hb).unwrap();
+    let helper_cfg = helper.build().unwrap();
+
+    let mut root = CfgBuilder::new();
+    let r0 = root.block(iv(2.0, 2.0));
+    let r1 = root.block(iv(3.0, 3.0)); // calls helper
+    let r2 = root.block(iv(2.0, 2.0));
+    root.edge(r0, r1).unwrap();
+    root.edge(r1, r2).unwrap();
+    let root_cfg = root.build().unwrap();
+
+    let mut program = Program::new();
+    program
+        .add_function(Function::new("helper", helper_cfg))
+        .unwrap();
+    program
+        .add_function(Function::new("root", root_cfg).with_call(r1, "helper"))
+        .unwrap();
+    let summary = program.analyze_root("root").unwrap();
+    // root = 2 + (3 + [5,7]) + 2 = [12, 14].
+    assert_eq!(summary.timing.bcet, 12.0);
+    assert_eq!(summary.timing.wcet, 14.0);
+
+    // The reduced call-inclusive graph flows into the delay pipeline.
+    let cache = CacheConfig::new(8, 1, 16, 5.0).unwrap();
+    let mut accesses = AccessMap::new();
+    accesses.set(r1, vec![0, 0]); // the call site's own data
+    let analysis = analyze_task(
+        &summary.reduced.cfg,
+        &BTreeMap::new(),
+        &accesses,
+        &cache,
+    )
+    .unwrap();
+    assert_eq!(analysis.timing.wcet, 14.0);
+    assert_eq!(analysis.curve.max_value(), 5.0);
+}
+
+#[test]
+fn delay_curve_windows_respect_block_structure() {
+    // Two-phase task: expensive early phase, cheap tail; the curve must
+    // step down after the early phase's latest finish.
+    let mut b = CfgBuilder::new();
+    let load = b.block(iv(10.0, 10.0));
+    let tail = b.block(iv(30.0, 30.0));
+    b.edge(load, tail).unwrap();
+    let cfg = b.build().unwrap();
+    let cache = CacheConfig::new(8, 1, 16, 10.0).unwrap();
+    let mut accesses = AccessMap::new();
+    accesses.set(load, vec![0, 16, 32]);
+    accesses.set(tail, vec![0]); // only one line stays useful
+    let analysis = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
+    // During load (window [0,10)): its 3 lines -> 30.
+    assert_eq!(analysis.curve.value_at(5.0), 30.0);
+    // During tail (window [10,40)): one line -> 10.
+    assert_eq!(analysis.curve.value_at(20.0), 10.0);
+}

@@ -1,0 +1,114 @@
+//! Generative end-to-end properties: random *structured programs* are
+//! compiled, cache-analysed, turned into delay curves and pushed through
+//! every bound — the full stack under one roof.
+
+use fnpr::cache::{AccessMap, CacheConfig};
+use fnpr::cfg::ast::{compile, Stmt};
+use fnpr::cfg::{reduce_loops, Occupancy};
+use fnpr::{algorithm1, analyze_task, eq4_bound_for_curve, exact_worst_case, naive_bound};
+use proptest::prelude::*;
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = (0.5f64..8.0, 0.0f64..6.0)
+        .prop_map(|(min, width)| Stmt::basic("blk", min, min + width));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Stmt::seq),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stmt::branch(a, b)),
+            (1u64..4, inner).prop_map(|(n, body)| Stmt::bounded_loop(n, body)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any structured program survives the full pipeline, and the bound
+    /// ordering naive <= exact <= Algorithm 1 <= Eq. 4 holds on the curve
+    /// derived from its real CFG and cache behaviour.
+    #[test]
+    fn random_programs_full_stack(program in arb_stmt(), q_slack in 2.0f64..30.0) {
+        let compiled = compile(&program, 64).expect("structured programs compile");
+        let cache = CacheConfig::new(8, 1, 16, 4.0).unwrap();
+        let accesses = AccessMap::from_code_layout(&compiled.layout, &cache);
+        let analysis =
+            analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache)
+                .expect("pipeline succeeds");
+        prop_assert!(analysis.timing.wcet > 0.0);
+        prop_assert_eq!(analysis.curve.domain_end(), analysis.timing.wcet);
+
+        let q = analysis.curve.max_value() + q_slack;
+        let naive = naive_bound(&analysis.curve, q).unwrap().total_delay;
+        let exact = exact_worst_case(&analysis.curve, q)
+            .unwrap()
+            .expect("q above max")
+            .total_delay;
+        let alg1 = algorithm1(&analysis.curve, q)
+            .unwrap()
+            .expect_converged()
+            .total_delay;
+        let eq4 = eq4_bound_for_curve(&analysis.curve, q)
+            .unwrap()
+            .expect_converged()
+            .total_delay;
+        prop_assert!(naive <= exact + 1e-9);
+        prop_assert!(exact <= alg1 + 1e-9, "Theorem 1 violated on a compiled program");
+        prop_assert!(alg1 <= eq4 + 1e-9);
+    }
+
+    /// The compiled program's execution windows cover its whole WCET range
+    /// (no progress instant without a possibly-executing block).
+    #[test]
+    fn compiled_windows_cover_wcet(program in arb_stmt(), fracs in prop::collection::vec(0.0f64..1.0, 8)) {
+        let compiled = compile(&program, 64).expect("compiles");
+        let reduced = reduce_loops(&compiled.cfg, &compiled.loop_bounds).expect("reducible");
+        let occ = Occupancy::analyze(&reduced.cfg).expect("acyclic");
+        for &frac in &fracs {
+            let t = frac * occ.wcet() * 0.999999;
+            prop_assert!(
+                !occ.blocks_at(t).is_empty(),
+                "hole in coverage at {} of {}",
+                t,
+                occ.wcet()
+            );
+        }
+    }
+
+    /// Compiling is deterministic and the loop-bound map matches the
+    /// number of Loop nodes in the tree.
+    #[test]
+    fn compile_is_deterministic(program in arb_stmt()) {
+        let a = compile(&program, 32).expect("compiles");
+        let b = compile(&program, 32).expect("compiles");
+        prop_assert_eq!(&a, &b);
+        fn count_loops(s: &Stmt) -> usize {
+            match s {
+                Stmt::Basic { .. } => 0,
+                Stmt::Seq(children) => children.iter().map(count_loops).sum(),
+                Stmt::If { then_branch, else_branch } => {
+                    count_loops(then_branch) + count_loops(else_branch)
+                }
+                Stmt::Loop { body, .. } => 1 + count_loops(body),
+            }
+        }
+        prop_assert_eq!(a.loop_bounds.len(), count_loops(&program));
+    }
+
+    /// ECB-aware analysis is monotone in the preempter footprint.
+    #[test]
+    fn ecb_monotone_on_compiled_programs(program in arb_stmt(), split in 1usize..8) {
+        let compiled = compile(&program, 64).expect("compiles");
+        let cache = CacheConfig::new(8, 1, 16, 4.0).unwrap();
+        let accesses = AccessMap::from_code_layout(&compiled.layout, &cache);
+        let small = fnpr::cache::EcbSet::from_sets(0..split.min(8));
+        let all = fnpr::cache::EcbSet::full(&cache);
+        let partial = fnpr::analyze_task_against(
+            &compiled.cfg, &compiled.loop_bounds, &accesses, &cache, &small,
+        );
+        let full = fnpr::analyze_task_against(
+            &compiled.cfg, &compiled.loop_bounds, &accesses, &cache, &all,
+        );
+        let (partial, full) = (partial.expect("pipeline"), full.expect("pipeline"));
+        prop_assert!(full.curve.dominates(&partial.curve));
+    }
+}
