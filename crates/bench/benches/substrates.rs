@@ -58,8 +58,7 @@ fn bench_ucb_dataflow(c: &mut Criterion) {
             &(g, accesses),
             |b, (g, accesses)| {
                 b.iter(|| {
-                    CrpdAnalysis::analyze(black_box(&g.cfg), black_box(accesses), &cache)
-                        .unwrap()
+                    CrpdAnalysis::analyze(black_box(&g.cfg), black_box(accesses), &cache).unwrap()
                 });
             },
         );

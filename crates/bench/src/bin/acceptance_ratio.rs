@@ -5,97 +5,64 @@
 //! inflated by (a) nothing, (b) the Eq. 4 state of the art, (c) Algorithm 1
 //! — under both fixed-priority RTA and the EDF demand test.
 //!
-//! CSV on stdout: `policy,utilization,no_delay,eq4,algorithm1`.
+//! Since PR 1 this binary is a thin veneer over the `fnpr-campaign`
+//! engine: it builds an acceptance spec, runs it sharded across all cores
+//! (bit-identical aggregates at any thread count), and renders the legacy
+//! CSV columns. Arbitrary grids, thread counts and JSON aggregates live in
+//! `fnpr-campaign run`.
+//!
+//! CSV on stdout: `policy,utilization,no_delay,eq4,algorithm1,algorithm1_capped`.
 //!
 //! Usage: `cargo run -p fnpr-bench --bin acceptance_ratio [sets_per_point]`
 
-use fnpr_sched::{edf_schedulable_with_delay, fp_schedulable_with_delay, DelayMethod};
-use fnpr_synth::{random_taskset, with_npr_and_curves, Policy, TaskSetParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fnpr_campaign::spec::{AcceptanceSpec, GridSpec};
+use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
 
 fn main() {
     let sets_per_point: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let mut rng = StdRng::seed_from_u64(2012);
+    let spec = CampaignSpec {
+        name: Some("acceptance_ratio".into()),
+        seed: Some(2012),
+        workload: Some(WorkloadKind::Acceptance),
+        acceptance: Some(AcceptanceSpec {
+            sets_per_point: Some(sets_per_point),
+            utilizations: Some(GridSpec {
+                start: Some(0.3),
+                stop: Some(0.9),
+                step: Some(0.1),
+                values: None,
+            }),
+            ..AcceptanceSpec::default()
+        }),
+        ..CampaignSpec::default()
+    };
+    let campaign = spec.validate().expect("built-in spec is valid");
+    let outcome = run_campaign(&campaign, None).expect("campaign runs");
+    let report = &outcome.report;
+
+    // Legacy column layout (ratios only, 2-decimal utilization).
     println!("policy,utilization,no_delay,eq4,algorithm1,algorithm1_capped");
-    let mut dominance_ok = true;
-    for policy in [Policy::FixedPriority, Policy::Edf] {
-        for u10 in 3..=9 {
-            let utilization = f64::from(u10) / 10.0;
-            let params = TaskSetParams {
-                n: 5,
-                utilization,
-                period_range: (10.0, 1000.0),
-                deadline_factor: (1.0, 1.0),
-            };
-            let mut accepted = [0usize; 4];
-            let mut generated = 0usize;
-            let mut attempts = 0usize;
-            while generated < sets_per_point && attempts < sets_per_point * 50 {
-                attempts += 1;
-                let Ok(base) = random_taskset(&mut rng, &params) else {
-                    continue;
-                };
-                let Ok(Some(tasks)) =
-                    with_npr_and_curves(&mut rng, &base, policy, 0.8, 0.6)
-                else {
-                    continue;
-                };
-                generated += 1;
-                for (k, method) in [
-                    DelayMethod::None,
-                    DelayMethod::Eq4,
-                    DelayMethod::Algorithm1,
-                    DelayMethod::Algorithm1Capped,
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    let ok = match policy {
-                        Policy::FixedPriority => {
-                            fp_schedulable_with_delay(&tasks, method).unwrap_or(false)
-                        }
-                        // edf_schedulable_with_delay derives the EDF
-                        // (all-other-tasks) preemption caps itself.
-                        Policy::Edf => {
-                            edf_schedulable_with_delay(&tasks, method).unwrap_or(false)
-                        }
-                    };
-                    if ok {
-                        accepted[k] += 1;
-                    }
-                }
-            }
-            if generated == 0 {
-                continue;
-            }
-            let ratio = |k: usize| accepted[k] as f64 / generated as f64;
-            println!(
-                "{},{:.2},{:.4},{:.4},{:.4},{:.4}",
-                match policy {
-                    Policy::FixedPriority => "fp",
-                    Policy::Edf => "edf",
-                },
-                utilization,
-                ratio(0),
-                ratio(1),
-                ratio(2),
-                ratio(3)
-            );
-            if accepted[2] < accepted[1] || accepted[0] < accepted[2] {
-                dominance_ok = false;
-            }
-            if accepted[3] < accepted[2] {
-                dominance_ok = false;
-            }
+    for point in &report.acceptance {
+        if point.generated == 0 {
+            continue;
         }
+        print!("{},{:.2}", point.policy, point.utilization);
+        for ratio in &point.ratios {
+            print!(",{ratio:.4}");
+        }
+        println!();
     }
-    if !dominance_ok {
+
+    if report.summary.dominance_violations > 0 {
         eprintln!("FAIL: acceptance dominance (no-delay >= Alg.1 >= Eq.4) violated");
         std::process::exit(1);
     }
-    eprintln!("acceptance dominance holds at every utilisation point");
+    eprintln!(
+        "acceptance dominance holds at every utilisation point \
+         ({} sets on {} threads, taskset memo {} hits / {} misses)",
+        report.summary.instances, outcome.threads, outcome.memo.hits, outcome.memo.misses
+    );
 }

@@ -19,9 +19,7 @@ fn main() {
     let mut failures = 0usize;
     for (name, curve) in figure4_all() {
         for q in [20.0, 50.0, 150.0, 500.0] {
-            let plain = algorithm1(&curve, q)
-                .expect("valid")
-                .expect_converged();
+            let plain = algorithm1(&curve, q).expect("valid").expect_converged();
             let mut last = -1.0f64;
             for &cap in &caps {
                 let capped = algorithm1_capped(&curve, q, cap)

@@ -23,16 +23,10 @@ fn main() {
     let exact = exact_worst_case(&curve, q)
         .expect("valid")
         .expect("q > max fi");
-    let alg1 = algorithm1(&curve, q)
-        .expect("valid")
-        .expect_converged();
+    let alg1 = algorithm1(&curve, q).expect("valid").expect_converged();
 
     println!("selection,points,total_delay");
-    println!(
-        "naive,{},{}",
-        naive.points.len(),
-        naive.total_delay
-    );
+    println!("naive,{},{}", naive.points.len(), naive.total_delay);
     println!(
         "actual_run,{},{}",
         exact.preemption_count(),

@@ -12,11 +12,9 @@ use fnpr_core::{algorithm1_trace, DelayCurve};
 
 fn main() {
     // A two-phase curve like the paper's sketch: rising cost, then decay.
-    let curve = DelayCurve::from_breakpoints(
-        [(0.0, 2.0), (30.0, 7.0), (55.0, 3.0), (90.0, 1.0)],
-        130.0,
-    )
-    .expect("static curve");
+    let curve =
+        DelayCurve::from_breakpoints([(0.0, 2.0), (30.0, 7.0), (55.0, 3.0), (90.0, 1.0)], 130.0)
+            .expect("static curve");
     let q = 20.0;
     let (outcome, windows) = algorithm1_trace(&curve, q).expect("valid parameters");
     let bound = outcome.expect_converged();
@@ -43,8 +41,14 @@ fn main() {
     eprintln!("\nFigure 3 quantities for window k = {}:", w.index);
     eprintln!("  prog      = {:>7.2}  (window start)", w.progress);
     eprintln!("  prog + Q  = {:>7.2}  (window end)", w.window_end);
-    eprintln!("  p_cross   = {:>7.2}  (fi meets D(p) = prog + Q - p)", w.p_cross);
-    eprintln!("  p_max     = {:>7.2}  (arg max fi on [prog, p_cross])", w.p_max);
+    eprintln!(
+        "  p_cross   = {:>7.2}  (fi meets D(p) = prog + Q - p)",
+        w.p_cross
+    );
+    eprintln!(
+        "  p_max     = {:>7.2}  (arg max fi on [prog, p_cross])",
+        w.p_max
+    );
     eprintln!("  delay_max = {:>7.2}  (charged to this window)", w.delay);
     eprintln!(
         "  next prog = {:>7.2}  (guaranteed progress Q - delay_max = {:.2})",

@@ -116,9 +116,7 @@ fn main() {
     //    Qi"); measured on the shaped (non-flat) curves only.
     let small = rows
         .iter()
-        .find(|(q, sota, per)| {
-            *q >= 20.0 && sota.is_some() && per.iter().all(Option::is_some)
-        })
+        .find(|(q, sota, per)| *q >= 20.0 && sota.is_some() && per.iter().all(Option::is_some))
         .expect("a convergent small-Q row exists");
     let min_gap = small.2[..3.min(small.2.len())]
         .iter()
@@ -190,9 +188,7 @@ fn main() {
         let degenerate = rows
             .iter()
             .filter(|(_, sota, per)| sota.is_some() && per[flat_idx].is_some())
-            .all(|(_, sota, per)| {
-                per[flat_idx].unwrap() >= 0.5 * sota.unwrap() - FIGURE4_MAX
-            });
+            .all(|(_, sota, per)| per[flat_idx].unwrap() >= 0.5 * sota.unwrap() - FIGURE4_MAX);
         check(
             "flat-curve ablation",
             degenerate,

@@ -33,8 +33,7 @@ fn main() {
             for trial in 0..trials {
                 let mut rng =
                     StdRng::seed_from_u64((segments * 1000 + trial) as u64 + q_slack as u64);
-                let curve = random_step_curve(&mut rng, 300.0, segments, 8.0)
-                    .expect("valid curve");
+                let curve = random_step_curve(&mut rng, 300.0, segments, 8.0).expect("valid curve");
                 let q = curve.max_value() + q_slack;
                 let exact = exact_worst_case(&curve, q)
                     .expect("valid")

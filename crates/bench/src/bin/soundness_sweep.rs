@@ -8,92 +8,71 @@
 //! * tightness statistics: how close Algorithm 1 is to the exact worst
 //!   case (ratio 1.0 = no pessimism).
 //!
+//! Since PR 1 this binary drives the sweep through the `fnpr-campaign`
+//! engine (sharded across all cores, deterministic per seed, `(curve, Q)`
+//! analyses memoized) instead of a single-threaded loop.
+//!
 //! CSV on stdout: `seed,q,naive,exact,algorithm1,eq4,sim_max`.
 //!
 //! Usage: `cargo run -p fnpr-bench --bin soundness_sweep [trials]`
 
-use fnpr_core::{algorithm1, eq4_bound_for_curve, exact_worst_case, naive_bound};
-use fnpr_sim::{check_against_algorithm1, simulate, Scenario, SimConfig};
-use fnpr_synth::random_step_curve;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fnpr_campaign::spec::SoundnessSpec;
+use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
 
 fn main() {
     let trials: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
+    let spec = CampaignSpec {
+        name: Some("soundness_sweep".into()),
+        seed: Some(2012),
+        workload: Some(WorkloadKind::Soundness),
+        soundness: Some(SoundnessSpec {
+            trials: Some(trials),
+            simulate: Some(true),
+            ..SoundnessSpec::default()
+        }),
+        ..CampaignSpec::default()
+    };
+    let campaign = spec.validate().expect("built-in spec is valid");
+    let outcome = run_campaign(&campaign, None).expect("campaign runs");
+    let report = &outcome.report;
+
     println!("seed,q,naive,exact,algorithm1,eq4,sim_max");
-    let mut naive_unsound = 0usize;
-    let mut ratio_sum = 0.0;
-    let mut ratio_max: f64 = 0.0;
-    let mut checked = 0usize;
-    for seed in 0..trials as u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let c = rng.gen_range(50.0..400.0);
-        let segments = rng.gen_range(2..12);
-        let max_value = rng.gen_range(1.0..8.0);
-        let curve = random_step_curve(&mut rng, c, segments, max_value).expect("valid");
-        let q = curve.max_value() + rng.gen_range(0.5..10.0);
-
-        let naive = naive_bound(&curve, q).expect("valid").total_delay;
-        let exact = exact_worst_case(&curve, q)
-            .expect("valid")
-            .expect("q > max")
-            .total_delay;
-        let alg1 = algorithm1(&curve, q)
-            .expect("valid")
-            .expect_converged()
-            .total_delay;
-        let eq4 = eq4_bound_for_curve(&curve, q)
-            .expect("valid")
-            .expect_converged()
-            .total_delay;
-
-        // Random interference through the simulator.
-        let scenario = Scenario::random_interference(
-            c,
-            q,
-            &curve,
-            rng.gen_range(0.1..2.0),
-            1.0,
-            q * 2.0,
-            c * 4.0,
-            &mut rng,
-        );
-        let result = simulate(&scenario, &SimConfig::floating_npr_fp(1e9));
-        let check = check_against_algorithm1(&result, 1, &curve, q).expect("valid");
-        assert!(check.holds, "seed {seed}: simulation exceeded the bound");
-
-        println!(
-            "{seed},{q:.3},{naive:.3},{exact:.3},{alg1:.3},{eq4:.3},{:.3}",
-            check.observed_max
-        );
-        assert!(exact <= alg1 + 1e-6, "seed {seed}: Theorem 1 violated");
-        assert!(alg1 <= eq4 + 1e-6, "seed {seed}: Eq. 4 dominance violated");
-        if naive < exact - 1e-9 {
-            naive_unsound += 1;
-        }
-        if exact > 1e-9 {
-            let r = alg1 / exact;
-            ratio_sum += r;
-            ratio_max = ratio_max.max(r);
-            checked += 1;
+    for shard in &report.soundness {
+        for row in &shard.rows {
+            println!(
+                "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                row.trial,
+                row.q,
+                row.naive,
+                row.exact,
+                row.algorithm1,
+                row.eq4,
+                row.sim_max.unwrap_or(f64::NAN),
+            );
         }
     }
-    eprintln!(
-        "trials: {trials}; naive bound below the real worst case in {naive_unsound} \
-         ({:.0}%) — unsound as Figure 2 warns",
-        100.0 * naive_unsound as f64 / trials as f64
+
+    let s = &report.summary;
+    assert_eq!(
+        s.dominance_violations, 0,
+        "Theorem 1 / Eq. 4 dominance violated"
     );
-    if checked > 0 {
-        eprintln!(
-            "Algorithm 1 pessimism vs exact adversary: mean {:.3}x, worst {:.3}x",
-            ratio_sum / checked as f64,
-            ratio_max
-        );
-    }
-    if naive_unsound == 0 {
+    assert_eq!(s.sim_violations, 0, "simulation exceeded the bound");
+    eprintln!(
+        "trials: {trials}; naive bound below the real worst case in {} \
+         ({:.0}%) — unsound as Figure 2 warns",
+        s.naive_unsound,
+        100.0 * s.naive_unsound as f64 / trials as f64
+    );
+    eprintln!(
+        "Algorithm 1 pessimism vs exact adversary: mean {:.3}x, worst {:.3}x \
+         ({} threads, bounds memo {} hits / {} misses)",
+        s.pessimism_mean, s.pessimism_max, outcome.threads, outcome.memo.hits, outcome.memo.misses
+    );
+    if s.naive_unsound == 0 {
         eprintln!("WARN: no naive violation observed — enlarge the sweep");
     }
 }

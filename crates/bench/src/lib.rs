@@ -53,11 +53,7 @@ pub fn csv_value(v: Option<f64>) -> String {
 /// Panics if `width`/`height` is zero or no positive data point exists
 /// (misuse in harness code).
 #[must_use]
-pub fn ascii_log_chart(
-    series: &[(char, &[(f64, f64)])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_log_chart(series: &[(char, &[(f64, f64)])], width: usize, height: usize) -> String {
     assert!(width > 1 && height > 1, "bad chart size");
     let points: Vec<(f64, f64)> = series
         .iter()
@@ -67,7 +63,11 @@ pub fn ascii_log_chart(
     assert!(!points.is_empty(), "no positive data");
     let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).ln();
+    let y_min = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min)
+        .ln();
     let y_max = points
         .iter()
         .map(|p| p.1)
@@ -145,11 +145,7 @@ mod tests {
     fn chart_places_extremes() {
         let sota = [(10.0, 1000.0), (100.0, 100.0), (1000.0, 10.0)];
         let alg1 = [(10.0, 100.0), (100.0, 20.0), (1000.0, 10.0)];
-        let rendered = ascii_log_chart(
-            &[('S', &sota[..]), ('a', &alg1[..])],
-            40,
-            10,
-        );
+        let rendered = ascii_log_chart(&[('S', &sota[..]), ('a', &alg1[..])], 40, 10);
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines.len(), 11);
         // Top row carries the y-max label and the SOTA's first point.

@@ -41,10 +41,7 @@ impl AccessMap {
     /// The ordered accesses of a block (empty if none registered).
     #[must_use]
     pub fn of(&self, block: BlockId) -> &[u64] {
-        self.accesses
-            .get(&block)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.accesses.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Iterates over `(block, accesses)` pairs in block order.
@@ -167,10 +164,7 @@ mod tests {
     #[test]
     fn code_layout_generates_line_fetches() {
         let config = CacheConfig::new(16, 1, 16, 10.0).unwrap();
-        let map = AccessMap::from_code_layout(
-            &[(BlockId(0), 0, 40), (BlockId(1), 40, 8)],
-            &config,
-        );
+        let map = AccessMap::from_code_layout(&[(BlockId(0), 0, 40), (BlockId(1), 40, 8)], &config);
         // 40 bytes from 0: lines at 0, 16, 32.
         assert_eq!(map.of(BlockId(0)), &[0, 16, 32]);
         // 8 bytes from 40: single access at 40.

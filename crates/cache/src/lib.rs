@@ -62,9 +62,9 @@ pub use access::AccessMap;
 pub use concrete::{
     enumerate_paths, preemption_cost_on_path, ConcreteCache, PreemptionCost, PreemptionDamage,
 };
-pub use empirical::{empirical_crpd, empirical_crpd_on_paths, EmpiricalCrpd};
 pub use config::CacheConfig;
 pub use crpd::CrpdAnalysis;
 pub use ecb::EcbSet;
+pub use empirical::{empirical_crpd, empirical_crpd_on_paths, EmpiricalCrpd};
 pub use error::CacheError;
 pub use ucb::UcbAnalysis;

@@ -257,7 +257,7 @@ mod tests {
         // During b1, line 0 is cached (reaching) and will be reused (live).
         assert!(ucb.useful_blocks(ids[1])[0].contains(&0));
         assert_eq!(ucb.ucb_count(ids[1]), 2); // line 0 useful + line 1 in-block
-        // During b2 the reuse happens within the block itself.
+                                              // During b2 the reuse happens within the block itself.
         assert!(ucb.useful_blocks(ids[2])[0].contains(&0));
     }
 
@@ -294,7 +294,10 @@ mod tests {
         // In b0: live-out of b0 = live-in of b1 = first access {4}? No:
         // direct-mapped live-in of b1 = {4} (its first access). So line 0 is
         // not live after b0 (it will be evicted before reuse): not useful.
-        assert!(!ucb.useful_blocks(ids[0]).iter().any(|s| s.contains(&0) && s.len() > 1));
+        assert!(!ucb
+            .useful_blocks(ids[0])
+            .iter()
+            .any(|s| s.contains(&0) && s.len() > 1));
         assert_eq!(ucb.capped_counts(ids[0])[0], 1); // its own access only
     }
 

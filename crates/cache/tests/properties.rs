@@ -7,8 +7,8 @@
 //! set eviction and realistic preempter runs.
 
 use fnpr_cache::{
-    empirical_crpd, enumerate_paths, preemption_cost_on_path, AccessMap, CacheConfig,
-    CrpdAnalysis, EcbSet, PreemptionDamage, UcbAnalysis,
+    empirical_crpd, enumerate_paths, preemption_cost_on_path, AccessMap, CacheConfig, CrpdAnalysis,
+    EcbSet, PreemptionDamage, UcbAnalysis,
 };
 use fnpr_cfg::{BlockId, Cfg, CfgBuilder, ExecInterval};
 use proptest::prelude::*;

@@ -1,0 +1,73 @@
+//! `campaign_throughput` — scenarios/second through the sharded executor
+//! at 1 vs N worker threads, for both workloads. The interesting number in
+//! CI logs is the ratio between the `threads/1` and `threads/N` lines: it
+//! tracks how much of the engine's work actually parallelizes (BENCH
+//! trajectory: keep this near the core count as workloads grow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fnpr_campaign::{run_campaign, CampaignSpec};
+
+fn thread_grid() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut grid = vec![1];
+    if max > 1 {
+        grid.push(max);
+    }
+    grid
+}
+
+fn bench_acceptance(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 2012
+workload = "acceptance"
+[acceptance]
+sets_per_point = 8
+max_attempts_factor = 10
+utilizations = { values = [0.4, 0.6, 0.8] }
+"#,
+    )
+    .unwrap();
+    let campaign = spec.validate().unwrap();
+    let mut group = c.benchmark_group("campaign_throughput/acceptance");
+    group.sample_size(10);
+    for threads in thread_grid() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_campaign(&campaign, Some(threads)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_soundness(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 2012
+workload = "soundness"
+[soundness]
+trials = 64
+trials_per_shard = 4
+"#,
+    )
+    .unwrap();
+    let campaign = spec.validate().unwrap();
+    let mut group = c.benchmark_group("campaign_throughput/soundness");
+    group.sample_size(10);
+    for threads in thread_grid() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_campaign(&campaign, Some(threads)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance, bench_soundness);
+criterion_main!(benches);

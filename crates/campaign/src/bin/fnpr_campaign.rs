@@ -1,0 +1,238 @@
+//! `fnpr-campaign` — run experiment campaigns from scenario spec files.
+//!
+//! ```text
+//! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH] [--quiet]
+//! fnpr-campaign grid <spec>          # show the expanded scenario grid
+//! fnpr-campaign example-spec         # print a template TOML spec
+//! ```
+//!
+//! Exit codes: 0 on success, 1 on usage/spec errors, 2 when the run
+//! completed but the paper's dominance/soundness claims were violated.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fnpr_campaign::{run_campaign, CampaignSpec, Workload};
+
+struct RunArgs {
+    spec: PathBuf,
+    threads: Option<usize>,
+    csv: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match parse_run_args(&args[1..]) {
+            Ok(run) => cmd_run(&run),
+            Err(msg) => usage_error(&msg),
+        },
+        Some("grid") => match args.get(1) {
+            Some(path) => cmd_grid(&PathBuf::from(path)),
+            None => usage_error("`grid` needs a spec path"),
+        },
+        Some("example-spec") => {
+            print!("{}", EXAMPLE_SPEC);
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut spec = None;
+    let mut threads = None;
+    let mut csv = None;
+    let mut json = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad thread count {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                threads = Some(n);
+            }
+            "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
+            "--json" => json = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--quiet" => quiet = true,
+            other if spec.is_none() && !other.starts_with('-') => {
+                spec = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(RunArgs {
+        spec: spec.ok_or("`run` needs a spec path")?,
+        threads,
+        csv,
+        json,
+        quiet,
+    })
+}
+
+fn cmd_run(args: &RunArgs) -> ExitCode {
+    let campaign = match CampaignSpec::load(&args.spec).and_then(|s| s.validate()) {
+        Ok(campaign) => campaign,
+        Err(e) => return usage_error(&e.to_string()),
+    };
+    let started = std::time::Instant::now();
+    let outcome = match run_campaign(&campaign, args.threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("fnpr-campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = &outcome.report;
+
+    // CLI flags win over the spec's [output] table; `-` means stdout.
+    let csv_target = args.csv.clone().or_else(|| campaign.output.csv.clone());
+    let json_target = args.json.clone().or_else(|| campaign.output.json.clone());
+    if let Err(e) = emit(csv_target.as_deref(), &report.to_csv(), true) {
+        eprintln!("fnpr-campaign: writing CSV: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = emit(json_target.as_deref(), &report.to_json(), false) {
+        eprintln!("fnpr-campaign: writing JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if !args.quiet {
+        let s = &report.summary;
+        eprintln!(
+            "campaign {:?} (scenario {}): {} shards, {} instances in {:.2?} on {} threads",
+            report.name,
+            report.scenario,
+            report.acceptance.len() + report.soundness.len(),
+            s.instances,
+            started.elapsed(),
+            outcome.threads,
+        );
+        eprintln!(
+            "memo: {} hits / {} misses; pessimism mean {:.3}x max {:.3}x; \
+             naive bound unsound in {} trials",
+            outcome.memo.hits,
+            outcome.memo.misses,
+            s.pessimism_mean,
+            s.pessimism_max,
+            s.naive_unsound,
+        );
+        if let Some(csv) = &csv_target {
+            eprintln!("wrote CSV aggregate to {csv}");
+        }
+        if let Some(json) = &json_target {
+            eprintln!("wrote JSON aggregate to {json}");
+        }
+    }
+    if report.summary.dominance_violations > 0 || report.summary.sim_violations > 0 {
+        eprintln!(
+            "FAIL: {} dominance and {} simulation violations — the paper's claims did not hold",
+            report.summary.dominance_violations, report.summary.sim_violations
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes `content` to a file, or to stdout when the target is `-`/absent
+/// (CSV defaults to stdout; JSON is only emitted when requested).
+fn emit(target: Option<&str>, content: &str, stdout_default: bool) -> std::io::Result<()> {
+    match target {
+        Some("-") => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, content),
+        None if stdout_default => {
+            print!("{content}");
+            Ok(())
+        }
+        None => Ok(()),
+    }
+}
+
+fn cmd_grid(path: &Path) -> ExitCode {
+    let campaign = match CampaignSpec::load(path).and_then(|s| s.validate()) {
+        Ok(campaign) => campaign,
+        Err(e) => return usage_error(&e.to_string()),
+    };
+    println!("campaign: {}", campaign.name);
+    println!("seed: {}", campaign.seed);
+    println!("scenario: {:016x}", campaign.scenario_hash());
+    match &campaign.workload {
+        Workload::Acceptance(a) => {
+            println!(
+                "workload: acceptance ({} policies x {} utilizations x {} sets = {} set analyses, {} methods each)",
+                a.policies.len(),
+                a.utilizations.len(),
+                a.sets_per_point,
+                a.policies.len() * a.utilizations.len() * a.sets_per_point,
+                a.methods.len(),
+            );
+            for &p in &a.policies {
+                for &u in &a.utilizations {
+                    println!(
+                        "  point: policy={} utilization={u:.4}",
+                        fnpr_campaign::spec::policy_label(p)
+                    );
+                }
+            }
+        }
+        Workload::Soundness(s) => {
+            println!(
+                "workload: soundness ({} trials, {} per shard, simulate={})",
+                s.trials, s.trials_per_shard, s.simulate
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("fnpr-campaign: {msg}");
+    eprint!("{}", USAGE);
+    ExitCode::FAILURE
+}
+
+const USAGE: &str = "\
+usage:
+  fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH] [--quiet]
+  fnpr-campaign grid <spec>
+  fnpr-campaign example-spec
+";
+
+const EXAMPLE_SPEC: &str = r#"# fnpr-campaign scenario spec (TOML; JSON works too)
+name = "example"
+seed = 2012
+workload = "acceptance"        # or "soundness"
+
+[acceptance]
+sets_per_point = 200           # task sets per grid point
+policies = ["fixed_priority", "edf"]
+methods = ["none", "eq4", "algorithm1", "algorithm1_capped"]
+utilizations = { start = 0.3, stop = 0.9, step = 0.1 }
+q_scale = 0.8                  # Qi as a fraction of the max admissible region
+delay_frac = 0.6               # curve peak as a fraction of Qi
+
+[acceptance.taskset]           # UUniFast generation template
+n = 5
+utilization = 0.0              # replaced by each grid point's value
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+
+[output]
+csv = "campaign.csv"           # "-" or omit for stdout
+json = "campaign.json"         # omit to skip JSON
+"#;

@@ -1,0 +1,42 @@
+//! Campaign-level errors.
+
+use std::fmt;
+
+/// Anything that can go wrong while loading, validating or running a
+/// campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec file could not be read.
+    Io(std::io::Error),
+    /// The spec text could not be parsed (TOML or JSON).
+    Parse(serde::Error),
+    /// The spec parsed but is semantically invalid.
+    Spec(String),
+    /// A substrate analysis failed in a way resampling cannot hide.
+    Analysis(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read spec: {e}"),
+            Self::Parse(e) => write!(f, "cannot parse spec: {e}"),
+            Self::Spec(msg) => write!(f, "invalid spec: {msg}"),
+            Self::Analysis(msg) => write!(f, "analysis failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde::Error> for CampaignError {
+    fn from(e: serde::Error) -> Self {
+        Self::Parse(e)
+    }
+}

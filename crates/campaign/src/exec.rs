@@ -1,0 +1,132 @@
+//! The sharded executor: a deterministic parallel map over grid shards.
+//!
+//! Work is split at *shard* granularity (one grid point or one block of
+//! trials). Worker threads claim shards from a shared atomic cursor, so any
+//! thread may process any shard — but each shard's computation is a pure
+//! function of the campaign seed and the shard index (never of the claiming
+//! thread), and results land in a slot vector indexed by shard. The
+//! aggregate output is therefore bit-identical at every thread count; only
+//! wall-clock changes.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the worker-thread count: explicit request, else all cores.
+#[must_use]
+pub fn resolve_threads(requested: Option<usize>) -> NonZeroUsize {
+    requested
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+}
+
+/// Runs `work(i)` for every `i in 0..count` on `threads` workers and
+/// returns the results in index order. `work` failures abort the map at the
+/// first error (already-claimed shards still finish).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing shard.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (the scope re-raises them on join).
+pub fn parallel_map<T, E, F>(count: usize, threads: NonZeroUsize, work: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let threads = threads.get().min(count.max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let failed = AtomicUsize::new(usize::MAX);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Check the failure flag BEFORE claiming: once a shard is
+                // claimed it must run to completion and fill its slot, or
+                // the collection loop below could find a hole beneath the
+                // lowest error.
+                if failed.load(Ordering::Relaxed) != usize::MAX {
+                    return;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let result = work(i);
+                if result.is_err() {
+                    failed.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(count);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Every claimed shard fills its slot (the abort check precedes
+            // the claim), and the cursor hands indices out sequentially, so
+            // unfilled slots sit strictly above every filled one — the loop
+            // returns at the lowest Err before reaching any hole.
+            None => unreachable!("shard {i} unprocessed without a failure"),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `seed` material and shard coordinates into an independent RNG
+/// stream id (SplitMix64-style avalanche over the concatenation).
+#[must_use]
+pub fn stream_seed(tag: u64, campaign_seed: u64, words: &[u64]) -> u64 {
+    let mut h = crate::memo::ScenarioHasher::new(tag).word(campaign_seed);
+    for &w in words {
+        h = h.word(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_at_any_thread_count() {
+        for threads in [1usize, 2, 8] {
+            let threads = NonZeroUsize::new(threads).unwrap();
+            let out: Vec<usize> = parallel_map(100, threads, |i| Ok::<_, ()>(i * i)).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let threads = NonZeroUsize::new(4).unwrap();
+        let err =
+            parallel_map::<(), usize, _>(50, threads, |i| if i % 7 == 3 { Err(i) } else { Ok(()) })
+                .unwrap_err();
+        assert_eq!(err % 7, 3);
+    }
+
+    #[test]
+    fn empty_map_is_fine() {
+        let threads = NonZeroUsize::new(2).unwrap();
+        let out: Vec<u8> = parallel_map(0, threads, |_| Ok::<_, ()>(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_coordinate() {
+        let a = stream_seed(1, 2012, &[0, 0]);
+        let b = stream_seed(1, 2012, &[0, 1]);
+        let c = stream_seed(2, 2012, &[0, 0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, stream_seed(1, 2012, &[0, 0]));
+    }
+}

@@ -1,0 +1,119 @@
+//! # fnpr-campaign — a sharded, deterministic experiment-campaign engine
+//!
+//! The paper's evaluation (and every schedulability study like it) is a
+//! large parameter-space exploration: thousands of generated task sets or
+//! random curves, analysed under several bounds, aggregated into acceptance
+//! ratios and tightness statistics. This crate turns the repo's one-off
+//! experiment binaries into a batch engine:
+//!
+//! * **Scenario specs** ([`spec`]) — a serde-backed TOML/JSON description
+//!   of the workload, its parameter grid, and the outputs;
+//! * **Sharded execution** ([`exec`]) — grid shards are claimed by worker
+//!   threads from an atomic cursor, but every shard's RNG streams are pure
+//!   functions of the campaign seed and grid coordinates, so the same spec
+//!   produces **bit-identical aggregates at any thread count**;
+//! * **Memoization** ([`memo`]) — results are cached under structural
+//!   scenario hashes; e.g. the fixed-priority and EDF halves of an
+//!   acceptance grid share base task sets and each is generated once;
+//! * **Result pipeline** ([`report`]) — streaming per-shard aggregation,
+//!   folded in shard order into a [`CampaignReport`] with CSV and JSON
+//!   renderings.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fnpr_campaign::{run_campaign, CampaignSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CampaignSpec::parse(r#"
+//!     name = "doc-smoke"
+//!     seed = 42
+//!     workload = "soundness"
+//!
+//!     [soundness]
+//!     trials = 4
+//!     simulate = false
+//! "#)?;
+//! let outcome = run_campaign(&spec.validate()?, Some(2))?;
+//! assert_eq!(outcome.report.summary.dominance_violations, 0);
+//! println!("{}", outcome.report.to_csv());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `fnpr-campaign` binary wraps this: `fnpr-campaign run <spec.toml>`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod acceptance;
+pub mod error;
+pub mod exec;
+pub mod memo;
+pub mod report;
+pub mod soundness;
+pub mod spec;
+
+pub use error::CampaignError;
+pub use memo::MemoStats;
+pub use report::{CampaignReport, Summary};
+pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
+
+/// Everything a campaign run produces: the deterministic report plus
+/// informational (scheduling-dependent) memo statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The deterministic aggregate — identical for a given validated spec
+    /// at any thread count.
+    pub report: CampaignReport,
+    /// Memo hit/miss counters (not part of the deterministic surface).
+    pub memo: MemoStats,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Runs a validated campaign. `threads_override` (e.g. from the CLI) wins
+/// over the spec's `threads`; both absent means all cores.
+///
+/// # Errors
+///
+/// Propagates the first shard failure.
+pub fn run_campaign(
+    campaign: &Campaign,
+    threads_override: Option<usize>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let threads = exec::resolve_threads(threads_override.or(campaign.threads));
+    let scenario = format!("{:016x}", campaign.scenario_hash());
+    let (methods, acceptance_points, soundness_shards, memo) = match &campaign.workload {
+        Workload::Acceptance(params) => {
+            let engine = acceptance::AcceptanceEngine::new();
+            let points = acceptance::run(params, campaign.seed, threads, &engine)?;
+            let methods: Vec<String> = params
+                .methods
+                .iter()
+                .map(|&m| spec::method_label(m).to_string())
+                .collect();
+            (methods, points, Vec::new(), engine.taskset_memo.stats())
+        }
+        Workload::Soundness(params) => {
+            let engine = soundness::SoundnessEngine::new();
+            let shards = soundness::run(params, campaign.seed, threads, &engine)?;
+            (Vec::new(), Vec::new(), shards, engine.bounds_memo.stats())
+        }
+    };
+    let summary = report::summarize(&acceptance_points, &soundness_shards, &methods);
+    Ok(CampaignOutcome {
+        report: CampaignReport {
+            name: campaign.name.clone(),
+            workload: campaign.workload_kind(),
+            seed: campaign.seed,
+            scenario,
+            methods,
+            acceptance: acceptance_points,
+            soundness: soundness_shards,
+            summary,
+        },
+        memo,
+        threads: threads.get(),
+    })
+}

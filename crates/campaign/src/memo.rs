@@ -1,0 +1,210 @@
+//! Scenario-hash memoization.
+//!
+//! Campaign grids repeat work by construction: the same base task set is
+//! analysed under both fixed-priority and EDF policies, re-runs of an
+//! overlapping spec revisit identical `(curve, Q)` pairs, and duplicated
+//! grid points are common in hand-written sweeps. The [`Memo`] table keys
+//! cached results by a structural hash of the scenario inputs so each is
+//! computed exactly once per process.
+//!
+//! Memoization never affects results — a hit returns exactly the value a
+//! recomputation would produce (all analyses are deterministic functions of
+//! their inputs) — so the sharded executor stays bit-identical at any
+//! thread count even though hit/miss *counts* are scheduling-dependent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards. Power of two; small because the
+/// working set per campaign is modest — the point is collision avoidance
+/// between worker threads, not a concurrent-map benchmark.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table from scenario hashes to results.
+pub struct Memo<V> {
+    shards: Vec<Mutex<HashMap<u64, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> Memo<V> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, or computes, stores and returns
+    /// it. `compute` may run more than once across racing threads; all
+    /// computed values for a key are identical by construction, so either
+    /// insertion wins harmlessly.
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        let shard = &self.shards[(key as usize) % SHARDS];
+        if let Some(v) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        // Compute outside the lock: analyses can be orders of magnitude
+        // slower than a map insert, and holding a shard would serialize
+        // unrelated keys.
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("memo shard poisoned")
+            .entry(key)
+            .or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Hit/miss counters since construction. Informational only — these are
+    /// scheduling-dependent and deliberately excluded from deterministic
+    /// campaign aggregates.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<V: Clone> Default for Memo<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counters reported on stderr after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl std::ops::Add for MemoStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+/// A streaming FNV-1a-style structural hasher for scenario keys. Not
+/// DoS-resistant (irrelevant here); stable across platforms and runs, which
+/// is what reproducible campaign ids need.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioHasher(u64);
+
+impl ScenarioHasher {
+    /// A fresh hasher with a domain-separation tag (use a distinct tag per
+    /// key kind so e.g. task-set keys can never collide with curve keys).
+    #[must_use]
+    pub fn new(tag: u64) -> Self {
+        Self(0xcbf2_9ce4_8422_2325 ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Mixes one word.
+    #[must_use]
+    pub fn word(mut self, w: u64) -> Self {
+        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        self.0 ^= self.0 >> 29;
+        self
+    }
+
+    /// Mixes a float by bit pattern (`-0.0` normalized to `0.0` so equal
+    /// values hash equally).
+    #[must_use]
+    pub fn f64(self, x: f64) -> Self {
+        let x = if x == 0.0 { 0.0 } else { x };
+        self.word(x.to_bits())
+    }
+
+    /// Mixes a string.
+    #[must_use]
+    pub fn str(mut self, s: &str) -> Self {
+        for b in s.bytes() {
+            self = self.word(u64::from(b));
+        }
+        self.word(0xff ^ s.len() as u64)
+    }
+
+    /// Final avalanche.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+}
+
+/// Hashes a delay curve structurally (all breakpoints and values).
+#[must_use]
+pub fn curve_hash(curve: &fnpr_core::DelayCurve) -> u64 {
+    let mut h = ScenarioHasher::new(0x43_55_52_56); // "CURV"
+    for seg in curve.segments() {
+        h = h.f64(seg.start).f64(seg.end).f64(seg.value);
+    }
+    h.f64(curve.domain_end()).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnpr_core::DelayCurve;
+
+    #[test]
+    fn memo_caches_and_counts() {
+        let memo: Memo<f64> = Memo::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = memo.get_or_insert_with(42, || {
+                calls += 1;
+                7.5
+            });
+            assert_eq!(v, 7.5);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(memo.stats(), MemoStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn hasher_separates_domains_and_values() {
+        let a = ScenarioHasher::new(1).f64(0.5).finish();
+        let b = ScenarioHasher::new(2).f64(0.5).finish();
+        let c = ScenarioHasher::new(1).f64(0.25).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ScenarioHasher::new(1).f64(0.5).finish());
+    }
+
+    #[test]
+    fn zero_normalization() {
+        assert_eq!(
+            ScenarioHasher::new(0).f64(0.0).finish(),
+            ScenarioHasher::new(0).f64(-0.0).finish()
+        );
+    }
+
+    #[test]
+    fn curve_hash_distinguishes_shapes() {
+        let a = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap();
+        let b = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 2.0)], 100.0).unwrap();
+        let a2 = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap();
+        assert_ne!(curve_hash(&a), curve_hash(&b));
+        assert_eq!(curve_hash(&a), curve_hash(&a2));
+    }
+}

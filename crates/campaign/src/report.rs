@@ -1,0 +1,348 @@
+//! Result pipeline: per-shard aggregates, the campaign summary, and CSV /
+//! JSON rendering.
+//!
+//! Everything here is a plain named-field struct so the shim serde derive
+//! produces real impls; the JSON aggregate is `serde_json::to_string_pretty`
+//! of [`CampaignReport`]. All floating-point aggregates are folded in shard
+//! order, keeping output byte-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::WorkloadKind;
+
+/// One (policy × utilization) grid point of an acceptance campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptancePoint {
+    /// Policy label (`fp` / `edf`).
+    pub policy: String,
+    /// Total utilization of the point.
+    pub utilization: f64,
+    /// Task sets successfully generated (equipped and feasible).
+    pub generated: usize,
+    /// Generation attempts spent (includes resampling).
+    pub attempts: usize,
+    /// Accepted-set counts, aligned with the campaign's method list.
+    pub accepted: Vec<usize>,
+    /// Acceptance ratios (`accepted / generated`), same alignment.
+    pub ratios: Vec<f64>,
+    /// Mean Eq.4 overhead ÷ Algorithm 1 overhead over the
+    /// `pessimism_gap_count` sets with measurable overhead (≥ 1 when the
+    /// paper's dominance claim holds; 0 when no set qualified).
+    pub pessimism_gap_mean: f64,
+    /// Worst observed Eq.4 ÷ Algorithm 1 overhead ratio.
+    pub pessimism_gap_max: f64,
+    /// Sets contributing to `pessimism_gap_mean` (the campaign-level mean
+    /// weights each point by this, not by `generated`).
+    pub pessimism_gap_count: usize,
+}
+
+/// One trial row of a soundness campaign (granularity follows
+/// `trials_per_shard`; by default one row per trial).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoundnessRow {
+    /// Trial index within the campaign.
+    pub trial: usize,
+    /// Region length analysed.
+    pub q: f64,
+    /// The unsound naive bound (paper Figure 2).
+    pub naive: f64,
+    /// The exact adversary's worst case.
+    pub exact: f64,
+    /// Algorithm 1's bound.
+    pub algorithm1: f64,
+    /// The Eq. 4 state-of-the-art bound.
+    pub eq4: f64,
+    /// Worst simulated delay (absent when simulation is off).
+    pub sim_max: Option<f64>,
+}
+
+/// One shard of a soundness campaign: its rows plus streaming counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoundnessShard {
+    /// First trial index of the shard.
+    pub first_trial: usize,
+    /// Per-trial results.
+    pub rows: Vec<SoundnessRow>,
+    /// Trials where the naive bound fell below the exact worst case
+    /// (evidence of Figure 2's unsoundness).
+    pub naive_unsound: usize,
+    /// Trials violating Theorem 1 (`exact > algorithm1`) — expected 0.
+    pub theorem1_violations: usize,
+    /// Trials violating Eq. 4 dominance (`algorithm1 > eq4`) — expected 0.
+    pub eq4_violations: usize,
+    /// Trials where simulation exceeded Algorithm 1's bound — expected 0.
+    pub sim_violations: usize,
+    /// Sum of `algorithm1 / exact` tightness ratios (over `ratio_count`).
+    pub ratio_sum: f64,
+    /// Worst tightness ratio.
+    pub ratio_max: f64,
+    /// Trials contributing to `ratio_sum`.
+    pub ratio_count: usize,
+}
+
+/// Cross-workload campaign totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Generated task sets (acceptance) or trials (soundness).
+    pub instances: usize,
+    /// Points/trials violating the paper's dominance ordering — 0 when the
+    /// reproduction holds.
+    pub dominance_violations: usize,
+    /// Simulation runs exceeding the analytical bound — 0 when sound.
+    pub sim_violations: usize,
+    /// Trials where the naive bound was optimistic (soundness only).
+    pub naive_unsound: usize,
+    /// Mean tightness/pessimism ratio (workload-specific; see point docs).
+    pub pessimism_mean: f64,
+    /// Worst tightness/pessimism ratio.
+    pub pessimism_max: f64,
+}
+
+/// The full campaign result: everything the CSV/JSON exports contain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Which workload ran.
+    pub workload: WorkloadKind,
+    /// Master seed.
+    pub seed: u64,
+    /// Stable scenario hash (hex) — two reports with equal hashes ran
+    /// identical scenarios.
+    pub scenario: String,
+    /// Method column labels (acceptance; empty for soundness).
+    pub methods: Vec<String>,
+    /// Acceptance grid points (empty for soundness campaigns).
+    pub acceptance: Vec<AcceptancePoint>,
+    /// Soundness shards (empty for acceptance campaigns).
+    pub soundness: Vec<SoundnessShard>,
+    /// Totals.
+    pub summary: Summary,
+}
+
+impl CampaignReport {
+    /// Renders the campaign-canonical CSV (header + one row per grid point
+    /// or trial).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        match self.workload {
+            WorkloadKind::Acceptance => {
+                out.push_str("policy,utilization,generated,attempts");
+                for m in &self.methods {
+                    out.push(',');
+                    out.push_str(m);
+                }
+                out.push_str(",pessimism_gap_mean,pessimism_gap_max\n");
+                for p in &self.acceptance {
+                    out.push_str(&format!(
+                        "{},{:.4},{},{}",
+                        p.policy, p.utilization, p.generated, p.attempts
+                    ));
+                    for r in &p.ratios {
+                        out.push_str(&format!(",{r:.4}"));
+                    }
+                    out.push_str(&format!(
+                        ",{:.4},{:.4}\n",
+                        p.pessimism_gap_mean, p.pessimism_gap_max
+                    ));
+                }
+            }
+            WorkloadKind::Soundness => {
+                out.push_str("trial,q,naive,exact,algorithm1,eq4,sim_max\n");
+                for shard in &self.soundness {
+                    for row in &shard.rows {
+                        let sim = row.sim_max.map_or(String::new(), |s| format!("{s:.3}"));
+                        out.push_str(&format!(
+                            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{sim}\n",
+                            row.trial, row.q, row.naive, row.exact, row.algorithm1, row.eq4
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the JSON aggregate.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self);
+        s.push('\n');
+        s
+    }
+}
+
+/// Builds the cross-workload summary from shard aggregates, folding floats
+/// in shard order (deterministic at any thread count).
+#[must_use]
+pub fn summarize(
+    acceptance: &[AcceptancePoint],
+    soundness: &[SoundnessShard],
+    method_labels: &[String],
+) -> Summary {
+    let mut summary = Summary {
+        instances: 0,
+        dominance_violations: 0,
+        sim_violations: 0,
+        naive_unsound: 0,
+        pessimism_mean: 0.0,
+        pessimism_max: 0.0,
+    };
+    // Methods in ascending acceptance power: a tighter delay bound can only
+    // admit more task sets, and `no_delay` admits the most of all. Each
+    // adjacent pair of *present* chain methods must be non-decreasing in
+    // accepted count; anything else is a dominance violation.
+    const POWER_CHAIN: [&str; 4] = ["eq4", "algorithm1", "algorithm1_capped", "no_delay"];
+    let chain: Vec<usize> = POWER_CHAIN
+        .iter()
+        .filter_map(|name| method_labels.iter().position(|l| l == name))
+        .collect();
+    let mut gap_sum = 0.0;
+    let mut gap_weight = 0usize;
+    for p in acceptance {
+        summary.instances += p.generated;
+        for pair in chain.windows(2) {
+            if p.accepted[pair[1]] < p.accepted[pair[0]] {
+                summary.dominance_violations += 1;
+            }
+        }
+        if p.pessimism_gap_count > 0 {
+            gap_sum += p.pessimism_gap_mean * p.pessimism_gap_count as f64;
+            gap_weight += p.pessimism_gap_count;
+        }
+        summary.pessimism_max = summary.pessimism_max.max(p.pessimism_gap_max);
+    }
+    let mut ratio_sum = 0.0;
+    let mut ratio_count = 0usize;
+    for s in soundness {
+        summary.instances += s.rows.len();
+        summary.dominance_violations += s.theorem1_violations + s.eq4_violations;
+        summary.sim_violations += s.sim_violations;
+        summary.naive_unsound += s.naive_unsound;
+        ratio_sum += s.ratio_sum;
+        ratio_count += s.ratio_count;
+        summary.pessimism_max = summary.pessimism_max.max(s.ratio_max);
+    }
+    if gap_weight > 0 {
+        summary.pessimism_mean = gap_sum / gap_weight as f64;
+    } else if ratio_count > 0 {
+        summary.pessimism_mean = ratio_sum / ratio_count as f64;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_acceptance_report() -> CampaignReport {
+        let points = vec![AcceptancePoint {
+            policy: "fp".into(),
+            utilization: 0.5,
+            generated: 10,
+            attempts: 12,
+            accepted: vec![10, 6, 8, 8],
+            ratios: vec![1.0, 0.6, 0.8, 0.8],
+            pessimism_gap_mean: 1.5,
+            pessimism_gap_max: 2.0,
+            pessimism_gap_count: 9,
+        }];
+        let methods: Vec<String> = ["no_delay", "eq4", "algorithm1", "algorithm1_capped"]
+            .map(String::from)
+            .to_vec();
+        let summary = summarize(&points, &[], &methods);
+        CampaignReport {
+            name: "t".into(),
+            workload: WorkloadKind::Acceptance,
+            seed: 1,
+            scenario: "abcd".into(),
+            methods,
+            acceptance: points,
+            soundness: vec![],
+            summary,
+        }
+    }
+
+    #[test]
+    fn acceptance_csv_shape() {
+        let csv = sample_acceptance_report().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "policy,utilization,generated,attempts,no_delay,eq4,algorithm1,algorithm1_capped,pessimism_gap_mean,pessimism_gap_max"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "fp,0.5000,10,12,1.0000,0.6000,0.8000,0.8000,1.5000,2.0000"
+        );
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample_acceptance_report();
+        let parsed: CampaignReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn summary_flags_dominance_violation() {
+        let mut report = sample_acceptance_report();
+        // Algorithm 1 accepting FEWER sets than Eq. 4 is a violation.
+        report.acceptance[0].accepted = vec![10, 8, 6, 6];
+        let summary = summarize(&report.acceptance, &[], &report.methods);
+        assert_eq!(summary.dominance_violations, 1);
+        // An inflated method beating no-delay is also flagged.
+        report.acceptance[0].accepted = vec![5, 6, 6, 6];
+        let summary = summarize(&report.acceptance, &[], &report.methods);
+        assert!(summary.dominance_violations >= 1);
+        // The canonical ordering is clean.
+        report.acceptance[0].accepted = vec![10, 6, 8, 8];
+        let summary = summarize(&report.acceptance, &[], &report.methods);
+        assert_eq!(summary.dominance_violations, 0);
+    }
+
+    #[test]
+    fn soundness_summary_accumulates() {
+        let shards = vec![
+            SoundnessShard {
+                first_trial: 0,
+                rows: vec![SoundnessRow {
+                    trial: 0,
+                    q: 10.0,
+                    naive: 1.0,
+                    exact: 2.0,
+                    algorithm1: 2.0,
+                    eq4: 3.0,
+                    sim_max: Some(1.5),
+                }],
+                naive_unsound: 1,
+                theorem1_violations: 0,
+                eq4_violations: 0,
+                sim_violations: 0,
+                ratio_sum: 1.0,
+                ratio_max: 1.0,
+                ratio_count: 1,
+            },
+            SoundnessShard {
+                first_trial: 1,
+                rows: vec![],
+                naive_unsound: 2,
+                theorem1_violations: 1,
+                eq4_violations: 0,
+                sim_violations: 1,
+                ratio_sum: 2.2,
+                ratio_max: 1.2,
+                ratio_count: 2,
+            },
+        ];
+        let summary = summarize(&[], &shards, &[]);
+        assert_eq!(summary.instances, 1);
+        assert_eq!(summary.naive_unsound, 3);
+        assert_eq!(summary.dominance_violations, 1);
+        assert_eq!(summary.sim_violations, 1);
+        assert!((summary.pessimism_mean - (3.2 / 3.0)).abs() < 1e-12);
+        assert!((summary.pessimism_max - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! The soundness-sweep workload: Theorem 1 and the Figure 2 phenomenon at
+//! scale, over random step curves, with optional discrete-event simulator
+//! validation — the engine-backed generalization of the one-off
+//! `soundness_sweep` binary.
+//!
+//! Violations are *recorded* (and surfaced in the campaign summary) rather
+//! than panicking mid-sweep, so a single bad trial cannot hide how many
+//! others also failed.
+
+use fnpr_core::{algorithm1, eq4_bound_for_curve, exact_worst_case, naive_bound, DelayCurve};
+use fnpr_sim::{check_against_algorithm1, simulate, Scenario, SimConfig};
+use fnpr_synth::random_step_curve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+use crate::error::CampaignError;
+use crate::exec::{parallel_map, stream_seed};
+use crate::memo::{curve_hash, Memo, ScenarioHasher};
+use crate::report::{SoundnessRow, SoundnessShard};
+use crate::spec::SoundnessParams;
+
+const TAG_TRIAL: u64 = 0x5452_4941; // "TRIA"
+const TAG_BOUNDS: u64 = 0x424e_4453; // "BNDS"
+
+/// The four analytical bounds of one `(curve, Q)` scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsQuad {
+    /// The unsound naive selection.
+    pub naive: f64,
+    /// The exact adversary.
+    pub exact: f64,
+    /// Algorithm 1.
+    pub algorithm1: f64,
+    /// The Eq. 4 state of the art.
+    pub eq4: f64,
+}
+
+/// Shared state across shards of one `run` call.
+pub struct SoundnessEngine {
+    /// `(curve, Q) → bounds`, computed once per distinct scenario.
+    pub bounds_memo: Memo<Option<BoundsQuad>>,
+}
+
+impl SoundnessEngine {
+    /// A fresh engine with empty memo tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bounds_memo: Memo::new(),
+        }
+    }
+}
+
+impl Default for SoundnessEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `params.trials` trials, sharded `trials_per_shard` at a time.
+///
+/// # Errors
+///
+/// Propagates the first analysis failure (curve generation and bound
+/// computations cannot legitimately fail on the generated inputs).
+pub fn run(
+    params: &SoundnessParams,
+    campaign_seed: u64,
+    threads: NonZeroUsize,
+    engine: &SoundnessEngine,
+) -> Result<Vec<SoundnessShard>, CampaignError> {
+    let shard_count = params.trials.div_ceil(params.trials_per_shard);
+    parallel_map(shard_count, threads, |shard| {
+        run_shard(params, campaign_seed, shard, engine)
+    })
+}
+
+fn run_shard(
+    params: &SoundnessParams,
+    campaign_seed: u64,
+    shard: usize,
+    engine: &SoundnessEngine,
+) -> Result<SoundnessShard, CampaignError> {
+    let first_trial = shard * params.trials_per_shard;
+    let last_trial = (first_trial + params.trials_per_shard).min(params.trials);
+    let mut out = SoundnessShard {
+        first_trial,
+        rows: Vec::with_capacity(last_trial - first_trial),
+        naive_unsound: 0,
+        theorem1_violations: 0,
+        eq4_violations: 0,
+        sim_violations: 0,
+        ratio_sum: 0.0,
+        ratio_max: 0.0,
+        ratio_count: 0,
+    };
+    for trial in first_trial..last_trial {
+        run_trial(params, campaign_seed, trial, engine, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn run_trial(
+    params: &SoundnessParams,
+    campaign_seed: u64,
+    trial: usize,
+    engine: &SoundnessEngine,
+    out: &mut SoundnessShard,
+) -> Result<(), CampaignError> {
+    // One stream per trial, a pure function of (seed, trial) — never of the
+    // shard size or the thread that runs it.
+    let mut rng = StdRng::seed_from_u64(stream_seed(TAG_TRIAL, campaign_seed, &[trial as u64]));
+    let c = rng.gen_range(params.c_range.0..params.c_range.1);
+    let segments = rng.gen_range(params.segments.0..params.segments.1) as usize;
+    let max_value = rng.gen_range(params.max_value_range.0..params.max_value_range.1);
+    let curve = random_step_curve(&mut rng, c, segments, max_value)
+        .map_err(|e| CampaignError::Analysis(format!("trial {trial}: bad curve: {e:?}")))?;
+    let q = curve.max_value() + rng.gen_range(params.q_slack_range.0..params.q_slack_range.1);
+
+    let key = ScenarioHasher::new(TAG_BOUNDS)
+        .word(curve_hash(&curve))
+        .f64(q)
+        .finish();
+    let bounds = engine
+        .bounds_memo
+        .get_or_insert_with(key, || compute_bounds(&curve, q))
+        .ok_or_else(|| {
+            CampaignError::Analysis(format!(
+                "trial {trial}: bound computation failed (q {q}, curve max {})",
+                curve.max_value()
+            ))
+        })?;
+
+    let sim_max = if params.simulate {
+        let scenario = Scenario::random_interference(
+            c,
+            q,
+            &curve,
+            rng.gen_range(0.1..2.0),
+            1.0,
+            q * 2.0,
+            c * 4.0,
+            &mut rng,
+        );
+        let result = simulate(&scenario, &SimConfig::floating_npr_fp(1e9));
+        let check = check_against_algorithm1(&result, 1, &curve, q)
+            .map_err(|e| CampaignError::Analysis(format!("trial {trial}: {e:?}")))?;
+        if !check.holds {
+            out.sim_violations += 1;
+        }
+        Some(check.observed_max)
+    } else {
+        None
+    };
+
+    if bounds.naive < bounds.exact - 1e-9 {
+        out.naive_unsound += 1;
+    }
+    if bounds.exact > bounds.algorithm1 + 1e-6 {
+        out.theorem1_violations += 1;
+    }
+    if bounds.algorithm1 > bounds.eq4 + 1e-6 {
+        out.eq4_violations += 1;
+    }
+    if bounds.exact > 1e-9 {
+        let ratio = bounds.algorithm1 / bounds.exact;
+        out.ratio_sum += ratio;
+        out.ratio_max = out.ratio_max.max(ratio);
+        out.ratio_count += 1;
+    }
+    out.rows.push(SoundnessRow {
+        trial,
+        q,
+        naive: bounds.naive,
+        exact: bounds.exact,
+        algorithm1: bounds.algorithm1,
+        eq4: bounds.eq4,
+        sim_max,
+    });
+    Ok(())
+}
+
+/// Computes all four bounds; `None` on any divergence or analysis error
+/// (cannot happen for `q > max_value`, which the generator guarantees).
+fn compute_bounds(curve: &DelayCurve, q: f64) -> Option<BoundsQuad> {
+    Some(BoundsQuad {
+        naive: naive_bound(curve, q).ok()?.total_delay,
+        exact: exact_worst_case(curve, q).ok()??.total_delay,
+        algorithm1: algorithm1(curve, q).ok()?.total_delay()?,
+        eq4: eq4_bound_for_curve(curve, q).ok()?.total_delay()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, Workload, WorkloadKind};
+
+    fn small_params(trials: usize, simulate: bool) -> SoundnessParams {
+        let spec = CampaignSpec {
+            workload: Some(WorkloadKind::Soundness),
+            soundness: Some(crate::spec::SoundnessSpec {
+                trials: Some(trials),
+                simulate: Some(simulate),
+                ..Default::default()
+            }),
+            ..CampaignSpec::default()
+        };
+        match spec.validate().unwrap().workload {
+            Workload::Soundness(s) => s,
+            Workload::Acceptance(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ordering_and_rows_over_a_small_sweep() {
+        let params = small_params(24, true);
+        let engine = SoundnessEngine::new();
+        let shards = run(&params, 2012, NonZeroUsize::new(4).unwrap(), &engine).unwrap();
+        assert_eq!(shards.len(), 24);
+        let mut naive_unsound = 0;
+        for shard in &shards {
+            assert_eq!(shard.theorem1_violations, 0, "Theorem 1 violated");
+            assert_eq!(shard.eq4_violations, 0, "Eq. 4 dominance violated");
+            assert_eq!(shard.sim_violations, 0, "simulation exceeded the bound");
+            naive_unsound += shard.naive_unsound;
+            for row in &shard.rows {
+                assert!(row.exact <= row.algorithm1 + 1e-6);
+                assert!(row.algorithm1 <= row.eq4 + 1e-6);
+                assert!(row.sim_max.unwrap() <= row.algorithm1 + 1e-6);
+            }
+        }
+        assert!(
+            naive_unsound > 0,
+            "sweep too small to show Figure 2 unsoundness"
+        );
+    }
+
+    #[test]
+    fn trial_results_independent_of_shard_size() {
+        let engine_a = SoundnessEngine::new();
+        let mut params = small_params(10, false);
+        let a = run(&params, 5, NonZeroUsize::new(1).unwrap(), &engine_a).unwrap();
+        params.trials_per_shard = 5;
+        let engine_b = SoundnessEngine::new();
+        let b = run(&params, 5, NonZeroUsize::new(3).unwrap(), &engine_b).unwrap();
+        let rows_a: Vec<_> = a.iter().flat_map(|s| s.rows.clone()).collect();
+        let rows_b: Vec<_> = b.iter().flat_map(|s| s.rows.clone()).collect();
+        assert_eq!(rows_a, rows_b);
+    }
+}

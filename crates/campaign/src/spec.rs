@@ -1,0 +1,616 @@
+//! Scenario specs: the serde-backed description of a campaign.
+//!
+//! A spec file (TOML or JSON) names a workload, its parameter grid, and
+//! where to put the results. [`CampaignSpec`] is the raw deserialized
+//! form — almost everything optional — and [`Campaign`] is the validated
+//! form with defaults applied, which the executor consumes.
+
+use fnpr_sched::DelayMethod;
+use fnpr_synth::{Policy, TaskSetParams};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CampaignError;
+use crate::memo::ScenarioHasher;
+
+/// Which experiment family a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Schedulability acceptance ratios over a (policy × utilization) grid
+    /// (the experiment `acceptance_ratio` motivates; paper Section V).
+    Acceptance,
+    /// Theorem 1 / Figure 2 soundness sweep over random step curves, with
+    /// optional simulator validation.
+    Soundness,
+}
+
+/// Raw deserialized campaign spec (everything optional; see [`Campaign`]
+/// for the defaults).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name, used in report headers and default output paths.
+    pub name: Option<String>,
+    /// Master seed. Every scenario's RNG stream is a pure function of this
+    /// seed and the scenario's grid coordinates — never of thread count.
+    pub seed: Option<u64>,
+    /// Worker threads (CLI `--threads` overrides; default: all cores).
+    pub threads: Option<usize>,
+    /// Which workload to run.
+    pub workload: Option<WorkloadKind>,
+    /// Acceptance-workload parameters.
+    pub acceptance: Option<AcceptanceSpec>,
+    /// Soundness-workload parameters.
+    pub soundness: Option<SoundnessSpec>,
+    /// Output locations.
+    pub output: Option<OutputSpec>,
+}
+
+/// A one-dimensional sweep axis: either an explicit `values` list or an
+/// inclusive `start`/`stop` range with `step`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Range start (inclusive).
+    pub start: Option<f64>,
+    /// Range stop (inclusive, up to float slack).
+    pub stop: Option<f64>,
+    /// Range step (> 0).
+    pub step: Option<f64>,
+    /// Explicit values (overrides the range fields).
+    pub values: Option<Vec<f64>>,
+}
+
+impl GridSpec {
+    /// Expands the axis into concrete values.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty axes, non-positive steps and reversed ranges.
+    pub fn expand(&self) -> Result<Vec<f64>, CampaignError> {
+        if let Some(values) = &self.values {
+            if values.is_empty() {
+                return Err(CampaignError::Spec("grid `values` is empty".into()));
+            }
+            return Ok(values.clone());
+        }
+        let (Some(start), Some(stop)) = (self.start, self.stop) else {
+            return Err(CampaignError::Spec(
+                "grid needs either `values` or `start`/`stop`".into(),
+            ));
+        };
+        let step = self.step.unwrap_or(0.1);
+        if !start.is_finite()
+            || !stop.is_finite()
+            || !step.is_finite()
+            || step <= 0.0
+            || stop < start
+        {
+            return Err(CampaignError::Spec(format!(
+                "bad grid range: start {start}, stop {stop}, step {step}"
+            )));
+        }
+        let count = ((stop - start) / step + 1.5).floor() as usize;
+        let values: Vec<f64> = (0..count)
+            .map(|i| start + step * i as f64)
+            .filter(|&u| u <= stop + 1e-9)
+            .collect();
+        if values.is_empty() {
+            return Err(CampaignError::Spec(format!(
+                "grid range expanded to no values: start {start}, stop {stop}, step {step}"
+            )));
+        }
+        Ok(values)
+    }
+}
+
+/// Acceptance-ratio workload parameters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AcceptanceSpec {
+    /// Random task sets per grid point (default 200).
+    pub sets_per_point: Option<usize>,
+    /// Resampling budget per set: at most `sets_per_point ×` this many
+    /// attempts per point (default 50).
+    pub max_attempts_factor: Option<usize>,
+    /// Scheduling policies to sweep (default: fixed-priority and EDF).
+    pub policies: Option<Vec<Policy>>,
+    /// Utilization axis (default 0.3..=0.9 step 0.1).
+    pub utilizations: Option<GridSpec>,
+    /// WCET-inflation methods to compare (default: all four).
+    pub methods: Option<Vec<DelayMethod>>,
+    /// `Qi` scale relative to each task's maximum admissible region
+    /// (default 0.8).
+    pub q_scale: Option<f64>,
+    /// Delay-curve peak as a fraction of `Qi` (default 0.6).
+    pub delay_frac: Option<f64>,
+    /// Task-set generation template; its `utilization` field is replaced by
+    /// each grid point's value (default [`TaskSetParams::default`]).
+    pub taskset: Option<TaskSetParams>,
+}
+
+/// Soundness-sweep workload parameters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SoundnessSpec {
+    /// Number of random curves (default 300).
+    pub trials: Option<usize>,
+    /// Trials per shard — the executor's work unit and CSV row granularity
+    /// (default 1: one row per trial, like the original binary).
+    pub trials_per_shard: Option<usize>,
+    /// Whether to validate each bound against the discrete-event simulator
+    /// (default true).
+    pub simulate: Option<bool>,
+    /// Task length `C` range (default `[50, 400]`).
+    pub c_range: Option<(f64, f64)>,
+    /// Step-curve segment count range, half-open (default `[2, 12)`).
+    pub segments: Option<(u64, u64)>,
+    /// Curve max value range (default `[1, 8]`).
+    pub max_value_range: Option<(f64, f64)>,
+    /// Slack of `Q` above the curve maximum (default `[0.5, 10]`).
+    pub q_slack_range: Option<(f64, f64)>,
+}
+
+/// Where to write results. Relative paths resolve against the working
+/// directory of the `fnpr-campaign` process.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OutputSpec {
+    /// CSV aggregate path (`-` or absent: stdout).
+    pub csv: Option<String>,
+    /// JSON aggregate path (absent: not emitted unless `--json` is given).
+    pub json: Option<String>,
+}
+
+/// A validated campaign: defaults applied, grids expanded, invariants
+/// checked. This is what [`crate::run_campaign`] executes.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Spec-requested worker threads, if any.
+    pub threads: Option<usize>,
+    /// The workload with concrete parameters.
+    pub workload: Workload,
+    /// Output locations (raw; the CLI applies them).
+    pub output: OutputSpec,
+}
+
+/// Validated workload parameters.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// See [`AcceptanceSpec`].
+    Acceptance(AcceptanceParams),
+    /// See [`SoundnessSpec`].
+    Soundness(SoundnessParams),
+}
+
+/// Validated acceptance parameters (no options left).
+#[derive(Debug, Clone)]
+pub struct AcceptanceParams {
+    /// Task sets per grid point.
+    pub sets_per_point: usize,
+    /// Attempt budget multiplier.
+    pub max_attempts_factor: usize,
+    /// Policies axis.
+    pub policies: Vec<Policy>,
+    /// Utilization axis.
+    pub utilizations: Vec<f64>,
+    /// Methods compared at every point.
+    pub methods: Vec<DelayMethod>,
+    /// `Qi` scale.
+    pub q_scale: f64,
+    /// Curve peak fraction of `Qi`.
+    pub delay_frac: f64,
+    /// Generation template (utilization replaced per point).
+    pub taskset: TaskSetParams,
+}
+
+/// Validated soundness parameters (no options left).
+#[derive(Debug, Clone)]
+pub struct SoundnessParams {
+    /// Trial count.
+    pub trials: usize,
+    /// Executor work unit.
+    pub trials_per_shard: usize,
+    /// Simulator validation on/off.
+    pub simulate: bool,
+    /// `C` range.
+    pub c_range: (f64, f64),
+    /// Segment count range (half-open).
+    pub segments: (u64, u64),
+    /// Curve max value range.
+    pub max_value_range: (f64, f64),
+    /// `Q` slack range.
+    pub q_slack_range: (f64, f64),
+}
+
+impl CampaignSpec {
+    /// Parses a spec from TOML or JSON text, sniffing the format: anything
+    /// whose first non-blank byte is `{` parses as JSON, else TOML.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from either format.
+    pub fn parse(text: &str) -> Result<Self, CampaignError> {
+        if text.trim_start().starts_with('{') {
+            Ok(serde_json::from_str(text)?)
+        } else {
+            Ok(toml::from_str(text)?)
+        }
+    }
+
+    /// Loads and parses a spec file.
+    ///
+    /// # Errors
+    ///
+    /// I/O and parse errors.
+    pub fn load(path: &std::path::Path) -> Result<Self, CampaignError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Applies defaults and checks invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Spec`] describing the first problem found.
+    pub fn validate(&self) -> Result<Campaign, CampaignError> {
+        let workload = match self.workload {
+            Some(WorkloadKind::Acceptance) | None => {
+                Workload::Acceptance(self.validate_acceptance()?)
+            }
+            Some(WorkloadKind::Soundness) => Workload::Soundness(self.validate_soundness()?),
+        };
+        if let Some(0) = self.threads {
+            return Err(CampaignError::Spec("`threads` must be >= 1".into()));
+        }
+        Ok(Campaign {
+            name: self.name.clone().unwrap_or_else(|| "campaign".into()),
+            seed: self.seed.unwrap_or(2012),
+            threads: self.threads,
+            workload,
+            output: self.output.clone().unwrap_or_default(),
+        })
+    }
+
+    fn validate_acceptance(&self) -> Result<AcceptanceParams, CampaignError> {
+        let a = self.acceptance.clone().unwrap_or_default();
+        let params = AcceptanceParams {
+            sets_per_point: a.sets_per_point.unwrap_or(200),
+            max_attempts_factor: a.max_attempts_factor.unwrap_or(50),
+            policies: a
+                .policies
+                .unwrap_or_else(|| vec![Policy::FixedPriority, Policy::Edf]),
+            utilizations: a
+                .utilizations
+                .unwrap_or(GridSpec {
+                    start: Some(0.3),
+                    stop: Some(0.9),
+                    step: Some(0.1),
+                    values: None,
+                })
+                .expand()?,
+            methods: a.methods.unwrap_or_else(|| {
+                vec![
+                    DelayMethod::None,
+                    DelayMethod::Eq4,
+                    DelayMethod::Algorithm1,
+                    DelayMethod::Algorithm1Capped,
+                ]
+            }),
+            q_scale: a.q_scale.unwrap_or(0.8),
+            delay_frac: a.delay_frac.unwrap_or(0.6),
+            taskset: a.taskset.unwrap_or_default(),
+        };
+        if params.sets_per_point == 0 {
+            return Err(CampaignError::Spec("`sets_per_point` must be >= 1".into()));
+        }
+        if params.policies.is_empty() || params.methods.is_empty() {
+            return Err(CampaignError::Spec(
+                "`policies` and `methods` must be non-empty".into(),
+            ));
+        }
+        if !(params.q_scale > 0.0 && params.q_scale <= 1.0) {
+            return Err(CampaignError::Spec(format!(
+                "`q_scale` must be in (0, 1], got {}",
+                params.q_scale
+            )));
+        }
+        if !(params.delay_frac > 0.0 && params.delay_frac < 1.0) {
+            return Err(CampaignError::Spec(format!(
+                "`delay_frac` must be in (0, 1) to keep analyses convergent, got {}",
+                params.delay_frac
+            )));
+        }
+        for &u in &params.utilizations {
+            if !(u > 0.0 && u < 1.0) {
+                return Err(CampaignError::Spec(format!(
+                    "utilization grid value {u} outside (0, 1)"
+                )));
+            }
+        }
+        if params.taskset.n == 0 {
+            return Err(CampaignError::Spec("taskset `n` must be >= 1".into()));
+        }
+        Ok(params)
+    }
+
+    fn validate_soundness(&self) -> Result<SoundnessParams, CampaignError> {
+        let s = self.soundness.clone().unwrap_or_default();
+        let params = SoundnessParams {
+            trials: s.trials.unwrap_or(300),
+            trials_per_shard: s.trials_per_shard.unwrap_or(1).max(1),
+            simulate: s.simulate.unwrap_or(true),
+            c_range: s.c_range.unwrap_or((50.0, 400.0)),
+            segments: s.segments.unwrap_or((2, 12)),
+            max_value_range: s.max_value_range.unwrap_or((1.0, 8.0)),
+            q_slack_range: s.q_slack_range.unwrap_or((0.5, 10.0)),
+        };
+        if params.trials == 0 {
+            return Err(CampaignError::Spec("`trials` must be >= 1".into()));
+        }
+        for (name, (lo, hi)) in [
+            ("c_range", params.c_range),
+            ("max_value_range", params.max_value_range),
+            ("q_slack_range", params.q_slack_range),
+        ] {
+            if !(lo > 0.0 && hi > lo) {
+                return Err(CampaignError::Spec(format!(
+                    "`{name}` must satisfy 0 < lo < hi, got ({lo}, {hi})"
+                )));
+            }
+        }
+        if params.segments.0 < 1 || params.segments.1 <= params.segments.0 {
+            return Err(CampaignError::Spec(format!(
+                "`segments` must satisfy 1 <= lo < hi, got {:?}",
+                params.segments
+            )));
+        }
+        Ok(params)
+    }
+}
+
+impl Campaign {
+    /// The workload discriminant (for reports and dispatch).
+    #[must_use]
+    pub fn workload_kind(&self) -> WorkloadKind {
+        match self.workload {
+            Workload::Acceptance(_) => WorkloadKind::Acceptance,
+            Workload::Soundness(_) => WorkloadKind::Soundness,
+        }
+    }
+
+    /// A stable structural hash of everything that determines results
+    /// (not outputs or thread counts): the campaign id in reports.
+    #[must_use]
+    pub fn scenario_hash(&self) -> u64 {
+        let h = ScenarioHasher::new(0x4341_4d50) // "CAMP"
+            .str(&self.name)
+            .word(self.seed);
+        match &self.workload {
+            Workload::Acceptance(a) => {
+                let mut h = h
+                    .word(1)
+                    .word(a.sets_per_point as u64)
+                    .word(a.max_attempts_factor as u64)
+                    .f64(a.q_scale)
+                    .f64(a.delay_frac)
+                    .word(a.taskset.n as u64)
+                    .f64(a.taskset.period_range.0)
+                    .f64(a.taskset.period_range.1)
+                    .f64(a.taskset.deadline_factor.0)
+                    .f64(a.taskset.deadline_factor.1);
+                for p in &a.policies {
+                    h = h.word(match p {
+                        Policy::FixedPriority => 11,
+                        Policy::Edf => 13,
+                    });
+                }
+                for m in &a.methods {
+                    h = h.word(method_tag(*m));
+                }
+                for &u in &a.utilizations {
+                    h = h.f64(u);
+                }
+                h.finish()
+            }
+            Workload::Soundness(s) => h
+                .word(2)
+                .word(s.trials as u64)
+                .word(u64::from(s.simulate))
+                .f64(s.c_range.0)
+                .f64(s.c_range.1)
+                .word(s.segments.0)
+                .word(s.segments.1)
+                .f64(s.max_value_range.0)
+                .f64(s.max_value_range.1)
+                .f64(s.q_slack_range.0)
+                .f64(s.q_slack_range.1)
+                .finish(),
+        }
+    }
+}
+
+/// A stable tag per delay method (used in hashes and RNG stream
+/// derivation).
+#[must_use]
+pub fn method_tag(m: DelayMethod) -> u64 {
+    match m {
+        DelayMethod::None => 1,
+        DelayMethod::Eq4 => 2,
+        DelayMethod::Algorithm1 => 3,
+        DelayMethod::Algorithm1Capped => 4,
+    }
+}
+
+/// Human-readable CSV labels for methods, matching the original
+/// `acceptance_ratio` binary's column names.
+#[must_use]
+pub fn method_label(m: DelayMethod) -> &'static str {
+    match m {
+        DelayMethod::None => "no_delay",
+        DelayMethod::Eq4 => "eq4",
+        DelayMethod::Algorithm1 => "algorithm1",
+        DelayMethod::Algorithm1Capped => "algorithm1_capped",
+    }
+}
+
+/// Human-readable CSV labels for policies.
+#[must_use]
+pub fn policy_label(p: Policy) -> &'static str {
+    match p {
+        Policy::FixedPriority => "fp",
+        Policy::Edf => "edf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_range_expansion_is_inclusive() {
+        let grid = GridSpec {
+            start: Some(0.3),
+            stop: Some(0.9),
+            step: Some(0.1),
+            values: None,
+        };
+        let values = grid.expand().unwrap();
+        assert_eq!(values.len(), 7);
+        assert!((values[0] - 0.3).abs() < 1e-12);
+        assert!((values[6] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_rejects_degenerate_ranges() {
+        for (start, stop, step) in [
+            (f64::NAN, 0.9, 0.1),
+            (0.3, f64::NAN, 0.1),
+            (0.3, 0.9, f64::NAN),
+            (0.3, 0.9, 0.0),
+            (0.3, 0.9, f64::INFINITY),
+            (0.9, 0.3, 0.1),
+        ] {
+            let grid = GridSpec {
+                start: Some(start),
+                stop: Some(stop),
+                step: Some(step),
+                values: None,
+            };
+            assert!(
+                grid.expand().is_err(),
+                "accepted {start}..{stop} step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_explicit_values_win() {
+        let grid = GridSpec {
+            start: Some(0.0),
+            stop: Some(1.0),
+            step: Some(0.5),
+            values: Some(vec![0.42]),
+        };
+        assert_eq!(grid.expand().unwrap(), vec![0.42]);
+    }
+
+    #[test]
+    fn toml_spec_round_trip() {
+        let text = r#"
+name = "smoke"
+seed = 7
+workload = "acceptance"
+
+[acceptance]
+sets_per_point = 10
+policies = ["fixed_priority", "edf"]
+methods = ["none", "eq4", "algorithm1"]
+utilizations = { values = [0.5, 0.6] }
+
+[acceptance.taskset]
+n = 4
+utilization = 0.5
+period_range = [10.0, 100.0]
+deadline_factor = [1.0, 1.0]
+
+[output]
+csv = "out.csv"
+json = "out.json"
+"#;
+        let spec = CampaignSpec::parse(text).unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.name, "smoke");
+        assert_eq!(campaign.seed, 7);
+        let Workload::Acceptance(a) = &campaign.workload else {
+            panic!("expected acceptance");
+        };
+        assert_eq!(a.sets_per_point, 10);
+        assert_eq!(a.policies, vec![Policy::FixedPriority, Policy::Edf]);
+        assert_eq!(a.methods.len(), 3);
+        assert_eq!(a.utilizations, vec![0.5, 0.6]);
+        assert_eq!(a.taskset.n, 4);
+        assert_eq!(campaign.output.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn json_spec_parses_too() {
+        let spec = CampaignSpec::parse(r#"{"workload": "soundness", "soundness": {"trials": 5}}"#)
+            .unwrap();
+        let campaign = spec.validate().unwrap();
+        let Workload::Soundness(s) = &campaign.workload else {
+            panic!("expected soundness");
+        };
+        assert_eq!(s.trials, 5);
+        assert!(s.simulate);
+    }
+
+    #[test]
+    fn defaults_validate() {
+        let campaign = CampaignSpec::default().validate().unwrap();
+        assert_eq!(campaign.seed, 2012);
+        let Workload::Acceptance(a) = &campaign.workload else {
+            panic!("default workload is acceptance");
+        };
+        assert_eq!(a.sets_per_point, 200);
+        assert_eq!(a.utilizations.len(), 7);
+        assert_eq!(a.methods.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let spec = CampaignSpec {
+            acceptance: Some(AcceptanceSpec {
+                delay_frac: Some(1.5),
+                ..AcceptanceSpec::default()
+            }),
+            ..CampaignSpec::default()
+        };
+        assert!(spec.validate().is_err());
+
+        let spec = CampaignSpec {
+            workload: Some(WorkloadKind::Soundness),
+            soundness: Some(SoundnessSpec {
+                trials: Some(0),
+                ..SoundnessSpec::default()
+            }),
+            ..CampaignSpec::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_hash_tracks_inputs_not_outputs() {
+        let base = CampaignSpec {
+            seed: Some(1),
+            ..CampaignSpec::default()
+        };
+        let a = base.validate().unwrap().scenario_hash();
+        let mut with_output = base.clone();
+        with_output.output = Some(OutputSpec {
+            csv: Some("x.csv".into()),
+            json: None,
+        });
+        assert_eq!(a, with_output.validate().unwrap().scenario_hash());
+        let mut other_seed = base;
+        other_seed.seed = Some(2);
+        assert_ne!(a, other_seed.validate().unwrap().scenario_hash());
+    }
+}

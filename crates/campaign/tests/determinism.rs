@@ -1,0 +1,118 @@
+//! The campaign engine's headline guarantee, property-tested: the same
+//! validated spec produces **bit-identical** CSV and JSON aggregates at 1,
+//! 2 and 8 worker threads, for randomly drawn specs of both workloads.
+
+use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
+use proptest::prelude::*;
+
+fn render(spec: &CampaignSpec, threads: usize) -> (String, String) {
+    let campaign = spec.validate().expect("generated specs are valid");
+    let outcome = run_campaign(&campaign, Some(threads)).expect("campaign runs");
+    (outcome.report.to_csv(), outcome.report.to_json())
+}
+
+fn assert_thread_invariant(spec: &CampaignSpec) {
+    let baseline = render(spec, 1);
+    for threads in [2, 8] {
+        let other = render(spec, threads);
+        assert_eq!(
+            baseline, other,
+            "aggregates changed between 1 and {threads} threads"
+        );
+    }
+}
+
+fn arb_acceptance_spec() -> impl Strategy<Value = CampaignSpec> {
+    (
+        0u64..1000,                                 // seed
+        2usize..6,                                  // sets per point
+        prop::collection::vec(0.35f64..0.85, 1..3), // utilization grid
+        3usize..6,                                  // tasks per set
+    )
+        .prop_map(|(seed, sets, utilizations, n)| {
+            CampaignSpec::parse(&format!(
+                r#"
+name = "prop-acceptance"
+seed = {seed}
+workload = "acceptance"
+
+[acceptance]
+sets_per_point = {sets}
+max_attempts_factor = 10
+utilizations = {{ values = [{us}] }}
+
+[acceptance.taskset]
+n = {n}
+utilization = 0.0
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+"#,
+                us = utilizations
+                    .iter()
+                    .map(|u| format!("{u:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ))
+            .expect("template parses")
+        })
+}
+
+fn arb_soundness_spec() -> impl Strategy<Value = CampaignSpec> {
+    (0u64..1000, 3usize..12, 1usize..5, 0u64..2).prop_map(|(seed, trials, per_shard, simulate)| {
+        CampaignSpec::parse(&format!(
+            r#"
+name = "prop-soundness"
+seed = {seed}
+workload = "soundness"
+
+[soundness]
+trials = {trials}
+trials_per_shard = {per_shard}
+simulate = {}
+"#,
+            simulate == 1
+        ))
+        .expect("template parses")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Acceptance campaigns: identical aggregates at 1, 2 and 8 threads.
+    #[test]
+    fn acceptance_aggregates_are_thread_invariant(spec in arb_acceptance_spec()) {
+        assert_thread_invariant(&spec);
+    }
+
+    /// Soundness campaigns: identical aggregates at 1, 2 and 8 threads,
+    /// across shard sizes and with/without the simulator.
+    #[test]
+    fn soundness_aggregates_are_thread_invariant(spec in arb_soundness_spec()) {
+        assert_thread_invariant(&spec);
+    }
+}
+
+/// The memo layer must not leak scheduling into results: running the same
+/// campaign twice in one process (warm memo) matches a cold run.
+#[test]
+fn warm_memo_matches_cold_run() {
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 99
+workload = "acceptance"
+[acceptance]
+sets_per_point = 4
+max_attempts_factor = 10
+utilizations = { values = [0.5, 0.7] }
+"#,
+    )
+    .unwrap();
+    let cold = render(&spec, 4);
+    let warm = render(&spec, 4);
+    assert_eq!(cold, warm);
+    assert_eq!(
+        spec.validate().unwrap().workload_kind(),
+        WorkloadKind::Acceptance
+    );
+}

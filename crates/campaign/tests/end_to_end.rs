@@ -1,0 +1,83 @@
+//! End-to-end: the checked-in smoke spec loads, validates, runs, and emits
+//! coherent CSV and JSON aggregates — the same path `fnpr-campaign run
+//! examples/campaign_smoke.toml` exercises.
+
+use fnpr_campaign::{run_campaign, CampaignReport, CampaignSpec, WorkloadKind};
+use std::path::Path;
+
+fn smoke_spec_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/campaign_smoke.toml")
+}
+
+#[test]
+fn smoke_spec_runs_and_exports() {
+    let spec = CampaignSpec::load(&smoke_spec_path()).expect("smoke spec loads");
+    // The checked-in spec names both output files; the binary honours them,
+    // the test only renders in memory.
+    assert_eq!(
+        spec.output.as_ref().unwrap().csv.as_deref(),
+        Some("campaign_smoke.csv")
+    );
+    assert_eq!(
+        spec.output.as_ref().unwrap().json.as_deref(),
+        Some("campaign_smoke.json")
+    );
+
+    let campaign = spec.validate().expect("smoke spec validates");
+    assert_eq!(campaign.workload_kind(), WorkloadKind::Acceptance);
+    let outcome = run_campaign(&campaign, Some(4)).expect("smoke campaign runs");
+    let report = &outcome.report;
+
+    // 2 policies x 4 utilizations.
+    assert_eq!(report.acceptance.len(), 8);
+    assert!(report.summary.instances > 0, "no task sets generated");
+    assert_eq!(
+        report.summary.dominance_violations, 0,
+        "paper's ordering violated"
+    );
+
+    // CSV: header + one row per grid point, consistent column count.
+    let csv = report.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 9);
+    let columns = lines[0].split(',').count();
+    assert_eq!(
+        columns,
+        4 + 4 + 2,
+        "4 fixed + 4 methods + 2 pessimism columns"
+    );
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+
+    // JSON: parses back into an identical report (true round-trip).
+    let parsed: CampaignReport = serde_json::from_str(&report.to_json()).expect("JSON parses");
+    assert_eq!(&parsed, report);
+
+    // The scenario hash is stable for the checked-in spec + seed: it only
+    // changes when someone edits the smoke scenario itself, which should be
+    // a conscious, reviewed act.
+    assert_eq!(report.scenario.len(), 16);
+    let again = CampaignSpec::load(&smoke_spec_path())
+        .unwrap()
+        .validate()
+        .unwrap();
+    assert_eq!(report.scenario, format!("{:016x}", again.scenario_hash()));
+}
+
+#[test]
+fn memoization_pays_on_the_smoke_grid() {
+    let campaign = CampaignSpec::load(&smoke_spec_path())
+        .unwrap()
+        .validate()
+        .unwrap();
+    let outcome = run_campaign(&campaign, Some(2)).unwrap();
+    // Both policies analyse the same base task sets; the second policy's
+    // grid half must be answered from the memo.
+    assert!(
+        outcome.memo.hits >= outcome.memo.misses / 2,
+        "expected substantial task-set reuse, got {} hits / {} misses",
+        outcome.memo.hits,
+        outcome.memo.misses
+    );
+}

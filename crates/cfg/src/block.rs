@@ -11,9 +11,7 @@ use crate::error::CfgError;
 /// Ids are dense indices assigned by the [`CfgBuilder`] in insertion order.
 ///
 /// [`CfgBuilder`]: crate::CfgBuilder
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub usize);
 
 impl BlockId {
@@ -159,9 +157,27 @@ mod tests {
     fn interval_arithmetic() {
         let a = ExecInterval::new(15.0, 25.0).unwrap();
         let b = ExecInterval::new(5.0, 10.0).unwrap();
-        assert_eq!(a.plus(b), ExecInterval { min: 20.0, max: 35.0 });
-        assert_eq!(a.repeated(2, 4), ExecInterval { min: 30.0, max: 100.0 });
-        assert_eq!(a.repeated(0, 1), ExecInterval { min: 0.0, max: 25.0 });
+        assert_eq!(
+            a.plus(b),
+            ExecInterval {
+                min: 20.0,
+                max: 35.0
+            }
+        );
+        assert_eq!(
+            a.repeated(2, 4),
+            ExecInterval {
+                min: 30.0,
+                max: 100.0
+            }
+        );
+        assert_eq!(
+            a.repeated(0, 1),
+            ExecInterval {
+                min: 0.0,
+                max: 25.0
+            }
+        );
         assert_eq!(a.width(), 10.0);
     }
 

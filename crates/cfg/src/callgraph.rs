@@ -269,7 +269,9 @@ mod tests {
         let (leaf_cfg, _) = straight_line(&[(10.0, 20.0)]);
         let (root_cfg, root_ids) = straight_line(&[(1.0, 1.0), (2.0, 2.0)]);
         let mut program = Program::new();
-        program.add_function(Function::new("leaf", leaf_cfg)).unwrap();
+        program
+            .add_function(Function::new("leaf", leaf_cfg))
+            .unwrap();
         program
             .add_function(Function::new("root", root_cfg).with_call(root_ids[1], "leaf"))
             .unwrap();
@@ -284,7 +286,9 @@ mod tests {
         let (leaf_cfg, _) = straight_line(&[(5.0, 7.0)]);
         let (root_cfg, root_ids) = straight_line(&[(1.0, 1.0)]);
         let mut program = Program::new();
-        program.add_function(Function::new("leaf", leaf_cfg)).unwrap();
+        program
+            .add_function(Function::new("leaf", leaf_cfg))
+            .unwrap();
         program
             .add_function(
                 Function::new("root", root_cfg)
@@ -389,7 +393,9 @@ mod tests {
     fn duplicate_function_rejected() {
         let (cfg, _) = straight_line(&[(1.0, 1.0)]);
         let mut program = Program::new();
-        program.add_function(Function::new("f", cfg.clone())).unwrap();
+        program
+            .add_function(Function::new("f", cfg.clone()))
+            .unwrap();
         assert!(matches!(
             program.add_function(Function::new("f", cfg)),
             Err(CfgError::DuplicateFunction { .. })
@@ -411,7 +417,9 @@ mod tests {
         b.edge(header, exit).unwrap();
         let cfg = b.build().unwrap();
         let mut program = Program::new();
-        program.add_function(Function::new("leaf", leaf_cfg)).unwrap();
+        program
+            .add_function(Function::new("leaf", leaf_cfg))
+            .unwrap();
         program
             .add_function(
                 Function::new("root", cfg)

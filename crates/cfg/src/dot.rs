@@ -37,11 +37,7 @@ pub fn to_dot(cfg: &Cfg, offsets: Option<&StartOffsets>) -> String {
                 o.latest_start(block.id)
             );
         }
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{}\\n{}\"];",
-            block.id, name, annotation
-        );
+        let _ = writeln!(out, "  {} [label=\"{}\\n{}\"];", block.id, name, annotation);
     }
     for (from, to) in cfg.edges() {
         let _ = writeln!(out, "  {from} -> {to};");

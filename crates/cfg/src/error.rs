@@ -143,9 +143,7 @@ mod tests {
 
     #[test]
     fn display_mentions_ids() {
-        let err = CfgError::UnknownBlock {
-            block: BlockId(7),
-        };
+        let err = CfgError::UnknownBlock { block: BlockId(7) };
         assert!(err.to_string().contains('7'));
         let err = CfgError::RecursiveCall {
             function: "fib".into(),

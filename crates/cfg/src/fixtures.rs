@@ -126,11 +126,7 @@ mod tests {
         let cfg = figure1_cfg();
         let offsets = StartOffsets::analyze(&cfg).unwrap();
         for (b, smin, smax) in figure1_expected_offsets() {
-            assert_eq!(
-                offsets.earliest_start(b),
-                smin,
-                "smin mismatch at {b}"
-            );
+            assert_eq!(offsets.earliest_start(b), smin, "smin mismatch at {b}");
             assert_eq!(offsets.latest_start(b), smax, "smax mismatch at {b}");
         }
     }

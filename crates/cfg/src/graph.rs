@@ -219,7 +219,6 @@ impl Cfg {
         post.reverse();
         post
     }
-
 }
 
 /// Dominator-intersection walk used by `immediate_dominators`.
@@ -416,10 +415,7 @@ mod tests {
         ));
         let x = b.block(ExecInterval::exact(1.0).unwrap());
         b.edge(e, x).unwrap();
-        assert!(matches!(
-            b.edge(e, x),
-            Err(CfgError::DuplicateEdge { .. })
-        ));
+        assert!(matches!(b.edge(e, x), Err(CfgError::DuplicateEdge { .. })));
     }
 
     #[test]

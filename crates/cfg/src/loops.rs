@@ -259,10 +259,8 @@ pub fn reduce_loops(
                 max_iterations: bound.max_iterations,
             });
         }
-        let interval = iteration_interval(&current, inner)?.repeated(
-            bound.min_iterations,
-            bound.max_iterations,
-        );
+        let interval = iteration_interval(&current, inner)?
+            .repeated(bound.min_iterations, bound.max_iterations);
         let (next, next_members) = collapse(&current, &members, inner, interval)?;
         current = next;
         members = next_members;
@@ -425,7 +423,7 @@ mod tests {
         let exec = reduced.cfg.block(super_block).exec;
         assert_eq!(exec.min, 4.0); // 2 iterations x 2
         assert_eq!(exec.max, 60.0); // 4 iterations x 15
-        // Provenance: header and body both map to the super-block.
+                                    // Provenance: header and body both map to the super-block.
         assert_eq!(reduced.members[super_block.index()].len(), 2);
         // Entry and exit map to themselves.
         assert_eq!(reduced.reduced_block_of(entry).unwrap(), BlockId(0));
@@ -474,10 +472,10 @@ mod tests {
         assert_eq!(reduced.cfg.len(), 3);
         let outer = reduced.reduced_block_of(h1).unwrap();
         assert_eq!(reduced.members[outer.index()].len(), 4); // h1, h2, b2, t1
-        // Inner per-iteration: h2 [3,3] + b2 [4,4] -> [7,7]; 5 iterations ->
-        // [35,35]. Outer per-iteration: h1 2 + inner 35 + t1 5 = 42; but the
-        // outer min path: exit source is h1 (earliest finish 2).
-        // Outer: min = 3 x 2 = 6, max = 3 x 42 = 126.
+                                                             // Inner per-iteration: h2 [3,3] + b2 [4,4] -> [7,7]; 5 iterations ->
+                                                             // [35,35]. Outer per-iteration: h1 2 + inner 35 + t1 5 = 42; but the
+                                                             // outer min path: exit source is h1 (earliest finish 2).
+                                                             // Outer: min = 3 x 2 = 6, max = 3 x 42 = 126.
         let exec = reduced.cfg.block(outer).exec;
         assert_eq!(exec.min, 6.0);
         assert_eq!(exec.max, 126.0);

@@ -111,11 +111,7 @@ impl Occupancy {
     /// set — and hence any `max`-composed step function — is constant.
     #[must_use]
     pub fn breakpoints(&self) -> Vec<f64> {
-        let mut points: Vec<f64> = self
-            .windows
-            .iter()
-            .flat_map(|&(lo, hi)| [lo, hi])
-            .collect();
+        let mut points: Vec<f64> = self.windows.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
         points.sort_by(f64::total_cmp);
         points.dedup();
         points

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 struct LayeredDag {
     layer_sizes: Vec<usize>,
-    costs: Vec<(f64, f64)>,   // (min, width) per block
+    costs: Vec<(f64, f64)>,           // (min, width) per block
     extra_edges: Vec<(usize, usize)>, // indices into consecutive layers
 }
 

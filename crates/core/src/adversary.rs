@@ -88,10 +88,7 @@ impl WorstCaseRun {
 /// # Ok(())
 /// # }
 /// ```
-pub fn exact_worst_case(
-    curve: &DelayCurve,
-    q: f64,
-) -> Result<Option<WorstCaseRun>, AnalysisError> {
+pub fn exact_worst_case(curve: &DelayCurve, q: f64) -> Result<Option<WorstCaseRun>, AnalysisError> {
     exact_worst_case_with_limit(curve, q, DEFAULT_MAX_ADVERSARY_CANDIDATES)
 }
 
@@ -203,10 +200,7 @@ mod tests {
         let f = DelayCurve::constant(2.0, 10.0).unwrap();
         let exact = exact_worst_case(&f, 4.0).unwrap().unwrap();
         assert_eq!(exact.total_delay, 6.0);
-        assert_eq!(
-            exact.preemptions,
-            vec![(4.0, 2.0), (6.0, 2.0), (8.0, 2.0)]
-        );
+        assert_eq!(exact.preemptions, vec![(4.0, 2.0), (6.0, 2.0), (8.0, 2.0)]);
         let alg1 = algorithm1(&f, 4.0).unwrap().expect_converged();
         assert_eq!(alg1.total_delay, exact.total_delay);
     }

@@ -288,9 +288,7 @@ fn run_from<S: FnMut(WindowRecord)>(
             .unwrap_or(wcet)
             .min(wcet);
         // Lines 11-12: the window maximum over [progress, p_cross].
-        let delay = curve
-            .max_on(progress, p_cross)
-            .expect("validated interval");
+        let delay = curve.max_on(progress, p_cross).expect("validated interval");
         let p_max = curve
             .argmax_on(progress, p_cross)
             .expect("validated interval");
@@ -474,10 +472,7 @@ mod tests {
         let f = DelayCurve::constant(3.0, 1000.0).unwrap();
         let mut last = f64::INFINITY;
         for q in [4.0, 5.0, 8.0, 16.0, 50.0, 400.0, 1000.0] {
-            let total = algorithm1(&f, q)
-                .unwrap()
-                .expect_converged()
-                .total_delay;
+            let total = algorithm1(&f, q).unwrap().expect_converged().total_delay;
             assert!(
                 total <= last + 1e-9,
                 "constant-curve bound increased: q={q}, {total} > {last}"
@@ -509,11 +504,8 @@ mod tests {
 
     #[test]
     fn remaining_delay_is_monotone_in_progress() {
-        let f = DelayCurve::from_breakpoints(
-            [(0.0, 1.0), (30.0, 6.0), (60.0, 2.0)],
-            120.0,
-        )
-        .unwrap();
+        let f =
+            DelayCurve::from_breakpoints([(0.0, 1.0), (30.0, 6.0), (60.0, 2.0)], 120.0).unwrap();
         let mut last = f64::INFINITY;
         for start in [0.0, 10.0, 25.0, 40.0, 70.0, 100.0, 120.0] {
             let remaining = algorithm1_from(&f, 9.0, start)

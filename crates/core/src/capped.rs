@@ -133,11 +133,8 @@ mod tests {
 
     #[test]
     fn monotone_in_cap() {
-        let f = DelayCurve::from_breakpoints(
-            [(0.0, 2.0), (25.0, 5.0), (50.0, 0.5)],
-            150.0,
-        )
-        .unwrap();
+        let f =
+            DelayCurve::from_breakpoints([(0.0, 2.0), (25.0, 5.0), (50.0, 0.5)], 150.0).unwrap();
         let mut last = 0.0;
         for cap in 0..12 {
             let capped = algorithm1_capped(&f, 8.0, cap).unwrap().unwrap();

@@ -165,7 +165,11 @@ impl DelayCurve {
         if starts.is_empty() {
             return Err(CurveError::Empty);
         }
-        Ok(Self { starts, values, end })
+        Ok(Self {
+            starts,
+            values,
+            end,
+        })
     }
 
     /// Builds a conservative step-function upper bound of a continuous
@@ -312,8 +316,7 @@ impl DelayCurve {
                         .binary_search_by(|probe| probe.total_cmp(&ev.value))
                         .unwrap_or_else(|p| p);
                     active.insert(pos, ev.value);
-                } else if let Ok(pos) =
-                    active.binary_search_by(|probe| probe.total_cmp(&ev.value))
+                } else if let Ok(pos) = active.binary_search_by(|probe| probe.total_cmp(&ev.value))
                 {
                     active.remove(pos);
                 }
@@ -398,10 +401,7 @@ impl DelayCurve {
 
     /// Index of the segment containing `t` (clamped into the domain).
     pub(crate) fn segment_index_at(&self, t: f64) -> usize {
-        match self
-            .starts
-            .binary_search_by(|probe| probe.total_cmp(&t))
-        {
+        match self.starts.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(k) => k,
             Err(0) => 0,
             Err(k) => k - 1,
@@ -483,7 +483,10 @@ impl DelayCurve {
     /// not finite and strictly positive.
     pub fn first_crossing(&self, from: f64, q: f64) -> Result<Option<f64>, CurveError> {
         if !(from.is_finite() && q.is_finite() && q > 0.0) {
-            return Err(CurveError::BadInterval { lo: from, hi: from + q });
+            return Err(CurveError::BadInterval {
+                lo: from,
+                hi: from + q,
+            });
         }
         let limit = from + q;
         for k in self.segment_index_at(from.max(0.0))..self.starts.len() {

@@ -100,7 +100,10 @@ impl fmt::Display for CurveError {
                 write!(f, "malformed interval [{lo}, {hi}]")
             }
             CurveError::BadStep { step } => {
-                write!(f, "sampling step {step} is not finite and strictly positive")
+                write!(
+                    f,
+                    "sampling step {step} is not finite and strictly positive"
+                )
             }
         }
     }
@@ -140,13 +143,22 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::InvalidQ { q } => {
-                write!(f, "non-preemptive region length {q} is not finite and positive")
+                write!(
+                    f,
+                    "non-preemptive region length {q} is not finite and positive"
+                )
             }
             AnalysisError::InvalidWcet { wcet } => {
-                write!(f, "worst-case execution time {wcet} is not finite and positive")
+                write!(
+                    f,
+                    "worst-case execution time {wcet} is not finite and positive"
+                )
             }
             AnalysisError::InvalidDelay { delay } => {
-                write!(f, "maximum preemption delay {delay} is negative or not finite")
+                write!(
+                    f,
+                    "maximum preemption delay {delay} is negative or not finite"
+                )
             }
             AnalysisError::IterationLimit { limit } => {
                 write!(f, "iteration budget of {limit} exhausted before fixpoint")

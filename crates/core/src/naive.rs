@@ -211,11 +211,9 @@ mod tests {
     fn spacing_constraint_forces_choice() {
         // Peaks 9 and 8 only 5 apart with q=20: must pick exactly one of
         // them; 9 wins.
-        let f = DelayCurve::from_breakpoints(
-            [(0.0, 0.0), (40.0, 9.0), (42.0, 8.0), (45.0, 0.0)],
-            60.0,
-        )
-        .unwrap();
+        let f =
+            DelayCurve::from_breakpoints([(0.0, 0.0), (40.0, 9.0), (42.0, 8.0), (45.0, 0.0)], 60.0)
+                .unwrap();
         let naive = naive_bound(&f, 20.0).unwrap();
         assert_eq!(naive.total_delay, 9.0);
     }
@@ -249,10 +247,7 @@ mod tests {
         // the progress axis (naive charges 4).
         let f = DelayCurve::constant(2.0, 10.0).unwrap();
         let naive = naive_bound(&f, 4.0).unwrap().total_delay;
-        let alg1 = algorithm1(&f, 4.0)
-            .unwrap()
-            .expect_converged()
-            .total_delay;
+        let alg1 = algorithm1(&f, 4.0).unwrap().expect_converged().total_delay;
         assert!(naive < alg1);
     }
 

@@ -48,10 +48,7 @@ pub fn demand_horizon(tasks: &TaskSet) -> Result<f64, SchedError> {
     if u > 1.0 {
         return Err(SchedError::Overutilized { utilization: u });
     }
-    let d_max = tasks
-        .iter()
-        .map(|t| t.deadline())
-        .fold(0.0f64, f64::max);
+    let d_max = tasks.iter().map(|t| t.deadline()).fold(0.0f64, f64::max);
     if u == 1.0 {
         // Degenerate: fall back to a hyperperiod-ish bound.
         let span: f64 = tasks.iter().map(|t| t.period()).fold(0.0, f64::max);

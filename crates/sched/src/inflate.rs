@@ -198,10 +198,7 @@ fn inflate_with(
 /// # Errors
 ///
 /// As [`inflate_wcets`] and the underlying RTA.
-pub fn fp_schedulable_with_delay(
-    tasks: &TaskSet,
-    method: DelayMethod,
-) -> Result<bool, SchedError> {
+pub fn fp_schedulable_with_delay(tasks: &TaskSet, method: DelayMethod) -> Result<bool, SchedError> {
     let inflation = inflate_wcets(tasks, method)?;
     let Some(wcets) = inflation.finite_wcets() else {
         return Ok(false);
@@ -306,8 +303,7 @@ mod tests {
     fn acceptance_gap_exists() {
         // A set schedulable under Algorithm 1 inflation but not under Eq. 4:
         // shaped curve (expensive only early), tight deadlines.
-        let curve =
-            DelayCurve::from_breakpoints([(0.0, 3.0), (6.0, 0.0)], 30.0).unwrap();
+        let curve = DelayCurve::from_breakpoints([(0.0, 3.0), (6.0, 0.0)], 30.0).unwrap();
         let heavy = Task::new(30.0, 60.0)
             .unwrap()
             .with_deadline(50.0)
@@ -362,8 +358,7 @@ mod tests {
         ])
         .unwrap();
         let plain = edf_schedulable_with_delay(&ts, DelayMethod::Algorithm1).unwrap();
-        let capped =
-            edf_schedulable_with_delay(&ts, DelayMethod::Algorithm1Capped).unwrap();
+        let capped = edf_schedulable_with_delay(&ts, DelayMethod::Algorithm1Capped).unwrap();
         if plain {
             assert!(capped, "EDF capped must accept whatever plain accepts");
         }

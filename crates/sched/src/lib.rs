@@ -68,15 +68,15 @@ pub use edf::{
 };
 pub use error::SchedError;
 pub use inflate::{
-    edf_schedulable_with_delay, fp_schedulable_with_delay, inflate_wcets,
-    inflate_wcets_with_caps, preemption_caps, preemption_caps_edf, DelayMethod, Inflation,
+    edf_schedulable_with_delay, fp_schedulable_with_delay, inflate_wcets, inflate_wcets_with_caps,
+    preemption_caps, preemption_caps_edf, DelayMethod, Inflation,
 };
 pub use npr::{blocking_tolerances_fp, max_npr_lengths_edf, max_npr_lengths_fp, NprBounds};
 pub use priority::{audsley_floating_npr, Assignment};
-pub use sensitivity::{delay_tolerance, scale_delay_curves, DelayTolerance};
 pub use rta::{
     floating_npr_blocking, response_time_analysis, response_time_analysis_with_jitter,
     rta_floating_npr, RtaResult, DEFAULT_MAX_ITERATIONS,
 };
+pub use sensitivity::{delay_tolerance, scale_delay_curves, DelayTolerance};
 pub use task::{Task, TaskSet};
 pub use util::{ceil_div, floor_div};

@@ -168,7 +168,9 @@ mod tests {
         let assignment = audsley_floating_npr(&ts).unwrap();
         let order = assignment.order().expect("feasible");
         assert_eq!(order, &[1, 0]); // short-deadline task first
-        assert!(rta_floating_npr(&reorder(&ts, order)).unwrap().schedulable());
+        assert!(rta_floating_npr(&reorder(&ts, order))
+            .unwrap()
+            .schedulable());
     }
 
     #[test]
@@ -178,10 +180,7 @@ mod tests {
         // No: at the bottom it suffers full interference. Audsley must
         // place the tight task on top *and* account for the region of the
         // heavy one below.
-        let tight = Task::new(1.0, 10.0)
-            .unwrap()
-            .with_deadline(2.0)
-            .unwrap();
+        let tight = Task::new(1.0, 10.0).unwrap().with_deadline(2.0).unwrap();
         let heavy = Task::new(6.0, 20.0).unwrap().with_q(0.8).unwrap();
         let ts = TaskSet::new(vec![heavy, tight]).unwrap();
         let assignment = audsley_floating_npr(&ts).unwrap();
@@ -189,16 +188,15 @@ mod tests {
         // Tight task (original index 1) must take the top level; its
         // response there is 1 + 0.8 blocking = 1.8 <= 2.
         assert_eq!(order[0], 1);
-        assert!(rta_floating_npr(&reorder(&ts, order)).unwrap().schedulable());
+        assert!(rta_floating_npr(&reorder(&ts, order))
+            .unwrap()
+            .schedulable());
     }
 
     #[test]
     fn blocking_can_make_everything_infeasible() {
         // Same tight task, but the heavy region exceeds its slack.
-        let tight = Task::new(1.0, 10.0)
-            .unwrap()
-            .with_deadline(2.0)
-            .unwrap();
+        let tight = Task::new(1.0, 10.0).unwrap().with_deadline(2.0).unwrap();
         let heavy = Task::new(6.0, 8.0).unwrap().with_q(1.5).unwrap();
         let ts = TaskSet::new(vec![heavy, tight]).unwrap();
         // Top level for tight: 1 + 1.5 = 2.5 > 2; bottom level: 1 + 6

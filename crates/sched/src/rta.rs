@@ -84,10 +84,7 @@ impl RtaResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn response_time_analysis(
-    tasks: &TaskSet,
-    blocking: &[f64],
-) -> Result<RtaResult, SchedError> {
+pub fn response_time_analysis(tasks: &TaskSet, blocking: &[f64]) -> Result<RtaResult, SchedError> {
     if blocking.len() != tasks.len() {
         return Err(SchedError::InvalidTask {
             what: "blocking length",
@@ -244,10 +241,7 @@ mod tests {
     fn textbook_example() {
         let tasks = ts(&[(1.0, 4.0), (2.0, 6.0), (3.0, 13.0)]);
         let rta = response_time_analysis(&tasks, &[0.0; 3]).unwrap();
-        assert_eq!(
-            rta.response_times,
-            vec![Some(1.0), Some(3.0), Some(10.0)]
-        );
+        assert_eq!(rta.response_times, vec![Some(1.0), Some(3.0), Some(10.0)]);
         assert!(rta.schedulable());
         assert_eq!(rta.schedulable_count(), 3);
     }
@@ -309,8 +303,7 @@ mod tests {
     fn jitter_free_matches_plain_rta() {
         let tasks = ts(&[(1.0, 4.0), (2.0, 6.0), (3.0, 13.0)]);
         let plain = response_time_analysis(&tasks, &[0.0; 3]).unwrap();
-        let jittered =
-            response_time_analysis_with_jitter(&tasks, &[0.0; 3], &[0.0; 3]).unwrap();
+        let jittered = response_time_analysis_with_jitter(&tasks, &[0.0; 3], &[0.0; 3]).unwrap();
         assert_eq!(plain.response_times, jittered.response_times);
     }
 
@@ -321,8 +314,7 @@ mod tests {
         let tasks = ts(&[(1.0, 4.0), (2.0, 6.0)]);
         let plain = response_time_analysis_with_jitter(&tasks, &[0.0; 2], &[0.0; 2]).unwrap();
         assert_eq!(plain.response_times[1], Some(3.0));
-        let jittered =
-            response_time_analysis_with_jitter(&tasks, &[0.0; 2], &[1.5, 0.0]).unwrap();
+        let jittered = response_time_analysis_with_jitter(&tasks, &[0.0; 2], &[1.5, 0.0]).unwrap();
         assert_eq!(jittered.response_times[1], Some(4.0)); // 2 + 2x1
     }
 
@@ -331,7 +323,7 @@ mod tests {
         let tasks = ts(&[(2.0, 10.0)]);
         let r = response_time_analysis_with_jitter(&tasks, &[0.0], &[3.0]).unwrap();
         assert_eq!(r.response_times[0], Some(5.0)); // 2 busy + 3 jitter
-        // Jitter eating the whole deadline budget fails.
+                                                    // Jitter eating the whole deadline budget fails.
         let tight = ts(&[(2.0, 10.0)]);
         let r = response_time_analysis_with_jitter(&tight, &[0.0], &[9.0]).unwrap();
         assert_eq!(r.response_times[0], None);

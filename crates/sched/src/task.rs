@@ -96,7 +96,10 @@ impl Task {
     /// positive.
     pub fn with_q(mut self, q: f64) -> Result<Self, SchedError> {
         if !(q.is_finite() && q > 0.0) {
-            return Err(SchedError::InvalidTask { what: "q", value: q });
+            return Err(SchedError::InvalidTask {
+                what: "q",
+                value: q,
+            });
         }
         self.q = Some(q);
         Ok(self)
@@ -315,7 +318,10 @@ mod tests {
 
     #[test]
     fn taskset_basics() {
-        assert!(matches!(TaskSet::new(vec![]), Err(SchedError::EmptyTaskSet)));
+        assert!(matches!(
+            TaskSet::new(vec![]),
+            Err(SchedError::EmptyTaskSet)
+        ));
         let ts = TaskSet::new(vec![
             Task::new(1.0, 4.0).unwrap(),
             Task::new(2.0, 8.0).unwrap(),

@@ -399,9 +399,10 @@ mod tests {
             .iter()
             .any(|e| matches!(e, TraceEvent::NprStarted { until, .. } if *until == 7.0)));
         // The preemption progress is 7.
-        assert!(r.trace.iter().any(
-            |e| matches!(e, TraceEvent::Preempted { progress, .. } if *progress == 7.0)
-        ));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Preempted { progress, .. } if *progress == 7.0)));
     }
 
     #[test]
@@ -485,7 +486,11 @@ mod tests {
     fn edf_floating_npr_defers_by_running_tasks_region() {
         // EDF priorities: the later-released job has the earlier absolute
         // deadline and would preempt; the running task's region defers it.
-        let mut victim = task(10.0, Some(4.0), Some(DelayCurve::constant(1.0, 10.0).unwrap()));
+        let mut victim = task(
+            10.0,
+            Some(4.0),
+            Some(DelayCurve::constant(1.0, 10.0).unwrap()),
+        );
         victim.deadline = 100.0;
         let mut urgent = task(1.0, None, None);
         urgent.deadline = 5.0; // released at 3 -> absolute 8 < 100

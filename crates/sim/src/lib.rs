@@ -53,10 +53,10 @@ mod trace;
 mod validate;
 
 pub use engine::{simulate, SimResult};
-pub use render::render_timeline;
 pub use job::JobRecord;
 pub use metrics::{per_task_metrics, run_metrics, RunMetrics, TaskMetrics};
 pub use policy::{PreemptionMode, PriorityPolicy, SimConfig};
+pub use render::render_timeline;
 pub use scenario::{AdversaryPlan, Scenario, SimTask};
 pub use trace::TraceEvent;
 pub use validate::{check_against_algorithm1, BoundCheck};

@@ -105,14 +105,12 @@ mod tests {
     fn misses_and_unfinished_jobs_count() {
         // Task 1 has an impossible deadline; two jobs released.
         let s = Scenario {
-            tasks: vec![
-                SimTask {
-                    exec_time: 3.0,
-                    deadline: 1.0, // always missed
-                    q: None,
-                    delay_curve: None,
-                },
-            ],
+            tasks: vec![SimTask {
+                exec_time: 3.0,
+                deadline: 1.0, // always missed
+                q: None,
+                delay_curve: None,
+            }],
             releases: vec![(0, 0.0), (0, 10.0)],
         };
         let r = simulate(&s, &SimConfig::floating_npr_fp(1000.0));

@@ -24,9 +24,7 @@ pub fn render_timeline(result: &SimResult, tasks: usize, until: f64, width: usiz
     if result.trace.is_empty() {
         return String::new();
     }
-    let column = |t: f64| -> usize {
-        (((t / until) * width as f64) as usize).min(width - 1)
-    };
+    let column = |t: f64| -> usize { (((t / until) * width as f64) as usize).min(width - 1) };
     let mut lanes: Vec<Vec<char>> = vec![vec!['.'; width]; tasks];
     // Running intervals: from each Dispatched to the next event that stops
     // that job (Preempted or Completed).
@@ -132,7 +130,10 @@ mod tests {
         assert!(lines[0].starts_with("task 0 |"));
         assert!(lines[1].contains('#'), "victim lane shows execution");
         assert!(lines[1].contains('!'), "victim lane shows the preemption");
-        assert!(lines[0].contains('|') || lines[1].contains('|'), "completions marked");
+        assert!(
+            lines[0].contains('|') || lines[1].contains('|'),
+            "completions marked"
+        );
     }
 
     #[test]

@@ -36,10 +36,7 @@ pub fn check_against_algorithm1(
         .map(|j| j.cumulative_delay)
         .fold(0.0f64, f64::max);
     let (bound, holds) = match outcome {
-        BoundOutcome::Converged(b) => (
-            Some(b.total_delay),
-            observed_max <= b.total_delay + 1e-6,
-        ),
+        BoundOutcome::Converged(b) => (Some(b.total_delay), observed_max <= b.total_delay + 1e-6),
         BoundOutcome::Divergent { .. } => (None, true),
     };
     Ok(BoundCheck {

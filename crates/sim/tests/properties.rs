@@ -10,8 +10,8 @@
 
 use fnpr_core::{algorithm1, algorithm1_capped, exact_worst_case, naive_bound, DelayCurve};
 use fnpr_sim::{
-    check_against_algorithm1, per_task_metrics, simulate, PreemptionMode, PriorityPolicy,
-    Scenario, SimConfig, SimTask,
+    check_against_algorithm1, per_task_metrics, simulate, PreemptionMode, PriorityPolicy, Scenario,
+    SimConfig, SimTask,
 };
 use proptest::prelude::*;
 

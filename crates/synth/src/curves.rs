@@ -60,15 +60,8 @@ pub fn gaussian_curve(
 /// Never — parameters are static.
 #[must_use]
 pub fn figure4_gaussian1() -> DelayCurve {
-    gaussian_curve(
-        2000.0,
-        9.0e4,
-        FIGURE4_MAX,
-        0.0,
-        FIGURE4_WCET,
-        FIGURE4_STEP,
-    )
-    .expect("static parameters")
+    gaussian_curve(2000.0, 9.0e4, FIGURE4_MAX, 0.0, FIGURE4_WCET, FIGURE4_STEP)
+        .expect("static parameters")
 }
 
 /// "Gaussian 2" of Figure 4: ten times the variance of Gaussian 1
@@ -79,15 +72,8 @@ pub fn figure4_gaussian1() -> DelayCurve {
 /// Never — parameters are static.
 #[must_use]
 pub fn figure4_gaussian2() -> DelayCurve {
-    gaussian_curve(
-        2000.0,
-        9.0e5,
-        FIGURE4_MAX,
-        0.0,
-        FIGURE4_WCET,
-        FIGURE4_STEP,
-    )
-    .expect("static parameters")
+    gaussian_curve(2000.0, 9.0e5, FIGURE4_MAX, 0.0, FIGURE4_WCET, FIGURE4_STEP)
+        .expect("static parameters")
 }
 
 /// The "2 local maximum" function of Figure 4: two bells separated in time
@@ -109,9 +95,7 @@ pub fn figure4_two_local_maxima() -> DelayCurve {
     .expect("static parameters");
     let second = gaussian_curve(2800.0, 6.25e4, 8.0, 0.0, FIGURE4_WCET, FIGURE4_STEP)
         .expect("static parameters");
-    first
-        .pointwise_max(&second)
-        .expect("identical domains")
+    first.pointwise_max(&second).expect("identical domains")
 }
 
 /// The flat max-valued curve — the literal "offset 10, max 10" reading of
@@ -197,7 +181,11 @@ mod tests {
             );
             // Peaks near the documented centres (the bimodal one peaks off
             // centre by construction).
-            let probe = if name == "2 local maximum" { 1200.0 } else { 2000.0 };
+            let probe = if name == "2 local maximum" {
+                1200.0
+            } else {
+                2000.0
+            };
             assert!(curve.value_at(probe) > 9.0, "{name} hollow at its peak");
         }
     }

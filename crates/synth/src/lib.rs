@@ -33,8 +33,8 @@ pub mod taskset;
 
 pub use cfggen::{random_cfg, CfgGenParams, GeneratedCfg};
 pub use curves::{
-    figure4_all, figure4_gaussian1, figure4_gaussian2, figure4_two_local_maxima,
-    flat_adversarial, gaussian_curve, random_step_curve, random_unimodal_curve, FIGURE4_MAX,
-    FIGURE4_STEP, FIGURE4_WCET,
+    figure4_all, figure4_gaussian1, figure4_gaussian2, figure4_two_local_maxima, flat_adversarial,
+    gaussian_curve, random_step_curve, random_unimodal_curve, FIGURE4_MAX, FIGURE4_STEP,
+    FIGURE4_WCET,
 };
 pub use taskset::{random_taskset, uunifast, with_npr_and_curves, Policy, TaskSetParams};

@@ -63,10 +63,7 @@ impl Default for TaskSetParams {
 /// Propagates [`SchedError`] when a drawn combination is degenerate (e.g. a
 /// deadline below the WCET after applying the factor — rare with sensible
 /// parameters; callers typically resample).
-pub fn random_taskset<R: Rng>(
-    rng: &mut R,
-    params: &TaskSetParams,
-) -> Result<TaskSet, SchedError> {
+pub fn random_taskset<R: Rng>(rng: &mut R, params: &TaskSetParams) -> Result<TaskSet, SchedError> {
     let utilizations = uunifast(rng, params.n, params.utilization);
     let (lo, hi) = params.period_range;
     let mut tasks = Vec::with_capacity(params.n);
@@ -130,12 +127,13 @@ pub fn with_npr_and_curves<R: Rng>(
                 what: "curve",
                 value: task.wcet(),
             })?;
-        let clamped: DelayCurve = curve.clamped(peak.max(0.0)).map_err(|_| {
-            SchedError::InvalidTask {
-                what: "curve clamp",
-                value: peak,
-            }
-        })?;
+        let clamped: DelayCurve =
+            curve
+                .clamped(peak.max(0.0))
+                .map_err(|_| SchedError::InvalidTask {
+                    what: "curve clamp",
+                    value: peak,
+                })?;
         tasks.push(task.clone().with_q(q)?.with_delay_curve(clamped));
     }
     Ok(Some(TaskSet::new(tasks)?))

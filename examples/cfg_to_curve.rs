@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 1(b) start offsets (computed == published):");
     println!("{:>6} {:>12} {:>12}", "block", "smin", "smax");
     for (block, smin, smax) in fixtures::figure1_expected_offsets() {
-        let (c_min, c_max) = (
-            offsets.earliest_start(block),
-            offsets.latest_start(block),
-        );
+        let (c_min, c_max) = (offsets.earliest_start(block), offsets.latest_start(block));
         assert_eq!((c_min, c_max), (smin, smax), "offset mismatch at {block}");
         println!("{:>6} {:>12} {:>12}", block.to_string(), c_min, c_max);
     }
@@ -58,9 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, crpd) in analysis.crpd_per_block.iter().enumerate() {
         println!("  b{i:<3} {crpd:>8.1}");
     }
-    println!("\nfi(t) (piecewise constant, {} segments):", analysis.curve.segment_count());
+    println!(
+        "\nfi(t) (piecewise constant, {} segments):",
+        analysis.curve.segment_count()
+    );
     for seg in analysis.curve.segments() {
-        println!("  [{:>6.1}, {:>6.1})  ->  {:>6.1}", seg.start, seg.end, seg.value);
+        println!(
+            "  [{:>6.1}, {:>6.1})  ->  {:>6.1}",
+            seg.start, seg.end, seg.value
+        );
     }
     println!("\ntask WCET (isolation): {}", analysis.timing.wcet);
 

@@ -22,10 +22,8 @@ use fnpr::DelayCurve;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Delay tolerance -------------------------------------------------
-    let curve = |peak: f64, c: f64| DelayCurve::from_breakpoints(
-        [(0.0, peak), (c * 0.4, peak * 0.25)],
-        c,
-    );
+    let curve =
+        |peak: f64, c: f64| DelayCurve::from_breakpoints([(0.0, peak), (c * 0.4, peak * 0.25)], c);
     let tasks = TaskSet::new(vec![
         Task::new(2.0, 12.0)?
             .with_q(1.0)?
@@ -61,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fi = DelayCurve::from_breakpoints([(0.0, 2.0), (40.0, 0.5)], 100.0)?;
     let q = 10.0;
     println!("\nremaining worst-case budget of a job (C = 100, Q = {q}):");
-    println!("{:>10} {:>16} {:>18}", "progress", "remaining delay", "remaining budget");
+    println!(
+        "{:>10} {:>16} {:>18}",
+        "progress", "remaining delay", "remaining budget"
+    );
     for progress in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
         let remaining = algorithm1_from(&fi, q, progress)?
             .expect_converged()

@@ -96,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = analyze_task(&reduced.cfg, &BTreeMap::new(), &accesses, &cache)?;
     println!("\nfi(t) over the reduced graph:");
     for seg in analysis.curve.segments() {
-        println!("  [{:>6.1}, {:>6.1})  ->  {:>5.1}", seg.start, seg.end, seg.value);
+        println!(
+            "  [{:>6.1}, {:>6.1})  ->  {:>5.1}",
+            seg.start, seg.end, seg.value
+        );
     }
 
     println!("\ncumulative delay bounds:");

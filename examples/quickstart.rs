@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (outcome, windows) = algorithm1_trace(&fi, q)?;
     let alg1 = outcome.expect_converged();
     println!("Algorithm 1 windows:");
-    println!("{:>3} {:>10} {:>10} {:>10} {:>8} {:>10}", "k", "prog", "p_cross", "p_max", "delay", "next");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "k", "prog", "p_cross", "p_max", "delay", "next"
+    );
     for w in &windows {
         println!(
             "{:>3} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>10.2}",
@@ -34,10 +37,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = exact_worst_case(&fi, q)?.expect("q > max fi");
 
     println!("cumulative preemption delay bounds:");
-    println!("  naive point selection (UNSOUND): {:>8.2}", naive.total_delay);
-    println!("  exact worst case (adversary):    {:>8.2}", exact.total_delay);
-    println!("  Algorithm 1 (paper, sound):      {:>8.2}", alg1.total_delay);
-    println!("  Eq. 4 state of the art (sound):  {:>8.2}", eq4.total_delay);
+    println!(
+        "  naive point selection (UNSOUND): {:>8.2}",
+        naive.total_delay
+    );
+    println!(
+        "  exact worst case (adversary):    {:>8.2}",
+        exact.total_delay
+    );
+    println!(
+        "  Algorithm 1 (paper, sound):      {:>8.2}",
+        alg1.total_delay
+    );
+    println!(
+        "  Eq. 4 state of the art (sound):  {:>8.2}",
+        eq4.total_delay
+    );
     println!();
     println!(
         "inflated WCET C' (Eq. 5): {:.2} (Algorithm 1) vs {:.2} (Eq. 4)",

@@ -40,13 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue; // infeasible NPR bounds: resample
             };
             generated += 1;
-            for (k, method) in [
-                DelayMethod::None,
-                DelayMethod::Eq4,
-                DelayMethod::Algorithm1,
-            ]
-            .into_iter()
-            .enumerate()
+            for (k, method) in [DelayMethod::None, DelayMethod::Eq4, DelayMethod::Algorithm1]
+                .into_iter()
+                .enumerate()
             {
                 if fp_schedulable_with_delay(&tasks, method)? {
                     accepted[k] += 1;

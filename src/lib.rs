@@ -17,6 +17,7 @@
 //! | [`sched`] | `fnpr-sched` | task model, fixed-priority RTA, EDF demand tests, `Qi` determination, Eq. 5 inflation |
 //! | [`sim`] | `fnpr-sim` | floating-NPR scheduler simulator with delay injection |
 //! | [`synth`] | `fnpr-synth` | Figure-4 curves, UUniFast task sets, random CFGs |
+//! | [`campaign`] | `fnpr-campaign` | sharded, deterministic experiment-campaign engine |
 //! | [`pipeline`] | (this crate) | the Section IV end-to-end wiring |
 //!
 //! # Quickstart
@@ -76,12 +77,16 @@ pub mod synth {
     pub use fnpr_synth::*;
 }
 
+/// The experiment-campaign engine (`fnpr-campaign run <spec>`).
+pub mod campaign {
+    pub use fnpr_campaign::*;
+}
+
 // The most common entry points, flattened for convenience.
 pub use fnpr_core::{
     algorithm1, algorithm1_trace, eq4_bound, eq4_bound_for_curve, exact_worst_case, naive_bound,
     BoundOutcome, DelayBound, DelayCurve,
 };
 pub use pipeline::{
-    analyze_task, analyze_task_against, analyze_taskset, PipelineError, TaskAnalysis,
-    TaskProgram,
+    analyze_task, analyze_task_against, analyze_taskset, PipelineError, TaskAnalysis, TaskProgram,
 };

@@ -195,7 +195,10 @@ pub struct TaskProgram {
 /// # Errors
 ///
 /// As [`analyze_task`], per task.
-pub fn analyze_taskset(programs: &[TaskProgram], cache: &CacheConfig) -> Result<Vec<TaskAnalysis>, PipelineError> {
+pub fn analyze_taskset(
+    programs: &[TaskProgram],
+    cache: &CacheConfig,
+) -> Result<Vec<TaskAnalysis>, PipelineError> {
     let footprints: Vec<EcbSet> = programs
         .iter()
         .map(|p| EcbSet::of_task(&p.accesses, cache))
@@ -229,11 +232,11 @@ mod tests {
         let cfg = figure1_cfg();
         let cache = CacheConfig::new(32, 1, 16, 5.0).unwrap();
         // Straight-line code layout: block i occupies 64 bytes at i*64.
-        let layout: Vec<(BlockId, u64, u64)> =
-            (0..cfg.len()).map(|i| (BlockId(i), i as u64 * 64, 64)).collect();
+        let layout: Vec<(BlockId, u64, u64)> = (0..cfg.len())
+            .map(|i| (BlockId(i), i as u64 * 64, 64))
+            .collect();
         let accesses = AccessMap::from_code_layout(&layout, &cache);
-        let analysis =
-            analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
+        let analysis = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
         assert_eq!(analysis.timing.wcet, 215.0);
         assert_eq!(analysis.curve.domain_end(), 215.0);
         assert!(analysis.curve.max_value() > 0.0);
@@ -281,14 +284,12 @@ mod tests {
             .map(|i| (BlockId(i), i as u64 * 48, 48))
             .collect();
         let accesses = AccessMap::from_code_layout(&layout, &cache);
-        let default =
-            analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
+        let default = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
         // A preempter touching a single cache set: at most one useful line
         // per block can be lost.
         let ecb = fnpr_cache::EcbSet::from_sets([0]);
         let refined =
-            analyze_task_against(&cfg, &BTreeMap::new(), &accesses, &cache, &ecb)
-                .unwrap();
+            analyze_task_against(&cfg, &BTreeMap::new(), &accesses, &cache, &ecb).unwrap();
         assert!(default.curve.dominates(&refined.curve));
         assert!(refined.curve.max_value() < default.curve.max_value());
         // Empty footprint: free preemptions.
@@ -335,11 +336,7 @@ mod tests {
                 accesses,
             }
         };
-        let programs = vec![
-            make(&[0, 1]),
-            make(&[2, 3]),
-            make(&[0, 1, 2, 3]),
-        ];
+        let programs = vec![make(&[0, 1]), make(&[2, 3]), make(&[0, 1, 2, 3])];
         let analyses = analyze_taskset(&programs, &cache).unwrap();
         // Highest priority: never preempted -> zero curve.
         assert_eq!(analyses[0].curve.max_value(), 0.0);
@@ -363,8 +360,7 @@ mod tests {
     fn missing_loop_bound_surfaces_as_cfg_error() {
         let (cfg, _) = fnpr_cfg::fixtures::single_loop_cfg().unwrap();
         let cache = CacheConfig::new(8, 1, 16, 10.0).unwrap();
-        let err = analyze_task(&cfg, &BTreeMap::new(), &AccessMap::new(), &cache)
-            .unwrap_err();
+        let err = analyze_task(&cfg, &BTreeMap::new(), &AccessMap::new(), &cache).unwrap_err();
         assert!(matches!(err, PipelineError::Cfg(_)));
         assert!(err.to_string().contains("loop"));
         assert!(err.source().is_some());

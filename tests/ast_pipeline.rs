@@ -48,8 +48,7 @@ fn structured_program_full_pipeline() {
         }
     }
 
-    let analysis =
-        analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
+    let analysis = analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
     // Timing: init 5 + large 26 + loop 6x(0+4+2)=36 + emit 3 = 70.
     assert_eq!(analysis.timing.wcet, 70.0);
     assert!(analysis.curve.max_value() > 0.0);
@@ -99,8 +98,7 @@ fn structured_program_as_periodic_task() {
     let compiled = compile(&program(), 64).expect("valid program");
     let cache = CacheConfig::new(16, 1, 16, 7.0).unwrap();
     let accesses = AccessMap::from_code_layout(&compiled.layout, &cache);
-    let analysis =
-        analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
+    let analysis = analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
     let q = analysis.curve.max_value() + 10.0;
     let inflated = analysis.timing.wcet
         + algorithm1(&analysis.curve, q)

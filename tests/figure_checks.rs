@@ -74,8 +74,7 @@ fn figure5_sota_is_shape_blind() {
             .total_delay();
         for (name, curve) in figure4_all() {
             assert_eq!(curve.domain_end(), FIGURE4_WCET, "{name}");
-            let via_curve =
-                fnpr::eq4_bound_for_curve(&curve, q).unwrap().total_delay();
+            let via_curve = fnpr::eq4_bound_for_curve(&curve, q).unwrap().total_delay();
             // Curve maxima are within a hair of 10; the bound follows.
             match (reference, via_curve) {
                 (Some(r), Some(v)) => assert!(

@@ -117,13 +117,7 @@ fn program_with_calls_summarises_bottom_up() {
     let cache = CacheConfig::new(8, 1, 16, 5.0).unwrap();
     let mut accesses = AccessMap::new();
     accesses.set(r1, vec![0, 0]); // the call site's own data
-    let analysis = analyze_task(
-        &summary.reduced.cfg,
-        &BTreeMap::new(),
-        &accesses,
-        &cache,
-    )
-    .unwrap();
+    let analysis = analyze_task(&summary.reduced.cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
     assert_eq!(analysis.timing.wcet, 14.0);
     assert_eq!(analysis.curve.max_value(), 5.0);
 }

@@ -9,8 +9,8 @@ use fnpr::{algorithm1, analyze_task, eq4_bound_for_curve, exact_worst_case, naiv
 use proptest::prelude::*;
 
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = (0.5f64..8.0, 0.0f64..6.0)
-        .prop_map(|(min, width)| Stmt::basic("blk", min, min + width));
+    let leaf =
+        (0.5f64..8.0, 0.0f64..6.0).prop_map(|(min, width)| Stmt::basic("blk", min, min + width));
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Stmt::seq),

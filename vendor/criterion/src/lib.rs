@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the fnpr benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, [`BenchmarkId`], [`black_box`] — with
+//! a simple wall-clock harness: per sample, the closure runs in an
+//! adaptively sized batch; the reported figure is the median over samples.
+//! No plots, no statistics beyond median/min/max. Use `harness = false`
+//! benches exactly as with upstream criterion.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.default_sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        // Cap shim sample counts: this harness is for relative numbers in
+        // CI logs, not rigorous statistics.
+        self.sample_size.unwrap_or(20).min(30)
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        run_benchmark(&label, samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim needs nothing).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `batch` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // Calibrate: run once to size batches so one sample takes ≳200µs.
+    let mut bencher = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let batch = (Duration::from_micros(200).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut bencher = Bencher {
+            batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / batch as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    eprintln!(
+        "bench {label:<50} median {} (min {}, max {}, {} samples x {batch} iters)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+        per_iter.len(),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:8.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:8.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:8.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:8.3} s ")
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>());
+        });
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("algo", 5).to_string(), "algo/5");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

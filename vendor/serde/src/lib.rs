@@ -1,0 +1,349 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this shim uses a single
+//! self-describing [`Value`] tree as the interchange format: serializers
+//! produce a `Value`, deserializers consume one. The companion crates
+//! `serde_json` and `toml` parse/emit text to and from `Value`, and
+//! `serde_derive` generates `Value`-based impls for named-field structs and
+//! unit enums (everything else falls back to the traits' default methods).
+//!
+//! The API deliberately keeps serde's import idiom —
+//! `use serde::{Deserialize, Serialize};` pulls in both the traits and the
+//! derive macros — so the fnpr crates compile unchanged against it.
+
+#![warn(missing_docs)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// A (de)serialization error: a plain message with optional context frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Wraps the error with an outer context frame.
+    #[must_use]
+    pub fn context(self, frame: &str) -> Self {
+        Self {
+            msg: format!("{frame}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+///
+/// The default method exists so that derive fallbacks on exotic shapes
+/// still compile; it produces `Value::Null`.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+/// Deserialization from the [`Value`] data model.
+///
+/// The default method exists so that derive fallbacks on exotic shapes
+/// still compile; it always errors.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(_v: &Value) -> Result<Self, Error> {
+        Err(Error::new(format!(
+            "deserialization is not supported for {}",
+            std::any::type_name::<Self>()
+        )))
+    }
+}
+
+/// Deserializes one struct field; absent fields deserialize from
+/// [`Value::Null`] so `Option<T>` fields default to `None`.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error, prefixed with `ctx`.
+pub fn de_field<T: Deserialize>(v: Option<&Value>, ctx: &str) -> Result<T, Error> {
+    match v {
+        Some(v) => T::from_value(v).map_err(|e| e.context(ctx)),
+        None => T::from_value(&Value::Null).map_err(|_| Error::new(format!("missing field {ctx}"))),
+    }
+}
+
+/// Case-, `_`- and `-`-insensitive comparison for enum variant names, so
+/// TOML specs can say `policy = "fixed_priority"` for `FixedPriority`.
+#[must_use]
+pub fn normalized_eq(a: &str, b: &str) -> bool {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| *c != '_' && *c != '-')
+            .flat_map(char::to_lowercase)
+            .collect::<String>()
+    };
+    norm(a) == norm(b)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::new(format!("expected an integer, got {v:?}"))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("integer {n} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected a number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::new(format!("expected a bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new(format!("expected a string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, Serialize::to_value)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::new(format!("expected a sequence, got {v:?}")))?;
+        seq.iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| {
+                    Error::new(format!("expected a sequence, got {v:?}"))
+                })?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::new(format!(
+                        "expected a {expected}-tuple, got {} elements", seq.len())));
+                }
+                Ok(($($name::from_value(&seq[$idx])
+                    .map_err(|e| e.context(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(Self::from_iter)
+    }
+}
+
+// Maps serialize as sequences of `[key, value]` pairs so that non-string
+// key types (e.g. `BlockId`) work without specialization; deserialization
+// additionally accepts string-keyed `Value::Map`s for TOML/JSON ergonomics.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(<(K, V)>::from_value).collect(),
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::Str(k.clone()))
+                        .map_err(|e| e.context(&format!("key {k:?}")))?;
+                    let value = V::from_value(v).map_err(|e| e.context(k))?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(Error::new(format!("expected a map, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn int_coerces_to_float() {
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let pair = (10.0f64, 1000.0f64);
+        assert_eq!(<(f64, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_defaults_to_none_on_null() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Float(2.0)).unwrap(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn missing_field_error_names_the_field() {
+        let err = de_field::<f64>(None, "Spec.seed").unwrap_err();
+        assert!(err.to_string().contains("Spec.seed"));
+    }
+
+    #[test]
+    fn normalized_eq_matches_spec_spellings() {
+        assert!(normalized_eq("fixed_priority", "FixedPriority"));
+        assert!(normalized_eq("EDF", "Edf"));
+        assert!(!normalized_eq("edf", "FixedPriority"));
+    }
+}

@@ -1,0 +1,94 @@
+//! The self-describing interchange tree shared by the shim `serde`,
+//! `serde_json` and `toml` crates.
+
+/// A dynamically typed value: the meeting point of serializers and
+/// deserializers. Maps preserve insertion order (deterministic output
+/// matters more to the campaign engine than lookup speed; maps here are
+/// tiny).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, if any.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, also accepting integral floats.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Self::Int(n) => Some(*n),
+            Self::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, coercing integers to floats.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Int(n) => Some(*n as f64),
+            Self::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The sequence payload, if any.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Self::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The map payload, if any.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Self::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map value (`None` for non-maps or absent keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| map_get(m, key))
+    }
+}
+
+/// First-match lookup in an ordered map slice.
+#[must_use]
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

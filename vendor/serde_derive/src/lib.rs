@@ -1,0 +1,307 @@
+//! Offline stand-in for `serde_derive`, written against the raw
+//! [`proc_macro`] API (the container has no `syn`/`quote`).
+//!
+//! Two shapes get *real* (de)serialization impls against the shim `serde`
+//! crate's [`Value`] data model:
+//!
+//! * braced structs with named fields (including unit structs), and
+//! * enums whose variants are all unit variants.
+//!
+//! Every other shape (tuple structs, enums with payloads, generics) falls
+//! back to an empty `impl` block, which picks up the trait's default
+//! methods: serialization yields `Value::Null` and deserialization errors
+//! out. The fnpr workspace only ever round-trips the supported shapes (the
+//! campaign scenario specs); the fallback keeps the remaining ~50 seed
+//! derives compiling without dragging in a full derive framework.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we managed to learn about the deriving type.
+enum Shape {
+    /// `struct Name { field, ... }` or `struct Name;`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `enum Name { A, B, C }` — all unit variants.
+    UnitEnum { name: String, variants: Vec<String> },
+    /// Anything else — fall back to default trait methods.
+    Opaque { name: String },
+}
+
+fn parse_shape(input: TokenStream) -> Option<Shape> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1; // e.g. `r#` raw idents won't occur; skip unknowns
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    // Generics are unsupported → opaque.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Some(Shape::Opaque { name });
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Some(Shape::NamedStruct {
+                name,
+                fields: Vec::new(),
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                parse_named_fields(&body)
+                    .map_or(Some(Shape::Opaque { name: name.clone() }), |fields| {
+                        Some(Shape::NamedStruct { name, fields })
+                    })
+            } else {
+                parse_unit_variants(&body)
+                    .map_or(Some(Shape::Opaque { name: name.clone() }), |variants| {
+                        Some(Shape::UnitEnum { name, variants })
+                    })
+            }
+        }
+        _ => Some(Shape::Opaque { name }),
+    }
+}
+
+/// Extracts field names from the body of a braced struct. Returns `None`
+/// when the body doesn't look like plain named fields.
+fn parse_named_fields(body: &[TokenTree]) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip attributes on the field.
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = body.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            _ => return None,
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return None,
+        }
+        fields.push(name);
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        i += 1;
+                        break;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+    }
+    Some(fields)
+}
+
+/// Extracts variant names from the body of an enum, requiring every variant
+/// to be a unit variant (no payload, no discriminant surprises).
+fn parse_unit_variants(body: &[TokenTree]) -> Option<Vec<String>> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return None,
+        };
+        i += 1;
+        match body.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            _ => return None, // payload group or discriminant
+        }
+    }
+    Some(variants)
+}
+
+fn serialize_impl(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Opaque { name } => format!("impl ::serde::Serialize for {name} {{}}"),
+    }
+}
+
+fn deserialize_impl(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::de_field(::serde::value::map_get(__map, \"{f}\"), \
+                         concat!(stringify!({name}), \".\", \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __map = __v.as_map().ok_or_else(|| ::serde::Error::new(\
+                             concat!(\"expected a map for \", stringify!({name}))))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => return ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let fuzzy: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "if ::serde::normalized_eq(__s, \"{v}\") \
+                         {{ return ::std::result::Result::Ok({name}::{v}); }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __s = __v.as_str().ok_or_else(|| ::serde::Error::new(\
+                             concat!(\"expected a string for \", stringify!({name}))))?;\n\
+                         match __s {{ {arms} _ => {{}} }}\n\
+                         {fuzzy}\n\
+                         ::std::result::Result::Err(::serde::Error::new(format!(\
+                             \"unknown {name} variant: {{__s:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Opaque { name } => format!("impl ::serde::Deserialize for {name} {{}}"),
+    }
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Some(shape) = parse_shape(input) else {
+        return TokenStream::new();
+    };
+    serialize_impl(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Some(shape) = parse_shape(input) else {
+        return TokenStream::new();
+    };
+    deserialize_impl(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

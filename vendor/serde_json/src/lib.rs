@@ -1,0 +1,328 @@
+//! Offline stand-in for `serde_json`: emit and parse JSON to and from the
+//! shim [`serde::Value`] tree.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+#[must_use]
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    out
+}
+
+/// Serializes `value` as human-readable, two-space-indented JSON.
+#[must_use]
+pub fn to_string_pretty<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    out
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax or shape problem.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON text into a raw [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or trailing garbage.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes: Vec<char> = s.chars().collect();
+    let mut pos = 0;
+    let v = parse_at(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {pos}")));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{}` prints the shortest representation that round-trips;
+                // force a decimal point so the value re-parses as a float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no Inf/NaN
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => write_seq(
+            out,
+            items.iter().map(|i| (None, i)),
+            ('[', ']'),
+            indent,
+            level,
+        ),
+        Value::Map(entries) => write_seq(
+            out,
+            entries.iter().map(|(k, v)| (Some(k.as_str()), v)),
+            ('{', '}'),
+            indent,
+            level,
+        ),
+    }
+}
+
+fn write_seq<'a>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = (Option<&'a str>, &'a Value)>,
+    (open, close): (char, char),
+    indent: Option<usize>,
+    level: usize,
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, (key, item)) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        if let Some(key) = key {
+            write_json_string(out, key);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+        }
+        write_value(out, item, indent, level + 1);
+    }
+    if let Some(width) = indent {
+        if !empty {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(s: &[char], pos: &mut usize) {
+    while *pos < s.len() && s[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_at(s: &[char], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(s, pos);
+    let Some(&c) = s.get(*pos) else {
+        return Err(Error::new("unexpected end of JSON"));
+    };
+    match c {
+        'n' => parse_keyword(s, pos, "null", Value::Null),
+        't' => parse_keyword(s, pos, "true", Value::Bool(true)),
+        'f' => parse_keyword(s, pos, "false", Value::Bool(false)),
+        '"' => parse_string(s, pos).map(Value::Str),
+        '[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(s, pos);
+                if s.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                if !items.is_empty() {
+                    expect(s, pos, ',')?;
+                }
+                items.push(parse_at(s, pos)?);
+            }
+        }
+        '{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            loop {
+                skip_ws(s, pos);
+                if s.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                if !entries.is_empty() {
+                    expect(s, pos, ',')?;
+                    skip_ws(s, pos);
+                }
+                let key = parse_string(s, pos)?;
+                skip_ws(s, pos);
+                expect(s, pos, ':')?;
+                let value = parse_at(s, pos)?;
+                entries.push((key, value));
+            }
+        }
+        c if c == '-' || c.is_ascii_digit() => parse_number(s, pos),
+        other => Err(Error::new(format!(
+            "unexpected character {other:?} at offset {pos}"
+        ))),
+    }
+}
+
+fn parse_keyword(s: &[char], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if s[*pos..].starts_with(&word.chars().collect::<Vec<_>>()[..]) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at offset {pos}")))
+    }
+}
+
+fn expect(s: &[char], pos: &mut usize, c: char) -> Result<(), Error> {
+    skip_ws(s, pos);
+    if s.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected {c:?} at offset {pos}")))
+    }
+}
+
+fn parse_string(s: &[char], pos: &mut usize) -> Result<String, Error> {
+    if s.get(*pos) != Some(&'"') {
+        return Err(Error::new(format!("expected a string at offset {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = s.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let Some(&esc) = s.get(*pos) else {
+                    return Err(Error::new("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    '"' | '\\' | '/' => out.push(esc),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = s
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?
+                            .iter()
+                            .collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(Error::new(format!("bad escape \\{other}"))),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+fn parse_number(s: &[char], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while let Some(&c) = s.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text: String = s[start..*pos].iter().collect();
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::new(format!("invalid number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_tree() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("smoke \"test\"\n".into())),
+            ("seed".into(), Value::Int(2012)),
+            ("ratio".into(), Value::Float(0.5)),
+            (
+                "flags".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Map(vec![])),
+        ]);
+        for text in [
+            to_string(&Wrapper(v.clone())),
+            to_string_pretty(&Wrapper(v.clone())),
+        ] {
+            assert_eq!(parse_value(&text).unwrap(), v, "text: {text}");
+        }
+    }
+
+    struct Wrapper(Value);
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(parse_value("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(parse_value("7").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let pair: (f64, u64) = from_str("[1.5, 3]").unwrap();
+        assert_eq!(pair, (1.5, 3));
+        assert!(from_str::<bool>("[true]").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+    }
+}

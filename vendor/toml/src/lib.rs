@@ -1,0 +1,458 @@
+//! Offline stand-in for the `toml` crate: parses the subset of TOML the
+//! fnpr campaign specs use into the shim [`serde::Value`] tree.
+//!
+//! Supported: comments, `[table]` / `[dotted.table]` headers,
+//! `[[array-of-tables]]`, bare and dotted keys, basic (`"…"`) and literal
+//! (`'…'`) strings, integers, floats, booleans, (multi-line) arrays, and
+//! inline tables. Unsupported TOML (dates, multi-line strings) errors out
+//! rather than mis-parsing.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Value};
+
+pub use serde::Error;
+
+/// Parses TOML text into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the offending line on syntax problems, or
+/// the field on shape problems.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_document(s)?;
+    T::from_value(&value)
+}
+
+/// Parses TOML text into a raw [`Value::Map`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the offending line.
+pub fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled (empty = root).
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = s.lines().enumerate().peekable();
+    while let Some((line_no, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::new(format!("line {}: {msg}", line_no + 1));
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let path =
+                parse_key_path(header).map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
+            push_array_table(&mut root, &path)?;
+            current = path;
+            current.push(String::new()); // marker: inside the last array element
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let path =
+                parse_key_path(header).map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
+            ensure_table(&mut root, &path)?;
+            current = path;
+        } else if let Some(eq) = find_top_level_eq(line) {
+            let key_part = line[..eq].trim();
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays / inline tables: keep consuming lines until
+            // the value parses or the document ends.
+            loop {
+                match parse_scalar(&value_text) {
+                    Ok(v) => {
+                        let mut path = current.clone();
+                        path.retain(|seg| !seg.is_empty());
+                        let key_path = parse_key_path(key_part)
+                            .map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
+                        let in_array_elem = current.last().is_some_and(String::is_empty);
+                        insert(&mut root, &path, &key_path, v, in_array_elem)?;
+                        break;
+                    }
+                    Err(e) => {
+                        if needs_more_input(&value_text) {
+                            let Some((_, next)) = lines.next() else {
+                                return Err(err("unterminated value"));
+                            };
+                            value_text.push('\n');
+                            value_text.push_str(strip_comment(next));
+                        } else {
+                            return Err(e.context(&format!("line {}", line_no + 1)));
+                        }
+                    }
+                }
+            }
+        } else {
+            return Err(err("expected `key = value` or a `[table]` header"));
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+/// True when `text` is an obviously incomplete array / inline table / string.
+fn needs_more_input(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut chars = text.chars();
+    let mut in_basic = false;
+    let mut in_literal = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_basic => {
+                let _ = chars.next();
+            }
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth += 1,
+            ']' | '}' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0 || in_basic || in_literal
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_literal && !prev_backslash => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && in_basic && !prev_backslash;
+    }
+    line
+}
+
+fn parse_key_path(text: &str) -> Result<Vec<String>, Error> {
+    text.split('.')
+        .map(|seg| {
+            let seg = seg.trim();
+            let seg = seg
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .unwrap_or(seg);
+            if seg.is_empty() {
+                Err(Error::new("empty key segment"))
+            } else {
+                Ok(seg.to_string())
+            }
+        })
+        .collect()
+}
+
+/// `=` position outside any string quotes (keys may be quoted).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '=' if !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn descend<'a>(
+    map: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    let mut cur = map;
+    for seg in path {
+        let idx = match cur.iter().position(|(k, _)| k == seg) {
+            Some(i) => i,
+            None => {
+                cur.push((seg.clone(), Value::Map(Vec::new())));
+                cur.len() - 1
+            }
+        };
+        cur = match &mut cur[idx].1 {
+            Value::Map(m) => m,
+            // Descending into an array of tables targets its last element.
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(m)) => m,
+                _ => return Err(Error::new(format!("key {seg:?} is not a table"))),
+            },
+            _ => return Err(Error::new(format!("key {seg:?} is not a table"))),
+        };
+    }
+    Ok(cur)
+}
+
+fn ensure_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), Error> {
+    descend(root, path).map(|_| ())
+}
+
+fn push_array_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), Error> {
+    let (last, parent_path) = path.split_last().expect("non-empty header path");
+    let parent = descend(root, parent_path)?;
+    match parent.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Seq(items))) => items.push(Value::Map(Vec::new())),
+        Some(_) => {
+            return Err(Error::new(format!(
+                "key {last:?} is not an array of tables"
+            )))
+        }
+        None => parent.push((last.clone(), Value::Seq(vec![Value::Map(Vec::new())]))),
+    }
+    Ok(())
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    table_path: &[String],
+    key_path: &[String],
+    value: Value,
+    in_array_elem: bool,
+) -> Result<(), Error> {
+    let table = if in_array_elem {
+        // `table_path` names an array of tables; descend lands on its last
+        // element because `descend` resolves Seq to last_mut.
+        descend(root, table_path)?
+    } else {
+        descend(root, table_path)?
+    };
+    let (last, middle) = key_path.split_last().expect("non-empty key path");
+    let table = descend(table, middle)?;
+    if table.iter().any(|(k, _)| k == last) {
+        return Err(Error::new(format!("duplicate key {last:?}")));
+    }
+    table.push((last.clone(), value));
+    Ok(())
+}
+
+/// Parses a single TOML value (scalar, array, or inline table).
+fn parse_scalar(text: &str) -> Result<Value, Error> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(Error::new("empty value"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, used) = parse_basic_string(rest)?;
+        if rest[used..].trim().is_empty() {
+            return Ok(Value::Str(s));
+        }
+        return Err(Error::new("trailing characters after string"));
+    }
+    if let Some(rest) = text.strip_prefix('\'') {
+        let end = rest
+            .find('\'')
+            .ok_or_else(|| Error::new("unterminated literal string"))?;
+        if rest[end + 1..].trim().is_empty() {
+            return Ok(Value::Str(rest[..end].to_string()));
+        }
+        return Err(Error::new("trailing characters after string"));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        return parse_array(text);
+    }
+    if text.starts_with('{') {
+        return parse_inline_table(text);
+    }
+    let clean = text.replace('_', "");
+    if !clean.contains(['.', 'e', 'E']) || clean.starts_with("0x") {
+        if let Ok(n) = clean.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        if let Some(hex) = clean.strip_prefix("0x") {
+            if let Ok(n) = i64::from_str_radix(hex, 16) {
+                return Ok(Value::Int(n));
+            }
+        }
+    }
+    if let Ok(f) = clean.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(Error::new(format!("cannot parse value {text:?}")))
+}
+
+/// Parses the body of a basic string (after the opening quote); returns the
+/// unescaped string and the index just past the closing quote.
+fn parse_basic_string(rest: &str) -> Result<(String, usize), Error> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let Some((_, esc)) = chars.next() else {
+                    return Err(Error::new("unterminated escape"));
+                };
+                match esc {
+                    '"' | '\\' => out.push(esc),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    other => return Err(Error::new(format!("unsupported escape \\{other}"))),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+/// Splits the interior of a bracketed list on top-level commas.
+fn split_top_level(interior: &str) -> Result<Vec<String>, Error> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut start = 0;
+    let mut prev_backslash = false;
+    for (i, c) in interior.char_indices() {
+        match c {
+            '"' if !in_literal && !prev_backslash => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth += 1,
+            ']' | '}' if !in_basic && !in_literal => depth -= 1,
+            ',' if depth == 0 && !in_basic && !in_literal => {
+                parts.push(interior[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && in_basic && !prev_backslash;
+    }
+    if depth != 0 || in_basic || in_literal {
+        return Err(Error::new("unbalanced value"));
+    }
+    let tail = interior[start..].trim();
+    if !tail.is_empty() {
+        parts.push(tail.to_string());
+    }
+    Ok(parts)
+}
+
+fn parse_array(text: &str) -> Result<Value, Error> {
+    let interior = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| Error::new("unterminated array"))?;
+    let items = split_top_level(interior)?
+        .into_iter()
+        .map(|part| parse_scalar(&part))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Value::Seq(items))
+}
+
+fn parse_inline_table(text: &str) -> Result<Value, Error> {
+    let interior = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| Error::new("unterminated inline table"))?;
+    let mut entries = Vec::new();
+    for part in split_top_level(interior)? {
+        let eq = find_top_level_eq(&part).ok_or_else(|| {
+            Error::new(format!(
+                "expected `key = value` in inline table, got {part:?}"
+            ))
+        })?;
+        let key = parse_key_path(part[..eq].trim())?;
+        if key.len() != 1 {
+            return Err(Error::new("dotted keys unsupported in inline tables"));
+        }
+        entries.push((key[0].clone(), parse_scalar(part[eq + 1..].trim())?));
+    }
+    Ok(Value::Map(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_campaign_like_spec() {
+        let text = r#"
+# a smoke spec
+name = "smoke"
+seed = 2012
+threads = 4
+
+[taskset]
+n = 5
+utilization = 0.6          # UUniFast total
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+
+[npr]
+q_scale = 0.8
+delay_frac = 0.6
+
+[[sweep]]
+policy = "fixed_priority"
+utilizations = [
+    0.3, 0.4,
+    0.5,
+]
+
+[[sweep]]
+policy = "edf"
+utilizations = [0.6]
+"#;
+        let doc = parse_document(text).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("smoke"));
+        assert_eq!(doc.get("seed").unwrap().as_i64(), Some(2012));
+        let taskset = doc.get("taskset").unwrap();
+        assert_eq!(taskset.get("utilization").unwrap().as_f64(), Some(0.6));
+        assert_eq!(
+            taskset.get("period_range").unwrap().as_seq().unwrap().len(),
+            2
+        );
+        let sweeps = doc.get("sweep").unwrap().as_seq().unwrap();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(
+            sweeps[0]
+                .get("utilizations")
+                .unwrap()
+                .as_seq()
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(sweeps[1].get("policy").unwrap().as_str(), Some("edf"));
+    }
+
+    #[test]
+    fn inline_tables_and_strings() {
+        let doc =
+            parse_document("a = { x = 1, y = \"two, three\" }\nb = 'lit # not comment'\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().get("x").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            doc.get("a").unwrap().get("y").unwrap().as_str(),
+            Some("two, three")
+        );
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("lit # not comment"));
+    }
+
+    #[test]
+    fn dotted_keys_and_tables() {
+        let doc = parse_document("[output]\ncsv.path = \"out.csv\"\n").unwrap();
+        assert_eq!(
+            doc.get("output")
+                .unwrap()
+                .get("csv")
+                .unwrap()
+                .get("path")
+                .unwrap()
+                .as_str(),
+            Some("out.csv")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_document("just words\n").is_err());
+        assert!(parse_document("a = 1\na = 2\n").is_err());
+        assert!(parse_document("a = 1979-05-27\n").is_err());
+    }
+}
