@@ -4,7 +4,7 @@
 //! tracks how much of the engine's work actually parallelizes (BENCH
 //! trajectory: keep this near the core count as workloads grow).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fnpr_campaign::{run_campaign, CampaignSpec};
 
 fn thread_grid() -> Vec<usize> {
@@ -30,7 +30,8 @@ utilizations = { values = [0.4, 0.6, 0.8] }
     .unwrap();
     let campaign = spec.validate().unwrap();
     let mut group = c.benchmark_group("campaign_throughput/acceptance");
-    group.sample_size(10);
+    // 2 policies x 3 utilizations x 8 sets = 48 set analyses per run.
+    group.sample_size(10).throughput(Throughput::Elements(48));
     for threads in thread_grid() {
         group.bench_with_input(
             BenchmarkId::new("threads", threads),
@@ -56,7 +57,7 @@ trials_per_shard = 4
     .unwrap();
     let campaign = spec.validate().unwrap();
     let mut group = c.benchmark_group("campaign_throughput/soundness");
-    group.sample_size(10);
+    group.sample_size(10).throughput(Throughput::Elements(64));
     for threads in thread_grid() {
         group.bench_with_input(
             BenchmarkId::new("threads", threads),
@@ -69,5 +70,36 @@ trials_per_shard = 4
     group.finish();
 }
 
-criterion_group!(benches, bench_acceptance, bench_soundness);
+fn bench_multicore(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 2012
+workload = "multicore"
+[multicore]
+sets_per_point = 4
+max_attempts_factor = 10
+cores = [2]
+tasks_per_core = 2
+utilizations = { values = [0.4, 0.6] }
+sim_per_point = 1
+"#,
+    )
+    .unwrap();
+    let campaign = spec.validate().unwrap();
+    let mut group = c.benchmark_group("campaign_throughput/multicore");
+    // 2 policies x 4 allocations x 2 utilizations x 4 sets = 64 analyses.
+    group.sample_size(10).throughput(Throughput::Elements(64));
+    for threads in thread_grid() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_campaign(&campaign, Some(threads)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance, bench_soundness, bench_multicore);
 criterion_main!(benches);

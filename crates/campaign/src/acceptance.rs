@@ -21,7 +21,7 @@ use crate::error::CampaignError;
 use crate::exec::{parallel_map, stream_seed};
 use crate::memo::{Memo, ScenarioHasher};
 use crate::report::AcceptancePoint;
-use crate::spec::{policy_label, AcceptanceParams};
+use crate::spec::{policy_label, policy_tag, AcceptanceParams};
 
 /// Domain tags for RNG stream / memo key derivation.
 const TAG_TASKSET: u64 = 0x5441_534b; // "TASK"
@@ -218,13 +218,6 @@ fn taskset_key(campaign_seed: u64, params: &TaskSetParams, instance: usize, atte
         .finish()
 }
 
-fn policy_tag(policy: Policy) -> u64 {
-    match policy {
-        Policy::FixedPriority => 11,
-        Policy::Edf => 13,
-    }
-}
-
 /// Eq. 4 total inflation overhead ÷ Algorithm 1 total inflation overhead
 /// for one equipped task set — the per-set pessimism gap the paper's
 /// Figure 5 narrative is about. `None` when either diverges or Algorithm 1
@@ -257,7 +250,7 @@ utilizations = { values = [0.5] }
         .unwrap();
         match spec.validate().unwrap().workload {
             Workload::Acceptance(a) => a,
-            Workload::Soundness(_) => unreachable!(),
+            _ => unreachable!(),
         }
     }
 

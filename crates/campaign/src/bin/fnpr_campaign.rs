@@ -83,7 +83,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 }
 
 fn cmd_run(args: &RunArgs) -> ExitCode {
-    let campaign = match CampaignSpec::load(&args.spec).and_then(|s| s.validate()) {
+    let campaign = match CampaignSpec::load_validated(&args.spec) {
         Ok(campaign) => campaign,
         Err(e) => return usage_error(&e.to_string()),
     };
@@ -115,7 +115,7 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
             "campaign {:?} (scenario {}): {} shards, {} instances in {:.2?} on {} threads",
             report.name,
             report.scenario,
-            report.acceptance.len() + report.soundness.len(),
+            report.acceptance.len() + report.soundness.len() + report.multicore.len(),
             s.instances,
             started.elapsed(),
             outcome.threads,
@@ -164,7 +164,7 @@ fn emit(target: Option<&str>, content: &str, stdout_default: bool) -> std::io::R
 }
 
 fn cmd_grid(path: &Path) -> ExitCode {
-    let campaign = match CampaignSpec::load(path).and_then(|s| s.validate()) {
+    let campaign = match CampaignSpec::load_validated(path) {
         Ok(campaign) => campaign,
         Err(e) => return usage_error(&e.to_string()),
     };
@@ -196,6 +196,36 @@ fn cmd_grid(path: &Path) -> ExitCode {
                 s.trials, s.trials_per_shard, s.simulate
             );
         }
+        Workload::Multicore(m) => {
+            println!(
+                "workload: multicore ({} core counts x {} policies x {} allocations x {} utilizations x {} sets = {} set analyses, {} methods each, simulate={})",
+                m.cores.len(),
+                m.policies.len(),
+                m.allocations.len(),
+                m.utilizations.len(),
+                m.sets_per_point,
+                m.cores.len()
+                    * m.policies.len()
+                    * m.allocations.len()
+                    * m.utilizations.len()
+                    * m.sets_per_point,
+                m.methods.len(),
+                m.simulate,
+            );
+            for &cores in &m.cores {
+                for &p in &m.policies {
+                    for &a in &m.allocations {
+                        for &u in &m.utilizations {
+                            println!(
+                                "  point: m={cores} policy={} allocation={} utilization={u:.4}",
+                                fnpr_campaign::spec::policy_label(p),
+                                fnpr_campaign::spec::allocation_label(a),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -216,7 +246,9 @@ usage:
 const EXAMPLE_SPEC: &str = r#"# fnpr-campaign scenario spec (TOML; JSON works too)
 name = "example"
 seed = 2012
-workload = "acceptance"        # or "soundness"
+workload = "acceptance"        # or "soundness" / "multicore"
+                               # (see examples/multicore_smoke.toml for the
+                               # multiprocessor grid)
 
 [acceptance]
 sets_per_point = 200           # task sets per grid point

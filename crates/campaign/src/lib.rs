@@ -50,6 +50,7 @@ pub mod acceptance;
 pub mod error;
 pub mod exec;
 pub mod memo;
+pub mod multicore;
 pub mod report;
 pub mod soundness;
 pub mod spec;
@@ -84,24 +85,58 @@ pub fn run_campaign(
 ) -> Result<CampaignOutcome, CampaignError> {
     let threads = exec::resolve_threads(threads_override.or(campaign.threads));
     let scenario = format!("{:016x}", campaign.scenario_hash());
-    let (methods, acceptance_points, soundness_shards, memo) = match &campaign.workload {
-        Workload::Acceptance(params) => {
-            let engine = acceptance::AcceptanceEngine::new();
-            let points = acceptance::run(params, campaign.seed, threads, &engine)?;
-            let methods: Vec<String> = params
-                .methods
-                .iter()
-                .map(|&m| spec::method_label(m).to_string())
-                .collect();
-            (methods, points, Vec::new(), engine.taskset_memo.stats())
-        }
-        Workload::Soundness(params) => {
-            let engine = soundness::SoundnessEngine::new();
-            let shards = soundness::run(params, campaign.seed, threads, &engine)?;
-            (Vec::new(), Vec::new(), shards, engine.bounds_memo.stats())
-        }
-    };
-    let summary = report::summarize(&acceptance_points, &soundness_shards, &methods);
+    let (methods, acceptance_points, soundness_shards, multicore_points, memo) =
+        match &campaign.workload {
+            Workload::Acceptance(params) => {
+                let engine = acceptance::AcceptanceEngine::new();
+                let points = acceptance::run(params, campaign.seed, threads, &engine)?;
+                let methods: Vec<String> = params
+                    .methods
+                    .iter()
+                    .map(|&m| spec::method_label(m).to_string())
+                    .collect();
+                (
+                    methods,
+                    points,
+                    Vec::new(),
+                    Vec::new(),
+                    engine.taskset_memo.stats(),
+                )
+            }
+            Workload::Soundness(params) => {
+                let engine = soundness::SoundnessEngine::new();
+                let shards = soundness::run(params, campaign.seed, threads, &engine)?;
+                (
+                    Vec::new(),
+                    Vec::new(),
+                    shards,
+                    Vec::new(),
+                    engine.bounds_memo.stats(),
+                )
+            }
+            Workload::Multicore(params) => {
+                let engine = multicore::MulticoreEngine::new();
+                let points = multicore::run(params, campaign.seed, threads, &engine)?;
+                let methods: Vec<String> = params
+                    .methods
+                    .iter()
+                    .map(|&m| spec::method_label(m).to_string())
+                    .collect();
+                (
+                    methods,
+                    Vec::new(),
+                    Vec::new(),
+                    points,
+                    engine.taskset_memo.stats(),
+                )
+            }
+        };
+    let summary = report::summarize(
+        &acceptance_points,
+        &soundness_shards,
+        &multicore_points,
+        &methods,
+    );
     Ok(CampaignOutcome {
         report: CampaignReport {
             name: campaign.name.clone(),
@@ -111,6 +146,7 @@ pub fn run_campaign(
             methods,
             acceptance: acceptance_points,
             soundness: soundness_shards,
+            multicore: multicore_points,
             summary,
         },
         memo,

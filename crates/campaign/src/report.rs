@@ -36,6 +36,41 @@ pub struct AcceptancePoint {
     pub pessimism_gap_count: usize,
 }
 
+/// One (m × policy × allocation × utilization) grid point of a multicore
+/// campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticorePoint {
+    /// Core count.
+    pub m: usize,
+    /// Policy label (`fp` / `edf`).
+    pub policy: String,
+    /// Allocation label (`first_fit` / `worst_fit` / `best_fit` /
+    /// `global`).
+    pub allocation: String,
+    /// *Per-core* utilization of the point (total target is `m ×` this).
+    pub utilization: f64,
+    /// Task sets successfully generated.
+    pub generated: usize,
+    /// Generation attempts spent (includes resampling).
+    pub attempts: usize,
+    /// Accepted-set counts, aligned with the campaign's method list.
+    pub accepted: Vec<usize>,
+    /// Acceptance ratios (`accepted / generated`), same alignment.
+    pub ratios: Vec<f64>,
+    /// Per-task Theorem 1 checks run by the m-core simulator.
+    pub sim_checks: usize,
+    /// Checks where the observed cumulative delay exceeded the Algorithm 1
+    /// bound — expected 0.
+    pub sim_violations: usize,
+    /// Jobs simulated (denominator of `migrations_mean`).
+    pub sim_jobs: usize,
+    /// Total migrations observed across simulated jobs.
+    pub sim_migrations: u64,
+    /// Mean migrations per simulated job (0 when nothing was simulated;
+    /// structurally 0 for partitioned allocations).
+    pub migrations_mean: f64,
+}
+
 /// One trial row of a soundness campaign (granularity follows
 /// `trials_per_shard`; by default one row per trial).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,12 +145,14 @@ pub struct CampaignReport {
     /// Stable scenario hash (hex) — two reports with equal hashes ran
     /// identical scenarios.
     pub scenario: String,
-    /// Method column labels (acceptance; empty for soundness).
+    /// Method column labels (acceptance/multicore; empty for soundness).
     pub methods: Vec<String>,
-    /// Acceptance grid points (empty for soundness campaigns).
+    /// Acceptance grid points (empty for other workloads).
     pub acceptance: Vec<AcceptancePoint>,
-    /// Soundness shards (empty for acceptance campaigns).
+    /// Soundness shards (empty for other workloads).
     pub soundness: Vec<SoundnessShard>,
+    /// Multicore grid points (empty for other workloads).
+    pub multicore: Vec<MulticorePoint>,
     /// Totals.
     pub summary: Summary,
 }
@@ -160,6 +197,27 @@ impl CampaignReport {
                     }
                 }
             }
+            WorkloadKind::Multicore => {
+                out.push_str("m,policy,allocation,utilization,generated,attempts");
+                for m in &self.methods {
+                    out.push(',');
+                    out.push_str(m);
+                }
+                out.push_str(",sim_checks,sim_violations,migrations_mean\n");
+                for p in &self.multicore {
+                    out.push_str(&format!(
+                        "{},{},{},{:.4},{},{}",
+                        p.m, p.policy, p.allocation, p.utilization, p.generated, p.attempts
+                    ));
+                    for r in &p.ratios {
+                        out.push_str(&format!(",{r:.4}"));
+                    }
+                    out.push_str(&format!(
+                        ",{},{},{:.4}\n",
+                        p.sim_checks, p.sim_violations, p.migrations_mean
+                    ));
+                }
+            }
         }
         out
     }
@@ -179,6 +237,7 @@ impl CampaignReport {
 pub fn summarize(
     acceptance: &[AcceptancePoint],
     soundness: &[SoundnessShard],
+    multicore: &[MulticorePoint],
     method_labels: &[String],
 ) -> Summary {
     let mut summary = Summary {
@@ -212,6 +271,15 @@ pub fn summarize(
             gap_weight += p.pessimism_gap_count;
         }
         summary.pessimism_max = summary.pessimism_max.max(p.pessimism_gap_max);
+    }
+    for p in multicore {
+        summary.instances += p.generated;
+        for pair in chain.windows(2) {
+            if p.accepted[pair[1]] < p.accepted[pair[0]] {
+                summary.dominance_violations += 1;
+            }
+        }
+        summary.sim_violations += p.sim_violations;
     }
     let mut ratio_sum = 0.0;
     let mut ratio_count = 0usize;
@@ -251,7 +319,7 @@ mod tests {
         let methods: Vec<String> = ["no_delay", "eq4", "algorithm1", "algorithm1_capped"]
             .map(String::from)
             .to_vec();
-        let summary = summarize(&points, &[], &methods);
+        let summary = summarize(&points, &[], &[], &methods);
         CampaignReport {
             name: "t".into(),
             workload: WorkloadKind::Acceptance,
@@ -260,6 +328,7 @@ mod tests {
             methods,
             acceptance: points,
             soundness: vec![],
+            multicore: vec![],
             summary,
         }
     }
@@ -291,15 +360,15 @@ mod tests {
         let mut report = sample_acceptance_report();
         // Algorithm 1 accepting FEWER sets than Eq. 4 is a violation.
         report.acceptance[0].accepted = vec![10, 8, 6, 6];
-        let summary = summarize(&report.acceptance, &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
         assert_eq!(summary.dominance_violations, 1);
         // An inflated method beating no-delay is also flagged.
         report.acceptance[0].accepted = vec![5, 6, 6, 6];
-        let summary = summarize(&report.acceptance, &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
         assert!(summary.dominance_violations >= 1);
         // The canonical ordering is clean.
         report.acceptance[0].accepted = vec![10, 6, 8, 8];
-        let summary = summarize(&report.acceptance, &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
         assert_eq!(summary.dominance_violations, 0);
     }
 
@@ -337,7 +406,7 @@ mod tests {
                 ratio_count: 2,
             },
         ];
-        let summary = summarize(&[], &shards, &[]);
+        let summary = summarize(&[], &shards, &[], &[]);
         assert_eq!(summary.instances, 1);
         assert_eq!(summary.naive_unsound, 3);
         assert_eq!(summary.dominance_violations, 1);

@@ -209,7 +209,7 @@ mod tests {
         };
         match spec.validate().unwrap().workload {
             Workload::Soundness(s) => s,
-            Workload::Acceptance(_) => unreachable!(),
+            _ => unreachable!(),
         }
     }
 

@@ -5,6 +5,7 @@
 //! form — almost everything optional — and [`Campaign`] is the validated
 //! form with defaults applied, which the executor consumes.
 
+use fnpr_multicore::Heuristic;
 use fnpr_sched::DelayMethod;
 use fnpr_synth::{Policy, TaskSetParams};
 use serde::{Deserialize, Serialize};
@@ -21,6 +22,36 @@ pub enum WorkloadKind {
     /// Theorem 1 / Figure 2 soundness sweep over random step curves, with
     /// optional simulator validation.
     Soundness,
+    /// Multiprocessor acceptance ratios over an (m × utilization ×
+    /// allocation × policy) grid, with m-core simulator soundness checks.
+    Multicore,
+}
+
+/// How tasks reach cores in the multicore workload: one of the partitioned
+/// bin-packing heuristics, or global scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Allocation {
+    /// Partitioned, first-fit decreasing.
+    FirstFit,
+    /// Partitioned, worst-fit decreasing (spreads load).
+    WorstFit,
+    /// Partitioned, best-fit decreasing (packs tight).
+    BestFit,
+    /// Global scheduling (density / BCL tests, m-core dispatcher).
+    Global,
+}
+
+impl Allocation {
+    /// The partitioned heuristic, or `None` for global scheduling.
+    #[must_use]
+    pub fn heuristic(self) -> Option<Heuristic> {
+        match self {
+            Allocation::FirstFit => Some(Heuristic::FirstFit),
+            Allocation::WorstFit => Some(Heuristic::WorstFit),
+            Allocation::BestFit => Some(Heuristic::BestFit),
+            Allocation::Global => None,
+        }
+    }
 }
 
 /// Raw deserialized campaign spec (everything optional; see [`Campaign`]
@@ -34,12 +65,16 @@ pub struct CampaignSpec {
     pub seed: Option<u64>,
     /// Worker threads (CLI `--threads` overrides; default: all cores).
     pub threads: Option<usize>,
-    /// Which workload to run.
+    /// Which workload to run. When absent and exactly one workload table
+    /// (`[acceptance]` / `[soundness]` / `[multicore]`) is present, that
+    /// workload is inferred; otherwise the default is acceptance.
     pub workload: Option<WorkloadKind>,
     /// Acceptance-workload parameters.
     pub acceptance: Option<AcceptanceSpec>,
     /// Soundness-workload parameters.
     pub soundness: Option<SoundnessSpec>,
+    /// Multicore-workload parameters.
+    pub multicore: Option<MulticoreSpec>,
     /// Output locations.
     pub output: Option<OutputSpec>,
 }
@@ -146,6 +181,43 @@ pub struct SoundnessSpec {
     pub q_slack_range: Option<(f64, f64)>,
 }
 
+/// Multicore-workload parameters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MulticoreSpec {
+    /// Random task sets per grid point (default 60).
+    pub sets_per_point: Option<usize>,
+    /// Resampling budget per set (default 50 attempts).
+    pub max_attempts_factor: Option<usize>,
+    /// Core-count axis (default `[2, 4]`).
+    pub cores: Option<Vec<usize>>,
+    /// Tasks per core: `n = m × tasks_per_core` (default 3).
+    pub tasks_per_core: Option<usize>,
+    /// Scheduling policies to sweep (default: fixed-priority and EDF).
+    pub policies: Option<Vec<Policy>>,
+    /// Allocation axis (default: all three heuristics plus global).
+    pub allocations: Option<Vec<Allocation>>,
+    /// *Per-core* utilization axis: each set targets `m·U` total
+    /// (default 0.3..=0.7 step 0.1).
+    pub utilizations: Option<GridSpec>,
+    /// WCET-inflation methods to compare (default: all four).
+    pub methods: Option<Vec<DelayMethod>>,
+    /// `Qi` scale: fraction of the admissible bound (partitioned) or of
+    /// the WCET (global); default 0.8.
+    pub q_scale: Option<f64>,
+    /// Delay-curve peak as a fraction of `Qi` (default 0.6).
+    pub delay_frac: Option<f64>,
+    /// Run the m-core simulator against the Algorithm 1 per-job bound on
+    /// sampled instances (default true).
+    pub simulate: Option<bool>,
+    /// Instances per grid point fed to the simulator (default 2).
+    pub sim_per_point: Option<usize>,
+    /// Simulation horizon as a multiple of the largest period (default 3).
+    pub sim_horizon_factor: Option<f64>,
+    /// Task-set generation template; `n` and `utilization` are replaced by
+    /// the grid (default [`TaskSetParams::default`]).
+    pub taskset: Option<TaskSetParams>,
+}
+
 /// Where to write results. Relative paths resolve against the working
 /// directory of the `fnpr-campaign` process.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -179,6 +251,8 @@ pub enum Workload {
     Acceptance(AcceptanceParams),
     /// See [`SoundnessSpec`].
     Soundness(SoundnessParams),
+    /// See [`MulticoreSpec`].
+    Multicore(MulticoreParams),
 }
 
 /// Validated acceptance parameters (no options left).
@@ -221,6 +295,39 @@ pub struct SoundnessParams {
     pub q_slack_range: (f64, f64),
 }
 
+/// Validated multicore parameters (no options left).
+#[derive(Debug, Clone)]
+pub struct MulticoreParams {
+    /// Task sets per grid point.
+    pub sets_per_point: usize,
+    /// Attempt budget per set.
+    pub max_attempts_factor: usize,
+    /// Core-count axis.
+    pub cores: Vec<usize>,
+    /// Tasks per core.
+    pub tasks_per_core: usize,
+    /// Policies axis.
+    pub policies: Vec<Policy>,
+    /// Allocation axis.
+    pub allocations: Vec<Allocation>,
+    /// Per-core utilization axis.
+    pub utilizations: Vec<f64>,
+    /// Methods compared at every point.
+    pub methods: Vec<DelayMethod>,
+    /// `Qi` scale.
+    pub q_scale: f64,
+    /// Curve peak fraction of `Qi`.
+    pub delay_frac: f64,
+    /// Simulator validation on/off.
+    pub simulate: bool,
+    /// Simulated instances per point.
+    pub sim_per_point: usize,
+    /// Horizon multiple of the largest period.
+    pub sim_horizon_factor: f64,
+    /// Generation template (`n`/`utilization` replaced per point).
+    pub taskset: TaskSetParams,
+}
+
 impl CampaignSpec {
     /// Parses a spec from TOML or JSON text, sniffing the format: anything
     /// whose first non-blank byte is `{` parses as JSON, else TOML.
@@ -245,17 +352,60 @@ impl CampaignSpec {
         Self::parse(&std::fs::read_to_string(path)?)
     }
 
+    /// Loads, parses *and validates* a spec file, annotating semantic
+    /// validation failures with the offending TOML line: the shim parser's
+    /// key/line index maps the first `` `key` `` a validation message
+    /// names back to where that key was written — looked up under the
+    /// *active workload's* table first, so a stray `q_scale` in an unused
+    /// table cannot steal the annotation. (Shape errors — wrong type,
+    /// unknown variant — are already line-annotated by the parser itself.)
+    ///
+    /// # Errors
+    ///
+    /// I/O, parse and validation errors.
+    pub fn load_validated(path: &std::path::Path) -> Result<Campaign, CampaignError> {
+        let text = std::fs::read_to_string(path)?;
+        if text.trim_start().starts_with('{') {
+            return Self::parse(&text)?.validate();
+        }
+        // One parse: deserialize from the spanned document's value tree.
+        let (value, index) = toml::parse_document_spanned(&text)?;
+        let spec: CampaignSpec =
+            serde::Deserialize::from_value(&value).map_err(|e| index.annotate(e))?;
+        let workload_table = match spec.workload.or_else(|| spec.inferred_workload()) {
+            Some(WorkloadKind::Soundness) => "soundness",
+            Some(WorkloadKind::Multicore) => "multicore",
+            Some(WorkloadKind::Acceptance) | None => "acceptance",
+        };
+        spec.validate().map_err(|e| match e {
+            CampaignError::Spec(msg) => {
+                let annotated = backquoted_key(&msg)
+                    .and_then(|key| {
+                        index
+                            .line_of(&format!("{workload_table}.{key}"))
+                            .map(|line| (format!("{workload_table}.{key}"), line))
+                            .or_else(|| index.line_of(key).map(|line| (key.to_string(), line)))
+                            .or_else(|| index.find_key(key).map(|(p, line)| (p.to_string(), line)))
+                    })
+                    .map(|(path, line)| format!("line {line} (key `{path}`): {msg}"));
+                CampaignError::Spec(annotated.unwrap_or(msg))
+            }
+            other => other,
+        })
+    }
+
     /// Applies defaults and checks invariants.
     ///
     /// # Errors
     ///
     /// [`CampaignError::Spec`] describing the first problem found.
     pub fn validate(&self) -> Result<Campaign, CampaignError> {
-        let workload = match self.workload {
+        let workload = match self.workload.or_else(|| self.inferred_workload()) {
             Some(WorkloadKind::Acceptance) | None => {
                 Workload::Acceptance(self.validate_acceptance()?)
             }
             Some(WorkloadKind::Soundness) => Workload::Soundness(self.validate_soundness()?),
+            Some(WorkloadKind::Multicore) => Workload::Multicore(self.validate_multicore()?),
         };
         if let Some(0) = self.threads {
             return Err(CampaignError::Spec("`threads` must be >= 1".into()));
@@ -267,6 +417,24 @@ impl CampaignSpec {
             workload,
             output: self.output.clone().unwrap_or_default(),
         })
+    }
+
+    /// Infers the workload from which parameter table is present, when the
+    /// `workload` key is absent and exactly one table is given — writing
+    /// `[soundness]` alone should not silently run an acceptance campaign.
+    fn inferred_workload(&self) -> Option<WorkloadKind> {
+        let present = [
+            self.acceptance
+                .is_some()
+                .then_some(WorkloadKind::Acceptance),
+            self.soundness.is_some().then_some(WorkloadKind::Soundness),
+            self.multicore.is_some().then_some(WorkloadKind::Multicore),
+        ];
+        let mut it = present.into_iter().flatten();
+        match (it.next(), it.next()) {
+            (Some(kind), None) => Some(kind),
+            _ => None,
+        }
     }
 
     fn validate_acceptance(&self) -> Result<AcceptanceParams, CampaignError> {
@@ -301,10 +469,11 @@ impl CampaignSpec {
         if params.sets_per_point == 0 {
             return Err(CampaignError::Spec("`sets_per_point` must be >= 1".into()));
         }
-        if params.policies.is_empty() || params.methods.is_empty() {
-            return Err(CampaignError::Spec(
-                "`policies` and `methods` must be non-empty".into(),
-            ));
+        if params.policies.is_empty() {
+            return Err(CampaignError::Spec("`policies` must be non-empty".into()));
+        }
+        if params.methods.is_empty() {
+            return Err(CampaignError::Spec("`methods` must be non-empty".into()));
         }
         if !(params.q_scale > 0.0 && params.q_scale <= 1.0) {
             return Err(CampaignError::Spec(format!(
@@ -327,6 +496,98 @@ impl CampaignSpec {
         }
         if params.taskset.n == 0 {
             return Err(CampaignError::Spec("taskset `n` must be >= 1".into()));
+        }
+        Ok(params)
+    }
+
+    fn validate_multicore(&self) -> Result<MulticoreParams, CampaignError> {
+        let m = self.multicore.clone().unwrap_or_default();
+        let params = MulticoreParams {
+            sets_per_point: m.sets_per_point.unwrap_or(60),
+            max_attempts_factor: m.max_attempts_factor.unwrap_or(50),
+            cores: m.cores.unwrap_or_else(|| vec![2, 4]),
+            tasks_per_core: m.tasks_per_core.unwrap_or(3),
+            policies: m
+                .policies
+                .unwrap_or_else(|| vec![Policy::FixedPriority, Policy::Edf]),
+            allocations: m.allocations.unwrap_or_else(|| {
+                vec![
+                    Allocation::FirstFit,
+                    Allocation::WorstFit,
+                    Allocation::BestFit,
+                    Allocation::Global,
+                ]
+            }),
+            utilizations: m
+                .utilizations
+                .unwrap_or(GridSpec {
+                    start: Some(0.3),
+                    stop: Some(0.7),
+                    step: Some(0.1),
+                    values: None,
+                })
+                .expand()?,
+            methods: m.methods.unwrap_or_else(|| {
+                vec![
+                    DelayMethod::None,
+                    DelayMethod::Eq4,
+                    DelayMethod::Algorithm1,
+                    DelayMethod::Algorithm1Capped,
+                ]
+            }),
+            q_scale: m.q_scale.unwrap_or(0.8),
+            delay_frac: m.delay_frac.unwrap_or(0.6),
+            simulate: m.simulate.unwrap_or(true),
+            sim_per_point: m.sim_per_point.unwrap_or(2),
+            sim_horizon_factor: m.sim_horizon_factor.unwrap_or(3.0),
+            taskset: m.taskset.unwrap_or_default(),
+        };
+        if params.sets_per_point == 0 {
+            return Err(CampaignError::Spec("`sets_per_point` must be >= 1".into()));
+        }
+        if params.cores.is_empty() || params.cores.contains(&0) {
+            return Err(CampaignError::Spec(
+                "`cores` must be a non-empty list of core counts >= 1".into(),
+            ));
+        }
+        if params.tasks_per_core == 0 {
+            return Err(CampaignError::Spec("`tasks_per_core` must be >= 1".into()));
+        }
+        if params.policies.is_empty() {
+            return Err(CampaignError::Spec("`policies` must be non-empty".into()));
+        }
+        if params.allocations.is_empty() {
+            return Err(CampaignError::Spec(
+                "`allocations` must be non-empty".into(),
+            ));
+        }
+        if params.methods.is_empty() {
+            return Err(CampaignError::Spec("`methods` must be non-empty".into()));
+        }
+        if !(params.q_scale > 0.0 && params.q_scale <= 1.0) {
+            return Err(CampaignError::Spec(format!(
+                "`q_scale` must be in (0, 1], got {}",
+                params.q_scale
+            )));
+        }
+        if !(params.delay_frac > 0.0 && params.delay_frac < 1.0) {
+            return Err(CampaignError::Spec(format!(
+                "`delay_frac` must be in (0, 1) to keep analyses convergent, got {}",
+                params.delay_frac
+            )));
+        }
+        for &u in &params.utilizations {
+            if !(u > 0.0 && u < 1.0) {
+                return Err(CampaignError::Spec(format!(
+                    "per-core utilization grid value {u} outside (0, 1)"
+                )));
+            }
+        }
+        if !(params.sim_horizon_factor.is_finite() && params.sim_horizon_factor > 0.0) {
+            return Err(CampaignError::Spec(format!(
+                "`sim_horizon_factor` must be positive, got {}",
+                params.sim_horizon_factor
+            )));
         }
         Ok(params)
     }
@@ -373,6 +634,7 @@ impl Campaign {
         match self.workload {
             Workload::Acceptance(_) => WorkloadKind::Acceptance,
             Workload::Soundness(_) => WorkloadKind::Soundness,
+            Workload::Multicore(_) => WorkloadKind::Multicore,
         }
     }
 
@@ -397,10 +659,7 @@ impl Campaign {
                     .f64(a.taskset.deadline_factor.0)
                     .f64(a.taskset.deadline_factor.1);
                 for p in &a.policies {
-                    h = h.word(match p {
-                        Policy::FixedPriority => 11,
-                        Policy::Edf => 13,
-                    });
+                    h = h.word(policy_tag(*p));
                 }
                 for m in &a.methods {
                     h = h.word(method_tag(*m));
@@ -423,7 +682,88 @@ impl Campaign {
                 .f64(s.q_slack_range.0)
                 .f64(s.q_slack_range.1)
                 .finish(),
+            Workload::Multicore(mc) => {
+                let mut h = h
+                    .word(3)
+                    .word(mc.sets_per_point as u64)
+                    .word(mc.max_attempts_factor as u64)
+                    .word(mc.tasks_per_core as u64)
+                    .f64(mc.q_scale)
+                    .f64(mc.delay_frac)
+                    .word(u64::from(mc.simulate))
+                    .word(mc.sim_per_point as u64)
+                    .f64(mc.sim_horizon_factor)
+                    .f64(mc.taskset.period_range.0)
+                    .f64(mc.taskset.period_range.1)
+                    .f64(mc.taskset.deadline_factor.0)
+                    .f64(mc.taskset.deadline_factor.1);
+                // Each variable-length axis is preceded by its length so
+                // e.g. cores=[2, 11] + policies=[edf] cannot alias
+                // cores=[2] + policies=[fp, edf] (core counts are
+                // user-chosen and can collide with the tag alphabets).
+                h = h.word(mc.cores.len() as u64);
+                for &m in &mc.cores {
+                    h = h.word(m as u64);
+                }
+                h = h.word(mc.policies.len() as u64);
+                for p in &mc.policies {
+                    h = h.word(policy_tag(*p));
+                }
+                h = h.word(mc.allocations.len() as u64);
+                for a in &mc.allocations {
+                    h = h.word(allocation_tag(*a));
+                }
+                h = h.word(mc.methods.len() as u64);
+                for m in &mc.methods {
+                    h = h.word(method_tag(*m));
+                }
+                h = h.word(mc.utilizations.len() as u64);
+                for &u in &mc.utilizations {
+                    h = h.f64(u);
+                }
+                h.finish()
+            }
         }
+    }
+}
+
+/// The first `` `key` ``-quoted token of a validation message.
+fn backquoted_key(msg: &str) -> Option<&str> {
+    let start = msg.find('`')? + 1;
+    let end = msg[start..].find('`')? + start;
+    (start < end).then(|| &msg[start..end])
+}
+
+/// A stable tag per policy (used in hashes and RNG stream derivation —
+/// the single source for the 11/13 alphabet).
+#[must_use]
+pub fn policy_tag(p: Policy) -> u64 {
+    match p {
+        Policy::FixedPriority => 11,
+        Policy::Edf => 13,
+    }
+}
+
+/// A stable tag per allocation strategy (used in hashes and RNG stream
+/// derivation).
+#[must_use]
+pub fn allocation_tag(a: Allocation) -> u64 {
+    match a {
+        Allocation::FirstFit => 21,
+        Allocation::WorstFit => 22,
+        Allocation::BestFit => 23,
+        Allocation::Global => 24,
+    }
+}
+
+/// Human-readable CSV labels for allocation strategies.
+#[must_use]
+pub fn allocation_label(a: Allocation) -> &'static str {
+    match a {
+        Allocation::FirstFit => "first_fit",
+        Allocation::WorstFit => "worst_fit",
+        Allocation::BestFit => "best_fit",
+        Allocation::Global => "global",
     }
 }
 
@@ -594,6 +934,167 @@ json = "out.json"
             ..CampaignSpec::default()
         };
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn multicore_spec_round_trip() {
+        let text = r#"
+name = "mc"
+seed = 3
+workload = "multicore"
+
+[multicore]
+sets_per_point = 12
+cores = [2, 4]
+tasks_per_core = 2
+allocations = ["first_fit", "global"]
+utilizations = { values = [0.4, 0.6] }
+methods = ["none", "algorithm1"]
+simulate = false
+"#;
+        let campaign = CampaignSpec::parse(text).unwrap().validate().unwrap();
+        let Workload::Multicore(m) = &campaign.workload else {
+            panic!("expected multicore");
+        };
+        assert_eq!(m.sets_per_point, 12);
+        assert_eq!(m.cores, vec![2, 4]);
+        assert_eq!(m.tasks_per_core, 2);
+        assert_eq!(
+            m.allocations,
+            vec![Allocation::FirstFit, Allocation::Global]
+        );
+        assert_eq!(m.utilizations, vec![0.4, 0.6]);
+        assert_eq!(m.methods.len(), 2);
+        assert!(!m.simulate);
+        assert_eq!(campaign.workload_kind(), WorkloadKind::Multicore);
+    }
+
+    #[test]
+    fn multicore_defaults_validate() {
+        let spec = CampaignSpec {
+            workload: Some(WorkloadKind::Multicore),
+            ..CampaignSpec::default()
+        };
+        let Workload::Multicore(m) = spec.validate().unwrap().workload else {
+            panic!("expected multicore");
+        };
+        assert_eq!(m.cores, vec![2, 4]);
+        assert_eq!(m.allocations.len(), 4);
+        assert_eq!(m.methods.len(), 4);
+        assert!(m.simulate);
+    }
+
+    #[test]
+    fn workload_is_inferred_from_a_lone_table() {
+        // `[soundness]` alone must not silently run an acceptance campaign.
+        let spec = CampaignSpec::parse("[soundness]\ntrials = 5\n").unwrap();
+        assert_eq!(
+            spec.validate().unwrap().workload_kind(),
+            WorkloadKind::Soundness
+        );
+        let spec = CampaignSpec::parse("[multicore]\nsets_per_point = 3\n").unwrap();
+        assert_eq!(
+            spec.validate().unwrap().workload_kind(),
+            WorkloadKind::Multicore
+        );
+        // An explicit `workload` key always wins over the tables.
+        let spec =
+            CampaignSpec::parse("workload = \"acceptance\"\n[soundness]\ntrials = 5\n").unwrap();
+        assert_eq!(
+            spec.validate().unwrap().workload_kind(),
+            WorkloadKind::Acceptance
+        );
+    }
+
+    #[test]
+    fn unknown_workload_names_the_valid_kinds() {
+        let err = CampaignSpec::parse("workload = \"multicre\"\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("multicre"), "offending value absent: {msg}");
+        for kind in ["acceptance", "soundness", "multicore"] {
+            assert!(msg.contains(kind), "valid kind {kind} absent: {msg}");
+        }
+        // And the toml line index points at the offending line.
+        assert!(msg.contains("line 1"), "line annotation absent: {msg}");
+    }
+
+    #[test]
+    fn multicore_rejects_bad_specs() {
+        for text in [
+            "workload = \"multicore\"\n[multicore]\ncores = []\n",
+            "workload = \"multicore\"\n[multicore]\ncores = [0]\n",
+            "workload = \"multicore\"\n[multicore]\ntasks_per_core = 0\n",
+            "workload = \"multicore\"\n[multicore]\nutilizations = { values = [1.5] }\n",
+            "workload = \"multicore\"\n[multicore]\nsim_horizon_factor = 0.0\n",
+        ] {
+            let spec = CampaignSpec::parse(text).unwrap();
+            assert!(spec.validate().is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn load_validated_points_semantic_errors_at_their_line() {
+        let dir = std::env::temp_dir().join("fnpr_campaign_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_q_scale.toml");
+        std::fs::write(
+            &path,
+            "workload = \"acceptance\"\n\n[acceptance]\nq_scale = 1.5\n",
+        )
+        .unwrap();
+        let err = CampaignSpec::load_validated(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "line annotation absent: {msg}");
+        assert!(msg.contains("q_scale"), "key absent: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_validated_prefers_the_active_workload_table() {
+        // A valid q_scale in the *unused* acceptance table must not steal
+        // the annotation from the offending multicore one.
+        let dir = std::env::temp_dir().join("fnpr_campaign_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two_tables.toml");
+        std::fs::write(
+            &path,
+            "workload = \"multicore\"\n\n[acceptance]\nq_scale = 0.5\n\n[multicore]\nq_scale = 1.5\n",
+        )
+        .unwrap();
+        let err = CampaignSpec::load_validated(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 7"), "wrong line: {msg}");
+        assert!(msg.contains("`multicore.q_scale`"), "wrong key: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multicore_hash_axes_cannot_alias() {
+        // cores=[2, 11] + policies=[edf] vs cores=[2] + policies=[fp, edf]:
+        // without length separators both would feed the hasher ...2,11,13...
+        let parse = |text: &str| {
+            CampaignSpec::parse(text)
+                .unwrap()
+                .validate()
+                .unwrap()
+                .scenario_hash()
+        };
+        let a =
+            parse("workload = \"multicore\"\n[multicore]\ncores = [2, 11]\npolicies = [\"edf\"]\n");
+        let b = parse(
+            "workload = \"multicore\"\n[multicore]\ncores = [2]\npolicies = [\"fixed_priority\", \"edf\"]\n",
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backquoted_key_extraction() {
+        assert_eq!(
+            backquoted_key("`q_scale` must be in (0, 1]"),
+            Some("q_scale")
+        );
+        assert_eq!(backquoted_key("no keys here"), None);
+        assert_eq!(backquoted_key("empty `` quotes"), None);
     }
 
     #[test]

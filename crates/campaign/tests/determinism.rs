@@ -76,6 +76,35 @@ simulate = {}
     })
 }
 
+fn arb_multicore_spec() -> impl Strategy<Value = CampaignSpec> {
+    (0u64..1000, 2usize..5, 0.3f64..0.6, 0u64..2).prop_map(|(seed, sets, u, simulate)| {
+        CampaignSpec::parse(&format!(
+            r#"
+name = "prop-multicore"
+seed = {seed}
+workload = "multicore"
+
+[multicore]
+sets_per_point = {sets}
+max_attempts_factor = 10
+cores = [2]
+tasks_per_core = 2
+utilizations = {{ values = [{u:.4}] }}
+sim_per_point = 1
+simulate = {}
+
+[multicore.taskset]
+n = 1
+utilization = 0.0
+period_range = [10.0, 100.0]
+deadline_factor = [1.0, 1.0]
+"#,
+            simulate == 1
+        ))
+        .expect("template parses")
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -89,6 +118,14 @@ proptest! {
     /// across shard sizes and with/without the simulator.
     #[test]
     fn soundness_aggregates_are_thread_invariant(spec in arb_soundness_spec()) {
+        assert_thread_invariant(&spec);
+    }
+
+    /// Multicore campaigns: identical aggregates at 1, 2 and 8 threads —
+    /// the same contract the original workloads established, covering the
+    /// partitioning, global tests and m-core simulator streams.
+    #[test]
+    fn multicore_aggregates_are_thread_invariant(spec in arb_multicore_spec()) {
         assert_thread_invariant(&spec);
     }
 }

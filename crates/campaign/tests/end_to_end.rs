@@ -66,6 +66,49 @@ fn smoke_spec_runs_and_exports() {
 }
 
 #[test]
+fn multicore_smoke_spec_runs_and_exports() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/multicore_smoke.toml");
+    let spec = CampaignSpec::load(&path).expect("multicore smoke spec loads");
+    let campaign = spec.validate().expect("multicore smoke spec validates");
+    assert_eq!(campaign.workload_kind(), WorkloadKind::Multicore);
+    let outcome = run_campaign(&campaign, Some(4)).expect("multicore smoke campaign runs");
+    let report = &outcome.report;
+
+    // 2 core counts x 2 policies x 4 allocations x 3 utilizations.
+    assert_eq!(report.multicore.len(), 48);
+    assert!(report.summary.instances > 0, "no task sets generated");
+    assert_eq!(
+        report.summary.dominance_violations, 0,
+        "inflation dominance violated on the multicore grid"
+    );
+    assert_eq!(
+        report.summary.sim_violations, 0,
+        "m-core simulation exceeded an Algorithm 1 bound"
+    );
+    let checks: usize = report.multicore.iter().map(|p| p.sim_checks).sum();
+    assert!(checks > 0, "no simulator soundness checks ran");
+
+    // CSV: header + one row per grid point, consistent column count.
+    let csv = report.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 49);
+    let columns = lines[0].split(',').count();
+    assert_eq!(
+        columns,
+        6 + 4 + 3,
+        "6 fixed + 4 methods + 3 simulator columns"
+    );
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+    assert!(lines[0].starts_with("m,policy,allocation,utilization"));
+
+    // JSON round-trips.
+    let parsed: CampaignReport = serde_json::from_str(&report.to_json()).expect("JSON parses");
+    assert_eq!(&parsed, report);
+}
+
+#[test]
 fn memoization_pays_on_the_smoke_grid() {
     let campaign = CampaignSpec::load(&smoke_spec_path())
         .unwrap()

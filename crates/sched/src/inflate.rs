@@ -190,6 +190,46 @@ fn inflate_with(
     Ok(Inflation { wcets, method })
 }
 
+/// The Eq. 5-inflated copy of the task set under fixed-priority preemption
+/// caps: `C′i = Ci + delay bound`, or `None` when any task's bound diverges
+/// (the set is unschedulable under that method).
+///
+/// This is the reusable half of [`fp_schedulable_with_delay`]: multicore
+/// analyses inflate once and then run their own (per-core or global) test
+/// on the result.
+///
+/// # Errors
+///
+/// As [`inflate_wcets`].
+pub fn inflated_taskset(
+    tasks: &TaskSet,
+    method: DelayMethod,
+) -> Result<Option<TaskSet>, SchedError> {
+    let inflation = inflate_wcets(tasks, method)?;
+    match inflation.finite_wcets() {
+        Some(wcets) => tasks.with_wcets(&wcets).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// [`inflated_taskset`] with caller-supplied preemption caps (only
+/// consulted for [`DelayMethod::Algorithm1Capped`]).
+///
+/// # Errors
+///
+/// As [`inflate_wcets_with_caps`].
+pub fn inflated_taskset_with_caps(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    caps: &[usize],
+) -> Result<Option<TaskSet>, SchedError> {
+    let inflation = inflate_wcets_with_caps(tasks, method, caps)?;
+    match inflation.finite_wcets() {
+        Some(wcets) => tasks.with_wcets(&wcets).map(Some),
+        None => Ok(None),
+    }
+}
+
 /// Fixed-priority floating-NPR schedulability with delay-inflated WCETs
 /// (tasks in priority order).
 ///
@@ -199,11 +239,9 @@ fn inflate_with(
 ///
 /// As [`inflate_wcets`] and the underlying RTA.
 pub fn fp_schedulable_with_delay(tasks: &TaskSet, method: DelayMethod) -> Result<bool, SchedError> {
-    let inflation = inflate_wcets(tasks, method)?;
-    let Some(wcets) = inflation.finite_wcets() else {
+    let Some(inflated) = inflated_taskset(tasks, method)? else {
         return Ok(false);
     };
-    let inflated = tasks.with_wcets(&wcets)?;
     Ok(rta_floating_npr(&inflated)?.schedulable())
 }
 
@@ -220,16 +258,15 @@ pub fn edf_schedulable_with_delay(
 ) -> Result<bool, SchedError> {
     // Under EDF the preemption cap counts every other task's releases, not
     // just the higher-indexed ones.
-    let inflation = match method {
+    let inflated = match method {
         DelayMethod::Algorithm1Capped => {
-            inflate_wcets_with_caps(tasks, method, &preemption_caps_edf(tasks))?
+            inflated_taskset_with_caps(tasks, method, &preemption_caps_edf(tasks))?
         }
-        _ => inflate_wcets(tasks, method)?,
+        _ => inflated_taskset(tasks, method)?,
     };
-    let Some(wcets) = inflation.finite_wcets() else {
+    let Some(inflated) = inflated else {
         return Ok(false);
     };
-    let inflated = tasks.with_wcets(&wcets)?;
     edf_schedulable_with_npr(&inflated)
 }
 

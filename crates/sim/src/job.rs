@@ -74,7 +74,9 @@ impl JobState {
         self.completion = Some(at);
     }
 
-    /// Snapshot for the result set.
+    /// Snapshot for the result set. Migrations are a multicore concept; the
+    /// unicore engine leaves them 0 and [`crate::simulate_multicore`] fills
+    /// them in from its per-core bookkeeping.
     pub(crate) fn record(&self) -> JobRecord {
         JobRecord {
             id: self.id,
@@ -86,6 +88,7 @@ impl JobState {
             completion: self.completion,
             preemptions: self.preemptions,
             cumulative_delay: self.cumulative_delay,
+            migrations: 0,
         }
     }
 }
@@ -111,6 +114,9 @@ pub struct JobRecord {
     pub preemptions: u32,
     /// Total preemption delay charged.
     pub cumulative_delay: f64,
+    /// Times the job resumed on a different core than it last ran on
+    /// (always 0 on the unicore engine).
+    pub migrations: u32,
 }
 
 impl JobRecord {

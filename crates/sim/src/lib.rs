@@ -4,7 +4,11 @@
 //! sporadic jobs under fixed-priority or EDF scheduling, with fully
 //! preemptive, non-preemptive or **floating non-preemptive region**
 //! preemption handling, and preemption delays drawn from each task's
-//! `fi(t)` at the *actual progress point* of each preemption.
+//! `fi(t)` at the *actual progress point* of each preemption. The
+//! [`simulate_multicore`] engine extends the model to `m` identical cores
+//! under global dispatching, with per-core floating-NPR state and
+//! migration accounting (and reproduces the unicore engine exactly at
+//! `m = 1`).
 //!
 //! Its purpose is validation and demonstration:
 //!
@@ -46,6 +50,7 @@
 mod engine;
 mod job;
 mod metrics;
+mod multi;
 mod policy;
 mod render;
 mod scenario;
@@ -54,9 +59,15 @@ mod validate;
 
 pub use engine::{simulate, SimResult};
 pub use job::JobRecord;
-pub use metrics::{per_task_metrics, run_metrics, RunMetrics, TaskMetrics};
+pub use metrics::{
+    per_task_metrics, per_task_metrics_jobs, run_metrics, run_metrics_jobs, RunMetrics, TaskMetrics,
+};
+pub use multi::{simulate_multicore, MultiSimConfig, MultiSimResult, MultiTraceEvent};
 pub use policy::{PreemptionMode, PriorityPolicy, SimConfig};
 pub use render::render_timeline;
 pub use scenario::{AdversaryPlan, Scenario, SimTask};
 pub use trace::TraceEvent;
-pub use validate::{check_against_algorithm1, BoundCheck};
+pub use validate::{
+    check_against_algorithm1, check_jobs_against_algorithm1, check_multicore_against_algorithm1,
+    BoundCheck,
+};

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::engine::SimResult;
+use crate::job::JobRecord;
 
 /// Aggregates for one task across a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,6 +18,8 @@ pub struct TaskMetrics {
     pub misses: usize,
     /// Total preemptions across all jobs.
     pub preemptions: u64,
+    /// Total migrations across all jobs (0 on unicore runs).
+    pub migrations: u64,
     /// Total preemption delay charged.
     pub total_delay: f64,
     /// Maximum cumulative delay of any single job.
@@ -28,6 +31,13 @@ pub struct TaskMetrics {
 /// Computes per-task metrics for every task index present in the result.
 #[must_use]
 pub fn per_task_metrics(result: &SimResult, task_count: usize) -> Vec<TaskMetrics> {
+    per_task_metrics_jobs(&result.jobs, task_count)
+}
+
+/// [`per_task_metrics`] over a raw job slice (shared by the unicore and
+/// multicore result types).
+#[must_use]
+pub fn per_task_metrics_jobs(jobs: &[JobRecord], task_count: usize) -> Vec<TaskMetrics> {
     (0..task_count)
         .map(|task| {
             let mut m = TaskMetrics {
@@ -36,13 +46,15 @@ pub fn per_task_metrics(result: &SimResult, task_count: usize) -> Vec<TaskMetric
                 completed: 0,
                 misses: 0,
                 preemptions: 0,
+                migrations: 0,
                 total_delay: 0.0,
                 max_job_delay: 0.0,
                 max_response: None,
             };
-            for job in result.of_task(task) {
+            for job in jobs.iter().filter(|j| j.task == task) {
                 m.jobs += 1;
                 m.preemptions += u64::from(job.preemptions);
+                m.migrations += u64::from(job.migrations);
                 m.total_delay += job.cumulative_delay;
                 m.max_job_delay = m.max_job_delay.max(job.cumulative_delay);
                 match job.response() {
@@ -68,6 +80,8 @@ pub struct RunMetrics {
     pub jobs: usize,
     /// Total preemptions.
     pub preemptions: u64,
+    /// Total migrations (0 on unicore runs).
+    pub migrations: u64,
     /// Total preemption delay.
     pub total_delay: f64,
     /// Total deadline misses.
@@ -77,14 +91,23 @@ pub struct RunMetrics {
 /// Computes the whole-run summary.
 #[must_use]
 pub fn run_metrics(result: &SimResult) -> RunMetrics {
+    run_metrics_jobs(&result.jobs)
+}
+
+/// [`run_metrics`] over a raw job slice (shared by the unicore and
+/// multicore result types).
+#[must_use]
+pub fn run_metrics_jobs(jobs: &[JobRecord]) -> RunMetrics {
     let mut m = RunMetrics {
-        jobs: result.jobs.len(),
+        jobs: jobs.len(),
         preemptions: 0,
+        migrations: 0,
         total_delay: 0.0,
         misses: 0,
     };
-    for job in &result.jobs {
+    for job in jobs {
         m.preemptions += u64::from(job.preemptions);
+        m.migrations += u64::from(job.migrations);
         m.total_delay += job.cumulative_delay;
         if !job.deadline_met() {
             m.misses += 1;

@@ -1,0 +1,873 @@
+//! The discrete-event **multicore** scheduler: `m` identical cores under
+//! global fixed-priority or global EDF dispatching, with the same three
+//! preemption modes as the unicore engine.
+//!
+//! Semantics (extending the unicore engine's, which this reproduces exactly
+//! at `cores = 1`):
+//!
+//! * the dispatcher keeps the `m` highest-eligibility ready jobs running;
+//!   an idle core always takes the best ready job (migrating it if it last
+//!   ran elsewhere — migrations are counted per job and traced);
+//! * preemption pressure is an *invariant*, re-established after every
+//!   event: under [`PreemptionMode::Preemptive`], while a ready job
+//!   outranks the lowest-eligibility running job that job is preempted;
+//!   under [`PreemptionMode::FloatingNpr`], every ready job outranking a
+//!   running job has a preemption scheduled — an already-active region
+//!   covers one waiter (best first; further waiters are collated, exactly
+//!   like the unicore engine), and each uncovered waiter arms a region of
+//!   the running task's `Q` on the lowest-eligibility region-free core it
+//!   outranks;
+//! * at region expiry the core's job is preempted only if some ready job
+//!   outranks it; the freed core is then refilled by the dispatcher (with
+//!   the globally best ready job, which may differ from the waiter that
+//!   armed the region);
+//! * event ordering within one instant: completions, then releases, then
+//!   region expiries — the unicore contract.
+//!
+//! Because a region only arms while its job runs, lives `Q` of that job's
+//! execution clock, and dies at preemption or completion, every job's
+//! delay progression satisfies the same spacing as on one core — so the
+//! paper's Theorem 1 bound applies per job unchanged, and
+//! [`crate::check_multicore_against_algorithm1`] validates it empirically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobRecord, JobState};
+use crate::policy::{PreemptionMode, PriorityPolicy};
+use crate::scenario::Scenario;
+
+/// Hard cap on processed events (defensive against degenerate scenarios).
+const MAX_EVENTS: usize = 50_000_000;
+
+/// Configuration of a multicore run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiSimConfig {
+    /// Number of identical cores (`m >= 1`).
+    pub cores: usize,
+    /// Priority ordering.
+    pub policy: PriorityPolicy,
+    /// Preemption handling.
+    pub mode: PreemptionMode,
+    /// Simulation horizon: releases beyond it are ignored.
+    pub horizon: f64,
+    /// Record a full event trace (costs memory on long runs).
+    pub collect_trace: bool,
+}
+
+impl MultiSimConfig {
+    /// Global floating-NPR fixed-priority configuration on `m` cores.
+    #[must_use]
+    pub fn floating_npr_fp(cores: usize, horizon: f64) -> Self {
+        Self {
+            cores,
+            policy: PriorityPolicy::FixedPriority,
+            mode: PreemptionMode::FloatingNpr,
+            horizon,
+            collect_trace: false,
+        }
+    }
+
+    /// Global floating-NPR EDF configuration on `m` cores.
+    #[must_use]
+    pub fn floating_npr_edf(cores: usize, horizon: f64) -> Self {
+        Self {
+            cores,
+            policy: PriorityPolicy::Edf,
+            mode: PreemptionMode::FloatingNpr,
+            horizon,
+            collect_trace: false,
+        }
+    }
+
+    /// Enables trace collection, builder-style.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+}
+
+/// One event of a multicore trace (core-annotated variants of the unicore
+/// [`crate::TraceEvent`], plus explicit migration marking on dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MultiTraceEvent {
+    /// A job entered the ready queue.
+    Released {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+    },
+    /// A job took a core.
+    Dispatched {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+        /// Core the job now runs on.
+        core: usize,
+        /// `true` when the job last ran on a different core.
+        migrated: bool,
+    },
+    /// A release armed a floating non-preemptive region.
+    NprStarted {
+        /// Event time.
+        at: f64,
+        /// Job holding the region.
+        job: usize,
+        /// Core the region protects.
+        core: usize,
+        /// Expiry time.
+        until: f64,
+    },
+    /// A region expired (its core may or may not lose its job).
+    NprExpired {
+        /// Event time.
+        at: f64,
+        /// Core whose region expired.
+        core: usize,
+    },
+    /// A job lost its core and was charged its preemption delay.
+    Preempted {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+        /// Core the job lost.
+        core: usize,
+        /// Execution progress at preemption.
+        progress: f64,
+        /// Delay charged (`fJ(progress)`).
+        delay: f64,
+    },
+    /// A job completed.
+    Completed {
+        /// Event time.
+        at: f64,
+        /// Job id.
+        job: usize,
+        /// Owning task.
+        task: usize,
+        /// Core the job completed on.
+        core: usize,
+    },
+}
+
+/// Result of one multicore run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSimResult {
+    /// One record per job, in release order (migration counts filled in).
+    pub jobs: Vec<JobRecord>,
+    /// Event trace (empty unless [`MultiSimConfig::collect_trace`]).
+    pub trace: Vec<MultiTraceEvent>,
+    /// Number of cores simulated.
+    pub cores: usize,
+}
+
+impl MultiSimResult {
+    /// Records of one task's jobs.
+    pub fn of_task(&self, task: usize) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(move |j| j.task == task)
+    }
+
+    /// `true` when every job completed by its deadline.
+    #[must_use]
+    pub fn all_deadlines_met(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| j.completion.is_some() && j.deadline_met())
+    }
+
+    /// Total migrations across all jobs.
+    #[must_use]
+    pub fn total_migrations(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.migrations)).sum()
+    }
+}
+
+/// Runs a scenario on `config.cores` identical cores.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`, the scenario references a task index out of
+/// range, a release time is not finite, or the event cap is exceeded (all
+/// indicate malformed generated input rather than recoverable conditions).
+#[must_use]
+pub fn simulate_multicore(scenario: &Scenario, config: &MultiSimConfig) -> MultiSimResult {
+    assert!(config.cores >= 1, "need at least one core");
+    for &(task, at) in &scenario.releases {
+        assert!(task < scenario.tasks.len(), "release for unknown task");
+        assert!(at.is_finite() && at >= 0.0, "bad release time {at}");
+    }
+    let mut jobs: Vec<JobState> = Vec::with_capacity(scenario.releases.len());
+    for &(task, at) in &scenario.releases {
+        if at < config.horizon {
+            let spec = &scenario.tasks[task];
+            jobs.push(JobState::new(jobs.len(), task, at, spec));
+        }
+    }
+    jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+    for (k, job) in jobs.iter_mut().enumerate() {
+        job.id = k;
+    }
+    let job_count = jobs.len();
+
+    let mut engine = MultiEngine {
+        scenario,
+        config,
+        jobs,
+        last_core: vec![None; job_count],
+        migrations: vec![0; job_count],
+        ready: Vec::new(),
+        running: vec![None; config.cores],
+        npr_expiry: vec![None; config.cores],
+        next_release: 0,
+        now: 0.0,
+        trace: Vec::new(),
+        events: 0,
+    };
+    engine.run();
+    let MultiEngine {
+        jobs,
+        migrations,
+        trace,
+        ..
+    } = engine;
+    let jobs = jobs
+        .iter()
+        .zip(&migrations)
+        .map(|(j, &m)| {
+            let mut record = j.record();
+            record.migrations = m;
+            record
+        })
+        .collect();
+    MultiSimResult {
+        jobs,
+        trace,
+        cores: config.cores,
+    }
+}
+
+struct MultiEngine<'a> {
+    scenario: &'a Scenario,
+    config: &'a MultiSimConfig,
+    jobs: Vec<JobState>,
+    last_core: Vec<Option<usize>>,
+    migrations: Vec<u32>,
+    ready: Vec<usize>,
+    running: Vec<Option<usize>>,
+    npr_expiry: Vec<Option<f64>>,
+    next_release: usize, // index into jobs (release-sorted)
+    now: f64,
+    trace: Vec<MultiTraceEvent>,
+    events: usize,
+}
+
+impl MultiEngine<'_> {
+    fn run(&mut self) {
+        loop {
+            self.events += 1;
+            assert!(self.events < MAX_EVENTS, "event cap exceeded");
+            self.ingest_releases();
+            self.fill_idle_cores();
+            self.enforce_preemptive();
+            self.arm_regions();
+            if self.running.iter().all(Option::is_none) {
+                if self.next_release < self.jobs.len() {
+                    self.now = self.jobs[self.next_release].release;
+                    continue;
+                }
+                return; // drained
+            }
+            // Candidate event times, all >= now.
+            let completion_times: Vec<Option<f64>> = self
+                .running
+                .iter()
+                .map(|r| r.map(|job| self.now + self.jobs[job].remaining()))
+                .collect();
+            let next_completion = completion_times
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let release_t = self
+                .jobs
+                .get(self.next_release)
+                .map(|j| j.release)
+                .unwrap_or(f64::INFINITY);
+            let expiry_t = self
+                .npr_expiry
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let t = next_completion.min(release_t).min(expiry_t);
+            debug_assert!(t.is_finite() && t >= self.now, "no next event");
+            for core in 0..self.config.cores {
+                if let Some(job) = self.running[core] {
+                    self.jobs[job].advance(t - self.now);
+                }
+            }
+            self.now = t;
+            // Completions first (exact comparison: same f64 values as the
+            // minimum candidates above).
+            for (core, completion) in completion_times.iter().enumerate() {
+                if completion.is_some_and(|c| c <= t) {
+                    self.complete(core);
+                }
+            }
+            // Then releases at t, then expiries.
+            self.ingest_releases();
+            for core in 0..self.config.cores {
+                if self.npr_expiry[core].is_some_and(|e| e <= self.now) {
+                    self.npr_expiry[core] = None;
+                    self.trace(MultiTraceEvent::NprExpired { at: self.now, core });
+                    self.preempt_if_outranked(core);
+                }
+            }
+        }
+    }
+
+    /// Moves all jobs released at or before `now` into the ready queue.
+    /// Preemption pressure is not applied here: both preemptive dispatch
+    /// and floating-NPR region arming are *invariants* re-established
+    /// after every ingest+dispatch step ([`Self::enforce_preemptive`] /
+    /// [`Self::arm_regions`]) — per-release reactions miss revisions
+    /// within one instant, e.g. an idle core absorbing one of two
+    /// same-instant releases while the other goes unserved, or a freed
+    /// core going to a higher-priority *waiter* instead of the release
+    /// that looked absorbed.
+    fn ingest_releases(&mut self) {
+        while self.next_release < self.jobs.len()
+            && self.jobs[self.next_release].release <= self.now
+        {
+            let id = self.next_release;
+            self.next_release += 1;
+            self.ready.push(id);
+            self.trace(MultiTraceEvent::Released {
+                at: self.jobs[id].release,
+                job: id,
+                task: self.jobs[id].task,
+            });
+        }
+    }
+
+    /// Fully-preemptive dispatching as an invariant: while any ready job
+    /// outranks the lowest-eligibility running job, that job is preempted
+    /// and the freed core refilled with the best ready job.
+    fn enforce_preemptive(&mut self) {
+        if self.config.mode != PreemptionMode::Preemptive {
+            return;
+        }
+        loop {
+            let Some(&best) = self
+                .ready
+                .iter()
+                .reduce(|a, b| if self.outranks(*b, *a) { b } else { a })
+            else {
+                return;
+            };
+            let Some(core) = self.victim_core(best, false) else {
+                return;
+            };
+            self.preempt(core);
+            self.fill_idle_cores();
+        }
+    }
+
+    /// Floating-NPR pressure as an invariant: every ready job that still
+    /// outranks a running job must have a preemption *scheduled* for it —
+    /// either an already-active region (whose expiry will free a core for
+    /// the then-best waiter; one region covers one waiter, best first) or
+    /// a region armed now on the lowest-eligibility region-free core it
+    /// outranks. Waiters beyond the available victims are collated into
+    /// the active regions, matching the unicore engine's collation rule.
+    /// A victim task without a `Q` is preempted immediately (the unicore
+    /// "no region length: behave preemptively" rule).
+    fn arm_regions(&mut self) {
+        if self.config.mode != PreemptionMode::FloatingNpr {
+            return;
+        }
+        'restart: loop {
+            let mut waiting = self.ready.clone();
+            waiting.sort_by(|&a, &b| {
+                if self.outranks(a, b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            let mut covered = self.npr_expiry.iter().flatten().count();
+            for &job in &waiting {
+                if covered > 0 {
+                    covered -= 1;
+                    continue;
+                }
+                // No region-free outranked core: every lower-ranked waiter
+                // outranks a subset of what this one does, so stop.
+                let Some(core) = self.victim_core(job, true) else {
+                    return;
+                };
+                let victim = self.running[core].expect("victim runs");
+                match self.scenario.tasks[self.jobs[victim].task].q {
+                    Some(q) => {
+                        self.npr_expiry[core] = Some(self.now + q);
+                        self.trace(MultiTraceEvent::NprStarted {
+                            at: self.now,
+                            job: victim,
+                            core,
+                            until: self.now + q,
+                        });
+                    }
+                    None => {
+                        self.preempt(core);
+                        self.fill_idle_cores();
+                        continue 'restart;
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    /// The core whose running job is the lowest-eligibility one that `id`
+    /// outranks; with `region_free` set, cores with an active region are
+    /// excluded (their preemption is already scheduled).
+    fn victim_core(&self, id: usize, region_free: bool) -> Option<usize> {
+        let mut victim: Option<usize> = None;
+        for core in 0..self.config.cores {
+            if region_free && self.npr_expiry[core].is_some() {
+                continue;
+            }
+            let Some(running) = self.running[core] else {
+                continue;
+            };
+            if !self.outranks(id, running) {
+                continue;
+            }
+            victim = match victim {
+                Some(current) if self.outranks(running, self.running[current].expect("runs")) => {
+                    Some(current)
+                }
+                _ => Some(core),
+            };
+        }
+        victim
+    }
+
+    /// Job `a` strictly outranks job `b` (same total order as the unicore
+    /// engine: policy key, then task index, then release order).
+    fn outranks(&self, a: usize, b: usize) -> bool {
+        let ja = &self.jobs[a];
+        let jb = &self.jobs[b];
+        let key = |j: &JobState| match self.config.policy {
+            PriorityPolicy::FixedPriority => (0.0, j.task, j.id),
+            PriorityPolicy::Edf => (j.abs_deadline, j.task, j.id),
+        };
+        key(ja) < key(jb)
+    }
+
+    fn pop_highest_ready(&mut self) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for k in 1..self.ready.len() {
+            if self.outranks(self.ready[k], self.ready[best]) {
+                best = k;
+            }
+        }
+        Some(self.ready.swap_remove(best))
+    }
+
+    /// Dispatches the best ready jobs onto idle cores, preferring each
+    /// job's previous core (counting a migration when it lands elsewhere).
+    fn fill_idle_cores(&mut self) {
+        while self.running.iter().any(Option::is_none) {
+            let Some(job) = self.pop_highest_ready() else {
+                return;
+            };
+            let core = match self.last_core[job] {
+                Some(c) if self.running[c].is_none() => c,
+                _ => self
+                    .running
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("idle core exists"),
+            };
+            let migrated = self.last_core[job].is_some_and(|c| c != core);
+            if migrated {
+                self.migrations[job] += 1;
+            }
+            self.last_core[job] = Some(core);
+            self.running[core] = Some(job);
+            debug_assert!(self.npr_expiry[core].is_none(), "stale region");
+            if self.jobs[job].start.is_none() {
+                self.jobs[job].start = Some(self.now);
+            }
+            self.trace(MultiTraceEvent::Dispatched {
+                at: self.now,
+                job,
+                task: self.jobs[job].task,
+                core,
+                migrated,
+            });
+        }
+    }
+
+    fn complete(&mut self, core: usize) {
+        let job = self.running[core].take().expect("completion without job");
+        self.jobs[job].finish(self.now);
+        self.npr_expiry[core] = None; // a region dies with its job
+        self.trace(MultiTraceEvent::Completed {
+            at: self.now,
+            job,
+            task: self.jobs[job].task,
+            core,
+        });
+    }
+
+    /// Preempts `core`'s job if some ready job outranks it.
+    fn preempt_if_outranked(&mut self, core: usize) {
+        let Some(running) = self.running[core] else {
+            return;
+        };
+        let outranked = self
+            .ready
+            .iter()
+            .any(|&candidate| self.outranks(candidate, running));
+        if outranked {
+            self.preempt(core);
+        }
+    }
+
+    /// Charges the preemption delay and returns `core`'s job to the ready
+    /// queue.
+    fn preempt(&mut self, core: usize) {
+        let job = self.running[core].take().expect("preempt without job");
+        let task = self.jobs[job].task;
+        let progress = self.jobs[job].progress;
+        let delay = self.scenario.tasks[task]
+            .delay_curve
+            .as_ref()
+            .map_or(0.0, |curve| curve.value_at(progress));
+        self.jobs[job].charge_preemption(delay);
+        self.trace(MultiTraceEvent::Preempted {
+            at: self.now,
+            job,
+            task,
+            core,
+            progress,
+            delay,
+        });
+        self.ready.push(job);
+        self.npr_expiry[core] = None;
+    }
+
+    fn trace(&mut self, event: MultiTraceEvent) {
+        if self.config.collect_trace {
+            self.trace.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::policy::SimConfig;
+    use crate::scenario::SimTask;
+    use fnpr_core::DelayCurve;
+
+    fn task(exec: f64, q: Option<f64>, curve: Option<DelayCurve>) -> SimTask {
+        SimTask {
+            exec_time: exec,
+            deadline: f64::INFINITY,
+            q,
+            delay_curve: curve,
+        }
+    }
+
+    fn fnpr(cores: usize) -> MultiSimConfig {
+        MultiSimConfig::floating_npr_fp(cores, 1_000.0).with_trace()
+    }
+
+    #[test]
+    fn two_jobs_run_in_parallel_on_two_cores() {
+        let s = Scenario {
+            tasks: vec![task(10.0, None, None), task(10.0, None, None)],
+            releases: vec![(0, 0.0), (1, 0.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        assert_eq!(r.jobs.len(), 2);
+        for job in &r.jobs {
+            assert_eq!(job.completion, Some(10.0));
+            assert_eq!(job.preemptions, 0);
+            assert_eq!(job.migrations, 0);
+        }
+        assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn release_with_idle_core_never_arms_a_region() {
+        // One busy core, one idle: the spike takes the idle core instantly.
+        let curve = DelayCurve::constant(2.0, 10.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(10.0, Some(4.0), Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        let victim = &r.jobs[0];
+        assert_eq!(victim.preemptions, 0);
+        assert_eq!(victim.completion, Some(10.0));
+        let spike = &r.jobs[1];
+        assert_eq!(spike.completion, Some(4.0));
+        assert!(!r
+            .trace
+            .iter()
+            .any(|e| matches!(e, MultiTraceEvent::NprStarted { .. })));
+    }
+
+    #[test]
+    fn saturated_cores_defer_preemption_by_q() {
+        // Both cores busy; the spike at 3 outranks both and must wait for
+        // the lowest-eligibility victim's region (task 2, q = 4): region
+        // 3..7, preemption at 7.
+        let curve = DelayCurve::constant(2.0, 20.0).unwrap();
+        let s = Scenario {
+            tasks: vec![
+                task(1.0, None, None),
+                task(20.0, Some(9.0), Some(curve.clone())),
+                task(20.0, Some(4.0), Some(curve)),
+            ],
+            releases: vec![(1, 0.0), (2, 0.0), (0, 3.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        let victim = r.of_task(2).next().unwrap();
+        assert_eq!(victim.preemptions, 1);
+        assert_eq!(victim.cumulative_delay, 2.0);
+        // Victim runs 0..7, spike 7..8, victim resumes: 8 + 2 + 13 = 23.
+        assert_eq!(victim.completion, Some(23.0));
+        // The higher-eligibility running job is untouched.
+        let other = r.of_task(1).next().unwrap();
+        assert_eq!(other.preemptions, 0);
+        assert_eq!(other.completion, Some(20.0));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, MultiTraceEvent::NprStarted { until, .. } if *until == 7.0)));
+    }
+
+    #[test]
+    fn batch_release_beyond_idle_capacity_still_arms_a_region() {
+        // One idle core, TWO same-instant releases: the first is absorbed
+        // by the idle core, but the second must still arm the victim's
+        // region — otherwise it waits unbounded by Q (priority inversion).
+        let curve = DelayCurve::constant(0.5, 20.0).unwrap();
+        let s = Scenario {
+            tasks: vec![
+                task(10.0, None, None),             // H1
+                task(1.0, None, None),              // H2
+                task(20.0, Some(1.0), Some(curve)), // victim L, q = 1
+            ],
+            releases: vec![(2, 0.0), (0, 3.0), (1, 3.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        // H1 takes the idle core at 3; the region for H2 runs 3..4; H2
+        // preempts L at 4 and completes at 5.
+        assert_eq!(r.of_task(0).next().unwrap().completion, Some(13.0));
+        assert_eq!(r.of_task(1).next().unwrap().completion, Some(5.0));
+        let victim = r.of_task(2).next().unwrap();
+        assert_eq!(victim.preemptions, 1);
+        assert_eq!(victim.cumulative_delay, 0.5);
+        // victim: 4 done + H2 on its core 4..5 + 0.5 delay + 16 left.
+        assert_eq!(victim.completion, Some(21.5));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, MultiTraceEvent::NprStarted { until, .. } if *until == 4.0)));
+    }
+
+    #[test]
+    fn waiting_job_is_covered_by_an_active_region_not_a_second_one() {
+        // H arrives at 5 while both cores are busy and arms the victim's
+        // region (5..7). S completes at 6 and M arrives at the same
+        // instant; the freed core goes to the better waiter H, and M is
+        // *collated* into the active region (no second region) — its
+        // expiry at 7 then serves M.
+        let curve = DelayCurve::constant(0.5, 30.0).unwrap();
+        let s = Scenario {
+            tasks: vec![
+                task(4.0, None, None),              // H
+                task(4.0, None, None),              // M
+                task(6.0, None, None),              // S
+                task(30.0, Some(2.0), Some(curve)), // victim L, q = 2
+            ],
+            releases: vec![(2, 0.0), (3, 0.0), (0, 5.0), (1, 6.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        // Exactly one region was armed (at 5, until 7).
+        let regions: Vec<f64> = r
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                MultiTraceEvent::NprStarted { until, .. } => Some(*until),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regions, vec![7.0]);
+        // H took S's core at 6; M preempted L at the region expiry.
+        assert_eq!(r.of_task(0).next().unwrap().completion, Some(10.0));
+        assert_eq!(r.of_task(1).next().unwrap().completion, Some(11.0));
+        let victim = r.of_task(3).next().unwrap();
+        assert_eq!(victim.preemptions, 1);
+        // L (7 done) migrates to the core H frees at 10, pays its 0.5
+        // delay and finishes the remaining 23: 10 + 0.5 + 23 = 33.5.
+        assert_eq!(victim.migrations, 1);
+        assert_eq!(victim.completion, Some(33.5));
+    }
+
+    #[test]
+    fn migration_is_counted_and_traced() {
+        // t=0: short (task 2) takes core 0, victim (task 3) core 1. t=1:
+        // spike + filler arrive and, being the two best jobs, displace
+        // both. Spike finishes at 3 -> short resumes on core *1* (its old
+        // core 0 is held by the filler until 4): one migration. Filler
+        // finishes at 4 -> victim resumes on core *0*: another migration.
+        let s = Scenario {
+            tasks: vec![
+                task(2.0, None, None),  // spike (highest priority)
+                task(3.0, None, None),  // filler
+                task(4.0, None, None),  // short
+                task(10.0, None, None), // victim (lowest priority)
+            ],
+            releases: vec![(2, 0.0), (3, 0.0), (0, 1.0), (1, 1.0)],
+        };
+        let config = MultiSimConfig {
+            cores: 2,
+            policy: PriorityPolicy::FixedPriority,
+            mode: PreemptionMode::Preemptive,
+            horizon: 1_000.0,
+            collect_trace: true,
+        };
+        let r = simulate_multicore(&s, &config);
+        let of = |t: usize| r.of_task(t).next().unwrap();
+        assert_eq!(of(0).completion, Some(3.0));
+        assert_eq!(of(1).completion, Some(4.0));
+        assert_eq!(of(2).completion, Some(6.0)); // 1 done + resumes 3..6
+        assert_eq!(of(3).completion, Some(13.0)); // 1 done + resumes 4..13
+        assert_eq!(of(2).preemptions, 1);
+        assert_eq!(of(3).preemptions, 1);
+        assert_eq!(of(2).migrations, 1);
+        assert_eq!(of(3).migrations, 1);
+        assert_eq!(r.total_migrations(), 2);
+        assert_eq!(
+            r.trace
+                .iter()
+                .filter(|e| matches!(e, MultiTraceEvent::Dispatched { migrated: true, .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_core_matches_unicore_engine() {
+        // A scenario exercising regions, collation and same-task FIFO: the
+        // m = 1 engine must reproduce the unicore engine job for job.
+        let curve = DelayCurve::constant(2.0, 20.0).unwrap();
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None), task(20.0, Some(4.0), Some(curve))],
+            releases: vec![(1, 0.0), (0, 3.0), (0, 5.0), (0, 9.5), (1, 26.0)],
+        };
+        for policy in [PriorityPolicy::FixedPriority, PriorityPolicy::Edf] {
+            for mode in [
+                PreemptionMode::Preemptive,
+                PreemptionMode::NonPreemptive,
+                PreemptionMode::FloatingNpr,
+            ] {
+                let uni = simulate(
+                    &s,
+                    &SimConfig {
+                        policy,
+                        mode,
+                        horizon: 1_000.0,
+                        collect_trace: false,
+                    },
+                );
+                let multi = simulate_multicore(
+                    &s,
+                    &MultiSimConfig {
+                        cores: 1,
+                        policy,
+                        mode,
+                        horizon: 1_000.0,
+                        collect_trace: false,
+                    },
+                );
+                assert_eq!(
+                    uni.jobs, multi.jobs,
+                    "divergence at policy {policy:?}, mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edf_dispatches_m_earliest_deadlines() {
+        // Three ready jobs, two cores: the two earliest deadlines run.
+        let mut a = task(4.0, None, None);
+        a.deadline = 30.0;
+        let mut b = task(4.0, None, None);
+        b.deadline = 10.0;
+        let mut c = task(4.0, None, None);
+        c.deadline = 20.0;
+        let s = Scenario {
+            tasks: vec![a, b, c],
+            releases: vec![(0, 0.0), (1, 0.0), (2, 0.0)],
+        };
+        let config = MultiSimConfig::floating_npr_edf(2, 1_000.0);
+        let r = simulate_multicore(&s, &config);
+        let done = |t: usize| r.of_task(t).next().unwrap().completion.unwrap();
+        assert_eq!(done(1), 4.0);
+        assert_eq!(done(2), 4.0);
+        assert_eq!(done(0), 8.0); // waited for a core
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn more_cores_than_jobs_is_fine() {
+        let s = Scenario {
+            tasks: vec![task(5.0, None, None)],
+            releases: vec![(0, 0.0), (0, 7.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(8));
+        assert_eq!(r.jobs.len(), 2);
+        assert!(r.jobs.iter().all(|j| j.completion.is_some()));
+        assert_eq!(r.cores, 8);
+    }
+
+    #[test]
+    fn horizon_truncates_releases() {
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None)],
+            releases: vec![(0, 0.0), (0, 5.0), (0, 2000.0)],
+        };
+        let r = simulate_multicore(&s, &fnpr(2));
+        assert_eq!(r.jobs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let s = Scenario {
+            tasks: vec![task(1.0, None, None)],
+            releases: vec![(0, 0.0)],
+        };
+        let _ = simulate_multicore(&s, &fnpr(0));
+    }
+}

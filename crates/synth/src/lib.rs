@@ -37,4 +37,7 @@ pub use curves::{
     gaussian_curve, random_step_curve, random_unimodal_curve, FIGURE4_MAX, FIGURE4_STEP,
     FIGURE4_WCET,
 };
-pub use taskset::{random_taskset, uunifast, with_npr_and_curves, Policy, TaskSetParams};
+pub use taskset::{
+    random_taskset, random_taskset_multicore, uunifast, uunifast_discard, with_npr_and_curves,
+    with_npr_and_curves_global, Policy, TaskSetParams,
+};

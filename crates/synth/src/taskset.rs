@@ -31,6 +31,39 @@ pub fn uunifast<R: Rng>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
     utilizations
 }
 
+/// UUniFast with the *discard* extension (Davis & Burns): resamples until
+/// every per-task utilisation is at most `cap`, which makes totals above 1
+/// (multiprocessor task sets targeting `m·U`) usable — plain UUniFast then
+/// routinely emits tasks with `ui > 1`, which no processor can run.
+///
+/// Returns `None` when `max_tries` resamples never satisfy the cap (the
+/// caller resamples at a higher level or treats the point as infeasible).
+///
+/// # Panics
+///
+/// As [`uunifast`]; additionally panics if `cap` is not positive or
+/// `total > n·cap` (no assignment can ever satisfy the cap).
+pub fn uunifast_discard<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    total: f64,
+    cap: f64,
+    max_tries: usize,
+) -> Option<Vec<f64>> {
+    assert!(cap > 0.0, "utilisation cap must be positive");
+    assert!(
+        total <= n as f64 * cap + 1e-9,
+        "total {total} cannot fit under {n} tasks capped at {cap}"
+    );
+    for _ in 0..max_tries {
+        let utilizations = uunifast(rng, n, total);
+        if utilizations.iter().all(|&u| u <= cap) {
+            return Some(utilizations);
+        }
+    }
+    None
+}
+
 /// Parameters for [`random_taskset`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskSetParams {
@@ -76,6 +109,36 @@ pub fn random_taskset<R: Rng>(rng: &mut R, params: &TaskSetParams) -> Result<Tas
     }
     tasks.sort_by(|a, b| a.period().total_cmp(&b.period()));
     TaskSet::new(tasks)
+}
+
+/// Generates a random *multiprocessor* task set: like [`random_taskset`]
+/// but via [`uunifast_discard`], so `params.utilization` may exceed 1
+/// (e.g. `m·U` for an `m`-core target) while every individual task stays a
+/// valid uniprocessor task (`ui ≤ 1`).
+///
+/// Returns `None` when the discard budget runs out.
+///
+/// # Errors
+///
+/// As [`random_taskset`].
+pub fn random_taskset_multicore<R: Rng>(
+    rng: &mut R,
+    params: &TaskSetParams,
+) -> Result<Option<TaskSet>, SchedError> {
+    let Some(utilizations) = uunifast_discard(rng, params.n, params.utilization, 1.0, 100) else {
+        return Ok(None);
+    };
+    let (lo, hi) = params.period_range;
+    let mut tasks = Vec::with_capacity(params.n);
+    for &u in &utilizations {
+        let period = lo * (hi / lo).powf(rng.gen::<f64>());
+        let wcet = (u * period).max(1e-6).min(period);
+        let factor = rng.gen_range(params.deadline_factor.0..=params.deadline_factor.1);
+        let deadline = (period * factor).clamp(wcet, period);
+        tasks.push(Task::new(wcet, period)?.with_deadline(deadline)?);
+    }
+    tasks.sort_by(|a, b| a.period().total_cmp(&b.period()));
+    TaskSet::new(tasks).map(Some)
 }
 
 /// Scheduling policy used when deriving maximum region lengths.
@@ -139,6 +202,43 @@ pub fn with_npr_and_curves<R: Rng>(
     Ok(Some(TaskSet::new(tasks)?))
 }
 
+/// Equips every task of `base` with a region length and delay curve for
+/// *global* multiprocessor scheduling, where the uniprocessor admissible-`Qi`
+/// machinery ([`max_npr_lengths_fp`] / [`max_npr_lengths_edf`]) does not
+/// apply: `Qi = q_scale × Ci` (a region never outlives its job) and a
+/// random unimodal curve whose peak is `delay_frac × Qi`, keeping every
+/// delay analysis convergent for `delay_frac < 1`.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] on degenerate curve construction.
+pub fn with_npr_and_curves_global<R: Rng>(
+    rng: &mut R,
+    base: &TaskSet,
+    q_scale: f64,
+    delay_frac: f64,
+) -> Result<TaskSet, SchedError> {
+    let mut tasks = Vec::with_capacity(base.len());
+    for task in base.iter() {
+        let q = (task.wcet() * q_scale).max(f64::MIN_POSITIVE);
+        let peak = q * delay_frac;
+        let curve = random_unimodal_curve(rng, task.wcet(), peak.max(1e-9), task.wcet() / 64.0)
+            .map_err(|_| SchedError::InvalidTask {
+                what: "curve",
+                value: task.wcet(),
+            })?;
+        let clamped: DelayCurve =
+            curve
+                .clamped(peak.max(0.0))
+                .map_err(|_| SchedError::InvalidTask {
+                    what: "curve clamp",
+                    value: peak,
+                })?;
+        tasks.push(task.clone().with_q(q)?.with_delay_curve(clamped));
+    }
+    TaskSet::new(tasks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +293,63 @@ mod tests {
         let a = random_taskset(&mut StdRng::seed_from_u64(3), &params).unwrap();
         let b = random_taskset(&mut StdRng::seed_from_u64(3), &params).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uunifast_discard_caps_per_task_utilization() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // m·U = 3.2 over 8 tasks: plain UUniFast frequently exceeds 1.
+        let us = uunifast_discard(&mut rng, 8, 3.2, 1.0, 200).expect("discard converges");
+        assert_eq!(us.len(), 8);
+        assert!((us.iter().sum::<f64>() - 3.2).abs() < 1e-9);
+        assert!(us.iter().all(|&u| u <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn uunifast_discard_rejects_impossible_totals() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uunifast_discard(&mut rng, 2, 3.0, 1.0, 10);
+    }
+
+    #[test]
+    fn multicore_taskset_has_valid_tasks_above_unit_total() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let params = TaskSetParams {
+            n: 8,
+            utilization: 2.4, // 4 cores x 0.6
+            period_range: (10.0, 100.0),
+            deadline_factor: (1.0, 1.0),
+        };
+        let ts = random_taskset_multicore(&mut rng, &params)
+            .unwrap()
+            .expect("discard converges");
+        assert_eq!(ts.len(), 8);
+        assert!((ts.utilization() - 2.4).abs() < 0.05);
+        for t in ts.iter() {
+            assert!(t.utilization() <= 1.0 + 1e-9);
+            assert!(t.deadline() <= t.period());
+        }
+    }
+
+    #[test]
+    fn global_equipment_sets_q_and_convergent_curves() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let params = TaskSetParams {
+            n: 6,
+            utilization: 1.5,
+            ..TaskSetParams::default()
+        };
+        let base = random_taskset_multicore(&mut rng, &params)
+            .unwrap()
+            .expect("generated");
+        let equipped = with_npr_and_curves_global(&mut rng, &base, 0.8, 0.5).unwrap();
+        for t in equipped.iter() {
+            let q = t.q().expect("q set");
+            assert!((q - 0.8 * t.wcet()).abs() < 1e-9);
+            let curve = t.delay_curve().expect("curve set");
+            assert!(curve.max_value() < q, "delay must stay below Q");
+        }
     }
 
     #[test]

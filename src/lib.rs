@@ -15,8 +15,9 @@
 //! | [`cfg`](mod@crate::cfg) | `fnpr-cfg` | basic blocks, Eqs. 1–3 start offsets, loop reduction, call graphs, `BB(t)` occupancy |
 //! | [`cache`] | `fnpr-cache` | cache geometry, UCB/ECB analyses, per-block CRPD, concrete cache simulator |
 //! | [`sched`] | `fnpr-sched` | task model, fixed-priority RTA, EDF demand tests, `Qi` determination, Eq. 5 inflation |
-//! | [`sim`] | `fnpr-sim` | floating-NPR scheduler simulator with delay injection |
+//! | [`sim`] | `fnpr-sim` | floating-NPR scheduler simulator with delay injection (unicore + m-core) |
 //! | [`synth`] | `fnpr-synth` | Figure-4 curves, UUniFast task sets, random CFGs |
+//! | [`multicore`] | `fnpr-multicore` | global & partitioned multiprocessor tests with NPR blocking |
 //! | [`campaign`] | `fnpr-campaign` | sharded, deterministic experiment-campaign engine |
 //! | [`pipeline`] | (this crate) | the Section IV end-to-end wiring |
 //!
@@ -75,6 +76,11 @@ pub mod sim {
 /// Synthetic workload generators.
 pub mod synth {
     pub use fnpr_synth::*;
+}
+
+/// Global and partitioned multiprocessor schedulability.
+pub mod multicore {
+    pub use fnpr_multicore::*;
 }
 
 /// The experiment-campaign engine (`fnpr-campaign run <spec>`).

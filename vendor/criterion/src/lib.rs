@@ -2,11 +2,13 @@
 //!
 //! Implements the API subset the fnpr benches use — `criterion_group!` /
 //! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
-//! `bench_with_input`, `sample_size`, [`BenchmarkId`], [`black_box`] — with
-//! a simple wall-clock harness: per sample, the closure runs in an
-//! adaptively sized batch; the reported figure is the median over samples.
-//! No plots, no statistics beyond median/min/max. Use `harness = false`
-//! benches exactly as with upstream criterion.
+//! `bench_with_input`, `sample_size`, [`Throughput`], [`BenchmarkId`],
+//! [`black_box`] — with a simple wall-clock harness: per sample, the
+//! closure runs in an adaptively sized batch; samples outside the Tukey
+//! fences (1.5 × IQR beyond the quartiles) are rejected as outliers, and
+//! the reported figure is the median of the surviving samples (plus an
+//! elements/sec rate when the group declares a throughput). No plots. Use
+//! `harness = false` benches exactly as with upstream criterion.
 
 #![warn(missing_docs)]
 
@@ -37,6 +39,7 @@ impl Criterion {
             _criterion: self,
             name,
             sample_size: None,
+            throughput: None,
         }
     }
 
@@ -45,22 +48,41 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&id.to_string(), self.default_sample_size, &mut f);
+        run_benchmark(&id.to_string(), self.default_sample_size, None, &mut f);
         self
     }
 }
 
-/// A group of benchmarks sharing a name prefix and sample size.
+/// Work performed per iteration, for rate reporting (upstream's
+/// `Throughput`): declared on the group, turned into an `elem/s` (or
+/// `B/s`) figure next to the per-iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (scenarios, trials…).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix, sample size and throughput.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of samples per benchmark in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs; subsequent benchmarks
+    /// in the group report a rate alongside the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -76,7 +98,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.effective_samples(), &mut f);
+        run_benchmark(&label, self.effective_samples(), self.throughput, &mut f);
         self
     }
 
@@ -92,7 +114,10 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id);
         let samples = self.effective_samples();
-        run_benchmark(&label, samples, &mut |b: &mut Bencher| f(b, input));
+        let throughput = self.throughput;
+        run_benchmark(&label, samples, throughput, &mut |b: &mut Bencher| {
+            f(b, input);
+        });
         self
     }
 
@@ -144,7 +169,29 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+/// Removes samples outside the Tukey fences (`[q1 − 1.5·IQR, q3 + 1.5·IQR]`)
+/// from a **sorted** slice; returns the retained range and how many were
+/// rejected. With fewer than 4 samples there is no meaningful IQR and
+/// everything is kept.
+fn reject_outliers(sorted: &[f64]) -> (&[f64], usize) {
+    if sorted.len() < 4 {
+        return (sorted, 0);
+    }
+    let quartile = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+    let (q1, q3) = (quartile(0.25), quartile(0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let start = sorted.partition_point(|&x| x < lo);
+    let end = sorted.partition_point(|&x| x <= hi);
+    (&sorted[start..end], sorted.len() - (end - start))
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     // Calibrate: run once to size batches so one sample takes ≳200µs.
     let mut bencher = Bencher {
         batch: 1,
@@ -164,16 +211,37 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F)
         per_iter.push(bencher.elapsed.as_secs_f64() / batch as f64);
     }
     per_iter.sort_by(f64::total_cmp);
-    let median = per_iter[per_iter.len() / 2];
-    let min = per_iter[0];
-    let max = per_iter[per_iter.len() - 1];
+    let (kept, rejected) = reject_outliers(&per_iter);
+    let median = kept[kept.len() / 2];
+    let min = kept[0];
+    let max = kept[kept.len() - 1];
+    let rate = throughput.map_or(String::new(), |t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        format!(", {} {unit}", fmt_rate(count as f64 / median))
+    });
     eprintln!(
-        "bench {label:<50} median {} (min {}, max {}, {} samples x {batch} iters)",
+        "bench {label:<50} median {}{rate} (min {}, max {}, {} samples x {batch} iters, \
+         {rejected} outliers)",
         fmt_time(median),
         fmt_time(min),
         fmt_time(max),
-        per_iter.len(),
+        kept.len(),
     );
+}
+
+fn fmt_rate(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2}G", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2}M", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2}K", per_second / 1e3)
+    } else {
+        format!("{per_second:.1}")
+    }
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -231,5 +299,40 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("algo", 5).to_string(), "algo/5");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn throughput_group_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("thrpt");
+        group.sample_size(5).throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn outlier_rejection_drops_tukey_outliers() {
+        // Tight cluster plus one wild sample: the wild one goes.
+        let samples = [1.0, 1.01, 1.02, 1.03, 1.04, 9.0];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&x| x < 2.0));
+        // Clean data is untouched.
+        let clean = [1.0, 1.1, 1.2, 1.3];
+        let (kept, rejected) = reject_outliers(&clean);
+        assert_eq!((kept.len(), rejected), (4, 0));
+        // Tiny sample counts skip rejection entirely.
+        let tiny = [1.0, 100.0];
+        let (kept, rejected) = reject_outliers(&tiny);
+        assert_eq!((kept.len(), rejected), (2, 0));
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(12.3), "12.3");
+        assert_eq!(fmt_rate(12_300.0), "12.30K");
+        assert_eq!(fmt_rate(12_300_000.0), "12.30M");
+        assert_eq!(fmt_rate(2.5e9), "2.50G");
     }
 }

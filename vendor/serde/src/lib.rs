@@ -39,6 +39,13 @@ impl Error {
             msg: format!("{frame}: {}", self.msg),
         }
     }
+
+    /// The raw message, context frames included (used by the `toml` shim to
+    /// map shape errors back to source lines).
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
 }
 
 impl fmt::Display for Error {

@@ -189,6 +189,22 @@ fn parse_unit_variants(body: &[TokenTree]) -> Option<Vec<String>> {
     Some(variants)
 }
 
+/// `FirstFit` → `first_fit` (the spelling TOML specs conventionally use).
+fn snake_case(ident: &str) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 fn serialize_impl(shape: &Shape) -> String {
     match shape {
         Shape::NamedStruct { name, fields } => {
@@ -266,6 +282,12 @@ fn deserialize_impl(shape: &Shape) -> String {
                     )
                 })
                 .collect();
+            // The snake_case spellings spec files use, for the error message.
+            let expected: String = variants
+                .iter()
+                .map(|v| snake_case(v))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(__v: &::serde::Value) \
@@ -275,7 +297,7 @@ fn deserialize_impl(shape: &Shape) -> String {
                          match __s {{ {arms} _ => {{}} }}\n\
                          {fuzzy}\n\
                          ::std::result::Result::Err(::serde::Error::new(format!(\
-                             \"unknown {name} variant: {{__s:?}}\")))\n\
+                             \"unknown {name} variant: {{__s:?}} (expected one of: {expected})\")))\n\
                      }}\n\
                  }}"
             )

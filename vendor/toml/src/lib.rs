@@ -17,11 +17,13 @@ pub use serde::Error;
 ///
 /// # Errors
 ///
-/// Returns an [`Error`] naming the offending line on syntax problems, or
-/// the field on shape problems.
+/// Returns an [`Error`] naming the offending line on syntax problems.
+/// Shape problems (wrong type, unknown variant, missing field) are mapped
+/// back to the offending line via the key/line index recorded while
+/// parsing, so `seed = "two"` reports `line 3 (key \`seed\`): …`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let value = parse_document(s)?;
-    T::from_value(&value)
+    let (value, index) = parse_document_spanned(s)?;
+    T::from_value(&value).map_err(|e| index.annotate(e))
 }
 
 /// Parses TOML text into a raw [`Value::Map`].
@@ -30,7 +32,89 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 ///
 /// Returns an [`Error`] naming the offending line.
 pub fn parse_document(s: &str) -> Result<Value, Error> {
+    parse_document_spanned(s).map(|(value, _)| value)
+}
+
+/// Maps dotted key paths (`acceptance.taskset.n`) to the 1-based source
+/// line where each was defined. Built as a side product of parsing; used to
+/// point shape errors at their TOML line.
+#[derive(Debug, Clone, Default)]
+pub struct LineIndex {
+    entries: Vec<(String, usize)>,
+}
+
+impl LineIndex {
+    /// Line of an exact dotted path (first definition wins).
+    #[must_use]
+    pub fn line_of(&self, path: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == path)
+            .map(|&(_, line)| line)
+    }
+
+    /// Line of any path whose *last* segment equals `key` (first match).
+    /// Useful for semantic errors that only know the offending key name.
+    #[must_use]
+    pub fn find_key(&self, key: &str) -> Option<(&str, usize)> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.rsplit('.').next() == Some(key))
+            .map(|(k, line)| (k.as_str(), *line))
+    }
+
+    fn record(&mut self, path: &str, line: usize) {
+        if self.line_of(path).is_none() {
+            self.entries.push((path.to_string(), line));
+        }
+    }
+
+    /// Rewrites a shape error to lead with the offending line, when the
+    /// error's context frames (`Type.field: …`) resolve to a recorded key.
+    /// Errors that do not resolve are returned unchanged.
+    #[must_use]
+    pub fn annotate(&self, err: Error) -> Error {
+        let msg = err.message();
+        let path = field_path_of(msg);
+        // Deepest recorded prefix wins; a missing field naturally resolves
+        // to its parent table's line.
+        for depth in (1..=path.len()).rev() {
+            let joined = path[..depth].join(".");
+            if let Some(line) = self.line_of(&joined) {
+                return Error::new(format!("line {line} (key `{joined}`): {msg}"));
+            }
+        }
+        err
+    }
+}
+
+/// Extracts the field path from a shape-error message: the derive's context
+/// frames are `TypeName.field`, so every whitespace token of that shape
+/// contributes one field segment, in nesting order.
+fn field_path_of(msg: &str) -> Vec<String> {
+    msg.split_whitespace()
+        .filter_map(|tok| {
+            let tok = tok.trim_end_matches([':', ',', ';']);
+            let (ty, field) = tok.split_once('.')?;
+            let is_type = ty.starts_with(|c: char| c.is_ascii_uppercase())
+                && ty.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+            let is_field = !field.is_empty()
+                && field
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            (is_type && is_field).then(|| field.to_string())
+        })
+        .collect()
+}
+
+/// [`parse_document`] plus the key/line index it recorded.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the offending line.
+pub fn parse_document_spanned(s: &str) -> Result<(Value, LineIndex), Error> {
     let mut root: Vec<(String, Value)> = Vec::new();
+    let mut index = LineIndex::default();
     // Path of the table currently being filled (empty = root).
     let mut current: Vec<String> = Vec::new();
     let mut lines = s.lines().enumerate().peekable();
@@ -44,12 +128,14 @@ pub fn parse_document(s: &str) -> Result<Value, Error> {
             let path =
                 parse_key_path(header).map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
             push_array_table(&mut root, &path)?;
+            index.record(&path.join("."), line_no + 1);
             current = path;
             current.push(String::new()); // marker: inside the last array element
         } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             let path =
                 parse_key_path(header).map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
             ensure_table(&mut root, &path)?;
+            index.record(&path.join("."), line_no + 1);
             current = path;
         } else if let Some(eq) = find_top_level_eq(line) {
             let key_part = line[..eq].trim();
@@ -63,6 +149,12 @@ pub fn parse_document(s: &str) -> Result<Value, Error> {
                         path.retain(|seg| !seg.is_empty());
                         let key_path = parse_key_path(key_part)
                             .map_err(|e| e.context(&format!("line {}", line_no + 1)))?;
+                        let full: Vec<&str> = path
+                            .iter()
+                            .map(String::as_str)
+                            .chain(key_path.iter().map(String::as_str))
+                            .collect();
+                        index.record(&full.join("."), line_no + 1);
                         let in_array_elem = current.last().is_some_and(String::is_empty);
                         insert(&mut root, &path, &key_path, v, in_array_elem)?;
                         break;
@@ -84,7 +176,7 @@ pub fn parse_document(s: &str) -> Result<Value, Error> {
             return Err(err("expected `key = value` or a `[table]` header"));
         }
     }
-    Ok(Value::Map(root))
+    Ok((Value::Map(root), index))
 }
 
 /// True when `text` is an obviously incomplete array / inline table / string.
@@ -454,5 +546,52 @@ utilizations = [0.6]
         assert!(parse_document("just words\n").is_err());
         assert!(parse_document("a = 1\na = 2\n").is_err());
         assert!(parse_document("a = 1979-05-27\n").is_err());
+    }
+
+    #[test]
+    fn line_index_records_keys_and_tables() {
+        let (_, index) =
+            parse_document_spanned("name = \"x\"\n\n[taskset]\nn = 5\n# c\nu = 0.5\n").unwrap();
+        assert_eq!(index.line_of("name"), Some(1));
+        assert_eq!(index.line_of("taskset"), Some(3));
+        assert_eq!(index.line_of("taskset.n"), Some(4));
+        assert_eq!(index.line_of("taskset.u"), Some(6));
+        assert_eq!(index.line_of("absent"), None);
+        assert_eq!(index.find_key("u"), Some(("taskset.u", 6)));
+    }
+
+    #[test]
+    fn shape_errors_point_at_the_offending_line() {
+        #[derive(Debug, serde::Deserialize)]
+        struct Inner {
+            n: u64,
+        }
+        #[derive(Debug, serde::Deserialize)]
+        struct Outer {
+            inner: Option<Inner>,
+        }
+        // Field present with the wrong type: the error names its line.
+        let err = from_str::<Outer>("[inner]\n\nn = \"five\"\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "no line in {msg:?}");
+        assert!(msg.contains("`inner.n`"), "no key in {msg:?}");
+        // Required field missing: the error falls back to the table's line.
+        let err = from_str::<Outer>("x = 1\n[inner]\nm = 2\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "no fallback line in {msg:?}");
+        let _ = Outer { inner: None }.inner.map(|i| i.n);
+    }
+
+    #[test]
+    fn field_path_extraction() {
+        assert_eq!(
+            field_path_of("Spec.acceptance: AcceptanceSpec.taskset: missing field TaskSetParams.n"),
+            vec!["acceptance", "taskset", "n"]
+        );
+        // Floats and plain words are not mistaken for context frames.
+        assert_eq!(
+            field_path_of("expected 0.5 got Str(\"x\")"),
+            Vec::<String>::new()
+        );
     }
 }
