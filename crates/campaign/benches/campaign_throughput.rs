@@ -101,5 +101,49 @@ sim_per_point = 1
     group.finish();
 }
 
-criterion_group!(benches, bench_acceptance, bench_soundness, bench_multicore);
+fn bench_cfg_pipeline(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 2012
+workload = "cfg"
+[cfg]
+programs_per_point = 4
+depths = [2, 3]
+loop_iterations = [4]
+footprints = [8]
+q_scales = { values = [0.3, 0.6] }
+sets = [16, 64]
+associativity = [1]
+line_bytes = [16]
+reload_cost = [10.0]
+"#,
+    )
+    .unwrap();
+    let campaign = spec.validate().unwrap();
+    let mut group = c.benchmark_group("campaign_throughput/cfg_pipeline");
+    // 2 shapes x 2 geometries x 2 q scales x 4 programs = 32 full
+    // program->curve->bound pipeline analyses per run (memoized within a
+    // run, so this tracks the generate+compile+prepare+CRPD path plus the
+    // memo layer itself — the BENCH trajectory for the program->curve
+    // path).
+    group.sample_size(10).throughput(Throughput::Elements(32));
+    for threads in thread_grid() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_campaign(&campaign, Some(threads)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_acceptance,
+    bench_soundness,
+    bench_multicore,
+    bench_cfg_pipeline
+);
 criterion_main!(benches);

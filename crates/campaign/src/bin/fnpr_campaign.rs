@@ -115,7 +115,10 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
             "campaign {:?} (scenario {}): {} shards, {} instances in {:.2?} on {} threads",
             report.name,
             report.scenario,
-            report.acceptance.len() + report.soundness.len() + report.multicore.len(),
+            report.acceptance.len()
+                + report.soundness.len()
+                + report.multicore.len()
+                + report.cfg.len(),
             s.instances,
             started.elapsed(),
             outcome.threads,
@@ -196,6 +199,32 @@ fn cmd_grid(path: &Path) -> ExitCode {
                 s.trials, s.trials_per_shard, s.simulate
             );
         }
+        Workload::Cfg(c) => {
+            let shapes = c.depths.len() * c.loop_iterations.len() * c.footprints.len();
+            let geometries =
+                c.sets.len() * c.associativity.len() * c.line_bytes.len() * c.reload_costs.len();
+            println!(
+                "workload: cfg ({shapes} shapes x {geometries} geometries x {} q scales x {} programs = {} pipeline analyses)",
+                c.q_scales.len(),
+                c.programs_per_point,
+                shapes * geometries * c.q_scales.len() * c.programs_per_point,
+            );
+            // The run's own grid expansion, so the printed order can never
+            // drift from the CSV row order.
+            for p in fnpr_campaign::cfg_workload::grid_points(c) {
+                println!(
+                    "  point: shape=d{}_l{}_f{} cache={}x{}x{}B brt={} q_scale={:.4}",
+                    p.depth,
+                    p.loop_iterations,
+                    p.footprint,
+                    p.sets,
+                    p.associativity,
+                    p.line_bytes,
+                    p.reload_cost,
+                    p.q_scale,
+                );
+            }
+        }
         Workload::Multicore(m) => {
             println!(
                 "workload: multicore ({} core counts x {} policies x {} allocations x {} utilizations x {} sets = {} set analyses, {} methods each, simulate={})",
@@ -246,9 +275,10 @@ usage:
 const EXAMPLE_SPEC: &str = r#"# fnpr-campaign scenario spec (TOML; JSON works too)
 name = "example"
 seed = 2012
-workload = "acceptance"        # or "soundness" / "multicore"
+workload = "acceptance"        # or "soundness" / "multicore" / "cfg"
                                # (see examples/multicore_smoke.toml for the
-                               # multiprocessor grid)
+                               # multiprocessor grid, examples/cfg_smoke.toml
+                               # for the program->pipeline->curve sweep)
 
 [acceptance]
 sets_per_point = 200           # task sets per grid point

@@ -7,7 +7,9 @@
 //! experiment binaries into a batch engine:
 //!
 //! * **Scenario specs** ([`spec`]) — a serde-backed TOML/JSON description
-//!   of the workload, its parameter grid, and the outputs;
+//!   of the workload (acceptance, soundness, multicore, or the
+//!   CFG-pipeline workload of [`cfg_workload`]), its parameter grid, and
+//!   the outputs;
 //! * **Sharded execution** ([`exec`]) — grid shards are claimed by worker
 //!   threads from an atomic cursor, but every shard's RNG streams are pure
 //!   functions of the campaign seed and grid coordinates, so the same spec
@@ -47,6 +49,7 @@
 #![warn(clippy::all)]
 
 pub mod acceptance;
+pub mod cfg_workload;
 pub mod error;
 pub mod exec;
 pub mod memo;
@@ -85,7 +88,7 @@ pub fn run_campaign(
 ) -> Result<CampaignOutcome, CampaignError> {
     let threads = exec::resolve_threads(threads_override.or(campaign.threads));
     let scenario = format!("{:016x}", campaign.scenario_hash());
-    let (methods, acceptance_points, soundness_shards, multicore_points, memo) =
+    let (methods, acceptance_points, soundness_shards, multicore_points, cfg_points, memo) =
         match &campaign.workload {
             Workload::Acceptance(params) => {
                 let engine = acceptance::AcceptanceEngine::new();
@@ -100,6 +103,7 @@ pub fn run_campaign(
                     points,
                     Vec::new(),
                     Vec::new(),
+                    Vec::new(),
                     engine.taskset_memo.stats(),
                 )
             }
@@ -110,6 +114,7 @@ pub fn run_campaign(
                     Vec::new(),
                     Vec::new(),
                     shards,
+                    Vec::new(),
                     Vec::new(),
                     engine.bounds_memo.stats(),
                 )
@@ -127,7 +132,20 @@ pub fn run_campaign(
                     Vec::new(),
                     Vec::new(),
                     points,
+                    Vec::new(),
                     engine.taskset_memo.stats(),
+                )
+            }
+            Workload::Cfg(params) => {
+                let engine = cfg_workload::CfgEngine::new();
+                let points = cfg_workload::run(params, campaign.seed, threads, &engine)?;
+                (
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    points,
+                    engine.program_memo.stats() + engine.curve_memo.stats(),
                 )
             }
         };
@@ -135,6 +153,7 @@ pub fn run_campaign(
         &acceptance_points,
         &soundness_shards,
         &multicore_points,
+        &cfg_points,
         &methods,
     );
     Ok(CampaignOutcome {
@@ -147,6 +166,7 @@ pub fn run_campaign(
             acceptance: acceptance_points,
             soundness: soundness_shards,
             multicore: multicore_points,
+            cfg: cfg_points,
             summary,
         },
         memo,

@@ -122,12 +122,22 @@ impl ScenarioHasher {
         self
     }
 
-    /// Mixes a float by bit pattern (`-0.0` normalized to `0.0` so equal
-    /// values hash equally).
+    /// Mixes a float by bit pattern, canonicalized so that *equal inputs
+    /// hash equally*: `-0.0` normalizes to `0.0`, and every NaN bit pattern
+    /// (quiet/signalling, any payload, either sign) collapses to one
+    /// canonical word. Without the NaN rule, two runs producing NaN through
+    /// different operations could disagree on a scenario hash — silently
+    /// defeating `(curve, Q)` memoization and shard determinism.
     #[must_use]
     pub fn f64(self, x: f64) -> Self {
-        let x = if x == 0.0 { 0.0 } else { x };
-        self.word(x.to_bits())
+        let bits = if x.is_nan() {
+            0x7ff8_0000_0000_0000 // canonical quiet NaN
+        } else if x == 0.0 {
+            0 // +0.0; also reached for -0.0
+        } else {
+            x.to_bits()
+        };
+        self.word(bits)
     }
 
     /// Mixes a string.
@@ -196,6 +206,32 @@ mod tests {
         assert_eq!(
             ScenarioHasher::new(0).f64(0.0).finish(),
             ScenarioHasher::new(0).f64(-0.0).finish()
+        );
+    }
+
+    #[test]
+    fn nan_bit_patterns_hash_identically() {
+        let canonical = ScenarioHasher::new(0).f64(f64::NAN).finish();
+        for bits in [
+            0x7ff8_0000_0000_0000u64, // quiet NaN
+            0x7ff8_0000_0000_0001,    // payload variant
+            0x7ff0_0000_0000_0001,    // signalling NaN
+            0xfff8_0000_0000_0000,    // negative quiet NaN
+            0xfff0_dead_beef_0001,    // negative signalling with payload
+        ] {
+            let x = f64::from_bits(bits);
+            assert!(x.is_nan());
+            assert_eq!(
+                ScenarioHasher::new(0).f64(x).finish(),
+                canonical,
+                "NaN bits {bits:#x} hashed differently"
+            );
+        }
+        // And NaN stays distinct from ordinary values and infinities.
+        assert_ne!(canonical, ScenarioHasher::new(0).f64(0.0).finish());
+        assert_ne!(
+            canonical,
+            ScenarioHasher::new(0).f64(f64::INFINITY).finish()
         );
     }
 

@@ -71,6 +71,56 @@ pub struct MulticorePoint {
     pub migrations_mean: f64,
 }
 
+/// One grid point of a `[cfg]` campaign: generated structured programs of
+/// one shape, analysed through the full Section IV pipeline under one cache
+/// geometry, bounded against one `Qi` choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfgPoint {
+    /// Human-readable shape tag (spec `tag` prefix + `d<depth>_l<loop>_f<footprint>`).
+    pub shape: String,
+    /// Maximum region nesting depth of the generated programs.
+    pub depth: usize,
+    /// Maximum loop iteration bound drawn.
+    pub loop_iterations: u64,
+    /// Distinct data lines in the access pool.
+    pub footprint: u64,
+    /// Cache sets.
+    pub sets: usize,
+    /// Cache ways per set.
+    pub associativity: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Block reload time (CRPD cost per evicted useful line).
+    pub reload_cost: f64,
+    /// `Qi` as a fraction of each program's WCET.
+    pub q_scale: f64,
+    /// Programs generated and analysed at this point.
+    pub programs: usize,
+    /// Mean basic-block count per program.
+    pub blocks_mean: f64,
+    /// Mean WCET of the reduced graphs.
+    pub wcet_mean: f64,
+    /// Mean peak of the derived delay curves `fi`.
+    pub curve_max_mean: f64,
+    /// Programs whose Algorithm 1 bound converged at this `Qi`.
+    pub alg1_converged: usize,
+    /// Programs whose Eq. 4 bound converged at this `Qi`.
+    pub eq4_converged: usize,
+    /// Mean Algorithm 1 cumulative delay over converged programs.
+    pub delay_mean: f64,
+    /// Mean Eq.4 ÷ Algorithm 1 delay ratio over `pessimism_count`
+    /// programs (>= 1 when the paper's dominance claim holds).
+    pub pessimism_mean: f64,
+    /// Worst observed Eq.4 ÷ Algorithm 1 ratio.
+    pub pessimism_max: f64,
+    /// Programs contributing to `pessimism_mean` (both bounds converged
+    /// with measurable Algorithm 1 delay).
+    pub pessimism_count: usize,
+    /// Programs violating the dominance ordering (Algorithm 1 above Eq. 4,
+    /// or diverging where Eq. 4 converged) — expected 0.
+    pub dominance_violations: usize,
+}
+
 /// One trial row of a soundness campaign (granularity follows
 /// `trials_per_shard`; by default one row per trial).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -153,13 +203,44 @@ pub struct CampaignReport {
     pub soundness: Vec<SoundnessShard>,
     /// Multicore grid points (empty for other workloads).
     pub multicore: Vec<MulticorePoint>,
+    /// CFG-workload grid points (empty for other workloads).
+    pub cfg: Vec<CfgPoint>,
     /// Totals.
     pub summary: Summary,
 }
 
+/// Quotes one CSV field per RFC 4180: fields containing a comma, double
+/// quote, CR or LF are wrapped in double quotes with embedded quotes
+/// doubled; everything else passes through unchanged. String fields in
+/// reports (policy/allocation labels, user-chosen shape tags) must go
+/// through this — an unquoted comma in a tag would shift every later
+/// column of its row.
+#[must_use]
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Formats a float aggregate for CSV at the given precision. Non-finite
+/// values render as the *empty field* — the CSV twin of the JSON export's
+/// `null` (the shim serializes NaN/Inf as `null`), so the two renderings of
+/// one report can never disagree about which aggregates were undefined.
+#[must_use]
+pub fn csv_f64(x: f64, precision: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.precision$}")
+    } else {
+        String::new()
+    }
+}
+
 impl CampaignReport {
     /// Renders the campaign-canonical CSV (header + one row per grid point
-    /// or trial).
+    /// or trial). String fields are RFC-4180 quoted; non-finite float
+    /// aggregates render as empty fields (JSON renders them as `null`).
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -168,20 +249,25 @@ impl CampaignReport {
                 out.push_str("policy,utilization,generated,attempts");
                 for m in &self.methods {
                     out.push(',');
-                    out.push_str(m);
+                    out.push_str(&csv_field(m));
                 }
                 out.push_str(",pessimism_gap_mean,pessimism_gap_max\n");
                 for p in &self.acceptance {
                     out.push_str(&format!(
-                        "{},{:.4},{},{}",
-                        p.policy, p.utilization, p.generated, p.attempts
+                        "{},{},{},{}",
+                        csv_field(&p.policy),
+                        csv_f64(p.utilization, 4),
+                        p.generated,
+                        p.attempts
                     ));
-                    for r in &p.ratios {
-                        out.push_str(&format!(",{r:.4}"));
+                    for &r in &p.ratios {
+                        out.push(',');
+                        out.push_str(&csv_f64(r, 4));
                     }
                     out.push_str(&format!(
-                        ",{:.4},{:.4}\n",
-                        p.pessimism_gap_mean, p.pessimism_gap_max
+                        ",{},{}\n",
+                        csv_f64(p.pessimism_gap_mean, 4),
+                        csv_f64(p.pessimism_gap_max, 4)
                     ));
                 }
             }
@@ -189,10 +275,15 @@ impl CampaignReport {
                 out.push_str("trial,q,naive,exact,algorithm1,eq4,sim_max\n");
                 for shard in &self.soundness {
                     for row in &shard.rows {
-                        let sim = row.sim_max.map_or(String::new(), |s| format!("{s:.3}"));
+                        let sim = row.sim_max.map_or(String::new(), |s| csv_f64(s, 3));
                         out.push_str(&format!(
-                            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{sim}\n",
-                            row.trial, row.q, row.naive, row.exact, row.algorithm1, row.eq4
+                            "{},{},{},{},{},{},{sim}\n",
+                            row.trial,
+                            csv_f64(row.q, 3),
+                            csv_f64(row.naive, 3),
+                            csv_f64(row.exact, 3),
+                            csv_f64(row.algorithm1, 3),
+                            csv_f64(row.eq4, 3)
                         ));
                     }
                 }
@@ -201,20 +292,60 @@ impl CampaignReport {
                 out.push_str("m,policy,allocation,utilization,generated,attempts");
                 for m in &self.methods {
                     out.push(',');
-                    out.push_str(m);
+                    out.push_str(&csv_field(m));
                 }
                 out.push_str(",sim_checks,sim_violations,migrations_mean\n");
                 for p in &self.multicore {
                     out.push_str(&format!(
-                        "{},{},{},{:.4},{},{}",
-                        p.m, p.policy, p.allocation, p.utilization, p.generated, p.attempts
+                        "{},{},{},{},{},{}",
+                        p.m,
+                        csv_field(&p.policy),
+                        csv_field(&p.allocation),
+                        csv_f64(p.utilization, 4),
+                        p.generated,
+                        p.attempts
                     ));
-                    for r in &p.ratios {
-                        out.push_str(&format!(",{r:.4}"));
+                    for &r in &p.ratios {
+                        out.push(',');
+                        out.push_str(&csv_f64(r, 4));
                     }
                     out.push_str(&format!(
-                        ",{},{},{:.4}\n",
-                        p.sim_checks, p.sim_violations, p.migrations_mean
+                        ",{},{},{}\n",
+                        p.sim_checks,
+                        p.sim_violations,
+                        csv_f64(p.migrations_mean, 4)
+                    ));
+                }
+            }
+            WorkloadKind::Cfg => {
+                out.push_str(
+                    "shape,depth,loop_iterations,footprint,sets,associativity,line_bytes,\
+                     reload_cost,q_scale,programs,blocks_mean,wcet_mean,curve_max_mean,\
+                     alg1_converged,eq4_converged,delay_mean,pessimism_mean,pessimism_max,\
+                     dominance_violations\n",
+                );
+                for p in &self.cfg {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                        csv_field(&p.shape),
+                        p.depth,
+                        p.loop_iterations,
+                        p.footprint,
+                        p.sets,
+                        p.associativity,
+                        p.line_bytes,
+                        csv_f64(p.reload_cost, 2),
+                        csv_f64(p.q_scale, 4),
+                        p.programs,
+                        csv_f64(p.blocks_mean, 2),
+                        csv_f64(p.wcet_mean, 2),
+                        csv_f64(p.curve_max_mean, 2),
+                        p.alg1_converged,
+                        p.eq4_converged,
+                        csv_f64(p.delay_mean, 3),
+                        csv_f64(p.pessimism_mean, 4),
+                        csv_f64(p.pessimism_max, 4),
+                        p.dominance_violations
                     ));
                 }
             }
@@ -238,6 +369,7 @@ pub fn summarize(
     acceptance: &[AcceptancePoint],
     soundness: &[SoundnessShard],
     multicore: &[MulticorePoint],
+    cfg: &[CfgPoint],
     method_labels: &[String],
 ) -> Summary {
     let mut summary = Summary {
@@ -281,6 +413,15 @@ pub fn summarize(
         }
         summary.sim_violations += p.sim_violations;
     }
+    for p in cfg {
+        summary.instances += p.programs;
+        summary.dominance_violations += p.dominance_violations;
+        if p.pessimism_count > 0 {
+            gap_sum += p.pessimism_mean * p.pessimism_count as f64;
+            gap_weight += p.pessimism_count;
+        }
+        summary.pessimism_max = summary.pessimism_max.max(p.pessimism_max);
+    }
     let mut ratio_sum = 0.0;
     let mut ratio_count = 0usize;
     for s in soundness {
@@ -319,7 +460,7 @@ mod tests {
         let methods: Vec<String> = ["no_delay", "eq4", "algorithm1", "algorithm1_capped"]
             .map(String::from)
             .to_vec();
-        let summary = summarize(&points, &[], &[], &methods);
+        let summary = summarize(&points, &[], &[], &[], &methods);
         CampaignReport {
             name: "t".into(),
             workload: WorkloadKind::Acceptance,
@@ -329,6 +470,7 @@ mod tests {
             acceptance: points,
             soundness: vec![],
             multicore: vec![],
+            cfg: vec![],
             summary,
         }
     }
@@ -355,20 +497,176 @@ mod tests {
         assert_eq!(parsed, report);
     }
 
+    fn sample_cfg_point() -> CfgPoint {
+        CfgPoint {
+            shape: "d2_l4_f8".into(),
+            depth: 2,
+            loop_iterations: 4,
+            footprint: 8,
+            sets: 16,
+            associativity: 1,
+            line_bytes: 16,
+            reload_cost: 10.0,
+            q_scale: 0.5,
+            programs: 6,
+            blocks_mean: 7.5,
+            wcet_mean: 52.0,
+            curve_max_mean: 18.0,
+            alg1_converged: 6,
+            eq4_converged: 5,
+            delay_mean: 30.0,
+            pessimism_mean: 1.4,
+            pessimism_max: 2.0,
+            pessimism_count: 5,
+            dominance_violations: 0,
+        }
+    }
+
+    fn sample_cfg_report() -> CampaignReport {
+        let points = vec![sample_cfg_point()];
+        let summary = summarize(&[], &[], &[], &points, &[]);
+        CampaignReport {
+            name: "c".into(),
+            workload: WorkloadKind::Cfg,
+            seed: 1,
+            scenario: "abcd".into(),
+            methods: vec![],
+            acceptance: vec![],
+            soundness: vec![],
+            multicore: vec![],
+            cfg: points,
+            summary,
+        }
+    }
+
+    #[test]
+    fn cfg_csv_shape_and_summary() {
+        let report = sample_cfg_report();
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "shape,depth,loop_iterations,footprint,sets,associativity,line_bytes,reload_cost,\
+             q_scale,programs,blocks_mean,wcet_mean,curve_max_mean,alg1_converged,eq4_converged,\
+             delay_mean,pessimism_mean,pessimism_max,dominance_violations"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "d2_l4_f8,2,4,8,16,1,16,10.00,0.5000,6,7.50,52.00,18.00,6,5,30.000,1.4000,2.0000,0"
+        );
+        assert_eq!(lines.next(), None);
+        assert_eq!(report.summary.instances, 6);
+        assert_eq!(report.summary.dominance_violations, 0);
+        assert!((report.summary.pessimism_mean - 1.4).abs() < 1e-12);
+        assert_eq!(report.summary.pessimism_max, 2.0);
+        // JSON round-trips the cfg points too.
+        let parsed: CampaignReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(&parsed, &report);
+    }
+
+    #[test]
+    fn cfg_summary_counts_dominance_violations() {
+        let mut point = sample_cfg_point();
+        point.dominance_violations = 2;
+        let summary = summarize(&[], &[], &[], &[point], &[]);
+        assert_eq!(summary.dominance_violations, 2);
+    }
+
+    #[test]
+    fn csv_quotes_string_fields_per_rfc4180() {
+        // A user-chosen tag containing commas, quotes and a newline must
+        // not shift columns or break rows.
+        let mut report = sample_cfg_report();
+        report.cfg[0].shape = "sweep \"A\", 2nd\ntry:d2_l4_f8".into();
+        let csv = report.to_csv();
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        // The row survives as one logical record: quoted field intact.
+        let body = csv.split_once('\n').unwrap().1;
+        assert!(
+            body.starts_with("\"sweep \"\"A\"\", 2nd\ntry:d2_l4_f8\","),
+            "bad quoting: {body}"
+        );
+        // Stripping the quoted field (it ends at the last `",`) leaves
+        // exactly the remaining columns.
+        let rest = body.rsplit("\",").next().unwrap();
+        assert_eq!(rest.trim_end().split(',').count(), header_cols - 1);
+
+        // Plain fields stay unquoted.
+        assert_eq!(csv_field("first_fit"), "first_fit");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+
+        // The multicore arm quotes its labels through the same helper.
+        let mc = MulticorePoint {
+            m: 2,
+            policy: "fp,custom".into(),
+            allocation: "first_fit".into(),
+            utilization: 0.4,
+            generated: 1,
+            attempts: 1,
+            accepted: vec![1],
+            ratios: vec![1.0],
+            sim_checks: 0,
+            sim_violations: 0,
+            sim_jobs: 0,
+            sim_migrations: 0,
+            migrations_mean: 0.0,
+        };
+        let report = CampaignReport {
+            name: "m".into(),
+            workload: WorkloadKind::Multicore,
+            seed: 1,
+            scenario: "abcd".into(),
+            methods: vec!["no_delay".into()],
+            acceptance: vec![],
+            soundness: vec![],
+            multicore: vec![mc],
+            cfg: vec![],
+            summary: summarize(&[], &[], &[], &[], &[]),
+        };
+        let row = report.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.starts_with("2,\"fp,custom\",first_fit,"), "row: {row}");
+    }
+
+    #[test]
+    fn non_finite_aggregates_encode_as_empty_csv_and_json_null() {
+        let mut report = sample_acceptance_report();
+        report.acceptance[0].pessimism_gap_mean = f64::NAN;
+        report.acceptance[0].pessimism_gap_max = f64::INFINITY;
+        report.summary.pessimism_mean = f64::NAN;
+        // CSV: the NaN/Inf columns are empty fields, not "NaN"/"inf".
+        let csv = report.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with(",,"), "non-finite fields not empty: {row}");
+        assert!(!csv.contains("NaN") && !csv.contains("inf"), "{csv}");
+        // JSON: the same aggregates are null (shim behaviour), so the two
+        // exports agree about which values were undefined.
+        let json = report.to_json();
+        assert!(
+            json.contains("\"pessimism_gap_mean\": null"),
+            "JSON kept a non-finite literal: {json}"
+        );
+        assert!(json.contains("\"pessimism_gap_max\": null"));
+        // Column count stays intact for downstream CSV parsers.
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(row.split(',').count(), header_cols);
+    }
+
     #[test]
     fn summary_flags_dominance_violation() {
         let mut report = sample_acceptance_report();
         // Algorithm 1 accepting FEWER sets than Eq. 4 is a violation.
         report.acceptance[0].accepted = vec![10, 8, 6, 6];
-        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &[], &report.methods);
         assert_eq!(summary.dominance_violations, 1);
         // An inflated method beating no-delay is also flagged.
         report.acceptance[0].accepted = vec![5, 6, 6, 6];
-        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &[], &report.methods);
         assert!(summary.dominance_violations >= 1);
         // The canonical ordering is clean.
         report.acceptance[0].accepted = vec![10, 6, 8, 8];
-        let summary = summarize(&report.acceptance, &[], &[], &report.methods);
+        let summary = summarize(&report.acceptance, &[], &[], &[], &report.methods);
         assert_eq!(summary.dominance_violations, 0);
     }
 
@@ -406,7 +704,7 @@ mod tests {
                 ratio_count: 2,
             },
         ];
-        let summary = summarize(&[], &shards, &[], &[]);
+        let summary = summarize(&[], &shards, &[], &[], &[]);
         assert_eq!(summary.instances, 1);
         assert_eq!(summary.naive_unsound, 3);
         assert_eq!(summary.dominance_violations, 1);

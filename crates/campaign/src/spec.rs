@@ -7,7 +7,7 @@
 
 use fnpr_multicore::Heuristic;
 use fnpr_sched::DelayMethod;
-use fnpr_synth::{Policy, TaskSetParams};
+use fnpr_synth::{Policy, ProgramGenParams, TaskSetParams};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CampaignError;
@@ -25,6 +25,10 @@ pub enum WorkloadKind {
     /// Multiprocessor acceptance ratios over an (m × utilization ×
     /// allocation × policy) grid, with m-core simulator soundness checks.
     Multicore,
+    /// Generated structured programs through the full Section IV pipeline
+    /// (compile → CRPD → delay curve → bounds), swept over cache-geometry
+    /// and program-shape axes against `Qi`.
+    Cfg,
 }
 
 /// How tasks reach cores in the multicore workload: one of the partitioned
@@ -66,8 +70,9 @@ pub struct CampaignSpec {
     /// Worker threads (CLI `--threads` overrides; default: all cores).
     pub threads: Option<usize>,
     /// Which workload to run. When absent and exactly one workload table
-    /// (`[acceptance]` / `[soundness]` / `[multicore]`) is present, that
-    /// workload is inferred; otherwise the default is acceptance.
+    /// (`[acceptance]` / `[soundness]` / `[multicore]` / `[cfg]`) is
+    /// present, that workload is inferred; otherwise the default is
+    /// acceptance.
     pub workload: Option<WorkloadKind>,
     /// Acceptance-workload parameters.
     pub acceptance: Option<AcceptanceSpec>,
@@ -75,6 +80,8 @@ pub struct CampaignSpec {
     pub soundness: Option<SoundnessSpec>,
     /// Multicore-workload parameters.
     pub multicore: Option<MulticoreSpec>,
+    /// CFG-workload parameters.
+    pub cfg: Option<CfgSpec>,
     /// Output locations.
     pub output: Option<OutputSpec>,
 }
@@ -218,6 +225,60 @@ pub struct MulticoreSpec {
     pub taskset: Option<TaskSetParams>,
 }
 
+/// CFG-workload parameters: generated structured programs through the full
+/// pipeline, swept over program-shape axes (depth × loop bound × data
+/// footprint), cache-geometry axes (sets × associativity × line size ×
+/// reload cost) and a `Qi` axis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CfgSpec {
+    /// Generated programs per grid point (default 8).
+    pub programs_per_point: Option<usize>,
+    /// Free-form label prefixed to every row's shape tag (default none).
+    /// Arbitrary text is fine — CSV output quotes it per RFC 4180.
+    pub tag: Option<String>,
+    /// Program nesting-depth axis (default `[2, 3]`; 0 = single block).
+    pub depths: Option<Vec<usize>>,
+    /// Maximum-loop-iteration axis (default `[4]`).
+    pub loop_iterations: Option<Vec<u64>>,
+    /// Data-footprint axis: distinct data lines per program (default
+    /// `[8]`; 0 = instruction fetches only).
+    pub footprints: Option<Vec<u64>>,
+    /// `Qi` axis as fractions of each program's WCET (default
+    /// `[0.25, 0.5]`).
+    pub q_scales: Option<GridSpec>,
+    /// Cache-set axis (default `[32]`).
+    pub sets: Option<Vec<usize>>,
+    /// Associativity axis (default `[1]`).
+    pub associativity: Option<Vec<usize>>,
+    /// Line-size axis in bytes (default `[16]`; at most the generator's
+    /// data stride, [`fnpr_synth::DATA_STRIDE`], so footprint entries
+    /// cannot alias onto one line).
+    pub line_bytes: Option<Vec<u64>>,
+    /// Block-reload-time axis (default `[10.0]`).
+    pub reload_cost: Option<Vec<f64>>,
+    /// Program-generation template; `max_depth`, `max_loop_iterations` and
+    /// `footprint_lines` are replaced by the grid axes.
+    pub program: Option<ProgramSpec>,
+}
+
+/// Optional overrides for the non-axis program-generation parameters (see
+/// [`fnpr_synth::ProgramGenParams`] for the semantics and defaults).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Maximum children of a sequence region.
+    pub max_sequence: Option<usize>,
+    /// Per-block execution-time range.
+    pub cost_range: Option<(f64, f64)>,
+    /// Probability of a region being a branch.
+    pub branch_probability: Option<f64>,
+    /// Probability of a region being a loop.
+    pub loop_probability: Option<f64>,
+    /// Code bytes per basic block.
+    pub block_bytes: Option<u64>,
+    /// Inclusive range of data accesses per basic block.
+    pub accesses_per_block: Option<(usize, usize)>,
+}
+
 /// Where to write results. Relative paths resolve against the working
 /// directory of the `fnpr-campaign` process.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -253,6 +314,8 @@ pub enum Workload {
     Soundness(SoundnessParams),
     /// See [`MulticoreSpec`].
     Multicore(MulticoreParams),
+    /// See [`CfgSpec`].
+    Cfg(CfgParams),
 }
 
 /// Validated acceptance parameters (no options left).
@@ -328,6 +391,33 @@ pub struct MulticoreParams {
     pub taskset: TaskSetParams,
 }
 
+/// Validated CFG-workload parameters (no options left).
+#[derive(Debug, Clone)]
+pub struct CfgParams {
+    /// Programs per grid point.
+    pub programs_per_point: usize,
+    /// User label prefixed to shape tags (may be empty).
+    pub tag: String,
+    /// Depth axis.
+    pub depths: Vec<usize>,
+    /// Loop-iteration axis.
+    pub loop_iterations: Vec<u64>,
+    /// Footprint axis.
+    pub footprints: Vec<u64>,
+    /// `Qi` axis (fractions of WCET).
+    pub q_scales: Vec<f64>,
+    /// Cache-set axis.
+    pub sets: Vec<usize>,
+    /// Associativity axis.
+    pub associativity: Vec<usize>,
+    /// Line-size axis.
+    pub line_bytes: Vec<u64>,
+    /// Reload-cost axis.
+    pub reload_costs: Vec<f64>,
+    /// Generation template (axis fields replaced per point).
+    pub program: ProgramGenParams,
+}
+
 impl CampaignSpec {
     /// Parses a spec from TOML or JSON text, sniffing the format: anything
     /// whose first non-blank byte is `{` parses as JSON, else TOML.
@@ -375,6 +465,7 @@ impl CampaignSpec {
         let workload_table = match spec.workload.or_else(|| spec.inferred_workload()) {
             Some(WorkloadKind::Soundness) => "soundness",
             Some(WorkloadKind::Multicore) => "multicore",
+            Some(WorkloadKind::Cfg) => "cfg",
             Some(WorkloadKind::Acceptance) | None => "acceptance",
         };
         spec.validate().map_err(|e| match e {
@@ -406,6 +497,7 @@ impl CampaignSpec {
             }
             Some(WorkloadKind::Soundness) => Workload::Soundness(self.validate_soundness()?),
             Some(WorkloadKind::Multicore) => Workload::Multicore(self.validate_multicore()?),
+            Some(WorkloadKind::Cfg) => Workload::Cfg(self.validate_cfg()?),
         };
         if let Some(0) = self.threads {
             return Err(CampaignError::Spec("`threads` must be >= 1".into()));
@@ -429,6 +521,7 @@ impl CampaignSpec {
                 .then_some(WorkloadKind::Acceptance),
             self.soundness.is_some().then_some(WorkloadKind::Soundness),
             self.multicore.is_some().then_some(WorkloadKind::Multicore),
+            self.cfg.is_some().then_some(WorkloadKind::Cfg),
         ];
         let mut it = present.into_iter().flatten();
         match (it.next(), it.next()) {
@@ -592,6 +685,167 @@ impl CampaignSpec {
         Ok(params)
     }
 
+    fn validate_cfg(&self) -> Result<CfgParams, CampaignError> {
+        let c = self.cfg.clone().unwrap_or_default();
+        let template = c.program.unwrap_or_default();
+        let defaults = ProgramGenParams::default();
+        let program = ProgramGenParams {
+            max_sequence: template.max_sequence.unwrap_or(defaults.max_sequence),
+            cost_range: template.cost_range.unwrap_or(defaults.cost_range),
+            branch_probability: template
+                .branch_probability
+                .unwrap_or(defaults.branch_probability),
+            loop_probability: template
+                .loop_probability
+                .unwrap_or(defaults.loop_probability),
+            block_bytes: template.block_bytes.unwrap_or(defaults.block_bytes),
+            accesses_per_block: template
+                .accesses_per_block
+                .unwrap_or(defaults.accesses_per_block),
+            // Axis fields; replaced per grid point.
+            ..defaults
+        };
+        let params = CfgParams {
+            programs_per_point: c.programs_per_point.unwrap_or(8),
+            tag: c.tag.unwrap_or_default(),
+            depths: c.depths.unwrap_or_else(|| vec![2, 3]),
+            loop_iterations: c.loop_iterations.unwrap_or_else(|| vec![4]),
+            footprints: c.footprints.unwrap_or_else(|| vec![8]),
+            q_scales: c
+                .q_scales
+                .unwrap_or(GridSpec {
+                    start: None,
+                    stop: None,
+                    step: None,
+                    values: Some(vec![0.25, 0.5]),
+                })
+                .expand()?,
+            sets: c.sets.unwrap_or_else(|| vec![32]),
+            associativity: c.associativity.unwrap_or_else(|| vec![1]),
+            line_bytes: c.line_bytes.unwrap_or_else(|| vec![16]),
+            reload_costs: c.reload_cost.unwrap_or_else(|| vec![10.0]),
+            program,
+        };
+        if params.programs_per_point == 0 {
+            return Err(CampaignError::Spec(
+                "`programs_per_point` must be >= 1".into(),
+            ));
+        }
+        if params.depths.is_empty() {
+            return Err(CampaignError::Spec("`depths` must be non-empty".into()));
+        }
+        // Program size grows like fan^depth, where the per-level fan-out
+        // is max_sequence for sequences but always 2 for branches; reject
+        // grids whose estimated node count would hang or OOM the run
+        // instead of failing here with a named cause.
+        let fan = if params.program.branch_probability > 0.0 {
+            params.program.max_sequence.max(2)
+        } else {
+            params.program.max_sequence
+        };
+        for &d in &params.depths {
+            // Generation and compilation recurse once per nesting level, so
+            // depth is also bounded on its own — a fan-out-1 spec must not
+            // sneak past the node-count estimate into a stack overflow.
+            if d > 64 {
+                return Err(CampaignError::Spec(format!(
+                    "`depths` value {d} exceeds the maximum nesting depth 64"
+                )));
+            }
+            let nodes = (fan as f64).powi(d as i32);
+            if nodes > 1e6 {
+                return Err(CampaignError::Spec(format!(
+                    "`depths` value {d} with region fan-out {fan} (max_sequence {}, \
+                     branches 2-way) expands to ~{nodes:.0} statement nodes per \
+                     program; keep fan^depth <= 1e6",
+                    params.program.max_sequence
+                )));
+            }
+        }
+        if params.loop_iterations.is_empty() || params.loop_iterations.contains(&0) {
+            return Err(CampaignError::Spec(
+                "`loop_iterations` must be a non-empty list of bounds >= 1".into(),
+            ));
+        }
+        if params.footprints.is_empty() {
+            return Err(CampaignError::Spec("`footprints` must be non-empty".into()));
+        }
+        for &q in &params.q_scales {
+            if !(q > 0.0 && q <= 1.0) {
+                return Err(CampaignError::Spec(format!(
+                    "`q_scales` value {q} outside (0, 1]"
+                )));
+            }
+        }
+        if params.sets.is_empty() || params.sets.contains(&0) {
+            return Err(CampaignError::Spec(
+                "`sets` must be a non-empty list of set counts >= 1".into(),
+            ));
+        }
+        if params.associativity.is_empty() || params.associativity.contains(&0) {
+            return Err(CampaignError::Spec(
+                "`associativity` must be a non-empty list of way counts >= 1".into(),
+            ));
+        }
+        if params.line_bytes.is_empty() || params.line_bytes.contains(&0) {
+            return Err(CampaignError::Spec(
+                "`line_bytes` must be a non-empty list of line sizes >= 1".into(),
+            ));
+        }
+        // The generator spaces its data pool DATA_STRIDE bytes apart so
+        // each footprint entry occupies its own cache line; a larger line
+        // would silently alias pool entries and skew the footprint axis.
+        if let Some(&line) = params
+            .line_bytes
+            .iter()
+            .find(|&&l| l > fnpr_synth::DATA_STRIDE)
+        {
+            return Err(CampaignError::Spec(format!(
+                "`line_bytes` value {line} exceeds the generator's data stride \
+                 ({}); distinct footprint lines would alias onto one cache line",
+                fnpr_synth::DATA_STRIDE
+            )));
+        }
+        if params.reload_costs.is_empty()
+            || params
+                .reload_costs
+                .iter()
+                .any(|&b| !(b.is_finite() && b >= 0.0))
+        {
+            return Err(CampaignError::Spec(
+                "`reload_cost` must be a non-empty list of finite costs >= 0".into(),
+            ));
+        }
+        if params.program.max_sequence == 0 {
+            return Err(CampaignError::Spec("`max_sequence` must be >= 1".into()));
+        }
+        let (lo, hi) = params.program.cost_range;
+        if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi > lo) {
+            return Err(CampaignError::Spec(format!(
+                "`cost_range` must satisfy 0 < lo < hi, got ({lo}, {hi})"
+            )));
+        }
+        let (bp, lp) = (
+            params.program.branch_probability,
+            params.program.loop_probability,
+        );
+        if !(bp.is_finite() && lp.is_finite() && bp >= 0.0 && lp >= 0.0 && bp + lp <= 1.0) {
+            return Err(CampaignError::Spec(format!(
+                "`branch_probability` + `loop_probability` must stay within [0, 1], got {bp} + {lp}"
+            )));
+        }
+        if params.program.block_bytes == 0 {
+            return Err(CampaignError::Spec("`block_bytes` must be >= 1".into()));
+        }
+        let (alo, ahi) = params.program.accesses_per_block;
+        if alo > ahi {
+            return Err(CampaignError::Spec(format!(
+                "`accesses_per_block` must satisfy lo <= hi, got ({alo}, {ahi})"
+            )));
+        }
+        Ok(params)
+    }
+
     fn validate_soundness(&self) -> Result<SoundnessParams, CampaignError> {
         let s = self.soundness.clone().unwrap_or_default();
         let params = SoundnessParams {
@@ -635,6 +889,7 @@ impl Campaign {
             Workload::Acceptance(_) => WorkloadKind::Acceptance,
             Workload::Soundness(_) => WorkloadKind::Soundness,
             Workload::Multicore(_) => WorkloadKind::Multicore,
+            Workload::Cfg(_) => WorkloadKind::Cfg,
         }
     }
 
@@ -720,6 +975,54 @@ impl Campaign {
                 h = h.word(mc.utilizations.len() as u64);
                 for &u in &mc.utilizations {
                     h = h.f64(u);
+                }
+                h.finish()
+            }
+            Workload::Cfg(c) => {
+                let mut h = h
+                    .word(4)
+                    .word(c.programs_per_point as u64)
+                    .str(&c.tag)
+                    .word(c.program.max_sequence as u64)
+                    .f64(c.program.cost_range.0)
+                    .f64(c.program.cost_range.1)
+                    .f64(c.program.branch_probability)
+                    .f64(c.program.loop_probability)
+                    .word(c.program.block_bytes)
+                    .word(c.program.accesses_per_block.0 as u64)
+                    .word(c.program.accesses_per_block.1 as u64);
+                // Length-prefixed axes, same aliasing argument as multicore.
+                h = h.word(c.depths.len() as u64);
+                for &d in &c.depths {
+                    h = h.word(d as u64);
+                }
+                h = h.word(c.loop_iterations.len() as u64);
+                for &l in &c.loop_iterations {
+                    h = h.word(l);
+                }
+                h = h.word(c.footprints.len() as u64);
+                for &f in &c.footprints {
+                    h = h.word(f);
+                }
+                h = h.word(c.q_scales.len() as u64);
+                for &q in &c.q_scales {
+                    h = h.f64(q);
+                }
+                h = h.word(c.sets.len() as u64);
+                for &s in &c.sets {
+                    h = h.word(s as u64);
+                }
+                h = h.word(c.associativity.len() as u64);
+                for &a in &c.associativity {
+                    h = h.word(a as u64);
+                }
+                h = h.word(c.line_bytes.len() as u64);
+                for &l in &c.line_bytes {
+                    h = h.word(l);
+                }
+                h = h.word(c.reload_costs.len() as u64);
+                for &b in &c.reload_costs {
+                    h = h.f64(b);
                 }
                 h.finish()
             }
@@ -997,6 +1300,8 @@ simulate = false
             spec.validate().unwrap().workload_kind(),
             WorkloadKind::Multicore
         );
+        let spec = CampaignSpec::parse("[cfg]\nprograms_per_point = 3\n").unwrap();
+        assert_eq!(spec.validate().unwrap().workload_kind(), WorkloadKind::Cfg);
         // An explicit `workload` key always wins over the tables.
         let spec =
             CampaignSpec::parse("workload = \"acceptance\"\n[soundness]\ntrials = 5\n").unwrap();
@@ -1011,7 +1316,7 @@ simulate = false
         let err = CampaignSpec::parse("workload = \"multicre\"\n").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("multicre"), "offending value absent: {msg}");
-        for kind in ["acceptance", "soundness", "multicore"] {
+        for kind in ["acceptance", "soundness", "multicore", "cfg"] {
             assert!(msg.contains(kind), "valid kind {kind} absent: {msg}");
         }
         // And the toml line index points at the offending line.
@@ -1030,6 +1335,125 @@ simulate = false
             let spec = CampaignSpec::parse(text).unwrap();
             assert!(spec.validate().is_err(), "accepted {text:?}");
         }
+    }
+
+    #[test]
+    fn cfg_spec_round_trip() {
+        let text = r#"
+name = "cfg"
+seed = 3
+workload = "cfg"
+
+[cfg]
+programs_per_point = 5
+tag = "sweep A"
+depths = [1, 2]
+loop_iterations = [3, 6]
+footprints = [0, 8]
+q_scales = { values = [0.3, 0.6] }
+sets = [16, 64]
+associativity = [1, 2]
+line_bytes = [16]
+reload_cost = [5.0, 10.0]
+
+[cfg.program]
+max_sequence = 2
+cost_range = [2.0, 12.0]
+branch_probability = 0.4
+loop_probability = 0.3
+block_bytes = 32
+accesses_per_block = [0, 2]
+"#;
+        let campaign = CampaignSpec::parse(text).unwrap().validate().unwrap();
+        let Workload::Cfg(c) = &campaign.workload else {
+            panic!("expected cfg");
+        };
+        assert_eq!(c.programs_per_point, 5);
+        assert_eq!(c.tag, "sweep A");
+        assert_eq!(c.depths, vec![1, 2]);
+        assert_eq!(c.loop_iterations, vec![3, 6]);
+        assert_eq!(c.footprints, vec![0, 8]);
+        assert_eq!(c.q_scales, vec![0.3, 0.6]);
+        assert_eq!(c.sets, vec![16, 64]);
+        assert_eq!(c.associativity, vec![1, 2]);
+        assert_eq!(c.line_bytes, vec![16]);
+        assert_eq!(c.reload_costs, vec![5.0, 10.0]);
+        assert_eq!(c.program.max_sequence, 2);
+        assert_eq!(c.program.cost_range, (2.0, 12.0));
+        assert_eq!(c.program.block_bytes, 32);
+        assert_eq!(c.program.accesses_per_block, (0, 2));
+        assert_eq!(campaign.workload_kind(), WorkloadKind::Cfg);
+    }
+
+    #[test]
+    fn cfg_defaults_validate() {
+        let spec = CampaignSpec {
+            workload: Some(WorkloadKind::Cfg),
+            ..CampaignSpec::default()
+        };
+        let Workload::Cfg(c) = spec.validate().unwrap().workload else {
+            panic!("expected cfg");
+        };
+        assert_eq!(c.programs_per_point, 8);
+        assert_eq!(c.depths, vec![2, 3]);
+        assert_eq!(c.q_scales, vec![0.25, 0.5]);
+        assert_eq!(c.sets, vec![32]);
+        assert!(c.tag.is_empty());
+    }
+
+    #[test]
+    fn cfg_rejects_bad_specs() {
+        for text in [
+            "workload = \"cfg\"\n[cfg]\nprograms_per_point = 0\n",
+            "workload = \"cfg\"\n[cfg]\ndepths = []\n",
+            "workload = \"cfg\"\n[cfg]\nloop_iterations = [0]\n",
+            "workload = \"cfg\"\n[cfg]\nq_scales = { values = [1.5] }\n",
+            "workload = \"cfg\"\n[cfg]\nsets = [0]\n",
+            "workload = \"cfg\"\n[cfg]\nassociativity = []\n",
+            "workload = \"cfg\"\n[cfg]\nline_bytes = [0]\n",
+            "workload = \"cfg\"\n[cfg]\nline_bytes = [128]\n",
+            "workload = \"cfg\"\n[cfg]\ndepths = [30]\n",
+            // Branch fan-out (2-way) must count even when max_sequence = 1.
+            "workload = \"cfg\"\n[cfg]\ndepths = [24]\n[cfg.program]\nmax_sequence = 1\nbranch_probability = 1.0\nloop_probability = 0.0\n",
+            // Recursion depth is bounded even at fan-out 1 (node count 1).
+            "workload = \"cfg\"\n[cfg]\ndepths = [500000]\n[cfg.program]\nmax_sequence = 1\nbranch_probability = 0.0\nloop_probability = 0.0\n",
+            "workload = \"cfg\"\n[cfg]\nreload_cost = [-1.0]\n",
+            "workload = \"cfg\"\n[cfg]\n[cfg.program]\ncost_range = [5.0, 2.0]\n",
+            "workload = \"cfg\"\n[cfg]\n[cfg.program]\nbranch_probability = 0.8\nloop_probability = 0.4\n",
+            "workload = \"cfg\"\n[cfg]\n[cfg.program]\naccesses_per_block = [3, 1]\n",
+        ] {
+            let spec = CampaignSpec::parse(text).unwrap();
+            assert!(spec.validate().is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn cfg_hash_tracks_every_axis() {
+        let base = "workload = \"cfg\"\n[cfg]\n";
+        let hash = |body: &str| {
+            CampaignSpec::parse(&format!("{base}{body}"))
+                .unwrap()
+                .validate()
+                .unwrap()
+                .scenario_hash()
+        };
+        let reference = hash("");
+        for body in [
+            "programs_per_point = 9\n",
+            "tag = \"x\"\n",
+            "depths = [2]\n",
+            "loop_iterations = [5]\n",
+            "footprints = [9]\n",
+            "q_scales = { values = [0.5] }\n",
+            "sets = [64]\n",
+            "associativity = [2]\n",
+            "line_bytes = [32]\n",
+            "reload_cost = [2.0]\n",
+        ] {
+            assert_ne!(reference, hash(body), "axis change not hashed: {body}");
+        }
+        // Outputs stay out of the hash.
+        assert_eq!(reference, hash("")); // stable
     }
 
     #[test]

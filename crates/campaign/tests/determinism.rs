@@ -105,6 +105,32 @@ deadline_factor = [1.0, 1.0]
     })
 }
 
+fn arb_cfg_spec() -> impl Strategy<Value = CampaignSpec> {
+    (0u64..1000, 2usize..5, 1usize..4, 0u64..17, 0.2f64..0.9).prop_map(
+        |(seed, programs, depth, footprint, q)| {
+            CampaignSpec::parse(&format!(
+                r#"
+name = "prop-cfg"
+seed = {seed}
+workload = "cfg"
+
+[cfg]
+programs_per_point = {programs}
+depths = [{depth}]
+loop_iterations = [3]
+footprints = [{footprint}]
+q_scales = {{ values = [{q:.4}] }}
+sets = [16, 64]
+associativity = [1]
+line_bytes = [16]
+reload_cost = [10.0]
+"#
+            ))
+            .expect("template parses")
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -126,6 +152,15 @@ proptest! {
     /// partitioning, global tests and m-core simulator streams.
     #[test]
     fn multicore_aggregates_are_thread_invariant(spec in arb_multicore_spec()) {
+        assert_thread_invariant(&spec);
+    }
+
+    /// CFG campaigns: identical aggregates at 1, 2 and 8 threads — the
+    /// program-generation, pipeline and memo layers (programs shared across
+    /// geometry points, curves shared across Q points) must not leak
+    /// scheduling into results.
+    #[test]
+    fn cfg_aggregates_are_thread_invariant(spec in arb_cfg_spec()) {
         assert_thread_invariant(&spec);
     }
 }

@@ -109,6 +109,61 @@ fn multicore_smoke_spec_runs_and_exports() {
 }
 
 #[test]
+fn cfg_smoke_spec_runs_the_real_pipeline_end_to_end() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/cfg_smoke.toml");
+    let spec = CampaignSpec::load(&path).expect("cfg smoke spec loads");
+    let campaign = spec.validate().expect("cfg smoke spec validates");
+    assert_eq!(campaign.workload_kind(), WorkloadKind::Cfg);
+    let outcome = run_campaign(&campaign, Some(4)).expect("cfg smoke campaign runs");
+    let report = &outcome.report;
+
+    // 2 depths x 1 loop bound x 2 footprints x (2 set counts x 1 x 1 x 2
+    // reload costs) x 2 q scales.
+    assert_eq!(report.cfg.len(), 32);
+    assert!(report.summary.instances > 0, "no programs analysed");
+    assert_eq!(
+        report.summary.dominance_violations, 0,
+        "Algorithm 1 / Eq. 4 ordering violated on derived curves"
+    );
+    // The whole point of the workload: real program structure produces
+    // real (nonzero) delay curves somewhere on the grid.
+    assert!(
+        report.cfg.iter().any(|p| p.curve_max_mean > 0.0),
+        "no derived curve had CRPD — the pipeline is not being exercised"
+    );
+    // Pessimism data flowed into the summary.
+    assert!(report.summary.pessimism_max >= report.summary.pessimism_mean);
+    // The geometry/Q sweep separates schedulable from unschedulable
+    // points: cheap reloads converge, expensive ones diverge.
+    assert!(report.cfg.iter().any(|p| p.alg1_converged == p.programs));
+    assert!(report.cfg.iter().any(|p| p.alg1_converged == 0));
+
+    // (program, geometry) memoization is observable: the q axis must hit
+    // the curve memo and the geometry axis the program memo.
+    assert!(
+        outcome.memo.hits > 0,
+        "expected program/curve memo reuse, got {} hits / {} misses",
+        outcome.memo.hits,
+        outcome.memo.misses
+    );
+
+    // CSV: header + one row per grid point, consistent column count.
+    let csv = report.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 33);
+    assert!(lines[0].starts_with("shape,depth,loop_iterations,footprint"));
+    let columns = lines[0].split(',').count();
+    assert_eq!(columns, 19);
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+    }
+
+    // JSON round-trips.
+    let parsed: CampaignReport = serde_json::from_str(&report.to_json()).expect("JSON parses");
+    assert_eq!(&parsed, report);
+}
+
+#[test]
 fn memoization_pays_on_the_smoke_grid() {
     let campaign = CampaignSpec::load(&smoke_spec_path())
         .unwrap()

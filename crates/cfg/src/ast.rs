@@ -41,7 +41,8 @@ use crate::loops::LoopBound;
 /// A structured program fragment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
-    /// A basic block with a label and `[min, max]` execution time.
+    /// A basic block with a label, `[min, max]` execution time and the
+    /// byte addresses of its (data) memory accesses.
     Basic {
         /// Human-readable label.
         label: String,
@@ -49,6 +50,10 @@ pub enum Stmt {
         min: f64,
         /// Worst-case execution time.
         max: f64,
+        /// Byte addresses of data accesses performed by the block, on top
+        /// of the instruction fetches implied by the code layout. Empty for
+        /// purely computational blocks.
+        accesses: Vec<u64>,
     },
     /// Sequential composition.
     Seq(Vec<Stmt>),
@@ -72,13 +77,30 @@ pub enum Stmt {
 }
 
 impl Stmt {
-    /// A labelled basic block.
+    /// A labelled basic block with no data accesses.
     #[must_use]
     pub fn basic(label: impl Into<String>, min: f64, max: f64) -> Stmt {
         Stmt::Basic {
             label: label.into(),
             min,
             max,
+            accesses: Vec::new(),
+        }
+    }
+
+    /// A labelled basic block that touches the given data addresses.
+    #[must_use]
+    pub fn basic_accessing(
+        label: impl Into<String>,
+        min: f64,
+        max: f64,
+        accesses: impl IntoIterator<Item = u64>,
+    ) -> Stmt {
+        Stmt::Basic {
+            label: label.into(),
+            min,
+            max,
+            accesses: accesses.into_iter().collect(),
         }
     }
 
@@ -129,6 +151,10 @@ pub struct CompiledProgram {
     /// `(block, base address, size)` — blocks laid out back to back with
     /// `block_bytes` each, in id order.
     pub layout: Vec<(BlockId, u64, u64)>,
+    /// Data accesses per block, indexed by block id (empty vectors for
+    /// structural glue and access-free blocks). These come straight from
+    /// the [`Stmt::Basic`] `accesses` annotations.
+    pub accesses: Vec<Vec<u64>>,
 }
 
 /// Compiles a statement tree into a CFG.
@@ -148,14 +174,23 @@ pub struct CompiledProgram {
 /// `min > max`), or the underlying builder errors (never for well-formed
 /// trees).
 pub fn compile(program: &Stmt, block_bytes: u64) -> Result<CompiledProgram, CfgError> {
-    let mut builder = CfgBuilder::new();
-    let mut bounds = BTreeMap::new();
+    let mut emitter = Emitter {
+        builder: CfgBuilder::new(),
+        bounds: BTreeMap::new(),
+        accesses: Vec::new(),
+    };
     // A synthetic zero-cost entry keeps the invariant "entry has no
     // predecessors" even when the program starts with a loop.
-    let entry = builder.labeled_block(ExecInterval::new(0.0, 0.0)?, "entry");
-    let exit = emit(program, &mut builder, &mut bounds, entry)?;
+    let entry = emitter.glue("entry")?;
+    let exit = emitter.emit(program, entry)?;
     let _ = exit;
+    let Emitter {
+        builder,
+        bounds,
+        mut accesses,
+    } = emitter;
     let cfg = builder.build()?;
+    accesses.resize(cfg.len(), Vec::new());
     let layout = (0..cfg.len())
         .map(|b| (BlockId(b), b as u64 * block_bytes, block_bytes))
         .collect();
@@ -163,54 +198,77 @@ pub fn compile(program: &Stmt, block_bytes: u64) -> Result<CompiledProgram, CfgE
         cfg,
         loop_bounds: bounds,
         layout,
+        accesses,
     })
 }
 
-/// Emits `stmt` after `from`; returns the fragment's single exit block.
-fn emit(
-    stmt: &Stmt,
-    builder: &mut CfgBuilder,
-    bounds: &mut BTreeMap<BlockId, LoopBound>,
-    from: BlockId,
-) -> Result<BlockId, CfgError> {
-    match stmt {
-        Stmt::Basic { label, min, max } => {
-            let id = builder.labeled_block(ExecInterval::new(*min, *max)?, label.clone());
-            builder.edge(from, id)?;
-            Ok(id)
-        }
-        Stmt::Seq(stmts) => {
-            let mut at = from;
-            for s in stmts {
-                at = emit(s, builder, bounds, at)?;
+/// Compilation state threaded through the statement tree.
+struct Emitter {
+    builder: CfgBuilder,
+    bounds: BTreeMap<BlockId, LoopBound>,
+    /// Data accesses per emitted block id (kept aligned with the builder).
+    accesses: Vec<Vec<u64>>,
+}
+
+impl Emitter {
+    /// Adds a zero-cost structural block (entry/join/header/after glue).
+    fn glue(&mut self, label: &str) -> Result<BlockId, CfgError> {
+        let id = self
+            .builder
+            .labeled_block(ExecInterval::new(0.0, 0.0)?, label);
+        self.accesses.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Emits `stmt` after `from`; returns the fragment's single exit block.
+    fn emit(&mut self, stmt: &Stmt, from: BlockId) -> Result<BlockId, CfgError> {
+        match stmt {
+            Stmt::Basic {
+                label,
+                min,
+                max,
+                accesses,
+            } => {
+                let id = self
+                    .builder
+                    .labeled_block(ExecInterval::new(*min, *max)?, label.clone());
+                self.accesses.push(accesses.clone());
+                self.builder.edge(from, id)?;
+                Ok(id)
             }
-            Ok(at)
-        }
-        Stmt::If {
-            then_branch,
-            else_branch,
-        } => {
-            let then_exit = emit(then_branch, builder, bounds, from)?;
-            let else_exit = emit(else_branch, builder, bounds, from)?;
-            let join = builder.labeled_block(ExecInterval::new(0.0, 0.0)?, "join");
-            builder.edge(then_exit, join)?;
-            builder.edge(else_exit, join)?;
-            Ok(join)
-        }
-        Stmt::Loop {
-            min_iterations,
-            max_iterations,
-            body,
-        } => {
-            let bound = LoopBound::new(*min_iterations, *max_iterations)?;
-            let header = builder.labeled_block(ExecInterval::new(0.0, 0.0)?, "header");
-            builder.edge(from, header)?;
-            let body_exit = emit(body, builder, bounds, header)?;
-            builder.edge(body_exit, header)?;
-            bounds.insert(header, bound);
-            let after = builder.labeled_block(ExecInterval::new(0.0, 0.0)?, "after");
-            builder.edge(header, after)?;
-            Ok(after)
+            Stmt::Seq(stmts) => {
+                let mut at = from;
+                for s in stmts {
+                    at = self.emit(s, at)?;
+                }
+                Ok(at)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
+                let then_exit = self.emit(then_branch, from)?;
+                let else_exit = self.emit(else_branch, from)?;
+                let join = self.glue("join")?;
+                self.builder.edge(then_exit, join)?;
+                self.builder.edge(else_exit, join)?;
+                Ok(join)
+            }
+            Stmt::Loop {
+                min_iterations,
+                max_iterations,
+                body,
+            } => {
+                let bound = LoopBound::new(*min_iterations, *max_iterations)?;
+                let header = self.glue("header")?;
+                self.builder.edge(from, header)?;
+                let body_exit = self.emit(body, header)?;
+                self.builder.edge(body_exit, header)?;
+                self.bounds.insert(header, bound);
+                let after = self.glue("after")?;
+                self.builder.edge(header, after)?;
+                Ok(after)
+            }
         }
     }
 }
@@ -285,6 +343,31 @@ mod tests {
             assert_eq!(base, i as u64 * 128);
             assert_eq!(size, 128);
         }
+    }
+
+    #[test]
+    fn data_accesses_follow_their_blocks() {
+        let p = Stmt::seq([
+            Stmt::basic("pure", 1.0, 1.0),
+            Stmt::basic_accessing("table", 2.0, 2.0, [0x1000, 0x1010]),
+            Stmt::bounded_loop(2, Stmt::basic_accessing("scan", 1.0, 1.0, [0x1000])),
+        ]);
+        let compiled = compile(&p, 64).unwrap();
+        assert_eq!(compiled.accesses.len(), compiled.cfg.len());
+        let of = |label: &str| {
+            let block = compiled
+                .cfg
+                .blocks()
+                .find(|b| b.label.as_deref() == Some(label))
+                .unwrap_or_else(|| panic!("no block {label}"));
+            compiled.accesses[block.id.index()].clone()
+        };
+        assert_eq!(of("pure"), Vec::<u64>::new());
+        assert_eq!(of("table"), vec![0x1000, 0x1010]);
+        assert_eq!(of("scan"), vec![0x1000]);
+        // Structural glue never touches data.
+        assert_eq!(of("entry"), Vec::<u64>::new());
+        assert_eq!(of("header"), Vec::<u64>::new());
     }
 
     #[test]

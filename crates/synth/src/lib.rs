@@ -10,7 +10,11 @@
 //! * [`uunifast`] / [`random_taskset`] / [`with_npr_and_curves`] — the
 //!   standard random task-set machinery of the schedulability literature;
 //! * [`random_cfg`] — random reducible control-flow graphs with loop bounds
-//!   and code layouts for the cache substrate.
+//!   and code layouts for the cache substrate;
+//! * [`random_program`] — random *structured programs* (`fnpr_cfg::ast`
+//!   statement trees with per-block costs and data accesses), compiled and
+//!   ready for the Section IV pipeline — the `[cfg]` campaign workload's
+//!   generator.
 //!
 //! All generators take a caller-provided [`rand::Rng`], so experiments are
 //! reproducible by seed.
@@ -29,6 +33,7 @@
 
 pub mod cfggen;
 pub mod curves;
+pub mod progen;
 pub mod taskset;
 
 pub use cfggen::{random_cfg, CfgGenParams, GeneratedCfg};
@@ -37,6 +42,7 @@ pub use curves::{
     gaussian_curve, random_step_curve, random_unimodal_curve, FIGURE4_MAX, FIGURE4_STEP,
     FIGURE4_WCET,
 };
+pub use progen::{random_program, GeneratedProgram, ProgramGenParams, DATA_BASE, DATA_STRIDE};
 pub use taskset::{
     random_taskset, random_taskset_multicore, uunifast, uunifast_discard, with_npr_and_curves,
     with_npr_and_curves_global, Policy, TaskSetParams,

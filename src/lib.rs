@@ -19,7 +19,7 @@
 //! | [`synth`] | `fnpr-synth` | Figure-4 curves, UUniFast task sets, random CFGs |
 //! | [`multicore`] | `fnpr-multicore` | global & partitioned multiprocessor tests with NPR blocking |
 //! | [`campaign`] | `fnpr-campaign` | sharded, deterministic experiment-campaign engine |
-//! | [`pipeline`] | (this crate) | the Section IV end-to-end wiring |
+//! | [`pipeline`] | `fnpr-pipeline` | the Section IV end-to-end wiring (one-shot + prepared batch APIs) |
 //!
 //! # Quickstart
 //!

@@ -1,368 +1,48 @@
 //! End-to-end pipeline: program structure → CRPD → delay curve → bounds.
 //!
-//! This module wires the substrates together exactly as Section IV of the
-//! paper prescribes:
+//! The implementation lives in the `fnpr-pipeline` crate so that other
+//! workspace layers — most importantly `fnpr-campaign`'s `[cfg]` workload,
+//! which drives generated programs through the full Section IV analysis at
+//! campaign scale — can depend on it without pulling in this umbrella
+//! crate. Everything is re-exported here unchanged.
 //!
-//! 1. `fnpr-cache` computes `CRPD_b` for every basic block (useful-cache-
-//!    block analysis over the *original*, possibly cyclic graph);
-//! 2. `fnpr-cfg` reduces loops and computes every block's execution window
-//!    (Eqs. 1–3 on the reduced, acyclic graph);
-//! 3. `fi(t) = max {CRPD_b : b ∈ BB(t)}` is assembled with
-//!    [`DelayCurve::from_windows`], a super-block taking the maximum CRPD of
-//!    its members (conservative: any member may be executing inside the
-//!    super-block's window);
-//! 4. `fnpr-core` turns `fi` and `Qi` into the cumulative delay bound and
-//!    the inflated WCET `C′` (Eq. 5).
+//! Entry points:
+//!
+//! * [`analyze_task`] / [`analyze_task_against`] — one `(program, cache)`
+//!   pair through all four stages;
+//! * [`PreparedProgram`] — the batch/curve-reuse split: loop reduction,
+//!   occupancy and timing are cache-independent and computed once, then
+//!   [`PreparedProgram::analyze`] derives a curve per cache geometry;
+//! * [`analyze_taskset`] — a whole fixed-priority task set, each task's
+//!   curve computed against the union footprint of its actual preempters;
+//! * [`program_access_map`] — the [`fnpr_cache::AccessMap`] of a compiled
+//!   structured program (code-layout fetches + AST data accesses).
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use fnpr::pipeline::analyze_task;
+//! use fnpr::cache::{AccessMap, CacheConfig};
+//! use fnpr::cfg::{CfgBuilder, ExecInterval};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CfgBuilder::new();
+//! let load = b.block(ExecInterval::new(10.0, 12.0)?);
+//! let work = b.block(ExecInterval::new(30.0, 50.0)?);
+//! b.edge(load, work)?;
+//! let cfg = b.build()?;
+//! let mut acc = AccessMap::new();
+//! acc.set(load, vec![0, 16]);
+//! acc.set(work, vec![0, 16]);
+//! let analysis = analyze_task(
+//!     &cfg,
+//!     &BTreeMap::new(),
+//!     &acc,
+//!     &CacheConfig::new(16, 1, 16, 10.0)?,
+//! )?;
+//! assert_eq!(analysis.curve.max_value(), 20.0); // two useful lines
+//! assert_eq!(analysis.timing.wcet, 62.0);
+//! # Ok(())
+//! # }
+//! ```
 
-use std::collections::BTreeMap;
-use std::error::Error;
-use std::fmt;
-
-use fnpr_cache::{AccessMap, CacheConfig, CacheError, CrpdAnalysis, EcbSet};
-use fnpr_cfg::{reduce_loops, BlockId, Cfg, CfgError, GraphTiming, LoopBound, Occupancy};
-use fnpr_core::{CurveError, DelayCurve};
-
-/// Errors from the cross-crate pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// Graph construction/reduction failed.
-    Cfg(CfgError),
-    /// Cache analysis failed.
-    Cache(CacheError),
-    /// Curve assembly failed.
-    Curve(CurveError),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Cfg(e) => write!(f, "cfg: {e}"),
-            PipelineError::Cache(e) => write!(f, "cache: {e}"),
-            PipelineError::Curve(e) => write!(f, "curve: {e}"),
-        }
-    }
-}
-
-impl Error for PipelineError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            PipelineError::Cfg(e) => Some(e),
-            PipelineError::Cache(e) => Some(e),
-            PipelineError::Curve(e) => Some(e),
-        }
-    }
-}
-
-impl From<CfgError> for PipelineError {
-    fn from(e: CfgError) -> Self {
-        PipelineError::Cfg(e)
-    }
-}
-impl From<CacheError> for PipelineError {
-    fn from(e: CacheError) -> Self {
-        PipelineError::Cache(e)
-    }
-}
-impl From<CurveError> for PipelineError {
-    fn from(e: CurveError) -> Self {
-        PipelineError::Curve(e)
-    }
-}
-
-/// Everything the pipeline derives for one task.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TaskAnalysis {
-    /// The preemption-delay function `fi`.
-    pub curve: DelayCurve,
-    /// Whole-task timing (BCET/WCET of the reduced, call-inclusive graph).
-    pub timing: GraphTiming,
-    /// Per-original-block CRPD bounds (index = block id).
-    pub crpd_per_block: Vec<f64>,
-}
-
-/// Runs the full Section IV pipeline for one task.
-///
-/// `cfg` is the task's control-flow graph (loops allowed), `loop_bounds`
-/// maps loop headers to iteration bounds (empty for loop-free code),
-/// `accesses` the per-block memory accesses, `cache` the cache geometry.
-///
-/// # Errors
-///
-/// Returns a [`PipelineError`] wrapping the first failing stage.
-///
-/// # Examples
-///
-/// ```
-/// use std::collections::BTreeMap;
-/// use fnpr::pipeline::analyze_task;
-/// use fnpr::cache::{AccessMap, CacheConfig};
-/// use fnpr::cfg::{CfgBuilder, ExecInterval};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut b = CfgBuilder::new();
-/// let load = b.block(ExecInterval::new(10.0, 12.0)?);
-/// let work = b.block(ExecInterval::new(30.0, 50.0)?);
-/// b.edge(load, work)?;
-/// let cfg = b.build()?;
-/// let mut acc = AccessMap::new();
-/// acc.set(load, vec![0, 16]);
-/// acc.set(work, vec![0, 16]);
-/// let analysis = analyze_task(
-///     &cfg,
-///     &BTreeMap::new(),
-///     &acc,
-///     &CacheConfig::new(16, 1, 16, 10.0)?,
-/// )?;
-/// assert_eq!(analysis.curve.max_value(), 20.0); // two useful lines
-/// assert_eq!(analysis.timing.wcet, 62.0);
-/// # Ok(())
-/// # }
-/// ```
-pub fn analyze_task(
-    cfg: &Cfg,
-    loop_bounds: &BTreeMap<BlockId, LoopBound>,
-    accesses: &AccessMap,
-    cache: &CacheConfig,
-) -> Result<TaskAnalysis, PipelineError> {
-    analyze_task_against(cfg, loop_bounds, accesses, cache, &EcbSet::full(cache))
-}
-
-/// [`analyze_task`] against a *specific* preempter footprint — the paper's
-/// future-work item (i), "discarding less information during the
-/// computation of `fi(t)`".
-///
-/// `ecb` is the union of the evicting cache blocks of every task that can
-/// preempt this one ([`fnpr_cache::EcbSet::of_task`], unioned). Only useful
-/// blocks in sets the preempters actually touch are charged, so the derived
-/// curve is pointwise below the unknown-preempter default; with
-/// [`EcbSet::full`] this is exactly [`analyze_task`].
-///
-/// # Errors
-///
-/// As [`analyze_task`].
-pub fn analyze_task_against(
-    cfg: &Cfg,
-    loop_bounds: &BTreeMap<BlockId, LoopBound>,
-    accesses: &AccessMap,
-    cache: &CacheConfig,
-    ecb: &EcbSet,
-) -> Result<TaskAnalysis, PipelineError> {
-    // 1. CRPD on the original graph (the dataflow handles cycles).
-    let crpd = CrpdAnalysis::analyze(cfg, accesses, cache)?;
-    let crpd_per_block: Vec<f64> = (0..cfg.len())
-        .map(|b| crpd.crpd_against(BlockId(b), ecb))
-        .collect();
-    // 2. Loop reduction + execution windows.
-    let reduced = reduce_loops(cfg, loop_bounds)?;
-    let occupancy = Occupancy::analyze(&reduced.cfg)?;
-    // 3. fi(t) = max CRPD over the blocks possibly executing at t; a
-    //    super-block inherits the max of its members.
-    let windows = occupancy.value_windows(|reduced_block| {
-        reduced.members[reduced_block.index()]
-            .iter()
-            .map(|b| crpd_per_block[b.index()])
-            .fold(0.0, f64::max)
-    });
-    let curve = DelayCurve::from_windows(windows, occupancy.wcet())?;
-    let timing = GraphTiming::analyze(&reduced.cfg)?;
-    Ok(TaskAnalysis {
-        curve,
-        timing,
-        crpd_per_block,
-    })
-}
-
-/// One task's program inputs for [`analyze_taskset`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct TaskProgram {
-    /// The task's control-flow graph (loops allowed).
-    pub cfg: Cfg,
-    /// Loop bounds keyed by header.
-    pub loop_bounds: BTreeMap<BlockId, LoopBound>,
-    /// Per-block memory accesses.
-    pub accesses: AccessMap,
-}
-
-/// Analyses a whole fixed-priority task set (index 0 = highest priority),
-/// computing every task's delay curve **against the union footprint of its
-/// actual preempters** — the tasks with higher priority — instead of the
-/// unknown-preempter full-cache default.
-///
-/// The lowest-priority task gets the full union of everything above it; the
-/// highest-priority task can never be preempted under fixed priorities, so
-/// its curve is identically zero.
-///
-/// # Errors
-///
-/// As [`analyze_task`], per task.
-pub fn analyze_taskset(
-    programs: &[TaskProgram],
-    cache: &CacheConfig,
-) -> Result<Vec<TaskAnalysis>, PipelineError> {
-    let footprints: Vec<EcbSet> = programs
-        .iter()
-        .map(|p| EcbSet::of_task(&p.accesses, cache))
-        .collect();
-    let mut out = Vec::with_capacity(programs.len());
-    for (i, program) in programs.iter().enumerate() {
-        let mut preempters = EcbSet::new();
-        for footprint in footprints.iter().take(i) {
-            preempters = preempters.union(footprint);
-        }
-        out.push(analyze_task_against(
-            &program.cfg,
-            &program.loop_bounds,
-            &program.accesses,
-            cache,
-            &preempters,
-        )?);
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fnpr_cfg::fixtures::figure1_cfg;
-    use fnpr_cfg::{CfgBuilder, ExecInterval};
-    use fnpr_core::{algorithm1, eq4_bound_for_curve};
-
-    #[test]
-    fn figure1_pipeline_produces_usable_curve() {
-        let cfg = figure1_cfg();
-        let cache = CacheConfig::new(32, 1, 16, 5.0).unwrap();
-        // Straight-line code layout: block i occupies 64 bytes at i*64.
-        let layout: Vec<(BlockId, u64, u64)> = (0..cfg.len())
-            .map(|i| (BlockId(i), i as u64 * 64, 64))
-            .collect();
-        let accesses = AccessMap::from_code_layout(&layout, &cache);
-        let analysis = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
-        assert_eq!(analysis.timing.wcet, 215.0);
-        assert_eq!(analysis.curve.domain_end(), 215.0);
-        assert!(analysis.curve.max_value() > 0.0);
-        // The derived curve feeds the bound analyses.
-        let q = analysis.curve.max_value() + 10.0;
-        let alg1 = algorithm1(&analysis.curve, q).unwrap().expect_converged();
-        let eq4 = eq4_bound_for_curve(&analysis.curve, q)
-            .unwrap()
-            .expect_converged();
-        assert!(alg1.total_delay <= eq4.total_delay + 1e-9);
-    }
-
-    #[test]
-    fn loop_program_pipeline() {
-        // entry -> header -> body -> header -> exit, body reuses one line.
-        let mut b = CfgBuilder::new();
-        let entry = b.block(ExecInterval::new(2.0, 2.0).unwrap());
-        let header = b.block(ExecInterval::new(1.0, 1.0).unwrap());
-        let body = b.block(ExecInterval::new(5.0, 5.0).unwrap());
-        let exit = b.block(ExecInterval::new(2.0, 2.0).unwrap());
-        b.edge(entry, header).unwrap();
-        b.edge(header, body).unwrap();
-        b.edge(body, header).unwrap();
-        b.edge(header, exit).unwrap();
-        let cfg = b.build().unwrap();
-        let cache = CacheConfig::new(8, 1, 16, 10.0).unwrap();
-        let mut acc = AccessMap::new();
-        acc.set(body, vec![0]); // reused every iteration
-        let mut bounds = BTreeMap::new();
-        bounds.insert(header, LoopBound::exact(4).unwrap());
-        let analysis = analyze_task(&cfg, &bounds, &acc, &cache).unwrap();
-        // The loop super-block window carries the body's CRPD (10).
-        assert_eq!(analysis.curve.max_value(), 10.0);
-        // Loop: 4 iterations x (1 + 5) = 24 max; total 2 + 24 + 2.
-        assert_eq!(analysis.timing.wcet, 28.0);
-        // Delay is only chargeable inside the loop window, zero at the tail.
-        assert_eq!(analysis.curve.value_at(27.5), 0.0);
-    }
-
-    #[test]
-    fn ecb_aware_curve_is_pointwise_tighter() {
-        let cfg = figure1_cfg();
-        let cache = CacheConfig::new(16, 1, 16, 8.0).unwrap();
-        let layout: Vec<(BlockId, u64, u64)> = (0..cfg.len())
-            .map(|i| (BlockId(i), i as u64 * 48, 48))
-            .collect();
-        let accesses = AccessMap::from_code_layout(&layout, &cache);
-        let default = analyze_task(&cfg, &BTreeMap::new(), &accesses, &cache).unwrap();
-        // A preempter touching a single cache set: at most one useful line
-        // per block can be lost.
-        let ecb = fnpr_cache::EcbSet::from_sets([0]);
-        let refined =
-            analyze_task_against(&cfg, &BTreeMap::new(), &accesses, &cache, &ecb).unwrap();
-        assert!(default.curve.dominates(&refined.curve));
-        assert!(refined.curve.max_value() < default.curve.max_value());
-        // Empty footprint: free preemptions.
-        let free = analyze_task_against(
-            &cfg,
-            &BTreeMap::new(),
-            &accesses,
-            &cache,
-            &fnpr_cache::EcbSet::new(),
-        )
-        .unwrap();
-        assert_eq!(free.curve.max_value(), 0.0);
-        // Full footprint == default.
-        let full = analyze_task_against(
-            &cfg,
-            &BTreeMap::new(),
-            &accesses,
-            &cache,
-            &fnpr_cache::EcbSet::full(&cache),
-        )
-        .unwrap();
-        assert_eq!(full.curve, default.curve);
-    }
-
-    #[test]
-    fn taskset_analysis_uses_preempter_footprints() {
-        let cache = CacheConfig::new(8, 1, 16, 10.0).unwrap();
-        // Task 0 (highest): touches sets 0-1. Task 1: touches sets 2-3 and
-        // reuses its own lines. Task 2 (lowest): reuses lines in sets 0-3.
-        let make = |lines: &[u64]| -> TaskProgram {
-            let mut b = CfgBuilder::new();
-            let load = b.block(ExecInterval::new(2.0, 2.0).unwrap());
-            let reuse = b.block(ExecInterval::new(8.0, 10.0).unwrap());
-            b.edge(load, reuse).unwrap();
-            let cfg = b.build().unwrap();
-            let mut accesses = AccessMap::new();
-            for &line in lines {
-                accesses.push(load, line * 16);
-                accesses.push(reuse, line * 16);
-            }
-            TaskProgram {
-                cfg,
-                loop_bounds: BTreeMap::new(),
-                accesses,
-            }
-        };
-        let programs = vec![make(&[0, 1]), make(&[2, 3]), make(&[0, 1, 2, 3])];
-        let analyses = analyze_taskset(&programs, &cache).unwrap();
-        // Highest priority: never preempted -> zero curve.
-        assert_eq!(analyses[0].curve.max_value(), 0.0);
-        // Middle: preempter (task 0) touches sets 0-1 only; its own useful
-        // lines live in sets 2-3 -> still zero damage.
-        assert_eq!(analyses[1].curve.max_value(), 0.0);
-        // Lowest: preempters cover sets 0-3, all four lines exposed.
-        assert_eq!(analyses[2].curve.max_value(), 40.0);
-        // Against the unknown-preempter default the middle task would pay.
-        let default = analyze_task(
-            &programs[1].cfg,
-            &programs[1].loop_bounds,
-            &programs[1].accesses,
-            &cache,
-        )
-        .unwrap();
-        assert_eq!(default.curve.max_value(), 20.0);
-    }
-
-    #[test]
-    fn missing_loop_bound_surfaces_as_cfg_error() {
-        let (cfg, _) = fnpr_cfg::fixtures::single_loop_cfg().unwrap();
-        let cache = CacheConfig::new(8, 1, 16, 10.0).unwrap();
-        let err = analyze_task(&cfg, &BTreeMap::new(), &AccessMap::new(), &cache).unwrap_err();
-        assert!(matches!(err, PipelineError::Cfg(_)));
-        assert!(err.to_string().contains("loop"));
-        assert!(err.source().is_some());
-    }
-}
+pub use fnpr_pipeline::*;
