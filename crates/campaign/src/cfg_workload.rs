@@ -43,6 +43,7 @@ use crate::spec::CfgParams;
 /// Domain tags for RNG stream / memo key derivation.
 const TAG_PROGRAM: u64 = 0x4347_5047; // "CGPG"
 const TAG_CURVE: u64 = 0x4347_4356; // "CGCV"
+const TAG_BOUND: u64 = 0x4347_4244; // "CGBD"
 
 /// A generated program plus the cache-independent half of its analysis,
 /// shared across every geometry and `Qi` point of the grid. The source
@@ -65,6 +66,14 @@ pub struct CfgEngine {
     pub program_memo: Memo<Option<Arc<ProgramArtifacts>>>,
     /// Derived curves keyed by `(program structural hash, geometry)`.
     pub curve_memo: Memo<Option<Arc<TaskAnalysis>>>,
+    /// `(Algorithm 1, Eq. 4)` outcomes keyed by `(curve structural hash,
+    /// Q)` — the curve's hash is cached inside the `DelayCurve` itself, so
+    /// a lookup costs O(1) rather than a re-hash of every segment. Dedupes
+    /// bound computations whenever grid axes collide on the same `(fi, Q)`
+    /// pair (duplicated geometry points, q_scales × identical WCETs).
+    /// Failures memoize the error message, so the diagnostic survives the
+    /// cache (analyses are deterministic: a retry would fail identically).
+    pub bound_memo: Memo<Result<(BoundOutcome, BoundOutcome), String>>,
 }
 
 impl CfgEngine {
@@ -74,6 +83,7 @@ impl CfgEngine {
         Self {
             program_memo: Memo::new(),
             curve_memo: Memo::new(),
+            bound_memo: Memo::new(),
         }
     }
 }
@@ -249,10 +259,18 @@ fn run_point(
         curve_max_sum += analysis.curve.max_value();
 
         let q = point.q_scale * analysis.timing.wcet;
-        let alg1 = algorithm1(&analysis.curve, q)
-            .map_err(|e| CampaignError::Analysis(format!("algorithm1 (q {q}): {e}")))?;
-        let eq4 = eq4_bound_for_curve(&analysis.curve, q)
-            .map_err(|e| CampaignError::Analysis(format!("eq4 (q {q}): {e}")))?;
+        let (alg1, eq4) = engine
+            .bound_memo
+            .get_or_insert_with(bound_key(&analysis.curve, q), || {
+                let alg1 = algorithm1(&analysis.curve, q)
+                    .map_err(|e| format!("algorithm1 (q {q}): {e}"))?;
+                let eq4 = eq4_bound_for_curve(&analysis.curve, q)
+                    .map_err(|e| format!("eq4 (q {q}): {e}"))?;
+                Ok((alg1, eq4))
+            })
+            .map_err(|e| {
+                CampaignError::Analysis(format!("{e} (shape {}, instance {instance})", out.shape))
+            })?;
         accumulate_bounds(&alg1, &eq4, &mut out, &mut delay_sum, &mut gap_sum);
     }
 
@@ -384,6 +402,15 @@ pub fn program_hash(compiled: &CompiledProgram) -> u64 {
     h.finish()
 }
 
+/// Bound memo key: `(curve structural hash, Q)`. The curve hash is read
+/// from the cache inside [`fnpr_core::DelayCurve`] (O(1)).
+fn bound_key(curve: &fnpr_core::DelayCurve, q: f64) -> u64 {
+    ScenarioHasher::new(TAG_BOUND)
+        .word(curve.structural_hash())
+        .f64(q)
+        .finish()
+}
+
 /// Curve memo key: `(program structural hash, cache geometry)`.
 fn curve_key(artifacts: &ProgramArtifacts, cache: &CacheConfig) -> u64 {
     ScenarioHasher::new(TAG_CURVE)
@@ -474,6 +501,12 @@ reload_cost = [10.0]
         // 2 geometries x 4 programs computed once; the second q_scale hits.
         assert_eq!(curves.misses, 8);
         assert_eq!(curves.hits, 8);
+        // Bounds: one lookup per (program, geometry, q_scale) point; any
+        // colliding (curve, Q) pairs (e.g. geometries yielding identical
+        // curves) dedupe into hits.
+        let bounds = engine.bound_memo.stats();
+        assert_eq!(bounds.misses + bounds.hits, 16);
+        assert!(bounds.misses >= 8, "distinct q_scales cannot collide");
     }
 
     #[test]

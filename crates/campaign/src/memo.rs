@@ -100,75 +100,23 @@ impl std::ops::Add for MemoStats {
     }
 }
 
-/// A streaming FNV-1a-style structural hasher for scenario keys. Not
-/// DoS-resistant (irrelevant here); stable across platforms and runs, which
-/// is what reproducible campaign ids need.
-#[derive(Debug, Clone, Copy)]
-pub struct ScenarioHasher(u64);
-
-impl ScenarioHasher {
-    /// A fresh hasher with a domain-separation tag (use a distinct tag per
-    /// key kind so e.g. task-set keys can never collide with curve keys).
-    #[must_use]
-    pub fn new(tag: u64) -> Self {
-        Self(0xcbf2_9ce4_8422_2325 ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-    }
-
-    /// Mixes one word.
-    #[must_use]
-    pub fn word(mut self, w: u64) -> Self {
-        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-        self.0 ^= self.0 >> 29;
-        self
-    }
-
-    /// Mixes a float by bit pattern, canonicalized so that *equal inputs
-    /// hash equally*: `-0.0` normalizes to `0.0`, and every NaN bit pattern
-    /// (quiet/signalling, any payload, either sign) collapses to one
-    /// canonical word. Without the NaN rule, two runs producing NaN through
-    /// different operations could disagree on a scenario hash — silently
-    /// defeating `(curve, Q)` memoization and shard determinism.
-    #[must_use]
-    pub fn f64(self, x: f64) -> Self {
-        let bits = if x.is_nan() {
-            0x7ff8_0000_0000_0000 // canonical quiet NaN
-        } else if x == 0.0 {
-            0 // +0.0; also reached for -0.0
-        } else {
-            x.to_bits()
-        };
-        self.word(bits)
-    }
-
-    /// Mixes a string.
-    #[must_use]
-    pub fn str(mut self, s: &str) -> Self {
-        for b in s.bytes() {
-            self = self.word(u64::from(b));
-        }
-        self.word(0xff ^ s.len() as u64)
-    }
-
-    /// Final avalanche.
-    #[must_use]
-    pub fn finish(self) -> u64 {
-        let mut h = self.0;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-        h ^ (h >> 33)
-    }
-}
+/// The streaming structural hasher for scenario keys — the *same*
+/// implementation `fnpr-core` uses for `DelayCurve::structural_hash`,
+/// re-exported under the campaign's historical name so there is exactly
+/// one definition of the mixing scheme in the workspace (a drift between
+/// two copies would silently split the memo key spaces).
+pub use fnpr_core::StructuralHasher as ScenarioHasher;
 
 /// Hashes a delay curve structurally (all breakpoints and values).
+///
+/// Since the hash moved into `fnpr-core` this is a thin alias for
+/// [`fnpr_core::DelayCurve::structural_hash`], which is computed **once**
+/// at curve construction and cached — memo lookups no longer re-hash every
+/// segment on every grid point. The value (and its mixing scheme) is
+/// unchanged, so memo keys stay comparable within a process either way.
 #[must_use]
 pub fn curve_hash(curve: &fnpr_core::DelayCurve) -> u64 {
-    let mut h = ScenarioHasher::new(0x43_55_52_56); // "CURV"
-    for seg in curve.segments() {
-        h = h.f64(seg.start).f64(seg.end).f64(seg.value);
-    }
-    h.f64(curve.domain_end()).finish()
+    curve.structural_hash()
 }
 
 #[cfg(test)]
@@ -242,5 +190,25 @@ mod tests {
         let a2 = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap();
         assert_ne!(curve_hash(&a), curve_hash(&b));
         assert_eq!(curve_hash(&a), curve_hash(&a2));
+    }
+
+    #[test]
+    fn cached_curve_hash_matches_the_legacy_segment_walk() {
+        // `curve_hash` used to re-hash every segment per call via
+        // ScenarioHasher; the cached fnpr-core hash must produce the exact
+        // same value so memo keys stay stable across the refactor.
+        let curves = [
+            DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap(),
+            DelayCurve::constant(0.0, 7.5).unwrap(),
+            DelayCurve::from_breakpoints([(0.0, 1.5), (2.0, 0.0), (60.0, 9.25)], 64.0).unwrap(),
+        ];
+        for curve in &curves {
+            let mut h = ScenarioHasher::new(0x43_55_52_56); // "CURV"
+            for seg in curve.segments() {
+                h = h.f64(seg.start).f64(seg.end).f64(seg.value);
+            }
+            let legacy = h.f64(curve.domain_end()).finish();
+            assert_eq!(curve_hash(curve), legacy);
+        }
     }
 }

@@ -19,6 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cursor::{CurveCursor, CurveView};
 use crate::curve::DelayCurve;
 use crate::error::AnalysisError;
 
@@ -176,7 +177,7 @@ pub fn algorithm1_with_limit(
     q: f64,
     limit: usize,
 ) -> Result<BoundOutcome, AnalysisError> {
-    run(curve, q, limit, |_record| {})
+    run_from(curve, CurveView::IDENTITY, q, q, limit, |_record| {})
 }
 
 /// Bounds the *remaining* cumulative preemption delay of a job that has
@@ -219,7 +220,91 @@ pub fn algorithm1_from(
             delay: start_progress,
         });
     }
-    run_from(curve, q, start_progress, DEFAULT_MAX_WINDOWS, |_| {})
+    run_from(
+        curve,
+        CurveView::IDENTITY,
+        q,
+        start_progress,
+        DEFAULT_MAX_WINDOWS,
+        |_| {},
+    )
+}
+
+/// Runs Algorithm 1 over the *lazy view* `min(fi(t) · factor, cap)` of the
+/// curve — bit-identical to `algorithm1(&curve.scaled(factor)?.clamped(cap)?, q)`
+/// without materializing (clone + revalidate) the derived curve.
+///
+/// This is the probe primitive behind sensitivity bisection
+/// (`fnpr-sched::delay_tolerance`) and capped inflation sweeps: a bisection
+/// step costs O(segments + windows), not O(segments) allocation per task
+/// per probe. Pass `cap = f64::INFINITY` for a pure scale (equivalent to
+/// dropping the `clamped` stage).
+///
+/// # Errors
+///
+/// As [`algorithm1`], plus [`AnalysisError::InvalidDelay`] when `factor` is
+/// negative or not finite, `cap` is negative or NaN, or the scaled maximum
+/// overflows (the cases where materializing would fail validation).
+///
+/// # Examples
+///
+/// ```
+/// use fnpr_core::{algorithm1, algorithm1_scaled_capped, DelayCurve};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fi = DelayCurve::from_breakpoints([(0.0, 4.0), (30.0, 1.0)], 90.0)?;
+/// let lazy = algorithm1_scaled_capped(&fi, 9.0, 0.5, 1.5)?;
+/// let eager = algorithm1(&fi.scaled(0.5)?.clamped(1.5)?, 9.0)?;
+/// assert_eq!(lazy, eager);
+/// # Ok(())
+/// # }
+/// ```
+pub fn algorithm1_scaled_capped(
+    curve: &DelayCurve,
+    q: f64,
+    factor: f64,
+    cap: f64,
+) -> Result<BoundOutcome, AnalysisError> {
+    let view = validated_view(curve, factor, cap)?;
+    run_from(curve, view, q, q, DEFAULT_MAX_WINDOWS, |_| {})
+}
+
+/// [`algorithm1_scaled_capped`] without a cap: Algorithm 1 over
+/// `fi(t) · factor`, bit-identical to `algorithm1(&curve.scaled(factor)?, q)`.
+///
+/// # Errors
+///
+/// As [`algorithm1_scaled_capped`].
+pub fn algorithm1_scaled(
+    curve: &DelayCurve,
+    q: f64,
+    factor: f64,
+) -> Result<BoundOutcome, AnalysisError> {
+    algorithm1_scaled_capped(curve, q, factor, f64::INFINITY)
+}
+
+/// Validates a `(factor, cap)` pair against the same invariants the eager
+/// `scaled`/`clamped` constructors enforce, sharing the check across the
+/// scaled entry points (including [`crate::algorithm1_capped_scaled`] and
+/// the Eq. 4 view).
+pub(crate) fn validated_view(
+    curve: &DelayCurve,
+    factor: f64,
+    cap: f64,
+) -> Result<CurveView, AnalysisError> {
+    if !(factor.is_finite() && factor >= 0.0) {
+        return Err(AnalysisError::InvalidDelay { delay: factor });
+    }
+    if cap.is_nan() || cap < 0.0 {
+        return Err(AnalysisError::InvalidDelay { delay: cap });
+    }
+    // The largest scaled value overflowing is exactly the case where the
+    // eager `scaled()` constructor would reject the curve (before any cap
+    // is applied).
+    let peak = curve.max_value() * factor;
+    if !peak.is_finite() {
+        return Err(AnalysisError::InvalidDelay { delay: peak });
+    }
+    Ok(CurveView { factor, cap })
 }
 
 /// Runs Algorithm 1 keeping a full per-window trace.
@@ -236,30 +321,37 @@ pub fn algorithm1_trace(
     curve: &DelayCurve,
     q: f64,
 ) -> Result<(BoundOutcome, Vec<WindowRecord>), AnalysisError> {
+    algorithm1_trace_scaled(curve, q, 1.0)
+}
+
+/// [`algorithm1_trace`] over the lazy view `fi(t) · factor` — the traced
+/// counterpart of [`algorithm1_scaled`], used by the capped-inflation probe
+/// path ([`crate::algorithm1_capped_scaled`]).
+///
+/// # Errors
+///
+/// As [`algorithm1_scaled`].
+pub fn algorithm1_trace_scaled(
+    curve: &DelayCurve,
+    q: f64,
+    factor: f64,
+) -> Result<(BoundOutcome, Vec<WindowRecord>), AnalysisError> {
+    let view = validated_view(curve, factor, f64::INFINITY)?;
     let mut records = Vec::new();
-    let outcome = run(curve, q, DEFAULT_MAX_WINDOWS, |record| {
+    let outcome = run_from(curve, view, q, q, DEFAULT_MAX_WINDOWS, |record| {
         records.push(record);
     })?;
     Ok((outcome, records))
 }
 
-/// Shared driver: lines 1–15 of Algorithm 1 with a record sink.
-fn run<S: FnMut(WindowRecord)>(
-    curve: &DelayCurve,
-    q: f64,
-    limit: usize,
-    sink: S,
-) -> Result<BoundOutcome, AnalysisError> {
-    if !(q.is_finite() && q > 0.0) {
-        return Err(AnalysisError::InvalidQ { q });
-    }
-    // Lines 1-4: the first Q units of progress are preemption-free.
-    run_from(curve, q, q, limit, sink)
-}
-
-/// Window iteration starting at an arbitrary first preemption candidate.
+/// Shared driver: lines 1–15 of Algorithm 1 with a record sink, fused into
+/// one amortized-linear scan by [`CurveCursor`]. The window iteration
+/// starts at an arbitrary first preemption candidate (`q` for the plain
+/// analysis, lines 1–4: the first `Q` units of progress are
+/// preemption-free).
 fn run_from<S: FnMut(WindowRecord)>(
     curve: &DelayCurve,
+    view: CurveView,
     q: f64,
     first_candidate: f64,
     limit: usize,
@@ -269,6 +361,7 @@ fn run_from<S: FnMut(WindowRecord)>(
         return Err(AnalysisError::InvalidQ { q });
     }
     let wcet = curve.domain_end();
+    let mut cursor = CurveCursor::new(curve, view);
     let mut total_delay = 0.0f64;
     let mut next_progress = first_candidate;
     let mut windows = 0usize;
@@ -279,19 +372,12 @@ fn run_from<S: FnMut(WindowRecord)>(
         }
         // Line 6.
         let progress = next_progress;
-        // Lines 7-10: the crossing point with D(p) = progress + q - p,
-        // clamped to the curve domain (no preemption can target progress
-        // beyond task completion).
-        let p_cross = curve
-            .first_crossing(progress, q)
-            .expect("validated inputs")
-            .unwrap_or(wcet)
-            .min(wcet);
-        // Lines 11-12: the window maximum over [progress, p_cross].
-        let delay = curve.max_on(progress, p_cross).expect("validated interval");
-        let p_max = curve
-            .argmax_on(progress, p_cross)
-            .expect("validated interval");
+        // Lines 7-12 in one forward scan: the crossing point with
+        // D(p) = progress + q - p (clamped to the curve domain — no
+        // preemption can target progress beyond task completion), the
+        // window maximum over [progress, p_cross] and its earliest witness.
+        let scan = cursor.window(progress, q);
+        let (p_cross, delay, p_max) = (scan.p_cross, scan.delay, scan.p_max);
         if delay >= q {
             // The charged delay consumes the whole region: progress stalls
             // and the worst-case cumulative delay is unbounded.
@@ -330,6 +416,111 @@ fn run_from<S: FnMut(WindowRecord)>(
         q,
         wcet,
     }))
+}
+
+/// The pre-cursor per-call implementation of Algorithm 1, retained as the
+/// differential-testing and benchmarking baseline.
+///
+/// Each window issues three independent curve queries
+/// ([`DelayCurve::first_crossing`], [`DelayCurve::max_on`],
+/// [`DelayCurve::argmax_on`]), each a binary search plus a segment scan —
+/// O(windows × segments) per run. The property tests in
+/// `tests/properties.rs` assert the fused kernel is bit-identical to this
+/// path on arbitrary curves (including divergent and iteration-limit
+/// outcomes), and the `bound_kernel` criterion group measures the speedup.
+pub mod reference {
+    use super::{AnalysisError, BoundOutcome, DelayBound, DelayCurve};
+
+    /// Per-call-queries counterpart of [`algorithm1`](crate::algorithm1).
+    ///
+    /// # Errors
+    ///
+    /// As [`algorithm1`](crate::algorithm1).
+    pub fn algorithm1(curve: &DelayCurve, q: f64) -> Result<BoundOutcome, AnalysisError> {
+        algorithm1_with_limit(curve, q, super::DEFAULT_MAX_WINDOWS)
+    }
+
+    /// Per-call-queries counterpart of
+    /// [`algorithm1_with_limit`](crate::algorithm1_with_limit).
+    ///
+    /// # Errors
+    ///
+    /// As [`algorithm1_with_limit`](crate::algorithm1_with_limit).
+    pub fn algorithm1_with_limit(
+        curve: &DelayCurve,
+        q: f64,
+        limit: usize,
+    ) -> Result<BoundOutcome, AnalysisError> {
+        if !(q.is_finite() && q > 0.0) {
+            return Err(AnalysisError::InvalidQ { q });
+        }
+        run_from(curve, q, q, limit)
+    }
+
+    /// Per-call-queries counterpart of
+    /// [`algorithm1_from`](crate::algorithm1_from).
+    ///
+    /// # Errors
+    ///
+    /// As [`algorithm1_from`](crate::algorithm1_from).
+    pub fn algorithm1_from(
+        curve: &DelayCurve,
+        q: f64,
+        start_progress: f64,
+    ) -> Result<BoundOutcome, AnalysisError> {
+        if !(start_progress.is_finite() && start_progress >= 0.0) {
+            return Err(AnalysisError::InvalidDelay {
+                delay: start_progress,
+            });
+        }
+        run_from(curve, q, start_progress, super::DEFAULT_MAX_WINDOWS)
+    }
+
+    fn run_from(
+        curve: &DelayCurve,
+        q: f64,
+        first_candidate: f64,
+        limit: usize,
+    ) -> Result<BoundOutcome, AnalysisError> {
+        if !(q.is_finite() && q > 0.0) {
+            return Err(AnalysisError::InvalidQ { q });
+        }
+        let wcet = curve.domain_end();
+        let mut total_delay = 0.0f64;
+        let mut next_progress = first_candidate;
+        let mut windows = 0usize;
+        while next_progress < wcet {
+            if windows >= limit {
+                return Err(AnalysisError::IterationLimit { limit });
+            }
+            let progress = next_progress;
+            let p_cross = curve
+                .first_crossing(progress, q)
+                .expect("validated inputs")
+                .unwrap_or(wcet)
+                .min(wcet);
+            let delay = curve.max_on(progress, p_cross).expect("validated interval");
+            let _p_max = curve
+                .argmax_on(progress, p_cross)
+                .expect("validated interval");
+            if delay >= q {
+                return Ok(BoundOutcome::Divergent {
+                    at_progress: progress,
+                    window_delay: delay,
+                    q,
+                });
+            }
+            next_progress = progress + q - delay;
+            total_delay += delay;
+            windows += 1;
+        }
+        Ok(BoundOutcome::Converged(DelayBound {
+            total_delay,
+            windows,
+            q,
+            wcet,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -85,8 +85,8 @@ pub fn eq4_bound_with_limit(
     max_delay: f64,
     limit: usize,
 ) -> Result<BoundOutcome, AnalysisError> {
-    let (outcome, _steps) = eq4_iterate(wcet, q, max_delay, limit, false)?;
-    Ok(outcome)
+    // The no-trace path is allocation-free: steps stream into a no-op sink.
+    eq4_iterate(wcet, q, max_delay, limit, |_| {})
 }
 
 /// Runs Eq. 4 keeping every iteration step.
@@ -99,7 +99,11 @@ pub fn eq4_trace(
     q: f64,
     max_delay: f64,
 ) -> Result<(BoundOutcome, Vec<Eq4Step>), AnalysisError> {
-    eq4_iterate(wcet, q, max_delay, DEFAULT_MAX_ITERATIONS, true)
+    let mut steps = Vec::new();
+    let outcome = eq4_iterate(wcet, q, max_delay, DEFAULT_MAX_ITERATIONS, |step| {
+        steps.push(step);
+    })?;
+    Ok((outcome, steps))
 }
 
 /// Convenience wrapper taking the maximum straight from a [`DelayCurve`],
@@ -112,13 +116,37 @@ pub fn eq4_bound_for_curve(curve: &DelayCurve, q: f64) -> Result<BoundOutcome, A
     eq4_bound(curve.domain_end(), q, curve.max_value())
 }
 
-fn eq4_iterate(
+/// [`eq4_bound_for_curve`] over the lazy view `min(fi(t) · factor, cap)` —
+/// bit-identical to
+/// `eq4_bound_for_curve(&curve.scaled(factor)?.clamped(cap)?, q)` without
+/// materializing the derived curve (Eq. 4 only reads the curve's maximum,
+/// and `max min(v·factor, cap) = min(max(v)·factor, cap)` for the
+/// non-negative, order-preserving view). Pass `cap = f64::INFINITY` for a
+/// pure scale.
+///
+/// # Errors
+///
+/// As [`eq4_bound`], plus [`AnalysisError::InvalidDelay`] on a malformed
+/// `factor`/`cap` (as [`crate::algorithm1_scaled_capped`]).
+pub fn eq4_bound_for_curve_scaled_capped(
+    curve: &DelayCurve,
+    q: f64,
+    factor: f64,
+    cap: f64,
+) -> Result<BoundOutcome, AnalysisError> {
+    let view = crate::algorithm1::validated_view(curve, factor, cap)?;
+    eq4_bound(curve.domain_end(), q, view.apply(curve.max_value()))
+}
+
+/// Shared fixpoint driver with a step sink (the fast path streams into a
+/// no-op closure, so it neither allocates nor records).
+fn eq4_iterate<S: FnMut(Eq4Step)>(
     wcet: f64,
     q: f64,
     max_delay: f64,
     limit: usize,
-    keep_steps: bool,
-) -> Result<(BoundOutcome, Vec<Eq4Step>), AnalysisError> {
+    mut sink: S,
+) -> Result<BoundOutcome, AnalysisError> {
     if !(q.is_finite() && q > 0.0) {
         return Err(AnalysisError::InvalidQ { q });
     }
@@ -128,55 +156,43 @@ fn eq4_iterate(
     if !(max_delay.is_finite() && max_delay >= 0.0) {
         return Err(AnalysisError::InvalidDelay { delay: max_delay });
     }
-    let mut steps = Vec::new();
     // A zero per-preemption delay converges immediately to C.
     if max_delay == 0.0 {
         let preemptions = preemption_count(wcet, q);
-        return Ok((
-            BoundOutcome::Converged(DelayBound {
-                total_delay: 0.0,
-                windows: preemptions as usize,
-                q,
-                wcet,
-            }),
-            steps,
-        ));
+        return Ok(BoundOutcome::Converged(DelayBound {
+            total_delay: 0.0,
+            windows: preemptions as usize,
+            q,
+            wcet,
+        }));
     }
     // Necessary convergence condition: one window of length q must amortise
     // one charge of max_delay, i.e. max_delay < q. With max_delay >= q the
     // series grows at least geometrically.
     if max_delay >= q {
-        return Ok((
-            BoundOutcome::Divergent {
-                at_progress: wcet,
-                window_delay: max_delay,
-                q,
-            },
-            steps,
-        ));
+        return Ok(BoundOutcome::Divergent {
+            at_progress: wcet,
+            window_delay: max_delay,
+            q,
+        });
     }
     let mut current = wcet;
     for index in 0..limit {
         let preemptions = preemption_count(current, q);
         let next = wcet + preemptions as f64 * max_delay;
-        if keep_steps {
-            steps.push(Eq4Step {
-                index,
-                previous: current,
-                preemptions,
-                inflated: next,
-            });
-        }
+        sink(Eq4Step {
+            index,
+            previous: current,
+            preemptions,
+            inflated: next,
+        });
         if next == current {
-            return Ok((
-                BoundOutcome::Converged(DelayBound {
-                    total_delay: current - wcet,
-                    windows: preemptions as usize,
-                    q,
-                    wcet,
-                }),
-                steps,
-            ));
+            return Ok(BoundOutcome::Converged(DelayBound {
+                total_delay: current - wcet,
+                windows: preemptions as usize,
+                q,
+                wcet,
+            }));
         }
         current = next;
     }

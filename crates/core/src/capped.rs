@@ -23,7 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::algorithm1::{algorithm1_trace, BoundOutcome, DelayBound};
+use crate::algorithm1::{algorithm1_trace_scaled, BoundOutcome, DelayBound, WindowRecord};
 use crate::curve::DelayCurve;
 use crate::error::AnalysisError;
 
@@ -77,25 +77,49 @@ pub fn algorithm1_capped(
     q: f64,
     max_preemptions: usize,
 ) -> Result<Option<CappedBound>, AnalysisError> {
-    let (outcome, trace) = algorithm1_trace(curve, q)?;
+    algorithm1_capped_scaled(curve, q, max_preemptions, 1.0)
+}
+
+/// [`algorithm1_capped`] over the lazy view `fi(t) · factor` — bit-identical
+/// to `algorithm1_capped(&curve.scaled(factor)?, q, max_preemptions)`
+/// without materializing the scaled curve. The probe primitive behind
+/// capped-method sensitivity bisection.
+///
+/// # Errors
+///
+/// As [`algorithm1_capped`], plus [`AnalysisError::InvalidDelay`] on a
+/// malformed `factor` (as [`crate::algorithm1_scaled`]).
+pub fn algorithm1_capped_scaled(
+    curve: &DelayCurve,
+    q: f64,
+    max_preemptions: usize,
+    factor: f64,
+) -> Result<Option<CappedBound>, AnalysisError> {
+    let (outcome, trace) = algorithm1_trace_scaled(curve, q, factor)?;
+    Ok(capped_from_trace(outcome, &trace, max_preemptions))
+}
+
+/// Keeps only the `cap` largest window charges of a finished trace (see the
+/// module docs for the soundness argument); `None` on divergence.
+fn capped_from_trace(
+    outcome: BoundOutcome,
+    trace: &[WindowRecord],
+    cap: usize,
+) -> Option<CappedBound> {
     let uncapped = match outcome {
         BoundOutcome::Converged(bound) => bound,
-        BoundOutcome::Divergent { .. } => return Ok(None),
+        BoundOutcome::Divergent { .. } => return None,
     };
     let mut charges: Vec<f64> = trace.iter().map(|w| w.delay).collect();
     charges.sort_by(|a, b| b.total_cmp(a));
-    let total_delay: f64 = charges.iter().take(max_preemptions).sum();
-    let charged_windows = charges
-        .iter()
-        .take(max_preemptions)
-        .filter(|&&d| d > 0.0)
-        .count();
-    Ok(Some(CappedBound {
+    let total_delay: f64 = charges.iter().take(cap).sum();
+    let charged_windows = charges.iter().take(cap).filter(|&&d| d > 0.0).count();
+    Some(CappedBound {
         uncapped,
-        cap: max_preemptions,
+        cap,
         total_delay,
         charged_windows,
-    }))
+    })
 }
 
 #[cfg(test)]

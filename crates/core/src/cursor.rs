@@ -1,0 +1,297 @@
+//! The fused bound kernel: one amortized-linear forward scan per
+//! Algorithm 1 run.
+//!
+//! The window loop of [`algorithm1`](crate::algorithm1) asks three questions
+//! per window — the crossing point `p∩` ([`DelayCurve::first_crossing`]),
+//! the window maximum ([`DelayCurve::max_on`]) and its earliest witness
+//! ([`DelayCurve::argmax_on`]) — and each per-call answer costs a binary
+//! search plus a segment scan. Across a run that is O(windows × segments)
+//! with three redundant scans per window.
+//!
+//! [`CurveCursor`] exploits two monotonicity facts of the window iteration:
+//!
+//! 1. the window start `progress` is strictly increasing (each window
+//!    guarantees `Q − delaymax > 0` units of progress), and
+//! 2. the crossing point `p∩` is non-decreasing — a segment that failed to
+//!    meet the line `D(p) = progress + Q − p` keeps failing as both
+//!    `progress` and the window end grow (the failure condition
+//!    `limit − value ≥ segment end` is monotone in `limit`).
+//!
+//! So the cursor keeps a persistent segment index for the window start, a
+//! persistent crossing frontier, and a monotone deque (classic
+//! sliding-window maximum) over the segments between them. Every segment
+//! enters and leaves each structure at most once: a full Algorithm 1 run
+//! costs **O(segments + windows)** and performs no per-window allocation.
+//!
+//! The cursor evaluates the curve through a [`CurveView`] — an on-the-fly
+//! `value ↦ min(value · factor, cap)` transform — so sensitivity bisection
+//! and capped inflation can probe scaled curves without materializing
+//! (clone + revalidate) a fresh [`DelayCurve`] per probe. The identity view
+//! (`factor = 1`, `cap = ∞`) is bit-exact: `v · 1.0` and `min(v, ∞)`
+//! return `v` unchanged for every finite `v ≥ 0`.
+//!
+//! Bit-identity with the per-call reference path (kept as
+//! [`reference`](crate::reference)) is property-tested in
+//! `tests/properties.rs`.
+
+use std::collections::VecDeque;
+
+use crate::curve::DelayCurve;
+
+/// A lazy value transform applied while scanning: `v ↦ min(v · factor, cap)`.
+///
+/// Equivalent to materializing `curve.scaled(factor)?.clamped(cap)?` — the
+/// merged-segment representation the eager constructors produce is pointwise
+/// identical, and the kernels only ever read pointwise values — without the
+/// O(segments) allocation and re-validation per probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CurveView {
+    /// Non-negative, finite scale factor.
+    pub factor: f64,
+    /// Upper clamp on the scaled value; `f64::INFINITY` disables the cap.
+    pub cap: f64,
+}
+
+impl CurveView {
+    /// The identity view: reads the curve's values unchanged (bit-exact).
+    pub const IDENTITY: CurveView = CurveView {
+        factor: 1.0,
+        cap: f64::INFINITY,
+    };
+
+    /// Applies the view to one raw segment value.
+    #[inline]
+    pub fn apply(self, value: f64) -> f64 {
+        (value * self.factor).min(self.cap)
+    }
+}
+
+/// The answers Algorithm 1 needs about one window `[progress, progress+q]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct WindowScan {
+    /// The crossing point `p∩` with the line `D(p) = progress + q − p`,
+    /// clamped to the curve domain (exactly
+    /// `first_crossing(progress, q).unwrap_or(wcet).min(wcet)`).
+    pub p_cross: f64,
+    /// The window maximum over `[progress, p_cross]` (exactly
+    /// `max_on(progress, p_cross)`).
+    pub delay: f64,
+    /// The earliest point attaining the maximum (exactly
+    /// `argmax_on(progress, p_cross)`).
+    pub p_max: f64,
+}
+
+/// A stateful forward scanner over a [`DelayCurve`], answering Algorithm 1's
+/// per-window queries in amortized O(1) under the contract that successive
+/// `window` calls use strictly increasing `progress` (which the window
+/// iteration guarantees: `next = progress + q − delay` with `delay < q`).
+pub(crate) struct CurveCursor<'c> {
+    curve: &'c DelayCurve,
+    view: CurveView,
+    /// Index of the segment containing the current window start.
+    lo: usize,
+    /// Crossing frontier: segments below it can never cross again.
+    cross: usize,
+    /// Highest segment index ever offered to the deque (`None` before the
+    /// first window).
+    pushed: Option<usize>,
+    /// Sliding-window maximum over `[lo segment .. crossing segment]`:
+    /// `(segment index, viewed value)` with values non-increasing front to
+    /// back; the front is the earliest maximal segment still in the window.
+    deque: VecDeque<(usize, f64)>,
+}
+
+impl<'c> CurveCursor<'c> {
+    /// A cursor reading the curve through `view`.
+    pub fn new(curve: &'c DelayCurve, view: CurveView) -> Self {
+        Self {
+            curve,
+            view,
+            lo: 0,
+            cross: 0,
+            pushed: None,
+            deque: VecDeque::new(),
+        }
+    }
+
+    /// End of the segment `k` (the next start, or the domain end).
+    #[inline]
+    fn seg_end(&self, k: usize) -> f64 {
+        let (starts, _) = self.curve.raw();
+        starts
+            .get(k + 1)
+            .copied()
+            .unwrap_or(self.curve.domain_end())
+    }
+
+    /// Offers segment `k` to the window-maximum deque (idempotent: already
+    /// offered indices are skipped, so each segment is pushed once).
+    #[inline]
+    fn offer(&mut self, k: usize, value: f64) {
+        if self.pushed.is_some_and(|p| k <= p) {
+            return;
+        }
+        // Strict pop keeps the *earliest* segment among equal maxima at the
+        // front — matching `argmax_on`'s earliest-witness semantics.
+        while let Some(&(_, back)) = self.deque.back() {
+            if back < value {
+                self.deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.deque.push_back((k, value));
+        self.pushed = Some(k);
+    }
+
+    /// Scans one window starting at `progress` with region length `q`,
+    /// returning results bit-identical to the three per-call queries.
+    ///
+    /// Requires `0 ≤ progress < domain_end`, `q > 0`, and `progress`
+    /// strictly greater than on the previous call.
+    pub fn window(&mut self, progress: f64, q: f64) -> WindowScan {
+        let (starts, values) = self.curve.raw();
+        let n = starts.len();
+        let wcet = self.curve.domain_end();
+        debug_assert!(progress >= 0.0 && progress < wcet && q > 0.0);
+
+        // Advance to the segment containing `progress` (amortized O(1):
+        // `progress` only moves forward across calls).
+        while self.lo + 1 < n && starts[self.lo + 1] <= progress {
+            self.lo += 1;
+        }
+        // Retire deque segments that end at or before the new window start.
+        while let Some(&(k, _)) = self.deque.front() {
+            if self.seg_end(k) <= progress {
+                self.deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Seed with the segment containing `progress`. Whenever the frontier
+        // is behind `lo` (only before the first window), every previously
+        // offered segment ended at or before `progress`, so the deque is
+        // empty and the seed starts it fresh.
+        if self.pushed.is_none_or(|p| p < self.lo) {
+            debug_assert!(self.deque.is_empty());
+            self.deque
+                .push_back((self.lo, self.view.apply(values[self.lo])));
+            self.pushed = Some(self.lo);
+        }
+
+        // Crossing scan, resuming at the persistent frontier; every segment
+        // it visits lies inside the window maximum's range and is offered to
+        // the deque on first visit.
+        let limit = progress + q;
+        let mut crossing = None;
+        let mut k = self.cross.max(self.lo);
+        while k < n {
+            let start = starts[k];
+            let end = self.seg_end(k);
+            if end <= progress {
+                k += 1;
+                continue;
+            }
+            if start > limit {
+                break;
+            }
+            let value = self.view.apply(values[k]);
+            self.offer(k, value);
+            // Within segment k, f(p) = value, and the crossing condition
+            // value >= limit - p first holds at p = limit - value.
+            let candidate = (limit - value).max(start).max(progress);
+            if candidate <= limit && candidate < end {
+                crossing = Some(candidate);
+                break;
+            }
+            k += 1;
+        }
+        self.cross = k;
+        if crossing.is_none() {
+            // The domain ends before any crossing: the window maximum runs
+            // over the whole remaining domain `[progress, wcet]`.
+            let from = self.pushed.map_or(0, |p| p + 1);
+            for (j, &raw) in values.iter().enumerate().skip(from) {
+                self.offer(j, self.view.apply(raw));
+            }
+        }
+        let p_cross = crossing.unwrap_or(wcet).min(wcet);
+
+        let &(front, delay) = self
+            .deque
+            .front()
+            .expect("window covers at least the segment containing progress");
+        WindowScan {
+            p_cross,
+            delay,
+            p_max: starts[front].max(progress),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)], end: f64) -> DelayCurve {
+        DelayCurve::from_breakpoints(points.iter().copied(), end).expect("valid curve")
+    }
+
+    /// Runs the cursor and the three per-call queries side by side over a
+    /// synthetic strictly-increasing progress schedule.
+    fn check_against_reference(f: &DelayCurve, q: f64, progresses: &[f64]) {
+        let mut cursor = CurveCursor::new(f, CurveView::IDENTITY);
+        for &progress in progresses {
+            assert!(progress < f.domain_end());
+            let scan = cursor.window(progress, q);
+            let p_cross = f
+                .first_crossing(progress, q)
+                .unwrap()
+                .unwrap_or(f.domain_end())
+                .min(f.domain_end());
+            let delay = f.max_on(progress, p_cross).unwrap();
+            let p_max = f.argmax_on(progress, p_cross).unwrap();
+            assert_eq!(scan.p_cross.to_bits(), p_cross.to_bits(), "p_cross");
+            assert_eq!(scan.delay.to_bits(), delay.to_bits(), "delay");
+            assert_eq!(scan.p_max.to_bits(), p_max.to_bits(), "p_max");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_shapes() {
+        let f = curve(&[(0.0, 1.0), (25.0, 6.0), (35.0, 2.0), (70.0, 0.5)], 120.0);
+        check_against_reference(&f, 11.0, &[11.0, 16.0, 21.0, 40.0, 77.0, 119.0]);
+        check_against_reference(&f, 7.0, &[0.5, 24.9, 25.0, 34.999, 69.0, 70.0]);
+        let flat = curve(&[(0.0, 3.0)], 50.0);
+        check_against_reference(&flat, 4.0, &[4.0, 5.0, 6.0, 48.0, 49.9]);
+    }
+
+    #[test]
+    fn matches_reference_when_no_crossing_exists() {
+        // Low values near the end: the line outruns the domain and the
+        // window extends to wcet.
+        let f = curve(&[(0.0, 0.1), (90.0, 5.0), (95.0, 0.1)], 100.0);
+        check_against_reference(&f, 30.0, &[30.0, 59.0, 80.0, 99.0]);
+    }
+
+    #[test]
+    fn view_matches_materialized_curve() {
+        let f = curve(&[(0.0, 2.0), (10.0, 8.0), (30.0, 1.0)], 60.0);
+        let (factor, cap) = (0.75, 4.5);
+        let materialized = f.scaled(factor).unwrap().clamped(cap).unwrap();
+        let mut lazy = CurveCursor::new(&f, CurveView { factor, cap });
+        let mut eager = CurveCursor::new(&materialized, CurveView::IDENTITY);
+        for progress in [5.0, 9.0, 13.0, 29.0, 31.0, 55.0] {
+            let a = lazy.window(progress, 6.0);
+            let b = eager.window(progress, 6.0);
+            assert_eq!(a, b, "at progress {progress}");
+        }
+    }
+
+    #[test]
+    fn identity_view_is_bit_exact() {
+        for v in [0.0, 1.5e-300, 0.1, 7.25, 1e300] {
+            assert_eq!(CurveView::IDENTITY.apply(v).to_bits(), v.to_bits());
+        }
+    }
+}

@@ -11,9 +11,12 @@
 //! curves (the paper's Figure 4) are conservatively sampled into step
 //! functions via [`DelayCurve::from_fn_upper`].
 
-use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::CurveError;
+use crate::hash::StructuralHasher;
 
 /// One maximal constant piece of a [`DelayCurve`].
 ///
@@ -79,7 +82,7 @@ impl Segment {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DelayCurve {
     /// Segment start offsets; `starts[0] == 0.0`, strictly increasing.
     starts: Vec<f64>,
@@ -87,6 +90,21 @@ pub struct DelayCurve {
     values: Vec<f64>,
     /// Domain end (the task WCET `C`); the last segment is `[starts[n-1], end)`.
     end: f64,
+    /// Structural hash over (segments, domain end), computed once at
+    /// construction; see [`DelayCurve::structural_hash`].
+    hash: u64,
+}
+
+/// Structural hash over validated `(starts, values, end)` data: every
+/// segment's `(start, end, value)` triple followed by the domain end,
+/// mixed with the workspace's one [`StructuralHasher`].
+fn structural_hash_of(starts: &[f64], values: &[f64], end: f64) -> u64 {
+    let mut h = StructuralHasher::new(0x43_55_52_56); // "CURV"
+    for k in 0..starts.len() {
+        let seg_end = starts.get(k + 1).copied().unwrap_or(end);
+        h = h.f64(starts[k]).f64(seg_end).f64(values[k]);
+    }
+    h.f64(end).finish()
 }
 
 impl DelayCurve {
@@ -165,10 +183,12 @@ impl DelayCurve {
         if starts.is_empty() {
             return Err(CurveError::Empty);
         }
+        let hash = structural_hash_of(&starts, &values, end);
         Ok(Self {
             starts,
             values,
             end,
+            hash,
         })
     }
 
@@ -279,6 +299,9 @@ impl DelayCurve {
             if lo >= hi {
                 continue; // entirely outside the domain
             }
+            // Normalize -0.0 so a value's open and close events share one
+            // heap key and the bit-order trick below stays monotone.
+            let value = if value == 0.0 { 0.0 } else { value };
             events.push(Event {
                 at: lo,
                 value,
@@ -291,8 +314,13 @@ impl DelayCurve {
             });
         }
         events.sort_by(|a, b| a.at.total_cmp(&b.at));
-        // Active multiset as a sorted Vec (windows are few per task).
-        let mut active: Vec<f64> = Vec::new();
+        // Active multiset as a lazy-deletion max-heap keyed by the value's
+        // bit pattern (order-preserving for non-negative floats): O(w log w)
+        // over w windows, where the previous sorted-`Vec` insert/remove was
+        // O(w²) on heavily overlapping CFG block windows. Closing a window
+        // defers its removal until its value surfaces at the top.
+        let mut active: BinaryHeap<u64> = BinaryHeap::new();
+        let mut closed: HashMap<u64, usize> = HashMap::new();
         let mut points: Vec<(f64, f64)> = Vec::new();
         let mut cursor = 0usize;
         let push_point = |at: f64, value: f64, points: &mut Vec<(f64, f64)>| {
@@ -311,19 +339,29 @@ impl DelayCurve {
             let at = events[cursor].at;
             while cursor < events.len() && events[cursor].at == at {
                 let ev = events[cursor];
+                let bits = ev.value.to_bits();
                 if ev.open {
-                    let pos = active
-                        .binary_search_by(|probe| probe.total_cmp(&ev.value))
-                        .unwrap_or_else(|p| p);
-                    active.insert(pos, ev.value);
-                } else if let Ok(pos) = active.binary_search_by(|probe| probe.total_cmp(&ev.value))
-                {
-                    active.remove(pos);
+                    active.push(bits);
+                } else {
+                    *closed.entry(bits).or_insert(0) += 1;
                 }
                 cursor += 1;
             }
             if at < domain_end {
-                let value = active.last().copied().unwrap_or(0.0);
+                // Surface the live maximum, discarding closed entries.
+                while let Some(&top) = active.peek() {
+                    match closed.get_mut(&top) {
+                        Some(pending) => {
+                            *pending -= 1;
+                            if *pending == 0 {
+                                closed.remove(&top);
+                            }
+                            active.pop();
+                        }
+                        None => break,
+                    }
+                }
+                let value = active.peek().map_or(0.0, |&bits| f64::from_bits(bits));
                 push_point(at, value, &mut points);
             }
         }
@@ -340,6 +378,36 @@ impl DelayCurve {
     #[must_use]
     pub fn segment_count(&self) -> usize {
         self.starts.len()
+    }
+
+    /// Structural hash of the curve: every segment's `(start, end, value)`
+    /// triple plus the domain end, canonicalized (`-0.0` → `0.0`) and
+    /// stable across platforms and runs.
+    ///
+    /// Computed **once** at construction and cached, so memo layers keying
+    /// on curve identity (e.g. campaign `(curve, Q)` bound caches) pay O(1)
+    /// per lookup instead of re-hashing every segment. Serde round-trips
+    /// recompute it from the deserialized segments, so the cache can never
+    /// go stale.
+    ///
+    /// ```
+    /// use fnpr_core::DelayCurve;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let a = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0)?;
+    /// let b = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0)?;
+    /// assert_eq!(a.structural_hash(), b.structural_hash());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Raw `(starts, values)` storage for the in-crate scan kernels
+    /// ([`crate::cursor::CurveCursor`]).
+    pub(crate) fn raw(&self) -> (&[f64], &[f64]) {
+        (&self.starts, &self.values)
     }
 
     /// Earliest point in the closed interval `[lo, hi]` (clamped to the
@@ -646,6 +714,42 @@ impl DelayCurve {
     }
 }
 
+// Hand-written (de)serialization: only the defining data (`starts`,
+// `values`, `end`) travels; the cached structural hash is recomputed on
+// deserialization (via the validating constructor), so it can never go
+// stale and old serialized curves stay readable.
+impl Serialize for DelayCurve {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("starts".to_string(), self.starts.to_value()),
+            ("values".to_string(), self.values.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DelayCurve {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::new("expected a map for DelayCurve"))?;
+        let starts: Vec<f64> =
+            serde::de_field(serde::value::map_get(map, "starts"), "DelayCurve.starts")?;
+        let values: Vec<f64> =
+            serde::de_field(serde::value::map_get(map, "values"), "DelayCurve.values")?;
+        let end: f64 = serde::de_field(serde::value::map_get(map, "end"), "DelayCurve.end")?;
+        if starts.len() != values.len() {
+            return Err(serde::Error::new(format!(
+                "DelayCurve: {} starts but {} values",
+                starts.len(),
+                values.len()
+            )));
+        }
+        DelayCurve::from_breakpoints(starts.into_iter().zip(values), end)
+            .map_err(|e| serde::Error::new(format!("DelayCurve: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -888,5 +992,75 @@ mod tests {
         let repr = format!("{f:?}");
         assert!(repr.contains("starts"));
         assert!(repr.contains("7.5"));
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_shapes_and_survives_round_trips() {
+        let a = curve(&[(0.0, 8.0), (40.0, 1.0)], 100.0);
+        let b = curve(&[(0.0, 8.0), (40.0, 2.0)], 100.0);
+        let c = curve(&[(0.0, 8.0), (40.0, 1.0)], 101.0);
+        assert_ne!(a.structural_hash(), b.structural_hash());
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        assert_eq!(a.structural_hash(), a.clone().structural_hash());
+        // Derived curves rebuild (and re-cache) their own hashes.
+        assert_ne!(
+            a.structural_hash(),
+            a.scaled(2.0).unwrap().structural_hash()
+        );
+        assert_eq!(
+            a.structural_hash(),
+            a.scaled(1.0).unwrap().structural_hash()
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_recomputes_the_hash() {
+        let f = curve(&[(0.0, 2.0), (4.0, 7.5)], 10.0);
+        let back = DelayCurve::from_value(&f.to_value()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.structural_hash(), f.structural_hash());
+        // Mismatched lengths and invalid shapes are rejected.
+        let broken = serde::Value::Map(vec![
+            ("starts".to_string(), vec![0.0f64, 4.0].to_value()),
+            ("values".to_string(), vec![2.0f64].to_value()),
+            ("end".to_string(), 10.0f64.to_value()),
+        ]);
+        assert!(DelayCurve::from_value(&broken).is_err());
+    }
+
+    #[test]
+    fn from_windows_many_overlapping_windows() {
+        // Heavily overlapping nested windows — the O(w²) worst case of the
+        // old sorted-Vec multiset. 20k windows must both finish quickly and
+        // agree with the brute-force pointwise maximum.
+        let n = 20_000usize;
+        let domain = 1_000.0;
+        let windows: Vec<(f64, f64, f64)> = (0..n)
+            .map(|i| {
+                let inset = i as f64 * domain / (2.2 * n as f64);
+                (inset, domain - inset, (i % 97) as f64)
+            })
+            .collect();
+        let f = DelayCurve::from_windows(windows.iter().copied(), domain).unwrap();
+        for &t in &[0.0, 1.0, 123.456, 454.0, 499.9, 500.1, 700.0, 999.9] {
+            let expected = windows
+                .iter()
+                .filter(|&&(lo, hi, _)| lo <= t && t < hi)
+                .map(|&(_, _, v)| v)
+                .fold(0.0f64, f64::max);
+            assert_eq!(f.value_at(t), expected, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn from_windows_duplicate_values_close_correctly() {
+        // Two same-valued windows whose lifetimes only partially overlap:
+        // the lazy-deletion heap must keep one alive after the other ends.
+        let f =
+            DelayCurve::from_windows([(0.0, 10.0, 5.0), (5.0, 20.0, 5.0), (0.0, 30.0, 1.0)], 30.0)
+                .unwrap();
+        assert_eq!(f.value_at(12.0), 5.0);
+        assert_eq!(f.value_at(19.9), 5.0);
+        assert_eq!(f.value_at(20.0), 1.0);
     }
 }

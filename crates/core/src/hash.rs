@@ -1,0 +1,112 @@
+//! The workspace's one structural hasher.
+//!
+//! A streaming FNV-1a-style mixer with a murmur-style final avalanche:
+//! stable across platforms and runs — reproducible campaign/scenario ids
+//! need that — and not DoS-resistant (irrelevant here). [`DelayCurve`]
+//! caches a hash of its segments at construction
+//! ([`DelayCurve::structural_hash`]), and `fnpr-campaign` re-exports this
+//! type as its `ScenarioHasher` for every other memo key, so there is a
+//! single definition of the mixing scheme: a change here shows up in both
+//! users at once instead of silently splitting their key spaces.
+//!
+//! [`DelayCurve`]: crate::DelayCurve
+//! [`DelayCurve::structural_hash`]: crate::DelayCurve::structural_hash
+
+/// A streaming structural hasher for memo/scenario keys.
+#[derive(Debug, Clone, Copy)]
+pub struct StructuralHasher(u64);
+
+impl StructuralHasher {
+    /// A fresh hasher with a domain-separation tag (use a distinct tag per
+    /// key kind so e.g. task-set keys can never collide with curve keys).
+    #[must_use]
+    pub fn new(tag: u64) -> Self {
+        Self(0xcbf2_9ce4_8422_2325 ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Mixes one word.
+    #[must_use]
+    pub fn word(mut self, w: u64) -> Self {
+        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        self.0 ^= self.0 >> 29;
+        self
+    }
+
+    /// Mixes a float by bit pattern, canonicalized so that *equal inputs
+    /// hash equally*: `-0.0` normalizes to `0.0`, and every NaN bit pattern
+    /// (quiet/signalling, any payload, either sign) collapses to one
+    /// canonical word. Without the NaN rule, two runs producing NaN through
+    /// different operations could disagree on a scenario hash — silently
+    /// defeating `(curve, Q)` memoization and shard determinism.
+    #[must_use]
+    pub fn f64(self, x: f64) -> Self {
+        let bits = if x.is_nan() {
+            0x7ff8_0000_0000_0000 // canonical quiet NaN
+        } else if x == 0.0 {
+            0 // +0.0; also reached for -0.0
+        } else {
+            x.to_bits()
+        };
+        self.word(bits)
+    }
+
+    /// Mixes a string.
+    #[must_use]
+    pub fn str(mut self, s: &str) -> Self {
+        for b in s.bytes() {
+            self = self.word(u64::from(b));
+        }
+        self.word(0xff ^ s.len() as u64)
+    }
+
+    /// Final avalanche.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_domains_and_values() {
+        let a = StructuralHasher::new(1).f64(0.5).finish();
+        let b = StructuralHasher::new(2).f64(0.5).finish();
+        let c = StructuralHasher::new(1).f64(0.25).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, StructuralHasher::new(1).f64(0.5).finish());
+    }
+
+    #[test]
+    fn canonicalizes_zeros_and_nans() {
+        assert_eq!(
+            StructuralHasher::new(0).f64(0.0).finish(),
+            StructuralHasher::new(0).f64(-0.0).finish()
+        );
+        let canonical = StructuralHasher::new(0).f64(f64::NAN).finish();
+        for bits in [0x7ff8_0000_0000_0001u64, 0xfff0_dead_beef_0001] {
+            let x = f64::from_bits(bits);
+            assert!(x.is_nan());
+            assert_eq!(StructuralHasher::new(0).f64(x).finish(), canonical);
+        }
+        assert_ne!(
+            canonical,
+            StructuralHasher::new(0).f64(f64::INFINITY).finish()
+        );
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let ab_c = StructuralHasher::new(0).str("ab").str("c").finish();
+        let a_bc = StructuralHasher::new(0).str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+}

@@ -61,24 +61,28 @@ mod adversary;
 mod algorithm1;
 mod baseline;
 mod capped;
+mod cursor;
 mod curve;
 mod error;
+mod hash;
 mod naive;
 
 pub use adversary::{
     exact_worst_case, exact_worst_case_with_limit, WorstCaseRun, DEFAULT_MAX_ADVERSARY_CANDIDATES,
 };
 pub use algorithm1::{
-    algorithm1, algorithm1_from, algorithm1_trace, algorithm1_with_limit, BoundOutcome, DelayBound,
+    algorithm1, algorithm1_from, algorithm1_scaled, algorithm1_scaled_capped, algorithm1_trace,
+    algorithm1_trace_scaled, algorithm1_with_limit, reference, BoundOutcome, DelayBound,
     WindowRecord, DEFAULT_MAX_WINDOWS,
 };
 pub use baseline::{
-    eq4_bound, eq4_bound_for_curve, eq4_bound_with_limit, eq4_trace, Eq4Step,
-    DEFAULT_MAX_ITERATIONS,
+    eq4_bound, eq4_bound_for_curve, eq4_bound_for_curve_scaled_capped, eq4_bound_with_limit,
+    eq4_trace, Eq4Step, DEFAULT_MAX_ITERATIONS,
 };
-pub use capped::{algorithm1_capped, CappedBound};
+pub use capped::{algorithm1_capped, algorithm1_capped_scaled, CappedBound};
 pub use curve::{DelayCurve, Segment};
 pub use error::{AnalysisError, CurveError};
+pub use hash::StructuralHasher;
 pub use naive::{naive_bound, naive_bound_with_limit, NaiveBound, DEFAULT_MAX_CANDIDATES};
 
 #[cfg(test)]

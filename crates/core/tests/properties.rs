@@ -11,9 +11,42 @@
 //! * the right link is the paper's dominance claim over the state of the art.
 
 use fnpr_core::{
-    algorithm1, algorithm1_trace, eq4_bound_for_curve, exact_worst_case, naive_bound, DelayCurve,
+    algorithm1, algorithm1_from, algorithm1_scaled_capped, algorithm1_trace, algorithm1_with_limit,
+    eq4_bound_for_curve, eq4_bound_for_curve_scaled_capped, exact_worst_case, naive_bound,
+    reference, BoundOutcome, DelayCurve,
 };
 use proptest::prelude::*;
+
+/// Asserts two bound outcomes are *bit*-identical: same variant, same float
+/// bit patterns, same window counts (stricter than `==`, which would let
+/// `-0.0` pass for `0.0`).
+fn assert_bit_identical(a: &BoundOutcome, b: &BoundOutcome) {
+    match (a, b) {
+        (BoundOutcome::Converged(x), BoundOutcome::Converged(y)) => {
+            assert_eq!(x.total_delay.to_bits(), y.total_delay.to_bits());
+            assert_eq!(x.windows, y.windows);
+            assert_eq!(x.q.to_bits(), y.q.to_bits());
+            assert_eq!(x.wcet.to_bits(), y.wcet.to_bits());
+        }
+        (
+            BoundOutcome::Divergent {
+                at_progress: ap,
+                window_delay: wd,
+                q: qa,
+            },
+            BoundOutcome::Divergent {
+                at_progress: bp,
+                window_delay: bd,
+                q: qb,
+            },
+        ) => {
+            assert_eq!(ap.to_bits(), bp.to_bits());
+            assert_eq!(wd.to_bits(), bd.to_bits());
+            assert_eq!(qa.to_bits(), qb.to_bits());
+        }
+        _ => panic!("outcome variants differ: {a:?} vs {b:?}"),
+    }
+}
 
 /// A random piecewise-constant curve: segment (length, value) pairs.
 fn arb_curve() -> impl Strategy<Value = DelayCurve> {
@@ -257,5 +290,88 @@ proptest! {
         let alg1 = algorithm1(&curve, q).unwrap().expect_converged().total_delay;
         let exact = exact_worst_case(&curve, q).unwrap().unwrap().total_delay;
         prop_assert!((alg1 - exact).abs() < 1e-6, "alg1 {} != exact {}", alg1, exact);
+    }
+
+    /// The fused-cursor kernel is bit-identical to the per-call reference
+    /// implementation on arbitrary curves — converged outcomes.
+    #[test]
+    fn cursor_matches_reference_when_convergent((curve, q) in arb_convergent_case()) {
+        let fused = algorithm1(&curve, q).unwrap();
+        let per_call = reference::algorithm1(&curve, q).unwrap();
+        assert_bit_identical(&fused, &per_call);
+    }
+
+    /// Same, with `q` drawn across the whole divergence boundary (delay ≥ q
+    /// stalls progress): divergent certificates must match bit for bit too.
+    #[test]
+    fn cursor_matches_reference_across_divergence(
+        curve in arb_curve(),
+        q in 0.5f64..12.0,
+    ) {
+        let fused = algorithm1(&curve, q).unwrap();
+        let per_call = reference::algorithm1(&curve, q).unwrap();
+        assert_bit_identical(&fused, &per_call);
+    }
+
+    /// Iteration-limit outcomes agree: both paths exhaust the same budget
+    /// on the same window (or both finish).
+    #[test]
+    fn cursor_matches_reference_under_iteration_limits(
+        (curve, q) in arb_convergent_case(),
+        limit in 0usize..24,
+    ) {
+        match (
+            algorithm1_with_limit(&curve, q, limit),
+            reference::algorithm1_with_limit(&curve, q, limit),
+        ) {
+            (Ok(a), Ok(b)) => assert_bit_identical(&a, &b),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "outcomes differ: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// `algorithm1_from` (remaining-delay analysis) is bit-identical to the
+    /// reference from arbitrary start progress, including starts beyond the
+    /// domain and q values below the curve maximum.
+    #[test]
+    fn cursor_matches_reference_from_any_progress(
+        curve in arb_curve(),
+        q in 0.5f64..20.0,
+        frac in 0.0f64..1.2,
+    ) {
+        let start = frac * curve.domain_end();
+        let fused = algorithm1_from(&curve, q, start).unwrap();
+        let per_call = reference::algorithm1_from(&curve, q, start).unwrap();
+        assert_bit_identical(&fused, &per_call);
+    }
+
+    /// The lazy scale-and-cap view equals the eager materialization
+    /// (`scaled` then `clamped`) exactly — Algorithm 1 and Eq. 4 alike.
+    #[test]
+    fn lazy_view_matches_materialized_curve(
+        curve in arb_curve(),
+        q in 0.5f64..30.0,
+        factor in 0.0f64..3.0,
+        cap in 0.0f64..15.0,
+    ) {
+        let materialized = curve.scaled(factor).unwrap().clamped(cap).unwrap();
+        let lazy = algorithm1_scaled_capped(&curve, q, factor, cap).unwrap();
+        let eager = algorithm1(&materialized, q).unwrap();
+        assert_bit_identical(&lazy, &eager);
+        let lazy4 = eq4_bound_for_curve_scaled_capped(&curve, q, factor, cap).unwrap();
+        let eager4 = eq4_bound_for_curve(&materialized, q).unwrap();
+        assert_bit_identical(&lazy4, &eager4);
+    }
+
+    /// An uncapped lazy scale equals materialized `scaled` alone.
+    #[test]
+    fn lazy_scale_without_cap_matches_scaled_curve(
+        (curve, q) in arb_convergent_case(),
+        factor in 0.0f64..1.0,
+    ) {
+        // factor <= 1 keeps the scaled max below q: convergent on both paths.
+        let lazy = algorithm1_scaled_capped(&curve, q, factor, f64::INFINITY).unwrap();
+        let eager = algorithm1(&curve.scaled(factor).unwrap(), q).unwrap();
+        assert_bit_identical(&lazy, &eager);
     }
 }

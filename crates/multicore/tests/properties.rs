@@ -8,9 +8,10 @@
 
 use fnpr_core::DelayCurve;
 use fnpr_multicore::{
-    global_schedulable_with_delay, partition_taskset, partitioned_schedulable_with_delay, Heuristic,
+    global_schedulable_with_delay, global_schedulable_with_delay_scaled, partition_taskset,
+    partitioned_schedulable_with_delay, partitioned_schedulable_with_delay_scaled, Heuristic,
 };
-use fnpr_sched::{DelayMethod, Task, TaskSet};
+use fnpr_sched::{scale_delay_curves, DelayMethod, Task, TaskSet};
 use fnpr_sim::{check_multicore_against_algorithm1, simulate_multicore, MultiSimConfig, Scenario};
 use fnpr_synth::{random_taskset_multicore, with_npr_and_curves_global, Policy, TaskSetParams};
 use proptest::prelude::*;
@@ -78,6 +79,40 @@ fn partitioned_and_global_agree_on_the_feasible_fixture() {
                 global_schedulable_with_delay(&tasks, 2, policy, method).unwrap(),
                 "global {policy:?}/{method:?} rejected the fixture"
             );
+        }
+    }
+}
+
+#[test]
+fn scaled_multicore_probes_match_materialized_scaling() {
+    let tasks = feasible_fixture();
+    for policy in [Policy::FixedPriority, Policy::Edf] {
+        let partition = partition_taskset(&tasks, 2, Heuristic::WorstFit, policy)
+            .unwrap()
+            .expect("worst fit fits the fixture");
+        for method in [
+            DelayMethod::Eq4,
+            DelayMethod::Algorithm1,
+            DelayMethod::Algorithm1Capped,
+        ] {
+            for factor in [0.0, 0.5, 1.0, 4.0, 20.0] {
+                let materialized = scale_delay_curves(&tasks, factor).unwrap();
+                assert_eq!(
+                    global_schedulable_with_delay_scaled(&tasks, 2, policy, method, factor)
+                        .unwrap(),
+                    global_schedulable_with_delay(&materialized, 2, policy, method).unwrap(),
+                    "global {policy:?}/{method:?} @ {factor}"
+                );
+                assert_eq!(
+                    partitioned_schedulable_with_delay_scaled(
+                        &tasks, &partition, policy, method, factor
+                    )
+                    .unwrap(),
+                    partitioned_schedulable_with_delay(&materialized, &partition, policy, method)
+                        .unwrap(),
+                    "partitioned {policy:?}/{method:?} @ {factor}"
+                );
+            }
         }
     }
 }

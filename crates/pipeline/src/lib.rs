@@ -517,6 +517,14 @@ mod tests {
             let slow =
                 analyze_task(&compiled.cfg, &compiled.loop_bounds, &accesses, &cache).unwrap();
             assert_eq!(fast, slow, "geometry ({sets},{assoc},{line},{brt})");
+            // The per-geometry curves also agree on the structural hash the
+            // campaign memo layers key on — cached at construction, so both
+            // derivation paths expose identical O(1) identities.
+            assert_eq!(
+                fast.curve.structural_hash(),
+                slow.curve.structural_hash(),
+                "geometry ({sets},{assoc},{line},{brt})"
+            );
         }
     }
 

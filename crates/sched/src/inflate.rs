@@ -8,7 +8,7 @@
 //! accepted under Eq. 4 inflation is also accepted under Algorithm 1
 //! inflation — the acceptance-ratio experiment quantifies the gap.
 
-use fnpr_core::{algorithm1, algorithm1_capped, eq4_bound_for_curve};
+use fnpr_core::{algorithm1_capped_scaled, algorithm1_scaled, eq4_bound_for_curve_scaled_capped};
 use serde::{Deserialize, Serialize};
 
 use crate::edf::edf_schedulable_with_npr;
@@ -133,11 +133,30 @@ impl Inflation {
 /// # }
 /// ```
 pub fn inflate_wcets(tasks: &TaskSet, method: DelayMethod) -> Result<Inflation, SchedError> {
+    inflate_wcets_scaled(tasks, method, 1.0)
+}
+
+/// [`inflate_wcets`] with every task's delay curve read through the lazy
+/// scale view `fi(t) · factor` — bit-identical to scaling the curves first
+/// ([`crate::scale_delay_curves`]) and inflating the result, without
+/// materializing a scaled [`fnpr_core::DelayCurve`] per task. This is what
+/// makes each [`crate::delay_tolerance`] bisection probe
+/// O(segments + windows) instead of O(segments) allocation per task.
+///
+/// # Errors
+///
+/// As [`inflate_wcets`], plus an error for a negative or non-finite
+/// `factor`.
+pub fn inflate_wcets_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    factor: f64,
+) -> Result<Inflation, SchedError> {
     let caps = match method {
         DelayMethod::Algorithm1Capped => Some(preemption_caps(tasks)),
         _ => None,
     };
-    inflate_with(tasks, method, caps)
+    inflate_with(tasks, method, caps, factor)
 }
 
 /// [`inflate_wcets`] with caller-supplied preemption caps (e.g.
@@ -152,19 +171,38 @@ pub fn inflate_wcets_with_caps(
     method: DelayMethod,
     caps: &[usize],
 ) -> Result<Inflation, SchedError> {
+    inflate_wcets_with_caps_scaled(tasks, method, caps, 1.0)
+}
+
+/// [`inflate_wcets_with_caps`] under the lazy scale view (see
+/// [`inflate_wcets_scaled`]).
+///
+/// # Errors
+///
+/// As [`inflate_wcets_with_caps`].
+pub fn inflate_wcets_with_caps_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    caps: &[usize],
+    factor: f64,
+) -> Result<Inflation, SchedError> {
     if caps.len() != tasks.len() {
         return Err(SchedError::InvalidTask {
             what: "caps length",
             value: caps.len() as f64,
         });
     }
-    inflate_with(tasks, method, Some(caps.to_vec()))
+    inflate_with(tasks, method, Some(caps.to_vec()), factor)
 }
 
+/// The single inflation driver: every method evaluates its bound through
+/// the fused fnpr-core kernel under a lazy scale view (`factor = 1.0` is
+/// the bit-exact identity, so the unscaled entry points share this path).
 fn inflate_with(
     tasks: &TaskSet,
     method: DelayMethod,
     caps: Option<Vec<usize>>,
+    factor: f64,
 ) -> Result<Inflation, SchedError> {
     let mut wcets = Vec::with_capacity(tasks.len());
     for (index, task) in tasks.iter().enumerate() {
@@ -178,11 +216,13 @@ fn inflate_with(
             .ok_or(SchedError::MissingCurve { index })?;
         let total = match method {
             DelayMethod::None => unreachable!("handled above"),
-            DelayMethod::Eq4 => eq4_bound_for_curve(curve, q)?.total_delay(),
-            DelayMethod::Algorithm1 => algorithm1(curve, q)?.total_delay(),
+            DelayMethod::Eq4 => {
+                eq4_bound_for_curve_scaled_capped(curve, q, factor, f64::INFINITY)?.total_delay()
+            }
+            DelayMethod::Algorithm1 => algorithm1_scaled(curve, q, factor)?.total_delay(),
             DelayMethod::Algorithm1Capped => {
                 let cap = caps.as_ref().expect("computed above")[index];
-                algorithm1_capped(curve, q, cap)?.map(|b| b.total_delay)
+                algorithm1_capped_scaled(curve, q, cap, factor)?.map(|b| b.total_delay)
             }
         };
         wcets.push(total.map(|delay| task.wcet() + delay));
@@ -205,7 +245,21 @@ pub fn inflated_taskset(
     tasks: &TaskSet,
     method: DelayMethod,
 ) -> Result<Option<TaskSet>, SchedError> {
-    let inflation = inflate_wcets(tasks, method)?;
+    inflated_taskset_scaled(tasks, method, 1.0)
+}
+
+/// [`inflated_taskset`] under the lazy scale view (see
+/// [`inflate_wcets_scaled`]).
+///
+/// # Errors
+///
+/// As [`inflated_taskset`].
+pub fn inflated_taskset_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    factor: f64,
+) -> Result<Option<TaskSet>, SchedError> {
+    let inflation = inflate_wcets_scaled(tasks, method, factor)?;
     match inflation.finite_wcets() {
         Some(wcets) => tasks.with_wcets(&wcets).map(Some),
         None => Ok(None),
@@ -223,7 +277,22 @@ pub fn inflated_taskset_with_caps(
     method: DelayMethod,
     caps: &[usize],
 ) -> Result<Option<TaskSet>, SchedError> {
-    let inflation = inflate_wcets_with_caps(tasks, method, caps)?;
+    inflated_taskset_with_caps_scaled(tasks, method, caps, 1.0)
+}
+
+/// [`inflated_taskset_with_caps`] under the lazy scale view (see
+/// [`inflate_wcets_scaled`]).
+///
+/// # Errors
+///
+/// As [`inflated_taskset_with_caps`].
+pub fn inflated_taskset_with_caps_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    caps: &[usize],
+    factor: f64,
+) -> Result<Option<TaskSet>, SchedError> {
+    let inflation = inflate_wcets_with_caps_scaled(tasks, method, caps, factor)?;
     match inflation.finite_wcets() {
         Some(wcets) => tasks.with_wcets(&wcets).map(Some),
         None => Ok(None),
@@ -239,7 +308,23 @@ pub fn inflated_taskset_with_caps(
 ///
 /// As [`inflate_wcets`] and the underlying RTA.
 pub fn fp_schedulable_with_delay(tasks: &TaskSet, method: DelayMethod) -> Result<bool, SchedError> {
-    let Some(inflated) = inflated_taskset(tasks, method)? else {
+    fp_schedulable_with_delay_scaled(tasks, method, 1.0)
+}
+
+/// [`fp_schedulable_with_delay`] with every delay curve scaled by `factor`
+/// on the fly — the sensitivity-bisection probe
+/// ([`crate::delay_tolerance`]), decision-identical to materializing
+/// [`crate::scale_delay_curves`] first.
+///
+/// # Errors
+///
+/// As [`fp_schedulable_with_delay`].
+pub fn fp_schedulable_with_delay_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    factor: f64,
+) -> Result<bool, SchedError> {
+    let Some(inflated) = inflated_taskset_scaled(tasks, method, factor)? else {
         return Ok(false);
     };
     Ok(rta_floating_npr(&inflated)?.schedulable())
@@ -256,13 +341,27 @@ pub fn edf_schedulable_with_delay(
     tasks: &TaskSet,
     method: DelayMethod,
 ) -> Result<bool, SchedError> {
+    edf_schedulable_with_delay_scaled(tasks, method, 1.0)
+}
+
+/// [`edf_schedulable_with_delay`] under the lazy scale view (see
+/// [`fp_schedulable_with_delay_scaled`]).
+///
+/// # Errors
+///
+/// As [`edf_schedulable_with_delay`].
+pub fn edf_schedulable_with_delay_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    factor: f64,
+) -> Result<bool, SchedError> {
     // Under EDF the preemption cap counts every other task's releases, not
     // just the higher-indexed ones.
     let inflated = match method {
         DelayMethod::Algorithm1Capped => {
-            inflated_taskset_with_caps(tasks, method, &preemption_caps_edf(tasks))?
+            inflated_taskset_with_caps_scaled(tasks, method, &preemption_caps_edf(tasks), factor)?
         }
-        _ => inflated_taskset(tasks, method)?,
+        _ => inflated_taskset_scaled(tasks, method, factor)?,
     };
     let Some(inflated) = inflated else {
         return Ok(false);
@@ -434,6 +533,46 @@ mod tests {
         if plain {
             assert!(capped);
         }
+    }
+
+    #[test]
+    fn scaled_inflation_matches_materialized_scaling() {
+        use crate::sensitivity::scale_delay_curves;
+        let ts = TaskSet::new(vec![
+            curved_task(2.0, 20.0, 1.0, 0.5),
+            curved_task(8.0, 50.0, 3.0, 2.0),
+            curved_task(10.0, 120.0, 4.0, 2.5),
+        ])
+        .unwrap();
+        for method in [
+            DelayMethod::Eq4,
+            DelayMethod::Algorithm1,
+            DelayMethod::Algorithm1Capped,
+        ] {
+            for factor in [0.0, 0.25, 1.0, 1.7] {
+                let lazy = inflate_wcets_scaled(&ts, method, factor).unwrap();
+                let eager =
+                    inflate_wcets(&scale_delay_curves(&ts, factor).unwrap(), method).unwrap();
+                assert_eq!(lazy.wcets, eager.wcets, "{method:?} @ {factor}");
+                assert_eq!(
+                    fp_schedulable_with_delay_scaled(&ts, method, factor).unwrap(),
+                    fp_schedulable_with_delay(&scale_delay_curves(&ts, factor).unwrap(), method)
+                        .unwrap()
+                );
+                assert_eq!(
+                    edf_schedulable_with_delay_scaled(&ts, method, factor).unwrap(),
+                    edf_schedulable_with_delay(&scale_delay_curves(&ts, factor).unwrap(), method)
+                        .unwrap()
+                );
+            }
+        }
+        // Factor 1.0 is the identity: bit-identical to the unscaled path.
+        let plain = inflate_wcets(&ts, DelayMethod::Algorithm1).unwrap();
+        let unit = inflate_wcets_scaled(&ts, DelayMethod::Algorithm1, 1.0).unwrap();
+        assert_eq!(plain, unit);
+        // Malformed factors are rejected.
+        assert!(inflate_wcets_scaled(&ts, DelayMethod::Algorithm1, -1.0).is_err());
+        assert!(inflate_wcets_scaled(&ts, DelayMethod::Algorithm1, f64::NAN).is_err());
     }
 
     #[test]

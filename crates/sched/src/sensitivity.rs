@@ -10,7 +10,7 @@ use fnpr_core::DelayCurve;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SchedError;
-use crate::inflate::{fp_schedulable_with_delay, DelayMethod};
+use crate::inflate::{fp_schedulable_with_delay_scaled, DelayMethod};
 use crate::task::{Task, TaskSet};
 
 /// Result of the delay-scale bisection.
@@ -92,9 +92,13 @@ pub fn delay_tolerance(
             value: upper.min(precision),
         });
     }
+    // Probe through the lazy scale view: no scaled-curve materialization
+    // (clone + revalidate) per bisection step per task, decision-identical
+    // to `scale_delay_curves` + `fp_schedulable_with_delay` (the lazy and
+    // eager bound kernels are bit-identical; property-tested in fnpr-core
+    // and `tests/properties.rs`).
     let accepts = |scale: f64| -> Result<bool, SchedError> {
-        let scaled = scale_delay_curves(tasks, scale)?;
-        fp_schedulable_with_delay(&scaled, method)
+        fp_schedulable_with_delay_scaled(tasks, method, scale)
     };
     if !accepts(0.0)? {
         return Ok(DelayTolerance {
@@ -130,6 +134,7 @@ pub fn delay_tolerance(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inflate::fp_schedulable_with_delay;
     use fnpr_core::DelayCurve;
 
     fn set(delay: f64) -> TaskSet {

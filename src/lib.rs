@@ -90,7 +90,8 @@ pub mod campaign {
 
 // The most common entry points, flattened for convenience.
 pub use fnpr_core::{
-    algorithm1, algorithm1_trace, eq4_bound, eq4_bound_for_curve, exact_worst_case, naive_bound,
+    algorithm1, algorithm1_scaled, algorithm1_scaled_capped, algorithm1_trace, eq4_bound,
+    eq4_bound_for_curve, eq4_bound_for_curve_scaled_capped, exact_worst_case, naive_bound,
     BoundOutcome, DelayBound, DelayCurve,
 };
 pub use pipeline::{

@@ -9,23 +9,61 @@
 //! the reported figure is the median of the surviving samples (plus an
 //! elements/sec rate when the group declares a throughput). No plots. Use
 //! `harness = false` benches exactly as with upstream criterion.
+//!
+//! # On-disk baselines
+//!
+//! Each benchmark *group* persists its results to `BENCH_<group>.json` at
+//! the workspace root (the nearest ancestor of the working directory whose
+//! `Cargo.toml` declares a `[workspace]`, falling back to the topmost
+//! manifest; override with `BENCH_BASELINE_DIR`). When a baseline file
+//! already exists, the harness reports the per-benchmark median delta
+//! before overwriting it — a cross-run trajectory, not just within-run
+//! statistics. Environment knobs:
+//!
+//! * `BENCH_BASELINE_DIR` — directory for the `BENCH_*.json` files;
+//! * `BENCH_SAMPLES` — overrides every group's sample count (smoke mode);
+//! * `BENCH_FAIL_ON_REGRESSION` — a fraction (e.g. `0.30`); when any
+//!   benchmark's median exceeds its baseline by more than that, the run
+//!   reports the offenders and exits non-zero **without** overwriting the
+//!   baseline.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One finished benchmark inside a group.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchStat {
+    /// Label within the group (e.g. `cursor/1536`).
+    name: String,
+    /// Median seconds per iteration over the surviving samples.
+    median_seconds: f64,
+    /// Throughput rate, when the group declared one.
+    rate_per_second: Option<f64>,
+}
+
+/// A finished group, queued for baseline flushing.
+struct GroupResult {
+    name: String,
+    benchmarks: Vec<BenchStat>,
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    completed: Vec<GroupResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Self {
             default_sample_size: 20,
+            completed: Vec::new(),
         }
     }
 }
@@ -36,14 +74,16 @@ impl Criterion {
         let name = name.into();
         eprintln!("## {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             sample_size: None,
             throughput: None,
+            results: Vec::new(),
         }
     }
 
-    /// Runs a single stand-alone benchmark.
+    /// Runs a single stand-alone benchmark (not persisted to a baseline —
+    /// only groups get `BENCH_<group>.json` files).
     pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -51,6 +91,220 @@ impl Criterion {
         run_benchmark(&id.to_string(), self.default_sample_size, None, &mut f);
         self
     }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // The shim's own unit tests construct Criterion; they must not
+        // splatter baseline files over the workspace. And a drop during
+        // panic unwinding (a bench closure blew up) must never replace a
+        // complete baseline with partial results.
+        if cfg!(test) || std::thread::panicking() {
+            return;
+        }
+        // Flush (and delta-report) every group before acting on the gate,
+        // so one regressing group cannot leave later groups unreported
+        // with stale baselines.
+        let dir = baseline_dir();
+        let mut regressed = false;
+        for group in self.completed.drain(..) {
+            regressed |= flush_group_to(&dir, &group);
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Directory the baseline files live in: `BENCH_BASELINE_DIR` when set,
+/// otherwise the nearest ancestor of the working directory whose
+/// `Cargo.toml` declares a `[workspace]` (cargo runs benches from the
+/// package directory), falling back to the topmost ancestor with any
+/// `Cargo.toml` — the workspace check keeps a checkout nested under an
+/// unrelated scratch crate from writing baselines outside the repository.
+fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_BASELINE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut topmost_manifest = None;
+    let mut probe = Some(cwd.as_path());
+    while let Some(dir) = probe {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if std::fs::read_to_string(&manifest).is_ok_and(|text| text.contains("[workspace]")) {
+                return dir.to_path_buf();
+            }
+            topmost_manifest = Some(dir.to_path_buf());
+        }
+        probe = dir.parent();
+    }
+    topmost_manifest.unwrap_or(cwd)
+}
+
+/// The `BENCH_FAIL_ON_REGRESSION` threshold (a fraction, e.g. `0.30`), or
+/// `None` when gating is off. Malformed or non-positive values warn and
+/// fall back to 0.30 rather than silently disabling (or distorting) the
+/// gate the caller asked for.
+fn regression_threshold() -> Option<f64> {
+    let raw = std::env::var("BENCH_FAIL_ON_REGRESSION").ok()?;
+    match raw.parse::<f64>() {
+        Ok(value) if value > 0.0 => {
+            if value >= 1.0 {
+                eprintln!(
+                    "warning: BENCH_FAIL_ON_REGRESSION={raw} is a fraction; \
+                     gating at {:.0}%",
+                    value * 100.0
+                );
+            }
+            Some(value)
+        }
+        _ => {
+            eprintln!(
+                "warning: BENCH_FAIL_ON_REGRESSION={raw:?} is not a positive \
+                 fraction; gating at the default 30%"
+            );
+            Some(0.30)
+        }
+    }
+}
+
+/// `bound_kernel curves` → `bound_kernel_curves` (safe file-name stem).
+fn sanitize(group: &str) -> String {
+    group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Writes one group's baseline file, reporting deltas against (and only
+/// then replacing) any existing baseline. With `BENCH_FAIL_ON_REGRESSION`
+/// set, regressions beyond the threshold keep the old baseline and return
+/// `true` (the caller exits non-zero once every group has flushed).
+fn flush_group_to(dir: &std::path::Path, group: &GroupResult) -> bool {
+    let path = dir.join(format!("BENCH_{}.json", sanitize(&group.name)));
+    let old = std::fs::read_to_string(&path)
+        .ok()
+        .map(|text| parse_baseline(&text))
+        .unwrap_or_default();
+    let deltas = baseline_deltas(&old, &group.benchmarks);
+    for (name, old_median, new_median, pct) in &deltas {
+        eprintln!(
+            "baseline {}: {name} median {} -> {} ({pct:+.1}%)",
+            path.display(),
+            fmt_time(*old_median),
+            fmt_time(*new_median),
+        );
+    }
+    if let Some(threshold) = regression_threshold() {
+        let offenders: Vec<_> = deltas
+            .iter()
+            .filter(|(_, _, _, pct)| *pct > threshold * 100.0)
+            .collect();
+        if !offenders.is_empty() {
+            for (name, old_median, new_median, pct) in &offenders {
+                eprintln!(
+                    "REGRESSION {}: {name} median {} -> {} ({pct:+.1}% > {:.0}%)",
+                    path.display(),
+                    fmt_time(*old_median),
+                    fmt_time(*new_median),
+                    threshold * 100.0,
+                );
+            }
+            // Keep the old baseline so the regression stays visible.
+            return true;
+        }
+    }
+    if let Err(e) = std::fs::write(&path, format_baseline(&group.name, &group.benchmarks)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    false
+}
+
+/// `(name, old median, new median, delta %)` for every benchmark present
+/// in both the old baseline and the new results.
+fn baseline_deltas(old: &[(String, f64)], new: &[BenchStat]) -> Vec<(String, f64, f64, f64)> {
+    new.iter()
+        .filter_map(|stat| {
+            let &(_, old_median) = old.iter().find(|(name, _)| *name == stat.name)?;
+            if old_median <= 0.0 {
+                return None;
+            }
+            let pct = (stat.median_seconds - old_median) / old_median * 100.0;
+            Some((stat.name.clone(), old_median, stat.median_seconds, pct))
+        })
+        .collect()
+}
+
+/// Serializes a group baseline: one benchmark per line so the counterpart
+/// parser can stay line-oriented.
+fn format_baseline(group: &str, benchmarks: &[BenchStat]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"{}\",", escape(group));
+    let _ = writeln!(out, "  \"benchmarks\": [");
+    for (i, stat) in benchmarks.iter().enumerate() {
+        let rate = stat
+            .rate_per_second
+            .map_or("null".to_string(), |r| format!("{r:e}"));
+        let comma = if i + 1 < benchmarks.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"median_seconds\": {:e}, \"rate_per_second\": {rate}}}{comma}",
+            escape(&stat.name),
+            stat.median_seconds,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Line-oriented parser for the format above: returns `(name, median)`
+/// pairs, ignoring anything it does not recognize (a hand-edited or
+/// truncated baseline degrades to "no baseline", never to a crash).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        // Walk to the closing quote, honouring backslash escapes.
+        let mut name = String::new();
+        let mut chars = rest.chars();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => {
+                    if let Some(escaped) = chars.next() {
+                        name.push(escaped);
+                    }
+                }
+                other => name.push(other),
+            }
+        }
+        if !closed {
+            continue;
+        }
+        let Some(median_at) = line.find("\"median_seconds\": ") else {
+            continue;
+        };
+        let tail = &line[median_at + 18..];
+        let number: String = tail
+            .chars()
+            .take_while(|c| !matches!(c, ',' | '}'))
+            .collect();
+        if let Ok(median) = number.trim().parse::<f64>() {
+            out.push((name, median));
+        }
+    }
+    out
 }
 
 /// Work performed per iteration, for rate reporting (upstream's
@@ -66,10 +320,11 @@ pub enum Throughput {
 
 /// A group of benchmarks sharing a name prefix, sample size and throughput.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
     throughput: Option<Throughput>,
+    results: Vec<BenchStat>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -88,8 +343,13 @@ impl BenchmarkGroup<'_> {
 
     fn effective_samples(&self) -> usize {
         // Cap shim sample counts: this harness is for relative numbers in
-        // CI logs, not rigorous statistics.
-        self.sample_size.unwrap_or(20).min(30)
+        // CI logs, not rigorous statistics. `BENCH_SAMPLES` (smoke mode)
+        // overrides every group.
+        let configured = self.sample_size.unwrap_or(20).min(30);
+        std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or(configured, |n: usize| n.clamp(1, 30))
     }
 
     /// Runs one benchmark within the group.
@@ -97,8 +357,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.effective_samples(), self.throughput, &mut f);
+        let name = id.to_string();
+        let label = format!("{}/{name}", self.name);
+        let stat = run_benchmark(&label, self.effective_samples(), self.throughput, &mut f);
+        self.results.push(BenchStat { name, ..stat });
         self
     }
 
@@ -112,17 +374,34 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let label = format!("{}/{}", self.name, id);
+        let name = id.to_string();
+        let label = format!("{}/{name}", self.name);
         let samples = self.effective_samples();
         let throughput = self.throughput;
-        run_benchmark(&label, samples, throughput, &mut |b: &mut Bencher| {
+        let stat = run_benchmark(&label, samples, throughput, &mut |b: &mut Bencher| {
             f(b, input);
         });
+        self.results.push(BenchStat { name, ..stat });
         self
     }
 
-    /// Ends the group (upstream writes reports here; the shim needs nothing).
+    /// Ends the group (the results are queued for the baseline flush that
+    /// happens when the parent [`Criterion`] is dropped).
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        // A group abandoned by a panicking benchmark holds partial
+        // results; recording it would poison the baseline on flush.
+        if std::thread::panicking() {
+            return;
+        }
+        self.criterion.completed.push(GroupResult {
+            name: std::mem::take(&mut self.name),
+            benchmarks: std::mem::take(&mut self.results),
+        });
+    }
 }
 
 /// A benchmark identifier: a function name, a parameter, or both.
@@ -191,7 +470,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     samples: usize,
     throughput: Option<Throughput>,
     f: &mut F,
-) {
+) -> BenchStat {
     // Calibrate: run once to size batches so one sample takes ≳200µs.
     let mut bencher = Bencher {
         batch: 1,
@@ -215,12 +494,21 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let median = kept[kept.len() / 2];
     let min = kept[0];
     let max = kept[kept.len() - 1];
-    let rate = throughput.map_or(String::new(), |t| {
-        let (count, unit) = match t {
-            Throughput::Elements(n) => (n, "elem/s"),
-            Throughput::Bytes(n) => (n, "B/s"),
+    let rate_per_second = throughput.map(|t| {
+        let count = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
         };
-        format!(", {} {unit}", fmt_rate(count as f64 / median))
+        count as f64 / median
+    });
+    let rate = throughput.map_or(String::new(), |t| {
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        format!(
+            ", {} {unit}",
+            fmt_rate(rate_per_second.expect("rate set with throughput"))
+        )
     });
     eprintln!(
         "bench {label:<50} median {}{rate} (min {}, max {}, {} samples x {batch} iters, \
@@ -230,6 +518,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         fmt_time(max),
         kept.len(),
     );
+    BenchStat {
+        name: label.to_string(),
+        median_seconds: median,
+        rate_per_second,
+    }
 }
 
 fn fmt_rate(per_second: f64) -> String {
@@ -334,5 +627,77 @@ mod tests {
         assert_eq!(fmt_rate(12_300.0), "12.30K");
         assert_eq!(fmt_rate(12_300_000.0), "12.30M");
         assert_eq!(fmt_rate(2.5e9), "2.50G");
+    }
+
+    fn stat(name: &str, median: f64, rate: Option<f64>) -> BenchStat {
+        BenchStat {
+            name: name.to_string(),
+            median_seconds: median,
+            rate_per_second: rate,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_parser() {
+        let stats = vec![
+            stat("cursor/1536", 1.25e-6, Some(800_000.0)),
+            stat("reference/1536", 4.5e-4, None),
+            stat("odd \"name\"/with\\escape", 2.0e-3, None),
+        ];
+        let text = format_baseline("bound_kernel", &stats);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0], ("cursor/1536".to_string(), 1.25e-6));
+        assert_eq!(parsed[1].0, "reference/1536");
+        assert_eq!(parsed[2].0, "odd \"name\"/with\\escape");
+        // Garbage degrades to an empty baseline, never a crash.
+        assert!(parse_baseline("not json at all").is_empty());
+        assert!(parse_baseline("{\"benchmarks\": [").is_empty());
+    }
+
+    #[test]
+    fn baseline_deltas_match_by_name() {
+        let old = vec![
+            ("a".to_string(), 1.0e-3),
+            ("gone".to_string(), 5.0e-3),
+            ("zero".to_string(), 0.0),
+        ];
+        let new = vec![
+            stat("a", 1.5e-3, None),
+            stat("fresh", 9.0e-3, None),
+            stat("zero", 1.0e-3, None),
+        ];
+        let deltas = baseline_deltas(&old, &new);
+        // Only "a" is in both with a usable old median.
+        assert_eq!(deltas.len(), 1);
+        let (name, old_m, new_m, pct) = &deltas[0];
+        assert_eq!(name, "a");
+        assert_eq!((*old_m, *new_m), (1.0e-3, 1.5e-3));
+        assert!((pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_names_sanitize_to_file_stems() {
+        assert_eq!(sanitize("bound_kernel"), "bound_kernel");
+        assert_eq!(sanitize("camp aign/7"), "camp_aign_7");
+    }
+
+    #[test]
+    fn flush_writes_and_rereads_a_baseline_file() {
+        let dir =
+            std::env::temp_dir().join(format!("fnpr_criterion_shim_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let group = GroupResult {
+            name: "shimcheck".to_string(),
+            benchmarks: vec![stat("a/1", 2.0e-5, Some(50_000.0))],
+        };
+        assert!(!flush_group_to(&dir, &group), "no baseline, no regression");
+        let path = dir.join("BENCH_shimcheck.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"group\": \"shimcheck\""));
+        assert_eq!(parse_baseline(&text), vec![("a/1".to_string(), 2.0e-5)]);
+        // Second flush consumes the first as a baseline (delta path runs).
+        assert!(!flush_group_to(&dir, &group), "identical medians pass");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
