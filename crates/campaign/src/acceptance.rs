@@ -21,11 +21,13 @@ use crate::error::CampaignError;
 use crate::exec::{parallel_map, stream_seed};
 use crate::memo::{Memo, ScenarioHasher};
 use crate::report::AcceptancePoint;
-use crate::spec::{policy_label, policy_tag, AcceptanceParams};
+use crate::spec::{method_tag, policy_label, policy_tag, AcceptanceParams};
+use crate::store::{ResultStore, StoreTable};
 
 /// Domain tags for RNG stream / memo key derivation.
 const TAG_TASKSET: u64 = 0x5441_534b; // "TASK"
 const TAG_EQUIP: u64 = 0x4551_5550; // "EQUP"
+const TAG_POINT: u64 = 0x4143_5054; // "ACPT"
 
 /// Shared state across shards of one `run` call.
 pub struct AcceptanceEngine {
@@ -61,6 +63,7 @@ pub fn run(
     campaign_seed: u64,
     threads: NonZeroUsize,
     engine: &AcceptanceEngine,
+    store: Option<&ResultStore>,
 ) -> Result<Vec<AcceptancePoint>, CampaignError> {
     let grid: Vec<(Policy, f64)> = params
         .policies
@@ -69,8 +72,47 @@ pub fn run(
         .collect();
     parallel_map(grid.len(), threads, |i| {
         let (policy, utilization) = grid[i];
-        run_point(params, campaign_seed, policy, utilization, engine)
+        let compute = || run_point(params, campaign_seed, policy, utilization, engine);
+        match store {
+            Some(store) => store.get_or_compute(
+                StoreTable::AcceptancePoints,
+                point_key(params, campaign_seed, policy, utilization),
+                compute,
+            ),
+            None => compute(),
+        }
     })
+}
+
+/// Content address of one finished grid point: campaign seed, every
+/// parameter the point's result depends on, and the point coordinates —
+/// deliberately **not** the `policies`/`utilizations` axis lists, so grid
+/// *extensions* (more utilizations, an added policy) restore the points
+/// they share with previous runs. The `methods` list stays in (it shapes
+/// the accepted/ratio vectors), length-prefixed like every variable-length
+/// hash section.
+fn point_key(
+    params: &AcceptanceParams,
+    campaign_seed: u64,
+    policy: Policy,
+    utilization: f64,
+) -> u128 {
+    let mut h = ScenarioHasher::new(TAG_POINT)
+        .word(campaign_seed)
+        .word(params.sets_per_point as u64)
+        .word(params.max_attempts_factor as u64)
+        .f64(params.q_scale)
+        .f64(params.delay_frac)
+        .word(params.taskset.n as u64)
+        .f64(params.taskset.period_range.0)
+        .f64(params.taskset.period_range.1)
+        .f64(params.taskset.deadline_factor.0)
+        .f64(params.taskset.deadline_factor.1)
+        .word(params.methods.len() as u64);
+    for &m in &params.methods {
+        h = h.word(method_tag(m));
+    }
+    h.word(policy_tag(policy)).f64(utilization).finish128()
 }
 
 /// Runs one grid point: `sets_per_point` instances, each with its own
@@ -163,18 +205,14 @@ fn generate_instance(
     };
     for attempt in 0..params.max_attempts_factor {
         *attempts += 1;
-        let base = engine.taskset_memo.get_or_insert_with(
-            taskset_key(campaign_seed, &ts_params, instance, attempt),
-            || {
-                let mut rng = StdRng::seed_from_u64(taskset_key(
-                    campaign_seed,
-                    &ts_params,
-                    instance,
-                    attempt,
-                ));
-                random_taskset(&mut rng, &ts_params).ok()
-            },
-        );
+        let key = taskset_key(campaign_seed, &ts_params, instance, attempt);
+        let base = engine.taskset_memo.get_or_insert_with(key, || {
+            // The RNG stream seed is the key's low word — exactly the
+            // pre-widening 64-bit hash, so generation streams (and with
+            // them every aggregate) are unchanged by the 128-bit keys.
+            let mut rng = StdRng::seed_from_u64(key as u64);
+            random_taskset(&mut rng, &ts_params).ok()
+        });
         let Some(base) = base else { continue };
         // Curve equipment *does* depend on the policy (the admissible `Qi`
         // bounds differ), so it gets its own stream including the policy.
@@ -201,10 +239,16 @@ fn generate_instance(
     None
 }
 
-/// Memo key (doubling as RNG seed) for a base task set: a pure function of
-/// campaign seed + generation parameters + instance coordinates. Policy is
-/// deliberately absent so FP and EDF share base sets.
-fn taskset_key(campaign_seed: u64, params: &TaskSetParams, instance: usize, attempt: usize) -> u64 {
+/// Memo key (its low word doubling as the RNG seed) for a base task set: a
+/// pure function of campaign seed + generation parameters + instance
+/// coordinates. Policy is deliberately absent so FP and EDF share base
+/// sets.
+fn taskset_key(
+    campaign_seed: u64,
+    params: &TaskSetParams,
+    instance: usize,
+    attempt: usize,
+) -> u128 {
     ScenarioHasher::new(TAG_TASKSET)
         .word(campaign_seed)
         .word(params.n as u64)
@@ -215,7 +259,7 @@ fn taskset_key(campaign_seed: u64, params: &TaskSetParams, instance: usize, atte
         .f64(params.deadline_factor.1)
         .word(instance as u64)
         .word(attempt as u64)
-        .finish()
+        .finish128()
 }
 
 /// Eq. 4 total inflation overhead ÷ Algorithm 1 total inflation overhead
@@ -258,7 +302,7 @@ utilizations = { values = [0.5] }
     fn points_cover_the_grid_in_order() {
         let params = small_params();
         let engine = AcceptanceEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].policy, "fp");
         assert_eq!(points[1].policy, "edf");
@@ -273,7 +317,7 @@ utilizations = { values = [0.5] }
     fn policies_share_base_task_sets_via_memo() {
         let params = small_params();
         let engine = AcceptanceEngine::new();
-        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine).unwrap();
+        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine, None).unwrap();
         let stats = engine.taskset_memo.stats();
         assert!(
             stats.hits > 0,
@@ -287,7 +331,7 @@ utilizations = { values = [0.5] }
     fn dominance_holds_on_the_small_grid() {
         let params = small_params();
         let engine = AcceptanceEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         for p in &points {
             // accepted = [none, eq4, alg1, capped]
             assert!(p.accepted[1] <= p.accepted[2], "Eq.4 beat Algorithm 1");

@@ -1,8 +1,11 @@
 //! `fnpr-campaign` — run experiment campaigns from scenario spec files.
 //!
 //! ```text
-//! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH] [--quiet]
+//! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
+//!                   [--store PATH] [--quiet]
 //! fnpr-campaign grid <spec>          # show the expanded scenario grid
+//! fnpr-campaign store stats <PATH>   # inspect a result store
+//! fnpr-campaign store gc <PATH>      # compact a result store
 //! fnpr-campaign example-spec         # print a template TOML spec
 //! ```
 //!
@@ -12,13 +15,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fnpr_campaign::{run_campaign, CampaignSpec, Workload};
+use fnpr_campaign::store::ResultStore;
+use fnpr_campaign::{run_campaign_with_store, CampaignSpec, Workload};
 
 struct RunArgs {
     spec: PathBuf,
     threads: Option<usize>,
     csv: Option<String>,
     json: Option<String>,
+    store: Option<String>,
     quiet: bool,
 }
 
@@ -32,6 +37,11 @@ fn main() -> ExitCode {
         Some("grid") => match args.get(1) {
             Some(path) => cmd_grid(&PathBuf::from(path)),
             None => usage_error("`grid` needs a spec path"),
+        },
+        Some("store") => match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("stats"), Some(path)) => cmd_store_stats(Path::new(path)),
+            (Some("gc"), Some(path)) => cmd_store_gc(Path::new(path)),
+            _ => usage_error("`store` needs `stats <PATH>` or `gc <PATH>`"),
         },
         Some("example-spec") => {
             print!("{}", EXAMPLE_SPEC);
@@ -50,6 +60,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut threads = None;
     let mut csv = None;
     let mut json = None;
+    let mut store = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -66,6 +77,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--json" => json = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
             "--quiet" => quiet = true,
             other if spec.is_none() && !other.starts_with('-') => {
                 spec = Some(PathBuf::from(other));
@@ -78,6 +90,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         threads,
         csv,
         json,
+        store,
         quiet,
     })
 }
@@ -87,8 +100,20 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         Ok(campaign) => campaign,
         Err(e) => return usage_error(&e.to_string()),
     };
+    // CLI --store wins over the spec's [store] table.
+    let store_target = args.store.clone().or_else(|| campaign.store_path.clone());
+    let store = match &store_target {
+        Some(path) => match ResultStore::open(Path::new(path)) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("fnpr-campaign: cannot open result store {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let started = std::time::Instant::now();
-    let outcome = match run_campaign(&campaign, args.threads) {
+    let outcome = match run_campaign_with_store(&campaign, args.threads, store.as_ref()) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("fnpr-campaign: {e}");
@@ -132,6 +157,9 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
             s.pessimism_max,
             s.naive_unsound,
         );
+        if let (Some(stats), Some(path)) = (&outcome.store, &store_target) {
+            eprintln!("store {path}: {stats}");
+        }
         if let Some(csv) = &csv_target {
             eprintln!("wrote CSV aggregate to {csv}");
         }
@@ -259,6 +287,84 @@ fn cmd_grid(path: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Opens an *existing* store for the introspection subcommands: unlike
+/// `run` (where first use legitimately creates the file), `stats`/`gc` on
+/// a missing path is almost certainly a typo — creating an empty store
+/// there and reporting it healthy would mislead far worse than erroring.
+fn open_existing_store(path: &Path) -> Result<ResultStore, ExitCode> {
+    if !path.is_file() {
+        eprintln!(
+            "fnpr-campaign: result store {} does not exist \
+             (runs create it via --store or the spec's [store] table)",
+            path.display()
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    ResultStore::open(path).map_err(|e| {
+        eprintln!(
+            "fnpr-campaign: cannot open result store {}: {e}",
+            path.display()
+        );
+        ExitCode::FAILURE
+    })
+}
+
+/// `store stats`: open the store (validating every line) and report the
+/// live entry counts per table plus load-time health.
+fn cmd_store_stats(path: &Path) -> ExitCode {
+    let store = match open_existing_store(path) {
+        Ok(store) => store,
+        Err(code) => return code,
+    };
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("store: {}", path.display());
+    println!("file size: {size} bytes");
+    println!(
+        "analysis fingerprint: {:016x}",
+        fnpr_campaign::store::analysis_fingerprint()
+    );
+    let mut total = 0usize;
+    for (table, count) in store.table_counts() {
+        println!("  {:<26} {count}", table.label());
+        total += count;
+    }
+    let stats = store.stats();
+    println!("live entries: {total}");
+    println!(
+        "skipped at load: {} invalid, {} stale (reclaim with `store gc`)",
+        stats.invalid_entries, stats.stale_entries
+    );
+    ExitCode::SUCCESS
+}
+
+/// `store gc`: rewrite the log with only live (valid, current-fingerprint,
+/// newest-per-key) entries.
+fn cmd_store_gc(path: &Path) -> ExitCode {
+    let store = match open_existing_store(path) {
+        Ok(store) => store,
+        Err(code) => return code,
+    };
+    let before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let stats = store.stats();
+    match store.gc() {
+        Ok(kept) => {
+            let after = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "gc {}: kept {kept} entries, dropped {} invalid + {} stale lines, \
+                 {before} -> {after} bytes",
+                path.display(),
+                stats.invalid_entries,
+                stats.stale_entries,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fnpr-campaign: gc failed on {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("fnpr-campaign: {msg}");
     eprint!("{}", USAGE);
@@ -267,8 +373,11 @@ fn usage_error(msg: &str) -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH] [--quiet]
+  fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
+                    [--store PATH] [--quiet]
   fnpr-campaign grid <spec>
+  fnpr-campaign store stats <PATH>
+  fnpr-campaign store gc <PATH>
   fnpr-campaign example-spec
 ";
 
@@ -297,4 +406,11 @@ deadline_factor = [1.0, 1.0]
 [output]
 csv = "campaign.csv"           # "-" or omit for stdout
 json = "campaign.json"         # omit to skip JSON
+
+# Optional: persist finished points content-addressed on disk, so re-runs
+# and grid extensions only compute new points (aggregates stay
+# byte-identical). CLI `--store PATH` overrides; inspect with
+# `fnpr-campaign store stats|gc <PATH>`.
+# [store]
+# path = "campaign.fnprstore"
 "#;

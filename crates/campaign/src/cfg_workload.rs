@@ -28,22 +28,23 @@ use std::sync::Arc;
 
 use fnpr_cache::CacheConfig;
 use fnpr_cfg::ast::CompiledProgram;
-use fnpr_core::{algorithm1, eq4_bound_for_curve, BoundOutcome};
+use fnpr_core::{algorithm1, eq4_bound_for_curve};
 use fnpr_pipeline::{program_access_map, PreparedProgram, TaskAnalysis};
 use fnpr_synth::{random_program, ProgramGenParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::CampaignError;
-use crate::exec::{parallel_map, stream_seed};
+use crate::exec::{parallel_map, stream_key128};
 use crate::memo::{Memo, ScenarioHasher};
 use crate::report::CfgPoint;
 use crate::spec::CfgParams;
+use crate::store::{bounds_key, BoundsEntry, ResultStore, StoreTable};
 
 /// Domain tags for RNG stream / memo key derivation.
 const TAG_PROGRAM: u64 = 0x4347_5047; // "CGPG"
 const TAG_CURVE: u64 = 0x4347_4356; // "CGCV"
-const TAG_BOUND: u64 = 0x4347_4244; // "CGBD"
+const TAG_POINT: u64 = 0x4347_5450; // "CGTP"
 
 /// A generated program plus the cache-independent half of its analysis,
 /// shared across every geometry and `Qi` point of the grid. The source
@@ -55,25 +56,34 @@ pub struct ProgramArtifacts {
     pub compiled: CompiledProgram,
     /// Loop reduction + occupancy + timing, reused per geometry.
     pub prepared: PreparedProgram,
-    /// Structural hash of the compiled program (blocks, edges, bounds,
-    /// layout, accesses) — the program half of the curve memo key.
-    pub structural_hash: u64,
+    /// 128-bit structural hash of the compiled program (blocks, edges,
+    /// bounds, layout, accesses) — the program half of the curve memo key.
+    pub structural_hash: u128,
 }
+
+/// One memoized bound computation: `(Algorithm 1 total, Eq. 4 total)`
+/// with `None` for a divergent bound, or the error message of a failed
+/// analysis.
+pub type BoundTotals = Result<(Option<f64>, Option<f64>), String>;
 
 /// Shared state across shards of one `run` call.
 pub struct CfgEngine {
-    /// Programs keyed by their generation stream seed.
+    /// Programs keyed by their generation stream key.
     pub program_memo: Memo<Option<Arc<ProgramArtifacts>>>,
     /// Derived curves keyed by `(program structural hash, geometry)`.
     pub curve_memo: Memo<Option<Arc<TaskAnalysis>>>,
-    /// `(Algorithm 1, Eq. 4)` outcomes keyed by `(curve structural hash,
-    /// Q)` — the curve's hash is cached inside the `DelayCurve` itself, so
-    /// a lookup costs O(1) rather than a re-hash of every segment. Dedupes
-    /// bound computations whenever grid axes collide on the same `(fi, Q)`
-    /// pair (duplicated geometry points, q_scales × identical WCETs).
-    /// Failures memoize the error message, so the diagnostic survives the
-    /// cache (analyses are deterministic: a retry would fail identically).
-    pub bound_memo: Memo<Result<(BoundOutcome, BoundOutcome), String>>,
+    /// `(Algorithm 1, Eq. 4)` total delays (`None` = divergent) keyed by
+    /// `(curve structural hash, Q)` — the curve's hash is cached inside
+    /// the `DelayCurve` itself, so a lookup costs O(1) rather than a
+    /// re-hash of every segment, and the key derivation
+    /// ([`crate::store::bounds_key`]) is *shared with the soundness
+    /// workload*, so the two workloads' cached bound computations dedupe
+    /// through one persistent table. Dedupes bound computations whenever
+    /// grid axes collide on the same `(fi, Q)` pair (duplicated geometry
+    /// points, q_scales × identical WCETs). Failures memoize the error
+    /// message, so the diagnostic survives the cache (analyses are
+    /// deterministic: a retry would fail identically).
+    pub bound_memo: Memo<BoundTotals>,
 }
 
 impl CfgEngine {
@@ -162,11 +172,48 @@ pub fn run(
     campaign_seed: u64,
     threads: NonZeroUsize,
     engine: &CfgEngine,
+    store: Option<&ResultStore>,
 ) -> Result<Vec<CfgPoint>, CampaignError> {
     let grid = grid_points(params);
     parallel_map(grid.len(), threads, |i| {
-        run_point(params, campaign_seed, grid[i], engine)
+        let compute = || run_point(params, campaign_seed, grid[i], engine, store);
+        match store {
+            Some(s) => s.get_or_compute(
+                StoreTable::CfgPoints,
+                point_key(params, campaign_seed, grid[i]),
+                compute,
+            ),
+            None => compute(),
+        }
     })
+}
+
+/// Content address of one finished grid point: campaign seed, the
+/// generation template (including the user `tag`, which prefixes the
+/// stored shape strings), and the full point coordinates — never the axis
+/// lists, so grid extensions restore shared points.
+fn point_key(params: &CfgParams, campaign_seed: u64, point: GridPoint) -> u128 {
+    ScenarioHasher::new(TAG_POINT)
+        .word(campaign_seed)
+        .word(params.programs_per_point as u64)
+        .str(&params.tag)
+        .word(params.program.max_sequence as u64)
+        .f64(params.program.cost_range.0)
+        .f64(params.program.cost_range.1)
+        .f64(params.program.branch_probability)
+        .f64(params.program.loop_probability)
+        .word(params.program.block_bytes)
+        .word(params.program.accesses_per_block.0 as u64)
+        .word(params.program.accesses_per_block.1 as u64)
+        .word(point.depth as u64)
+        .word(point.loop_iterations)
+        .word(point.footprint)
+        .word(point.sets as u64)
+        .word(point.associativity as u64)
+        .word(point.line_bytes)
+        .f64(point.reload_cost)
+        .f64(point.q_scale)
+        .finish128()
 }
 
 fn run_point(
@@ -174,6 +221,7 @@ fn run_point(
     campaign_seed: u64,
     point: GridPoint,
     engine: &CfgEngine,
+    store: Option<&ResultStore>,
 ) -> Result<CfgPoint, CampaignError> {
     let tag = if params.tag.is_empty() {
         String::new()
@@ -226,10 +274,15 @@ fn run_point(
     let mut gap_sum = 0.0;
 
     for instance in 0..params.programs_per_point {
-        let program_seed = program_key(campaign_seed, &gen_params, instance);
+        let program_key = program_key(campaign_seed, &gen_params, instance);
         let artifacts = engine
             .program_memo
-            .get_or_insert_with(program_seed, || build_program(program_seed, &gen_params))
+            // The generation seed is the key's low word — exactly the
+            // pre-widening 64-bit stream seed, so generated programs (and
+            // every aggregate) are unchanged by the 128-bit keys.
+            .get_or_insert_with(program_key, || {
+                build_program(program_key as u64, &gen_params)
+            })
             .ok_or_else(|| {
                 CampaignError::Analysis(format!(
                     "program generation failed (shape {}, instance {instance})",
@@ -259,19 +312,14 @@ fn run_point(
         curve_max_sum += analysis.curve.max_value();
 
         let q = point.q_scale * analysis.timing.wcet;
+        let key = bounds_key(&analysis.curve, q);
         let (alg1, eq4) = engine
             .bound_memo
-            .get_or_insert_with(bound_key(&analysis.curve, q), || {
-                let alg1 = algorithm1(&analysis.curve, q)
-                    .map_err(|e| format!("algorithm1 (q {q}): {e}"))?;
-                let eq4 = eq4_bound_for_curve(&analysis.curve, q)
-                    .map_err(|e| format!("eq4 (q {q}): {e}"))?;
-                Ok((alg1, eq4))
-            })
+            .get_or_insert_with(key, || compute_point_bounds(&analysis.curve, q, store, key))
             .map_err(|e| {
                 CampaignError::Analysis(format!("{e} (shape {}, instance {instance})", out.shape))
             })?;
-        accumulate_bounds(&alg1, &eq4, &mut out, &mut delay_sum, &mut gap_sum);
+        accumulate_bounds(alg1, eq4, &mut out, &mut delay_sum, &mut gap_sum);
     }
 
     if out.programs > 0 {
@@ -289,16 +337,56 @@ fn run_point(
     Ok(out)
 }
 
-/// Folds one program's bound outcomes into the point aggregates.
+/// Computes — or restores from the **shared** `(curve, Q)` store table —
+/// one pair of Algorithm 1 / Eq. 4 totals (`None` = divergent). On a
+/// store miss the computed totals are persisted as a partial
+/// [`BoundsEntry`] (`naive`/`exact` left for a soundness run to fill in);
+/// a hit may equally have been written by a soundness campaign — the two
+/// workloads' bound memos key into one table (ROADMAP follow-up (b)).
+/// Errors (malformed `q`, cannot happen for generated programs) are
+/// reported, memoized in RAM by the caller, and never persisted.
+fn compute_point_bounds(
+    curve: &fnpr_core::DelayCurve,
+    q: f64,
+    store: Option<&ResultStore>,
+    key: u128,
+) -> Result<(Option<f64>, Option<f64>), String> {
+    if let Some(store) = store {
+        if let Some(entry) = store.get::<BoundsEntry>(StoreTable::Bounds, key) {
+            store.count(StoreTable::Bounds, true);
+            return Ok((entry.alg1, entry.eq4));
+        }
+    }
+    let alg1 = algorithm1(curve, q)
+        .map_err(|e| format!("algorithm1 (q {q}): {e}"))?
+        .total_delay();
+    let eq4 = eq4_bound_for_curve(curve, q)
+        .map_err(|e| format!("eq4 (q {q}): {e}"))?
+        .total_delay();
+    if let Some(store) = store {
+        store.count(StoreTable::Bounds, false);
+        store.put(
+            StoreTable::Bounds,
+            key,
+            &BoundsEntry {
+                alg1,
+                eq4,
+                naive: None,
+                exact: None,
+            },
+        );
+    }
+    Ok((alg1, eq4))
+}
+
+/// Folds one program's bound totals into the point aggregates.
 fn accumulate_bounds(
-    alg1: &BoundOutcome,
-    eq4: &BoundOutcome,
+    alg1_total: Option<f64>,
+    eq4_total: Option<f64>,
     out: &mut CfgPoint,
     delay_sum: &mut f64,
     gap_sum: &mut f64,
 ) {
-    let alg1_total = alg1.total_delay();
-    let eq4_total = eq4.total_delay();
     if let Some(d) = alg1_total {
         out.alg1_converged += 1;
         *delay_sum += d;
@@ -333,7 +421,7 @@ fn build_program(seed: u64, params: &ProgramGenParams) -> Option<Arc<ProgramArti
     let mut rng = StdRng::seed_from_u64(seed);
     let compiled = random_program(&mut rng, params).ok()?.compiled;
     let prepared = PreparedProgram::new(&compiled.cfg, &compiled.loop_bounds).ok()?;
-    let structural_hash = program_hash(&compiled);
+    let structural_hash = program_hash128(&compiled);
     Some(Arc::new(ProgramArtifacts {
         compiled,
         prepared,
@@ -341,12 +429,12 @@ fn build_program(seed: u64, params: &ProgramGenParams) -> Option<Arc<ProgramArti
     }))
 }
 
-/// Memo key (doubling as RNG seed) for one program: a pure function of the
-/// campaign seed, the generation template and the instance index. Cache
-/// geometry and `Qi` are deliberately absent so the whole geometry × Q
-/// sub-grid shares programs.
-fn program_key(campaign_seed: u64, params: &ProgramGenParams, instance: usize) -> u64 {
-    stream_seed(
+/// Memo key (its low word doubling as the RNG seed) for one program: a
+/// pure function of the campaign seed, the generation template and the
+/// instance index. Cache geometry and `Qi` are deliberately absent so the
+/// whole geometry × Q sub-grid shares programs.
+fn program_key(campaign_seed: u64, params: &ProgramGenParams, instance: usize) -> u128 {
+    stream_key128(
         TAG_PROGRAM,
         campaign_seed,
         &[
@@ -368,9 +456,16 @@ fn program_key(campaign_seed: u64, params: &ProgramGenParams, instance: usize) -
 
 /// Structural hash of a compiled program: blocks (intervals), edges, loop
 /// bounds, layout granularity and data accesses. Two structurally identical
-/// programs hash equally regardless of how they were generated.
+/// programs hash equally regardless of how they were generated. The
+/// 64-bit value is the low word of [`program_hash128`].
 #[must_use]
 pub fn program_hash(compiled: &CompiledProgram) -> u64 {
+    program_hash128(compiled) as u64
+}
+
+/// The 128-bit program hash keying the curve memo (see [`program_hash`]).
+#[must_use]
+pub fn program_hash128(compiled: &CompiledProgram) -> u128 {
     let mut h = ScenarioHasher::new(0x4347_5348); // "CGSH"
     h = h.word(compiled.cfg.len() as u64);
     for block in compiled.cfg.blocks() {
@@ -399,27 +494,18 @@ pub fn program_hash(compiled: &CompiledProgram) -> u64 {
             h = h.word(a);
         }
     }
-    h.finish()
-}
-
-/// Bound memo key: `(curve structural hash, Q)`. The curve hash is read
-/// from the cache inside [`fnpr_core::DelayCurve`] (O(1)).
-fn bound_key(curve: &fnpr_core::DelayCurve, q: f64) -> u64 {
-    ScenarioHasher::new(TAG_BOUND)
-        .word(curve.structural_hash())
-        .f64(q)
-        .finish()
+    h.finish128()
 }
 
 /// Curve memo key: `(program structural hash, cache geometry)`.
-fn curve_key(artifacts: &ProgramArtifacts, cache: &CacheConfig) -> u64 {
+fn curve_key(artifacts: &ProgramArtifacts, cache: &CacheConfig) -> u128 {
     ScenarioHasher::new(TAG_CURVE)
-        .word(artifacts.structural_hash)
+        .word128(artifacts.structural_hash)
         .word(cache.sets() as u64)
         .word(cache.associativity() as u64)
         .word(cache.line_bytes())
         .f64(cache.reload_cost())
-        .finish()
+        .finish128()
 }
 
 #[cfg(test)]
@@ -454,7 +540,7 @@ reload_cost = [10.0]
     fn points_cover_the_grid_in_order() {
         let params = small_params();
         let engine = CfgEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         // 1 shape x 2 set counts x 2 q scales.
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].sets, 16);
@@ -474,7 +560,7 @@ reload_cost = [10.0]
     fn real_structure_produces_nonzero_curves_and_dominance_holds() {
         let params = small_params();
         let engine = CfgEngine::new();
-        let points = run(&params, 11, NonZeroUsize::new(4).unwrap(), &engine).unwrap();
+        let points = run(&params, 11, NonZeroUsize::new(4).unwrap(), &engine, None).unwrap();
         assert!(
             points.iter().any(|p| p.curve_max_mean > 0.0),
             "no program produced CRPD — the pipeline is not being exercised"
@@ -492,7 +578,7 @@ reload_cost = [10.0]
     fn geometry_and_q_axes_share_programs_and_curves_via_memo() {
         let params = small_params();
         let engine = CfgEngine::new();
-        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine).unwrap();
+        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine, None).unwrap();
         let programs = engine.program_memo.stats();
         // 4 grid points share one shape: 4 programs generated once, hit 3x.
         assert_eq!(programs.misses, 4);
@@ -519,7 +605,7 @@ reload_cost = [10.0]
         // only removes *data* accesses, so just assert the run completes
         // and the bounds stay ordered.
         let engine = CfgEngine::new();
-        let points = run(&params, 3, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 3, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         for p in &points {
             assert_eq!(p.programs, 4);
             assert_eq!(p.dominance_violations, 0);

@@ -84,11 +84,21 @@ where
 /// stream id (SplitMix64-style avalanche over the concatenation).
 #[must_use]
 pub fn stream_seed(tag: u64, campaign_seed: u64, words: &[u64]) -> u64 {
+    stream_key128(tag, campaign_seed, words) as u64
+}
+
+/// The 128-bit key for the same derivation: memo tables and the on-disk
+/// [`crate::store`] key by this, while `key as u64` recovers exactly
+/// [`stream_seed`] (the hasher's 128-bit finish keeps the 64-bit value as
+/// its low word) — so one derivation yields both the collision-resistant
+/// cache key and the value-compatible RNG seed.
+#[must_use]
+pub fn stream_key128(tag: u64, campaign_seed: u64, words: &[u64]) -> u128 {
     let mut h = crate::memo::ScenarioHasher::new(tag).word(campaign_seed);
     for &w in words {
         h = h.word(w);
     }
-    h.finish()
+    h.finish128()
 }
 
 #[cfg(test)]
@@ -128,5 +138,18 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, stream_seed(1, 2012, &[0, 0]));
+    }
+
+    #[test]
+    fn stream_key_low_word_is_the_seed() {
+        for (tag, seed, words) in [
+            (1u64, 2012u64, vec![0u64, 0]),
+            (7, 0, vec![]),
+            (2, u64::MAX, vec![3, 4, 5]),
+        ] {
+            let key = stream_key128(tag, seed, &words);
+            assert_eq!(key as u64, stream_seed(tag, seed, &words));
+            assert_ne!(key >> 64, 0, "high word should be populated");
+        }
     }
 }

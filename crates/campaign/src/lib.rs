@@ -57,11 +57,33 @@ pub mod multicore;
 pub mod report;
 pub mod soundness;
 pub mod spec;
+pub mod store;
 
 pub use error::CampaignError;
 pub use memo::MemoStats;
-pub use report::{CampaignReport, Summary};
+pub use report::{CampaignReport, StoreStats, Summary};
 pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
+pub use store::ResultStore;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared unit-test support (one definition of the scratch-dir
+    //! uniqueness scheme instead of a copy per test module).
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A fresh, unique scratch directory under the system temp dir.
+    pub fn scratch_dir(label: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fnpr_{label}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}
 
 /// Everything a campaign run produces: the deterministic report plus
 /// informational (scheduling-dependent) memo statistics.
@@ -72,6 +94,10 @@ pub struct CampaignOutcome {
     pub report: CampaignReport,
     /// Memo hit/miss counters (not part of the deterministic surface).
     pub memo: MemoStats,
+    /// Result-store counters, when a store was attached (not part of the
+    /// deterministic surface: a warm run restores what a cold run
+    /// computes, with byte-identical aggregates either way).
+    pub store: Option<StoreStats>,
     /// Worker threads actually used.
     pub threads: usize,
 }
@@ -79,12 +105,37 @@ pub struct CampaignOutcome {
 /// Runs a validated campaign. `threads_override` (e.g. from the CLI) wins
 /// over the spec's `threads`; both absent means all cores.
 ///
+/// When the spec carries a `[store]` section, the persistent result store
+/// at that path is opened (created if absent) and consulted before any
+/// point computes — see [`store::ResultStore`]. Use
+/// [`run_campaign_with_store`] to supply a store (or an explicit `None`)
+/// directly, e.g. for a CLI `--store` override.
+///
 /// # Errors
 ///
-/// Propagates the first shard failure.
+/// Propagates the first shard failure, and I/O errors opening the spec's
+/// store.
 pub fn run_campaign(
     campaign: &Campaign,
     threads_override: Option<usize>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let store = match &campaign.store_path {
+        Some(path) => Some(ResultStore::open(std::path::Path::new(path))?),
+        None => None,
+    };
+    run_campaign_with_store(campaign, threads_override, store.as_ref())
+}
+
+/// [`run_campaign`] against an explicitly provided result store (`None`
+/// disables persistence regardless of the spec).
+///
+/// # Errors
+///
+/// Propagates the first shard failure.
+pub fn run_campaign_with_store(
+    campaign: &Campaign,
+    threads_override: Option<usize>,
+    store: Option<&ResultStore>,
 ) -> Result<CampaignOutcome, CampaignError> {
     let threads = exec::resolve_threads(threads_override.or(campaign.threads));
     let scenario = format!("{:016x}", campaign.scenario_hash());
@@ -92,7 +143,7 @@ pub fn run_campaign(
         match &campaign.workload {
             Workload::Acceptance(params) => {
                 let engine = acceptance::AcceptanceEngine::new();
-                let points = acceptance::run(params, campaign.seed, threads, &engine)?;
+                let points = acceptance::run(params, campaign.seed, threads, &engine, store)?;
                 let methods: Vec<String> = params
                     .methods
                     .iter()
@@ -109,7 +160,7 @@ pub fn run_campaign(
             }
             Workload::Soundness(params) => {
                 let engine = soundness::SoundnessEngine::new();
-                let shards = soundness::run(params, campaign.seed, threads, &engine)?;
+                let shards = soundness::run(params, campaign.seed, threads, &engine, store)?;
                 (
                     Vec::new(),
                     Vec::new(),
@@ -121,7 +172,7 @@ pub fn run_campaign(
             }
             Workload::Multicore(params) => {
                 let engine = multicore::MulticoreEngine::new();
-                let points = multicore::run(params, campaign.seed, threads, &engine)?;
+                let points = multicore::run(params, campaign.seed, threads, &engine, store)?;
                 let methods: Vec<String> = params
                     .methods
                     .iter()
@@ -138,7 +189,7 @@ pub fn run_campaign(
             }
             Workload::Cfg(params) => {
                 let engine = cfg_workload::CfgEngine::new();
-                let points = cfg_workload::run(params, campaign.seed, threads, &engine)?;
+                let points = cfg_workload::run(params, campaign.seed, threads, &engine, store)?;
                 (
                     Vec::new(),
                     Vec::new(),
@@ -170,6 +221,7 @@ pub fn run_campaign(
             summary,
         },
         memo,
+        store: store.map(ResultStore::stats),
         threads: threads.get(),
     })
 }

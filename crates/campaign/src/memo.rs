@@ -11,6 +11,14 @@
 //! recomputation would produce (all analyses are deterministic functions of
 //! their inputs) — so the sharded executor stays bit-identical at any
 //! thread count even though hit/miss *counts* are scheduling-dependent.
+//!
+//! Keys are **128-bit** structural hashes ([`ScenarioHasher::finish128`]).
+//! The table used to key by the bare 64-bit finish, which meant two
+//! distinct scenarios colliding in 64 bits silently shared one cached
+//! result — survivable odds within a process, but fatal once the same keys
+//! address the persistent [`crate::store`] across runs and machines. Shard
+//! selection still uses the low word (value-compatible with the historical
+//! 64-bit hash by construction).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,9 +29,10 @@ use std::sync::Mutex;
 /// between worker threads, not a concurrent-map benchmark.
 const SHARDS: usize = 16;
 
-/// A sharded, thread-safe memo table from scenario hashes to results.
+/// A sharded, thread-safe memo table from 128-bit scenario hashes to
+/// results.
 pub struct Memo<V> {
-    shards: Vec<Mutex<HashMap<u64, V>>>,
+    shards: Vec<Mutex<HashMap<u128, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -43,8 +52,10 @@ impl<V: Clone> Memo<V> {
     /// it. `compute` may run more than once across racing threads; all
     /// computed values for a key are identical by construction, so either
     /// insertion wins harmlessly.
-    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
-        let shard = &self.shards[(key as usize) % SHARDS];
+    pub fn get_or_insert_with(&self, key: u128, compute: impl FnOnce() -> V) -> V {
+        // Shard by the low word alone: it is the historical 64-bit hash, so
+        // shard occupancy is unchanged by the key widening.
+        let shard = &self.shards[(key as u64 as usize) % SHARDS];
         if let Some(v) = shard.lock().expect("memo shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
@@ -119,6 +130,14 @@ pub fn curve_hash(curve: &fnpr_core::DelayCurve) -> u64 {
     curve.structural_hash()
 }
 
+/// The 128-bit curve hash ([`fnpr_core::DelayCurve::structural_hash128`],
+/// cached at construction like the 64-bit value): what memo and store keys
+/// use. Its low word is exactly [`curve_hash`].
+#[must_use]
+pub fn curve_hash128(curve: &fnpr_core::DelayCurve) -> u128 {
+    curve.structural_hash128()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +156,33 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!(memo.stats(), MemoStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn colliding_64_bit_keys_no_longer_alias() {
+        // Regression for the bare-u64 key scheme: two distinct scenarios
+        // whose hashes agree in the low 64 bits (same shard, same legacy
+        // key) must keep separate entries now that keys are 128-bit.
+        let memo: Memo<u32> = Memo::new();
+        let low = 0xdead_beef_0123_4567u64;
+        let a = u128::from(low); // high word 0
+        let b = (1u128 << 64) | u128::from(low); // same low word, high 1
+        assert_eq!(a as u64, b as u64, "keys must share the 64-bit shard key");
+        let va = memo.get_or_insert_with(a, || 1);
+        let vb = memo.get_or_insert_with(b, || 2);
+        assert_eq!((va, vb), (1, 2), "64-bit-colliding scenarios aliased");
+        // And both entries stay independently retrievable.
+        assert_eq!(memo.get_or_insert_with(a, || 99), 1);
+        assert_eq!(memo.get_or_insert_with(b, || 99), 2);
+        assert_eq!(memo.stats(), MemoStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn curve_hash128_low_word_is_curve_hash() {
+        let curve = DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap();
+        assert_eq!(curve_hash128(&curve) as u64, curve_hash(&curve));
+        // The high word actually distinguishes (not zero-padded).
+        assert_ne!(curve_hash128(&curve) >> 64, 0);
     }
 
     #[test]

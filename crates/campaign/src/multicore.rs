@@ -30,12 +30,16 @@ use crate::error::CampaignError;
 use crate::exec::{parallel_map, stream_seed};
 use crate::memo::{Memo, ScenarioHasher};
 use crate::report::MulticorePoint;
-use crate::spec::{allocation_label, allocation_tag, policy_tag, Allocation, MulticoreParams};
+use crate::spec::{
+    allocation_label, allocation_tag, method_tag, policy_tag, Allocation, MulticoreParams,
+};
+use crate::store::{ResultStore, StoreTable};
 
 /// Domain tags for RNG stream / memo key derivation.
 const TAG_TASKSET: u64 = 0x4d43_5453; // "MCTS"
 const TAG_EQUIP: u64 = 0x4d43_4551; // "MCEQ"
 const TAG_SIM: u64 = 0x4d43_5349; // "MCSI"
+const TAG_POINT: u64 = 0x4d43_5054; // "MCPT"
 
 /// Shared state across shards of one `run` call.
 pub struct MulticoreEngine {
@@ -80,6 +84,7 @@ pub fn run(
     campaign_seed: u64,
     threads: NonZeroUsize,
     engine: &MulticoreEngine,
+    store: Option<&ResultStore>,
 ) -> Result<Vec<MulticorePoint>, CampaignError> {
     let mut grid = Vec::new();
     for &m in &params.cores {
@@ -97,8 +102,47 @@ pub fn run(
         }
     }
     parallel_map(grid.len(), threads, |i| {
-        run_point(params, campaign_seed, grid[i], engine)
+        let compute = || run_point(params, campaign_seed, grid[i], engine);
+        match store {
+            Some(s) => s.get_or_compute(
+                StoreTable::MulticorePoints,
+                point_key(params, campaign_seed, grid[i]),
+                compute,
+            ),
+            None => compute(),
+        }
     })
+}
+
+/// Content address of one finished grid point: campaign seed, every
+/// parameter the point's result depends on, and the point coordinates —
+/// never the axis *lists* (cores/policies/allocations/utilizations), so
+/// grid extensions restore shared points. The `methods` list shapes the
+/// accepted/ratio vectors and stays in, length-prefixed.
+fn point_key(params: &MulticoreParams, campaign_seed: u64, point: Point) -> u128 {
+    let mut h = ScenarioHasher::new(TAG_POINT)
+        .word(campaign_seed)
+        .word(params.sets_per_point as u64)
+        .word(params.max_attempts_factor as u64)
+        .word(params.tasks_per_core as u64)
+        .f64(params.q_scale)
+        .f64(params.delay_frac)
+        .word(u64::from(params.simulate))
+        .word(params.sim_per_point as u64)
+        .f64(params.sim_horizon_factor)
+        .f64(params.taskset.period_range.0)
+        .f64(params.taskset.period_range.1)
+        .f64(params.taskset.deadline_factor.0)
+        .f64(params.taskset.deadline_factor.1)
+        .word(params.methods.len() as u64);
+    for &m in &params.methods {
+        h = h.word(method_tag(m));
+    }
+    h.word(point.m as u64)
+        .word(policy_tag(point.policy))
+        .word(allocation_tag(point.allocation))
+        .f64(point.utilization)
+        .finish128()
 }
 
 fn run_point(
@@ -208,7 +252,9 @@ fn generate_instance(
         *attempts += 1;
         let key = taskset_key(campaign_seed, ts_params, instance, attempt);
         let base = engine.taskset_memo.get_or_insert_with(key, || {
-            let mut rng = StdRng::seed_from_u64(key);
+            // Seed from the key's low word: the pre-widening 64-bit hash,
+            // so generation streams (and aggregates) are unchanged.
+            let mut rng = StdRng::seed_from_u64(key as u64);
             random_taskset_multicore(&mut rng, ts_params).ok().flatten()
         });
         if let Some(base) = base {
@@ -387,11 +433,16 @@ fn simulate_instance(
     Ok(())
 }
 
-/// Memo key (doubling as RNG seed) for a base task set: a pure function of
-/// campaign seed + generation parameters + instance coordinates. Policy
-/// and allocation are deliberately absent so the whole grid row shares
-/// base sets.
-fn taskset_key(campaign_seed: u64, params: &TaskSetParams, instance: usize, attempt: usize) -> u64 {
+/// Memo key (its low word doubling as the RNG seed) for a base task set: a
+/// pure function of campaign seed + generation parameters + instance
+/// coordinates. Policy and allocation are deliberately absent so the whole
+/// grid row shares base sets.
+fn taskset_key(
+    campaign_seed: u64,
+    params: &TaskSetParams,
+    instance: usize,
+    attempt: usize,
+) -> u128 {
     ScenarioHasher::new(TAG_TASKSET)
         .word(campaign_seed)
         .word(params.n as u64)
@@ -402,7 +453,7 @@ fn taskset_key(campaign_seed: u64, params: &TaskSetParams, instance: usize, atte
         .f64(params.deadline_factor.1)
         .word(instance as u64)
         .word(attempt as u64)
-        .finish()
+        .finish128()
 }
 
 #[cfg(test)]
@@ -434,7 +485,7 @@ sim_per_point = 2
     fn points_cover_the_grid_in_order() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         // 1 core count x 2 policies x 4 allocations x 1 utilization.
         assert_eq!(points.len(), 8);
         assert_eq!(points[0].policy, "fp");
@@ -454,7 +505,7 @@ sim_per_point = 2
     fn simulator_never_beats_the_bound_and_counts_migrations() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 11, NonZeroUsize::new(4).unwrap(), &engine).unwrap();
+        let points = run(&params, 11, NonZeroUsize::new(4).unwrap(), &engine, None).unwrap();
         let mut checks = 0;
         for p in &points {
             assert_eq!(p.sim_violations, 0, "Theorem 1 violated on {p:?}");
@@ -473,7 +524,7 @@ sim_per_point = 2
     fn grid_rows_share_base_task_sets_via_memo() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine).unwrap();
+        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine, None).unwrap();
         let stats = engine.taskset_memo.stats();
         assert!(
             stats.hits > 0,
@@ -487,7 +538,7 @@ sim_per_point = 2
     fn dominance_holds_on_the_small_grid() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine).unwrap();
+        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
         for p in &points {
             // accepted = [none, eq4, alg1, capped].
             assert!(p.accepted[1] <= p.accepted[2], "Eq.4 beat Algorithm 1");

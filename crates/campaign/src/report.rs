@@ -165,6 +165,52 @@ pub struct SoundnessShard {
     pub ratio_count: usize,
 }
 
+/// Per-run counters of the persistent result store ([`crate::store`]):
+/// how many grid points/shards were restored from disk vs computed, the
+/// shared `(curve, Q)` bounds table's hit split, and the load-time health
+/// counts. **Deliberately not part of [`CampaignReport`]**: a warm re-run
+/// must emit byte-identical CSV/JSON to a cold one, and these counters are
+/// exactly what differs between the two — they render on stderr via
+/// [`std::fmt::Display`] instead (`grep`-able; CI asserts a warm smoke run
+/// reports `0 points computed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Grid points / shards served from the store.
+    pub points_restored: u64,
+    /// Grid points / shards computed (and persisted) this run.
+    pub points_computed: u64,
+    /// Shared `(curve, Q)` bound entries served from the store.
+    pub bounds_restored: u64,
+    /// Shared `(curve, Q)` bound entries computed this run.
+    pub bounds_computed: u64,
+    /// Corrupt/truncated/unknown-version lines skipped at load, plus
+    /// undecodable payloads hit at lookup time.
+    pub invalid_entries: u64,
+    /// Well-formed lines from a different analysis fingerprint (never
+    /// served; recomputed; reclaimed by `store gc`).
+    pub stale_entries: u64,
+    /// Failed or refused writes (I/O errors, non-round-trippable values).
+    pub write_errors: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} points restored, {} points computed; \
+             {} bounds restored, {} bounds computed \
+             ({} invalid, {} stale entries, {} write errors)",
+            self.points_restored,
+            self.points_computed,
+            self.bounds_restored,
+            self.bounds_computed,
+            self.invalid_entries,
+            self.stale_entries,
+            self.write_errors,
+        )
+    }
+}
+
 /// Cross-workload campaign totals.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {

@@ -16,12 +16,13 @@ use std::num::NonZeroUsize;
 
 use crate::error::CampaignError;
 use crate::exec::{parallel_map, stream_seed};
-use crate::memo::{curve_hash, Memo, ScenarioHasher};
+use crate::memo::{Memo, ScenarioHasher};
 use crate::report::{SoundnessRow, SoundnessShard};
 use crate::spec::SoundnessParams;
+use crate::store::{bounds_key, BoundsEntry, ResultStore, StoreTable};
 
 const TAG_TRIAL: u64 = 0x5452_4941; // "TRIA"
-const TAG_BOUNDS: u64 = 0x424e_4453; // "BNDS"
+const TAG_SHARD: u64 = 0x534e_5348; // "SNSH"
 
 /// The four analytical bounds of one `(curve, Q)` scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,11 +70,45 @@ pub fn run(
     campaign_seed: u64,
     threads: NonZeroUsize,
     engine: &SoundnessEngine,
+    store: Option<&ResultStore>,
 ) -> Result<Vec<SoundnessShard>, CampaignError> {
     let shard_count = params.trials.div_ceil(params.trials_per_shard);
     parallel_map(shard_count, threads, |shard| {
-        run_shard(params, campaign_seed, shard, engine)
+        let compute = || run_shard(params, campaign_seed, shard, engine, store);
+        match store {
+            Some(s) => s.get_or_compute(
+                StoreTable::SoundnessShards,
+                shard_key(params, campaign_seed, shard),
+                compute,
+            ),
+            None => compute(),
+        }
     })
+}
+
+/// Content address of one finished shard: campaign seed, every per-trial
+/// generation parameter, and the shard's `[first, last)` trial range —
+/// deliberately **not** the total trial count, so extending `trials`
+/// restores every complete shard of the shorter run (trial streams are
+/// pure functions of the trial index). A formerly-final *partial* shard
+/// has a different `last_trial` and recomputes, which is exactly right.
+fn shard_key(params: &SoundnessParams, campaign_seed: u64, shard: usize) -> u128 {
+    let first_trial = shard * params.trials_per_shard;
+    let last_trial = (first_trial + params.trials_per_shard).min(params.trials);
+    ScenarioHasher::new(TAG_SHARD)
+        .word(campaign_seed)
+        .word(u64::from(params.simulate))
+        .f64(params.c_range.0)
+        .f64(params.c_range.1)
+        .word(params.segments.0)
+        .word(params.segments.1)
+        .f64(params.max_value_range.0)
+        .f64(params.max_value_range.1)
+        .f64(params.q_slack_range.0)
+        .f64(params.q_slack_range.1)
+        .word(first_trial as u64)
+        .word(last_trial as u64)
+        .finish128()
 }
 
 fn run_shard(
@@ -81,6 +116,7 @@ fn run_shard(
     campaign_seed: u64,
     shard: usize,
     engine: &SoundnessEngine,
+    store: Option<&ResultStore>,
 ) -> Result<SoundnessShard, CampaignError> {
     let first_trial = shard * params.trials_per_shard;
     let last_trial = (first_trial + params.trials_per_shard).min(params.trials);
@@ -96,7 +132,7 @@ fn run_shard(
         ratio_count: 0,
     };
     for trial in first_trial..last_trial {
-        run_trial(params, campaign_seed, trial, engine, &mut out)?;
+        run_trial(params, campaign_seed, trial, engine, store, &mut out)?;
     }
     Ok(out)
 }
@@ -106,6 +142,7 @@ fn run_trial(
     campaign_seed: u64,
     trial: usize,
     engine: &SoundnessEngine,
+    store: Option<&ResultStore>,
     out: &mut SoundnessShard,
 ) -> Result<(), CampaignError> {
     // One stream per trial, a pure function of (seed, trial) — never of the
@@ -118,13 +155,10 @@ fn run_trial(
         .map_err(|e| CampaignError::Analysis(format!("trial {trial}: bad curve: {e:?}")))?;
     let q = curve.max_value() + rng.gen_range(params.q_slack_range.0..params.q_slack_range.1);
 
-    let key = ScenarioHasher::new(TAG_BOUNDS)
-        .word(curve_hash(&curve))
-        .f64(q)
-        .finish();
+    let key = bounds_key(&curve, q);
     let bounds = engine
         .bounds_memo
-        .get_or_insert_with(key, || compute_bounds(&curve, q))
+        .get_or_insert_with(key, || compute_bounds(&curve, q, store, key))
         .ok_or_else(|| {
             CampaignError::Analysis(format!(
                 "trial {trial}: bound computation failed (q {q}, curve max {})",
@@ -183,13 +217,64 @@ fn run_trial(
 
 /// Computes all four bounds; `None` on any divergence or analysis error
 /// (cannot happen for `q > max_value`, which the generator guarantees).
-fn compute_bounds(curve: &DelayCurve, q: f64) -> Option<BoundsQuad> {
-    Some(BoundsQuad {
+///
+/// Consults the store's **shared** bounds table first (ROADMAP follow-up
+/// (b): one `(curve, Q)` table for the `[cfg]` and soundness workloads). A
+/// complete entry restores the whole quad; a partial `[cfg]`-written entry
+/// (Algorithm 1 / Eq. 4 only) seeds those two halves — the computations
+/// are the most expensive of the four and deterministic, so the restored
+/// totals are the exact values a recompute would produce — and the
+/// completed quad is written back, upgrading the entry in place.
+fn compute_bounds(
+    curve: &DelayCurve,
+    q: f64,
+    store: Option<&ResultStore>,
+    key: u128,
+) -> Option<BoundsQuad> {
+    let prior: Option<BoundsEntry> = store.and_then(|s| s.get(StoreTable::Bounds, key));
+    if let Some(entry) = prior {
+        if entry.is_complete() {
+            if let Some(store) = store {
+                store.count(StoreTable::Bounds, true);
+            }
+            return Some(BoundsQuad {
+                naive: entry.naive?,
+                exact: entry.exact?,
+                algorithm1: entry.alg1?,
+                eq4: entry.eq4?,
+            });
+        }
+    }
+    let (alg1, eq4) = match prior {
+        // A written entry is authoritative for its alg1/eq4 fields (`None`
+        // there means the bound diverged — the same `None` a recompute
+        // would produce below).
+        Some(entry) => (entry.alg1, entry.eq4),
+        None => (
+            algorithm1(curve, q).ok()?.total_delay(),
+            eq4_bound_for_curve(curve, q).ok()?.total_delay(),
+        ),
+    };
+    let quad = BoundsQuad {
         naive: naive_bound(curve, q).ok()?.total_delay,
         exact: exact_worst_case(curve, q).ok()??.total_delay,
-        algorithm1: algorithm1(curve, q).ok()?.total_delay()?,
-        eq4: eq4_bound_for_curve(curve, q).ok()?.total_delay()?,
-    })
+        algorithm1: alg1?,
+        eq4: eq4?,
+    };
+    if let Some(store) = store {
+        store.count(StoreTable::Bounds, false);
+        store.put(
+            StoreTable::Bounds,
+            key,
+            &BoundsEntry {
+                alg1: Some(quad.algorithm1),
+                eq4: Some(quad.eq4),
+                naive: Some(quad.naive),
+                exact: Some(quad.exact),
+            },
+        );
+    }
+    Some(quad)
 }
 
 #[cfg(test)]
@@ -217,7 +302,7 @@ mod tests {
     fn ordering_and_rows_over_a_small_sweep() {
         let params = small_params(24, true);
         let engine = SoundnessEngine::new();
-        let shards = run(&params, 2012, NonZeroUsize::new(4).unwrap(), &engine).unwrap();
+        let shards = run(&params, 2012, NonZeroUsize::new(4).unwrap(), &engine, None).unwrap();
         assert_eq!(shards.len(), 24);
         let mut naive_unsound = 0;
         for shard in &shards {
@@ -238,13 +323,69 @@ mod tests {
     }
 
     #[test]
+    fn partial_bounds_entries_seed_and_upgrade_in_place() {
+        // The cross-workload path: a `[cfg]` campaign wrote a *partial*
+        // BoundsEntry (alg1/eq4 only) for a (curve, Q) this soundness run
+        // now needs. compute_bounds must treat the written halves as
+        // authoritative (they are: same deterministic functions, same
+        // inputs — sentinel values here make the reuse observable),
+        // compute only naive/exact, and write back the completed entry.
+        let dir = crate::testutil::scratch_dir("soundness_bounds");
+        let store = crate::store::ResultStore::open(&dir.join("bounds.log")).unwrap();
+
+        let curve = DelayCurve::from_breakpoints([(0.0, 2.0), (30.0, 0.5)], 90.0).unwrap();
+        let q = 9.0;
+        let key = bounds_key(&curve, q);
+        let reference = compute_bounds(&curve, q, None, key).unwrap();
+
+        // Distinguishable sentinels prove the entry halves are served
+        // rather than recomputed.
+        let sentinel = BoundsEntry {
+            alg1: Some(reference.algorithm1 + 0.125),
+            eq4: Some(reference.eq4 + 0.25),
+            naive: None,
+            exact: None,
+        };
+        store.put(StoreTable::Bounds, key, &sentinel);
+        let quad = compute_bounds(&curve, q, Some(&store), key).unwrap();
+        assert_eq!(quad.algorithm1, sentinel.alg1.unwrap(), "alg1 recomputed");
+        assert_eq!(quad.eq4, sentinel.eq4.unwrap(), "eq4 recomputed");
+        assert_eq!(quad.naive, reference.naive);
+        assert_eq!(quad.exact, reference.exact);
+        // The entry was upgraded in place to a complete quad...
+        let upgraded: BoundsEntry = store.get(StoreTable::Bounds, key).unwrap();
+        assert!(upgraded.is_complete());
+        assert_eq!(upgraded.alg1, sentinel.alg1);
+        assert_eq!(upgraded.naive, Some(reference.naive));
+        // ...which a second lookup restores whole (no further computation).
+        let restored = compute_bounds(&curve, q, Some(&store), key).unwrap();
+        assert_eq!(restored, quad);
+
+        // A divergent half in a written entry propagates as a failed quad,
+        // exactly like a divergent recompute would.
+        let divergent_key = key ^ 1;
+        store.put(
+            StoreTable::Bounds,
+            divergent_key,
+            &BoundsEntry {
+                alg1: None,
+                eq4: Some(1.0),
+                naive: None,
+                exact: None,
+            },
+        );
+        assert_eq!(compute_bounds(&curve, q, Some(&store), divergent_key), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn trial_results_independent_of_shard_size() {
         let engine_a = SoundnessEngine::new();
         let mut params = small_params(10, false);
-        let a = run(&params, 5, NonZeroUsize::new(1).unwrap(), &engine_a).unwrap();
+        let a = run(&params, 5, NonZeroUsize::new(1).unwrap(), &engine_a, None).unwrap();
         params.trials_per_shard = 5;
         let engine_b = SoundnessEngine::new();
-        let b = run(&params, 5, NonZeroUsize::new(3).unwrap(), &engine_b).unwrap();
+        let b = run(&params, 5, NonZeroUsize::new(3).unwrap(), &engine_b, None).unwrap();
         let rows_a: Vec<_> = a.iter().flat_map(|s| s.rows.clone()).collect();
         let rows_b: Vec<_> = b.iter().flat_map(|s| s.rows.clone()).collect();
         assert_eq!(rows_a, rows_b);

@@ -84,6 +84,8 @@ pub struct CampaignSpec {
     pub cfg: Option<CfgSpec>,
     /// Output locations.
     pub output: Option<OutputSpec>,
+    /// Persistent result store ([`crate::store`]).
+    pub store: Option<StoreSpec>,
 }
 
 /// A one-dimensional sweep axis: either an explicit `values` list or an
@@ -289,6 +291,19 @@ pub struct OutputSpec {
     pub json: Option<String>,
 }
 
+/// The persistent, content-addressed result store ([`crate::store`]):
+/// finished grid points and shared `(curve, Q)` bounds are appended here
+/// keyed by structural scenario hashes, so warm re-runs and grid
+/// *extensions* restore previously measured points instead of recomputing
+/// them (aggregates stay byte-identical either way). The CLI's `--store`
+/// flag overrides the path; restored/computed counts print on stderr.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StoreSpec {
+    /// Store file path (relative paths resolve against the working
+    /// directory). Required when the `[store]` table is present.
+    pub path: Option<String>,
+}
+
 /// A validated campaign: defaults applied, grids expanded, invariants
 /// checked. This is what [`crate::run_campaign`] executes.
 #[derive(Debug, Clone)]
@@ -303,6 +318,10 @@ pub struct Campaign {
     pub workload: Workload,
     /// Output locations (raw; the CLI applies them).
     pub output: OutputSpec,
+    /// Result-store path, when the spec enables persistence. Like the
+    /// outputs, this is **not** part of [`Campaign::scenario_hash`] — where
+    /// results are cached cannot change what they are.
+    pub store_path: Option<String>,
 }
 
 /// Validated workload parameters.
@@ -502,12 +521,26 @@ impl CampaignSpec {
         if let Some(0) = self.threads {
             return Err(CampaignError::Spec("`threads` must be >= 1".into()));
         }
+        let store_path = match &self.store {
+            None => None,
+            Some(store) => match &store.path {
+                Some(path) if !path.trim().is_empty() => Some(path.clone()),
+                _ => {
+                    return Err(CampaignError::Spec(
+                        "`path` is required in the [store] table (a store with \
+                         nowhere to live cannot cache anything)"
+                            .into(),
+                    ))
+                }
+            },
+        };
         Ok(Campaign {
             name: self.name.clone().unwrap_or_else(|| "campaign".into()),
             seed: self.seed.unwrap_or(2012),
             threads: self.threads,
             workload,
             output: self.output.clone().unwrap_or_default(),
+            store_path,
         })
     }
 
@@ -1519,6 +1552,47 @@ accesses_per_block = [0, 2]
         );
         assert_eq!(backquoted_key("no keys here"), None);
         assert_eq!(backquoted_key("empty `` quotes"), None);
+    }
+
+    #[test]
+    fn store_spec_round_trips_and_validates() {
+        let spec = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[store]\npath = \"results.log\"\n",
+        )
+        .unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.store_path.as_deref(), Some("results.log"));
+        // Absent [store] table: no persistence.
+        let spec =
+            CampaignSpec::parse("workload = \"soundness\"\n[soundness]\ntrials = 3\n").unwrap();
+        assert_eq!(spec.validate().unwrap().store_path, None);
+        // A [store] table without a usable path is a spec error, not a
+        // silently disabled cache.
+        for text in [
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[store]\n",
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[store]\npath = \"  \"\n",
+        ] {
+            let err = CampaignSpec::parse(text).unwrap().validate().unwrap_err();
+            assert!(err.to_string().contains("path"), "bad message: {err}");
+        }
+    }
+
+    #[test]
+    fn store_path_stays_out_of_the_scenario_hash() {
+        // Like the outputs: where results are cached cannot change what
+        // they are — warm and cold runs must report the same scenario id.
+        let base = CampaignSpec {
+            seed: Some(5),
+            ..CampaignSpec::default()
+        };
+        let mut with_store = base.clone();
+        with_store.store = Some(StoreSpec {
+            path: Some("x.log".into()),
+        });
+        assert_eq!(
+            base.validate().unwrap().scenario_hash(),
+            with_store.validate().unwrap().scenario_hash()
+        );
     }
 
     #[test]

@@ -1,0 +1,780 @@
+//! The persistent, content-addressed result store.
+//!
+//! Campaign memoization used to live only in RAM: every process re-measured
+//! the full grid, so warm re-runs and grid *extensions* paid for points that
+//! had already been computed. [`ResultStore`] persists finished results on
+//! disk, keyed by the same structural hashes the in-memory [`crate::memo`]
+//! layer uses — widened to 128 bits end to end — so a re-run restores every
+//! previously measured point and only computes what the spec added.
+//!
+//! # Layout
+//!
+//! One append-only text log. Each record is a single line:
+//!
+//! ```text
+//! FNPR1 <tag:8hex> <key:32hex> <fingerprint:16hex> <len> <sum:16hex> <payload>
+//! ```
+//!
+//! * `FNPR1` — the store **format version**; unknown versions are ignored;
+//! * `tag` — the [`StoreTable`] the entry belongs to (one store file holds
+//!   every table; notably the `(curve, Q)` bounds table is *shared* between
+//!   the `[cfg]` and soundness workloads);
+//! * `key` — the 128-bit content address (structural scenario hash);
+//! * `fingerprint` — the [`analysis_fingerprint`] of the writer; entries
+//!   from a different analysis version are treated as stale and recomputed;
+//! * `len`/`sum` — payload byte length and checksum, so truncated tails and
+//!   corrupted bytes are detected line-locally;
+//! * `payload` — the result as compact JSON (single line by construction).
+//!
+//! # Correctness contract
+//!
+//! *Never crash, never serve wrong data.* Any unreadable, truncated,
+//! corrupt, version- or fingerprint-mismatched entry degrades to a cache
+//! miss: the point recomputes and a fresh valid entry is appended. A value
+//! is only persisted after a **round-trip self-check** (serialize → parse →
+//! compare equal), so every restored value compares equal to the computed
+//! one — and because the JSON float encoding is shortest-round-trip exact,
+//! warm aggregates are **byte-identical** to a cold run's. Non-finite
+//! floats are the one lossy case (JSON has no NaN/Inf); the self-check
+//! fails for them and the point simply stays uncached.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::memo::ScenarioHasher;
+use crate::report::StoreStats;
+
+/// Magic token carrying the on-disk record format version. Bump on any
+/// record-layout change; old lines then read as invalid and recompute.
+pub const STORE_FORMAT: &str = "FNPR1";
+
+/// Version of the *result schemas* this crate writes (the point/bounds
+/// payload shapes). Folded into [`analysis_fingerprint`]; bump when a
+/// report struct changes shape or meaning.
+const RESULTS_VERSION: u64 = 1;
+
+/// Domain tags for store-internal key derivation.
+const TAG_FINGERPRINT: u64 = 0x464e_5052; // "FNPR"
+const TAG_CHECKSUM: u64 = 0x434b_534d; // "CKSM"
+const TAG_BOUNDS_KEY: u64 = 0x424e_4451; // "BNDQ"
+
+/// The fingerprint stamped on every entry this build writes: a hash of the
+/// workspace analysis version ([`fnpr_core::ANALYSIS_VERSION`]) and the
+/// result-schema version. Entries carrying any other fingerprint are
+/// *stale* — possibly computed by different analysis semantics — and are
+/// never served, only garbage-collected.
+#[must_use]
+pub fn analysis_fingerprint() -> u64 {
+    ScenarioHasher::new(TAG_FINGERPRINT)
+        .word(fnpr_core::ANALYSIS_VERSION)
+        .word(RESULTS_VERSION)
+        .finish()
+}
+
+/// The tables a store file multiplexes. Each workload's finished grid
+/// points get their own table; [`StoreTable::Bounds`] is shared by every
+/// workload that caches `(curve, Q)` bound computations (ROADMAP follow-up
+/// (b): the `[cfg]` and soundness memos key into this one table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreTable {
+    /// Finished acceptance grid points.
+    AcceptancePoints,
+    /// Finished soundness shards.
+    SoundnessShards,
+    /// Finished multicore grid points.
+    MulticorePoints,
+    /// Finished `[cfg]` grid points.
+    CfgPoints,
+    /// Shared `(curve structural hash, Q) → bounds` entries.
+    Bounds,
+}
+
+impl StoreTable {
+    /// Every table, in display order.
+    pub const ALL: [StoreTable; 5] = [
+        StoreTable::AcceptancePoints,
+        StoreTable::SoundnessShards,
+        StoreTable::MulticorePoints,
+        StoreTable::CfgPoints,
+        StoreTable::Bounds,
+    ];
+
+    /// The on-disk tag.
+    #[must_use]
+    pub fn tag(self) -> u32 {
+        match self {
+            StoreTable::AcceptancePoints => 0x4143_4350, // "ACCP"
+            StoreTable::SoundnessShards => 0x534e_4453,  // "SNDS"
+            StoreTable::MulticorePoints => 0x4d43_4f52,  // "MCOR"
+            StoreTable::CfgPoints => 0x4347_5054,        // "CGPT"
+            StoreTable::Bounds => 0x424e_4453,           // "BNDS"
+        }
+    }
+
+    /// Human-readable label for `store stats`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreTable::AcceptancePoints => "acceptance points",
+            StoreTable::SoundnessShards => "soundness shards",
+            StoreTable::MulticorePoints => "multicore points",
+            StoreTable::CfgPoints => "cfg points",
+            StoreTable::Bounds => "shared (curve, Q) bounds",
+        }
+    }
+
+    /// Whether entries of this table are whole grid points (they drive the
+    /// `points restored / computed` counters; bounds count separately).
+    fn is_points(self) -> bool {
+        !matches!(self, StoreTable::Bounds)
+    }
+
+    fn from_tag(tag: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.tag() == tag)
+    }
+}
+
+/// One shared `(curve, Q)` bounds entry. `alg1`/`eq4` are authoritative
+/// totals (`None` = the bound diverged); `naive`/`exact` are `None` until a
+/// soundness run needs and computes them — a `[cfg]`-written partial entry
+/// still saves the expensive Algorithm 1 / Eq. 4 halves, and the soundness
+/// run upgrades it in place (appends a complete record).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundsEntry {
+    /// Algorithm 1 total delay (`None` = divergent).
+    pub alg1: Option<f64>,
+    /// Eq. 4 total delay (`None` = divergent).
+    pub eq4: Option<f64>,
+    /// Naive-selection total (`None` = not computed yet).
+    pub naive: Option<f64>,
+    /// Exact adversary total (`None` = not computed yet).
+    pub exact: Option<f64>,
+}
+
+impl BoundsEntry {
+    /// `true` once every field has been measured (the soundness workload's
+    /// full quad; divergent `alg1`/`eq4` never complete because the quad
+    /// consumers treat divergence as a failed scenario anyway).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.alg1.is_some() && self.eq4.is_some() && self.naive.is_some() && self.exact.is_some()
+    }
+}
+
+/// Key of the shared bounds table: the curve's cached 128-bit structural
+/// hash plus `Q`. One definition, used by both the `[cfg]` and the
+/// soundness workloads, so their cached bound computations dedupe whenever
+/// grids collide on the same `(fi, Q)` pair.
+#[must_use]
+pub fn bounds_key(curve: &fnpr_core::DelayCurve, q: f64) -> u128 {
+    ScenarioHasher::new(TAG_BOUNDS_KEY)
+        .word128(curve.structural_hash128())
+        .f64(q)
+        .finish128()
+}
+
+/// Outcome of one line parse during load.
+enum ParsedLine {
+    Valid {
+        tag: u32,
+        key: u128,
+        payload: String,
+    },
+    Stale,
+    Invalid,
+}
+
+/// Independently locked index shards, like [`crate::memo::Memo`]'s: cold
+/// runs of large grids look up and insert from every worker thread, and a
+/// single index mutex would serialize them all.
+const INDEX_SHARDS: usize = 16;
+
+/// The persistent, content-addressed result store: an in-memory index over
+/// an append-only log file. Shared by reference across worker threads;
+/// the index is sharded so lookups on distinct keys do not contend (the
+/// append-only file itself is necessarily a single writer).
+pub struct ResultStore {
+    path: PathBuf,
+    fingerprint: u64,
+    entries: Vec<Mutex<HashMap<(u32, u128), String>>>,
+    file: Mutex<File>,
+    // Counters (informational; never part of deterministic aggregates).
+    points_restored: AtomicU64,
+    points_computed: AtomicU64,
+    bounds_restored: AtomicU64,
+    bounds_computed: AtomicU64,
+    invalid_entries: AtomicU64,
+    stale_entries: AtomicU64,
+    write_errors: AtomicU64,
+    warned_write: AtomicBool,
+}
+
+impl fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating if absent) the store at `path` under the current
+    /// build's [`analysis_fingerprint`]. Existing content is indexed;
+    /// truncated, corrupt, unknown-version or wrong-fingerprint lines are
+    /// counted and skipped — they can only cause recomputation, never wrong
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures only (unreadable existing file, uncreatable file);
+    /// corrupt *content* is not an error.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Self::open_with_fingerprint(path, analysis_fingerprint())
+    }
+
+    /// [`Self::open`] with an explicit fingerprint (tests use this to
+    /// emulate an analysis-version change).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open`].
+    pub fn open_with_fingerprint(path: &Path, fingerprint: u64) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut entries: Vec<HashMap<(u32, u128), String>> =
+            (0..INDEX_SHARDS).map(|_| HashMap::new()).collect();
+        let mut invalid = 0u64;
+        let mut stale = 0u64;
+        let mut unterminated = false;
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                unterminated = bytes.last().is_some_and(|&b| b != b'\n');
+                // Lossy decoding: a line with invalid UTF-8 cannot checksum
+                // correctly and parses as invalid, which is exactly right.
+                let text = String::from_utf8_lossy(&bytes);
+                for line in text.lines() {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match parse_record(line, fingerprint) {
+                        ParsedLine::Valid { tag, key, payload } => {
+                            // Later lines supersede earlier ones (append-only
+                            // upgrades, e.g. a bounds entry completed by a
+                            // soundness run).
+                            entries[index_shard(key)].insert((tag, key), payload);
+                        }
+                        ParsedLine::Stale => stale += 1,
+                        ParsedLine::Invalid => invalid += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if unterminated {
+            // A crashed writer left a torn final line (already counted as
+            // invalid above); terminate it so healing appends start on a
+            // fresh line instead of gluing onto the wreckage.
+            file.write_all(b"\n")?;
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            fingerprint,
+            entries: entries.into_iter().map(Mutex::new).collect(),
+            file: Mutex::new(file),
+            points_restored: AtomicU64::new(0),
+            points_computed: AtomicU64::new(0),
+            bounds_restored: AtomicU64::new(0),
+            bounds_computed: AtomicU64::new(0),
+            invalid_entries: AtomicU64::new(invalid),
+            stale_entries: AtomicU64::new(stale),
+            write_errors: AtomicU64::new(0),
+            warned_write: AtomicBool::new(false),
+        })
+    }
+
+    /// The store's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Fetches and decodes an entry; `None` on absence *or* undecodable
+    /// payload (counted as invalid — the caller recomputes either way).
+    /// Does not touch the restored/computed counters; use
+    /// [`Self::get_or_compute`] for counted point access.
+    #[must_use]
+    pub fn get<V: Deserialize>(&self, table: StoreTable, key: u128) -> Option<V> {
+        // Clone the payload under the shard lock, parse outside it.
+        let payload = self.entries[index_shard(key)]
+            .lock()
+            .expect("store index poisoned")
+            .get(&(table.tag(), key))
+            .cloned()?;
+        match serde_json::from_str(&payload) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.invalid_entries.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists an entry, **after** a two-sided round-trip self-check: the
+    /// value is serialized, parsed back, and must both compare equal
+    /// (catches NaN payloads — JSON has no NaN, and `NaN != NaN` makes
+    /// `PartialEq` fail) *and* re-serialize to the identical string
+    /// (catches any value equality cannot see, e.g. a float formatter
+    /// normalizing `-0.0` to `0.0` — equal under `==`, different bytes in
+    /// the rendered aggregates). On any mismatch the entry is skipped so a
+    /// later run recomputes instead of restoring a lossy value. Write
+    /// failures are counted and warned once — the campaign result never
+    /// depends on the store being writable.
+    pub fn put<V>(&self, table: StoreTable, key: u128, value: &V)
+    where
+        V: Serialize + Deserialize + PartialEq,
+    {
+        let payload = serde_json::to_string(value);
+        debug_assert!(!payload.contains('\n'), "compact JSON is single-line");
+        match serde_json::from_str::<V>(&payload) {
+            Ok(rt) if rt == *value && serde_json::to_string(&rt) == payload => {}
+            _ => {
+                self.count_write_error("value does not round-trip losslessly");
+                return;
+            }
+        }
+        let line = format_record(table.tag(), key, self.fingerprint, &payload);
+        // Hold the file lock across the index insert too: `gc` snapshots
+        // the index under the file lock, so an entry must never be on disk
+        // without being indexed (the reverse order would let a concurrent
+        // gc rewrite the file without this line and then lose it).
+        let mut file = self.file.lock().expect("store file poisoned");
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            self.count_write_error(&e.to_string());
+            return;
+        }
+        self.entries[index_shard(key)]
+            .lock()
+            .expect("store index poisoned")
+            .insert((table.tag(), key), payload);
+    }
+
+    /// The counted point-level access path: restore the entry if present,
+    /// otherwise run `compute` and persist its success. Errors from
+    /// `compute` propagate unstored.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns.
+    pub fn get_or_compute<V, E>(
+        &self,
+        table: StoreTable,
+        key: u128,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E>
+    where
+        V: Serialize + Deserialize + PartialEq,
+    {
+        if let Some(v) = self.get(table, key) {
+            self.count(table, true);
+            return Ok(v);
+        }
+        let v = compute()?;
+        self.count(table, false);
+        self.put(table, key, &v);
+        Ok(v)
+    }
+
+    /// Bumps the restored/computed counter pair for `table`.
+    pub fn count(&self, table: StoreTable, restored: bool) {
+        let counter = match (table.is_points(), restored) {
+            (true, true) => &self.points_restored,
+            (true, false) => &self.points_computed,
+            (false, true) => &self.bounds_restored,
+            (false, false) => &self.bounds_computed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_write_error(&self, why: &str) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+        if !self.warned_write.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "fnpr-campaign: warning: result store {} not updated: {why} \
+                 (results are unaffected; later runs recompute)",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Counters for this process's use of the store (scheduling-dependent;
+    /// informational only — deliberately not part of the deterministic
+    /// report surface).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            points_restored: self.points_restored.load(Ordering::Relaxed),
+            points_computed: self.points_computed.load(Ordering::Relaxed),
+            bounds_restored: self.bounds_restored.load(Ordering::Relaxed),
+            bounds_computed: self.bounds_computed.load(Ordering::Relaxed),
+            invalid_entries: self.invalid_entries.load(Ordering::Relaxed),
+            stale_entries: self.stale_entries.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live entry count per table (valid, current-fingerprint entries).
+    #[must_use]
+    pub fn table_counts(&self) -> Vec<(StoreTable, usize)> {
+        let mut counts = vec![0usize; StoreTable::ALL.len()];
+        for shard in &self.entries {
+            let entries = shard.lock().expect("store index poisoned");
+            for (i, table) in StoreTable::ALL.into_iter().enumerate() {
+                counts[i] += entries.keys().filter(|(t, _)| *t == table.tag()).count();
+            }
+        }
+        StoreTable::ALL.into_iter().zip(counts).collect()
+    }
+
+    /// Rewrites the log keeping exactly the live entries: duplicates
+    /// (superseded appends), invalid, stale and unknown-version lines are
+    /// dropped. The rewrite goes through a sibling temp file + rename, so a
+    /// crash mid-gc leaves either the old or the new file, never a torn
+    /// one. Returns the number of entries kept.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or renaming the new file.
+    pub fn gc(&self) -> std::io::Result<usize> {
+        // The file lock is held across the whole rewrite, and `put` holds
+        // it across both its append *and* its index insert — so every
+        // entry on disk is indexed by the time this snapshot runs, and no
+        // concurrent put can land a line the rewrite would drop.
+        let mut file = self.file.lock().expect("store file poisoned");
+        let mut live: Vec<((u32, u128), String)> = Vec::new();
+        for shard in &self.entries {
+            let entries = shard.lock().expect("store index poisoned");
+            live.extend(entries.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        // Deterministic output order (the index shards are HashMaps).
+        live.sort_by_key(|&((tag, key), _)| (tag, key));
+        let kept = live.len();
+        let mut out = String::new();
+        for ((tag, key), payload) in live {
+            out.push_str(&format_record(tag, key, self.fingerprint, &payload));
+        }
+        let tmp = self.path.with_extension("gc-tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the append handle on the fresh file.
+        *file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(kept)
+    }
+}
+
+/// Formats one record line (trailing newline included).
+fn format_record(tag: u32, key: u128, fingerprint: u64, payload: &str) -> String {
+    format!(
+        "{STORE_FORMAT} {tag:08x} {key:032x} {fingerprint:016x} {len} {sum:016x} {payload}\n",
+        len = payload.len(),
+        sum = checksum(tag, key, fingerprint, payload),
+    )
+}
+
+/// Record checksum over **every** content-bearing field — table tag, key,
+/// fingerprint and payload text — so a bit flip anywhere in the line
+/// (not just the payload) fails validation and counts as invalid, rather
+/// than indexing a well-formed payload under a corrupted key or
+/// misclassifying its analysis version.
+fn checksum(tag: u32, key: u128, fingerprint: u64, payload: &str) -> u64 {
+    ScenarioHasher::new(TAG_CHECKSUM)
+        .word(u64::from(tag))
+        .word128(key)
+        .word(fingerprint)
+        .str(payload)
+        .finish()
+}
+
+/// Index shard for a key: by the low word, like the in-RAM memo tables.
+fn index_shard(key: u128) -> usize {
+    (key as u64 as usize) % INDEX_SHARDS
+}
+
+/// Parses one log line against `fingerprint`. Anything malformed —
+/// unknown format token, bad hex, wrong payload length (truncation), wrong
+/// checksum (corruption), unknown table tag — is [`ParsedLine::Invalid`];
+/// a well-formed line from another analysis version is
+/// [`ParsedLine::Stale`].
+fn parse_record(line: &str, fingerprint: u64) -> ParsedLine {
+    let mut parts = line.splitn(7, ' ');
+    let (Some(magic), Some(tag), Some(key), Some(fp), Some(len), Some(sum), Some(payload)) = (
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+    ) else {
+        return ParsedLine::Invalid;
+    };
+    if magic != STORE_FORMAT {
+        return ParsedLine::Invalid;
+    }
+    let (Ok(tag), Ok(key), Ok(fp), Ok(len), Ok(sum)) = (
+        u32::from_str_radix(tag, 16),
+        u128::from_str_radix(key, 16),
+        u64::from_str_radix(fp, 16),
+        len.parse::<usize>(),
+        u64::from_str_radix(sum, 16),
+    ) else {
+        return ParsedLine::Invalid;
+    };
+    if StoreTable::from_tag(tag).is_none()
+        || payload.len() != len
+        || checksum(tag, key, fp, payload) != sum
+    {
+        return ParsedLine::Invalid;
+    }
+    if fp != fingerprint {
+        return ParsedLine::Stale;
+    }
+    ParsedLine::Valid {
+        tag,
+        key,
+        payload: payload.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_path(name: &str) -> PathBuf {
+        crate::testutil::scratch_dir("store_unit").join(name)
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = temp_store_path("basic.log");
+        {
+            let store = ResultStore::open(&path).unwrap();
+            assert_eq!(store.get::<f64>(StoreTable::Bounds, 42), None);
+            store.put(StoreTable::Bounds, 42, &1.5f64);
+            assert_eq!(store.get::<f64>(StoreTable::Bounds, 42), Some(1.5));
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 42), Some(1.5));
+        let stats = store.stats();
+        assert_eq!(stats.invalid_entries, 0);
+        assert_eq!(stats.stale_entries, 0);
+    }
+
+    #[test]
+    fn tables_do_not_alias() {
+        let path = temp_store_path("tables.log");
+        let store = ResultStore::open(&path).unwrap();
+        store.put(StoreTable::Bounds, 7, &1.0f64);
+        store.put(StoreTable::CfgPoints, 7, &2.0f64);
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 7), Some(1.0));
+        assert_eq!(store.get::<f64>(StoreTable::CfgPoints, 7), Some(2.0));
+        assert_eq!(store.get::<f64>(StoreTable::AcceptancePoints, 7), None);
+        let counts: HashMap<_, _> = store.table_counts().into_iter().collect();
+        assert_eq!(counts[&StoreTable::Bounds], 1);
+        assert_eq!(counts[&StoreTable::CfgPoints], 1);
+        assert_eq!(counts[&StoreTable::MulticorePoints], 0);
+    }
+
+    #[test]
+    fn get_or_compute_counts_and_persists() {
+        let path = temp_store_path("counted.log");
+        let store = ResultStore::open(&path).unwrap();
+        let v: Result<f64, ()> = store.get_or_compute(StoreTable::CfgPoints, 1, || Ok(2.5));
+        assert_eq!(v, Ok(2.5));
+        let v: Result<f64, ()> = store.get_or_compute(StoreTable::CfgPoints, 1, || panic!());
+        assert_eq!(v, Ok(2.5));
+        let stats = store.stats();
+        assert_eq!((stats.points_computed, stats.points_restored), (1, 1));
+        // Errors propagate and are not stored.
+        let e: Result<f64, u8> = store.get_or_compute(StoreTable::CfgPoints, 2, || Err(9));
+        assert_eq!(e, Err(9));
+        assert_eq!(store.get::<f64>(StoreTable::CfgPoints, 2), None);
+    }
+
+    #[test]
+    fn truncated_tail_degrades_to_recompute() {
+        let path = temp_store_path("truncated.log");
+        {
+            let store = ResultStore::open(&path).unwrap();
+            store.put(StoreTable::Bounds, 1, &1.0f64);
+            store.put(StoreTable::Bounds, 2, &2.0f64);
+        }
+        // Chop the file mid-way through the last line (a crashed writer).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 2), None, "truncated");
+        assert_eq!(store.stats().invalid_entries, 1);
+        // Rewriting the lost entry restores it for the next open.
+        store.put(StoreTable::Bounds, 2, &2.0f64);
+        let again = ResultStore::open(&path).unwrap();
+        assert_eq!(again.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+    }
+
+    #[test]
+    fn garbage_bytes_and_unknown_versions_are_skipped() {
+        let path = temp_store_path("garbage.log");
+        {
+            let store = ResultStore::open(&path).unwrap();
+            store.put(StoreTable::Bounds, 1, &1.0f64);
+        }
+        // Prepend binary garbage, append an unknown-version line and a
+        // checksum-corrupted copy of a valid line.
+        let mut bytes = vec![0xFFu8, 0xFE, 0x00, b'\n'];
+        let original = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&original);
+        bytes.extend_from_slice(b"FNPR9 00000000 0 0 1 0 x\n");
+        let valid_line = String::from_utf8(original).unwrap();
+        bytes.extend_from_slice(valid_line.replace("1.0", "9.0").as_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        // The corrupted duplicate must NOT supersede the valid entry.
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
+        assert_eq!(store.stats().invalid_entries, 3);
+    }
+
+    #[test]
+    fn header_corruption_fails_the_checksum() {
+        // A bit flip in the key/tag/fingerprint fields — payload intact —
+        // must read as invalid, not index the payload under a wrong key.
+        let path = temp_store_path("header.log");
+        {
+            let store = ResultStore::open(&path).unwrap();
+            store.put(StoreTable::Bounds, 0x1111, &1.0f64);
+        }
+        let line = std::fs::read_to_string(&path).unwrap();
+        let fields: Vec<&str> = line.trim_end().splitn(7, ' ').collect();
+        for (field, replacement) in [(1, "42434e44"), (2, &"f".repeat(32)[..])] {
+            let mut mutated = fields.clone();
+            mutated[field] = replacement;
+            std::fs::write(&path, mutated.join(" ") + "\n").unwrap();
+            let store = ResultStore::open(&path).unwrap();
+            assert_eq!(
+                store.get::<f64>(StoreTable::Bounds, 0x1111),
+                None,
+                "field {field} corruption survived"
+            );
+            assert_eq!(
+                store.table_counts().iter().map(|(_, n)| n).sum::<usize>(),
+                0
+            );
+            assert_eq!(store.stats().invalid_entries, 1, "field {field}");
+        }
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_stale_never_served() {
+        let path = temp_store_path("stale.log");
+        {
+            let store = ResultStore::open_with_fingerprint(&path, 111).unwrap();
+            store.put(StoreTable::Bounds, 5, &1.0f64);
+        }
+        let store = ResultStore::open_with_fingerprint(&path, 222).unwrap();
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 5), None);
+        assert_eq!(store.stats().stale_entries, 1);
+        // The recomputed value is written under the new fingerprint and
+        // wins on the next open; the stale line survives until gc.
+        store.put(StoreTable::Bounds, 5, &2.0f64);
+        let again = ResultStore::open_with_fingerprint(&path, 222).unwrap();
+        assert_eq!(again.get::<f64>(StoreTable::Bounds, 5), Some(2.0));
+        assert_eq!(again.stats().stale_entries, 1);
+        assert_eq!(again.gc().unwrap(), 1);
+        let clean = ResultStore::open_with_fingerprint(&path, 222).unwrap();
+        assert_eq!(clean.stats().stale_entries, 0);
+        assert_eq!(clean.get::<f64>(StoreTable::Bounds, 5), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_never_persisted() {
+        let path = temp_store_path("nonfinite.log");
+        let store = ResultStore::open(&path).unwrap();
+        store.put(StoreTable::Bounds, 1, &f64::NAN);
+        store.put(StoreTable::Bounds, 2, &f64::INFINITY);
+        store.put(StoreTable::Bounds, 3, &Some(f64::NAN));
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), None);
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 2), None);
+        assert_eq!(store.get::<Option<f64>>(StoreTable::Bounds, 3), None);
+        assert_eq!(store.stats().write_errors, 3);
+        // Finite negative zero, by contrast, survives bit-exactly.
+        store.put(StoreTable::Bounds, 4, &(-0.0f64));
+        let restored = store.get::<f64>(StoreTable::Bounds, 4).unwrap();
+        assert_eq!(restored.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn gc_drops_superseded_duplicates() {
+        let path = temp_store_path("gc.log");
+        let store = ResultStore::open(&path).unwrap();
+        for i in 0..5 {
+            store.put(StoreTable::Bounds, 9, &(i as f64));
+        }
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(4.0));
+        let lines_before = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_before, 5);
+        assert_eq!(store.gc().unwrap(), 1);
+        let lines_after = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_after, 1);
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(4.0));
+        // The append handle still works after the rename.
+        store.put(StoreTable::Bounds, 10, &7.0f64);
+        let again = ResultStore::open(&path).unwrap();
+        assert_eq!(again.get::<f64>(StoreTable::Bounds, 10), Some(7.0));
+    }
+
+    #[test]
+    fn bounds_key_tracks_curve_and_q() {
+        let a = fnpr_core::DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 1.0)], 100.0).unwrap();
+        let b = fnpr_core::DelayCurve::from_breakpoints([(0.0, 8.0), (40.0, 2.0)], 100.0).unwrap();
+        assert_ne!(bounds_key(&a, 9.0), bounds_key(&b, 9.0));
+        assert_ne!(bounds_key(&a, 9.0), bounds_key(&a, 9.5));
+        assert_eq!(bounds_key(&a, 9.0), bounds_key(&a.clone(), 9.0));
+    }
+
+    #[test]
+    fn bounds_entry_round_trips_and_reports_completeness() {
+        let partial = BoundsEntry {
+            alg1: Some(3.0),
+            eq4: Some(4.0),
+            naive: None,
+            exact: None,
+        };
+        assert!(!partial.is_complete());
+        let full = BoundsEntry {
+            naive: Some(1.0),
+            exact: Some(2.0),
+            ..partial
+        };
+        assert!(full.is_complete());
+        let path = temp_store_path("bounds.log");
+        let store = ResultStore::open(&path).unwrap();
+        store.put(StoreTable::Bounds, 1, &partial);
+        store.put(StoreTable::Bounds, 1, &full);
+        assert_eq!(store.get::<BoundsEntry>(StoreTable::Bounds, 1), Some(full));
+    }
+}

@@ -1,9 +1,15 @@
 //! The campaign engine's headline guarantee, property-tested: the same
 //! validated spec produces **bit-identical** CSV and JSON aggregates at 1,
-//! 2 and 8 worker threads, for randomly drawn specs of both workloads.
+//! 2 and 8 worker threads, for randomly drawn specs of both workloads —
+//! and, with a persistent result store attached, a warm re-run of an
+//! *extended* grid computes only the new points while its aggregates stay
+//! byte-identical to a cold full run.
 
-use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
+use fnpr_campaign::store::ResultStore;
+use fnpr_campaign::{run_campaign, run_campaign_with_store, CampaignSpec, WorkloadKind};
 use proptest::prelude::*;
+
+mod common;
 
 fn render(spec: &CampaignSpec, threads: usize) -> (String, String) {
     let campaign = spec.validate().expect("generated specs are valid");
@@ -131,6 +137,34 @@ reload_cost = [10.0]
     )
 }
 
+/// Builds the acceptance spec used by the store-extension property.
+fn acceptance_spec_for(seed: u64, sets: usize, utilizations: &[f64]) -> CampaignSpec {
+    CampaignSpec::parse(&format!(
+        r#"
+name = "prop-store"
+seed = {seed}
+workload = "acceptance"
+
+[acceptance]
+sets_per_point = {sets}
+max_attempts_factor = 10
+utilizations = {{ values = [{us}] }}
+
+[acceptance.taskset]
+n = 4
+utilization = 0.0
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+"#,
+        us = utilizations
+            .iter()
+            .map(|u| format!("{u:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ))
+    .expect("template parses")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -162,6 +196,59 @@ proptest! {
     #[test]
     fn cfg_aggregates_are_thread_invariant(spec in arb_cfg_spec()) {
         assert_thread_invariant(&spec);
+    }
+
+    /// The store's headline guarantee (ISSUE 5 acceptance criterion): after
+    /// a base run populates the store, a warm run of an **extended** grid —
+    /// at 1, 2 and 8 threads — computes only the new points, restores every
+    /// base point, and produces CSV/JSON byte-identical to a cold full run
+    /// without any store. Seed derivation is unchanged by the store (same
+    /// contract the thread-invariance properties pin down).
+    #[test]
+    fn warm_extended_grid_is_byte_identical_to_cold(
+        seed in 0u64..1000,
+        sets in 2usize..5,
+        base_us in prop::collection::vec(0.35f64..0.55, 1..3),
+        new_u in 0.56f64..0.80,
+    ) {
+        let dir = common::scratch_dir("store_prop");
+        let path = dir.join("store.log");
+
+        let mut extended_us = base_us.clone();
+        extended_us.push(new_u); // disjoint ranges: genuinely new points
+        let base = acceptance_spec_for(seed, sets, &base_us).validate().unwrap();
+        let extended = acceptance_spec_for(seed, sets, &extended_us).validate().unwrap();
+
+        // Cold reference: the full extended grid, no store.
+        let reference = render(&acceptance_spec_for(seed, sets, &extended_us), 1);
+
+        // Populate with the base grid.
+        let store = ResultStore::open(&path).unwrap();
+        run_campaign_with_store(&base, Some(2), Some(&store)).unwrap();
+
+        let base_points = 2 * base_us.len() as u64; // 2 policies per utilization
+        for (round, threads) in [1usize, 2, 8].into_iter().enumerate() {
+            // Fresh handle per run: per-run counters over the same file.
+            let store = ResultStore::open(&path).unwrap();
+            let outcome =
+                run_campaign_with_store(&extended, Some(threads), Some(&store)).unwrap();
+            prop_assert_eq!(
+                &(outcome.report.to_csv(), outcome.report.to_json()),
+                &reference,
+                "warm extended aggregates drifted at {} threads",
+                threads
+            );
+            let stats = outcome.store.unwrap();
+            if round == 0 {
+                // First warm run: exactly the new utilization's points.
+                prop_assert_eq!(stats.points_restored, base_points);
+                prop_assert_eq!(stats.points_computed, 2);
+            } else {
+                prop_assert_eq!(stats.points_restored, base_points + 2);
+                prop_assert_eq!(stats.points_computed, 0);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -307,6 +307,24 @@ pub(crate) fn validated_view(
     Ok(CurveView { factor, cap })
 }
 
+/// Streams the windows of [`algorithm1_scaled`] into `sink` without
+/// materializing a trace vector — the allocation-light backbone of the
+/// capped analysis ([`crate::algorithm1_capped_scaled`] folds the stream
+/// into a bounded min-heap instead of collecting every record).
+///
+/// # Errors
+///
+/// As [`algorithm1_scaled`].
+pub(crate) fn algorithm1_sink_scaled(
+    curve: &DelayCurve,
+    q: f64,
+    factor: f64,
+    sink: impl FnMut(WindowRecord),
+) -> Result<BoundOutcome, AnalysisError> {
+    let view = validated_view(curve, factor, f64::INFINITY)?;
+    run_from(curve, view, q, q, DEFAULT_MAX_WINDOWS, sink)
+}
+
 /// Runs Algorithm 1 keeping a full per-window trace.
 ///
 /// The trace makes the analysis auditable: each [`WindowRecord`] shows the

@@ -21,9 +21,12 @@
 //! `fnpr-sched` derives `N` from the task set (releases of higher-priority
 //! tasks during the inflated response window); here the cap is a parameter.
 
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
-use crate::algorithm1::{algorithm1_trace_scaled, BoundOutcome, DelayBound, WindowRecord};
+use crate::algorithm1::{algorithm1_sink_scaled, BoundOutcome, DelayBound};
 use crate::curve::DelayCurve;
 use crate::error::AnalysisError;
 
@@ -95,31 +98,95 @@ pub fn algorithm1_capped_scaled(
     max_preemptions: usize,
     factor: f64,
 ) -> Result<Option<CappedBound>, AnalysisError> {
-    let (outcome, trace) = algorithm1_trace_scaled(curve, q, factor)?;
-    Ok(capped_from_trace(outcome, &trace, max_preemptions))
-}
-
-/// Keeps only the `cap` largest window charges of a finished trace (see the
-/// module docs for the soundness argument); `None` on divergence.
-fn capped_from_trace(
-    outcome: BoundOutcome,
-    trace: &[WindowRecord],
-    cap: usize,
-) -> Option<CappedBound> {
+    let mut top = TopCharges::new(max_preemptions);
+    let outcome = algorithm1_sink_scaled(curve, q, factor, |w| top.offer(w.delay))?;
     let uncapped = match outcome {
         BoundOutcome::Converged(bound) => bound,
-        BoundOutcome::Divergent { .. } => return None,
+        BoundOutcome::Divergent { .. } => return Ok(None),
     };
-    let mut charges: Vec<f64> = trace.iter().map(|w| w.delay).collect();
-    charges.sort_by(|a, b| b.total_cmp(a));
-    let total_delay: f64 = charges.iter().take(cap).sum();
-    let charged_windows = charges.iter().take(cap).filter(|&&d| d > 0.0).count();
-    Some(CappedBound {
+    let (total_delay, charged_windows) = top.fold_descending();
+    Ok(Some(CappedBound {
         uncapped,
-        cap,
+        cap: max_preemptions,
         total_delay,
         charged_windows,
-    })
+    }))
+}
+
+/// A window charge ordered by [`f64::total_cmp`] (charges come from
+/// validated finite curves, but a total order keeps the heap's invariants
+/// unconditional).
+struct Charge(f64);
+
+impl PartialEq for Charge {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+impl Eq for Charge {}
+impl PartialOrd for Charge {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Charge {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A bounded min-heap of the `cap` largest window charges seen so far —
+/// O(windows · log cap) time and O(min(cap, windows)) space, replacing the
+/// full `Vec<WindowRecord>` trace the capped path used to materialize just
+/// to sort it once. The result is bit-identical to descending-sort-then-
+/// take-`cap`: the retained multiset is the same (ties are bitwise-equal
+/// floats), and [`Self::fold_descending`] sums it in the same
+/// largest-first order.
+struct TopCharges {
+    cap: usize,
+    heap: BinaryHeap<Reverse<Charge>>,
+}
+
+impl TopCharges {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            // Windows, not `cap`, bound the heap; near-divergent runs can
+            // have huge caps with few actual windows, so let it grow.
+            heap: BinaryHeap::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Offers one charge, keeping only the `cap` largest.
+    fn offer(&mut self, delay: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.heap.len() < self.cap {
+            self.heap.push(Reverse(Charge(delay)));
+        } else if let Some(Reverse(smallest)) = self.heap.peek() {
+            if smallest.0.total_cmp(&delay) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(Reverse(Charge(delay)));
+            }
+        }
+    }
+
+    /// `(sum of retained charges, count of strictly positive ones)`, summed
+    /// largest-first via `Iterator::sum` — the exact float-order *and*
+    /// empty-sum identity of the pre-heap `sort-descending.take(cap).sum()`
+    /// implementation (std's empty `f64` sum is `-0.0`, and bit-identity
+    /// includes that).
+    fn fold_descending(self) -> (f64, usize) {
+        // `into_sorted_vec` on `Reverse` elements yields descending charges.
+        let descending = self.heap.into_sorted_vec();
+        let charged = descending
+            .iter()
+            .filter(|Reverse(Charge(d))| *d > 0.0)
+            .count();
+        let total = descending.into_iter().map(|Reverse(Charge(d))| d).sum();
+        (total, charged)
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +246,44 @@ mod tests {
     fn rejects_invalid_q() {
         let f = DelayCurve::constant(1.0, 10.0).unwrap();
         assert!(algorithm1_capped(&f, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn heap_selection_is_bit_identical_to_the_trace_sort() {
+        // The pre-heap implementation materialized every WindowRecord,
+        // sorted charges descending and summed the first `cap`. The bounded
+        // min-heap must reproduce that total to the bit, including the
+        // charged-window count, across caps straddling the window count.
+        use crate::algorithm1::algorithm1_trace_scaled;
+        let curves = [
+            DelayCurve::from_breakpoints([(0.0, 4.0), (20.0, 1.0), (55.0, 3.5)], 100.0).unwrap(),
+            DelayCurve::from_breakpoints([(0.0, 0.0), (40.0, 9.0), (50.0, 0.0)], 100.0).unwrap(),
+            DelayCurve::constant(2.0, 97.0).unwrap(),
+        ];
+        for curve in &curves {
+            for q in [7.0, 10.0, 19.5] {
+                for factor in [1.0, 0.35, 1.6] {
+                    let (outcome, trace) = algorithm1_trace_scaled(curve, q, factor).unwrap();
+                    for cap in [0usize, 1, 2, 3, 7, 1000] {
+                        let capped = algorithm1_capped_scaled(curve, q, cap, factor).unwrap();
+                        match outcome.clone() {
+                            BoundOutcome::Divergent { .. } => assert_eq!(capped, None),
+                            BoundOutcome::Converged(bound) => {
+                                let mut charges: Vec<f64> = trace.iter().map(|w| w.delay).collect();
+                                charges.sort_by(|a, b| b.total_cmp(a));
+                                let expected: f64 = charges.iter().take(cap).sum();
+                                let expected_charged =
+                                    charges.iter().take(cap).filter(|&&d| d > 0.0).count();
+                                let capped = capped.expect("converged");
+                                assert_eq!(capped.total_delay.to_bits(), expected.to_bits());
+                                assert_eq!(capped.charged_windows, expected_charged);
+                                assert_eq!(capped.uncapped, bound);
+                                assert_eq!(capped.cap, cap);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -90,21 +90,22 @@ pub struct DelayCurve {
     values: Vec<f64>,
     /// Domain end (the task WCET `C`); the last segment is `[starts[n-1], end)`.
     end: f64,
-    /// Structural hash over (segments, domain end), computed once at
-    /// construction; see [`DelayCurve::structural_hash`].
-    hash: u64,
+    /// 128-bit structural hash over (segments, domain end), computed once
+    /// at construction; see [`DelayCurve::structural_hash128`]. The low
+    /// word is the historical 64-bit hash ([`DelayCurve::structural_hash`]).
+    hash: u128,
 }
 
 /// Structural hash over validated `(starts, values, end)` data: every
 /// segment's `(start, end, value)` triple followed by the domain end,
 /// mixed with the workspace's one [`StructuralHasher`].
-fn structural_hash_of(starts: &[f64], values: &[f64], end: f64) -> u64 {
+fn structural_hash_of(starts: &[f64], values: &[f64], end: f64) -> u128 {
     let mut h = StructuralHasher::new(0x43_55_52_56); // "CURV"
     for k in 0..starts.len() {
         let seg_end = starts.get(k + 1).copied().unwrap_or(end);
         h = h.f64(starts[k]).f64(seg_end).f64(values[k]);
     }
-    h.f64(end).finish()
+    h.f64(end).finish128()
 }
 
 impl DelayCurve {
@@ -401,6 +402,18 @@ impl DelayCurve {
     /// ```
     #[must_use]
     pub fn structural_hash(&self) -> u64 {
+        self.hash as u64
+    }
+
+    /// 128-bit structural hash of the curve: the low word is exactly
+    /// [`Self::structural_hash`] (value-compatible for in-process sharding
+    /// and legacy keys), the high word comes from the hasher's independent
+    /// second lane ([`StructuralHasher::finish128`]). Cached at
+    /// construction like the 64-bit value. Memo tables and the on-disk
+    /// result store key curves by this, so a 64-bit collision between two
+    /// distinct curves can no longer alias their cached results.
+    #[must_use]
+    pub fn structural_hash128(&self) -> u128 {
         self.hash
     }
 

@@ -85,6 +85,15 @@ pub use error::{AnalysisError, CurveError};
 pub use hash::StructuralHasher;
 pub use naive::{naive_bound, naive_bound_with_limit, NaiveBound, DEFAULT_MAX_CANDIDATES};
 
+/// Version of the workspace's *analysis semantics*: the meaning of the
+/// bounds ([`algorithm1`], [`eq4_bound`], the adversary, the RTA built on
+/// top) and of the structural hashes that key cached results. Bump it
+/// whenever a change can alter any computed result or key derivation —
+/// `fnpr-campaign`'s on-disk result store folds it into every entry's
+/// fingerprint, so persisted results from an older analysis invalidate to a
+/// clean recompute instead of being served stale.
+pub const ANALYSIS_VERSION: u64 = 1;
+
 #[cfg(test)]
 mod crate_tests {
     use super::*;

@@ -374,4 +374,38 @@ proptest! {
         let eager = algorithm1(&curve.scaled(factor).unwrap(), q).unwrap();
         assert_bit_identical(&lazy, &eager);
     }
+
+    /// The bounded-min-heap capped path is *bit*-identical to the
+    /// trace-materializing selection it replaced: sort every window charge
+    /// descending, take the `cap` largest, sum largest-first — on arbitrary
+    /// curves, caps straddling the window count, and scale factors
+    /// (including divergent parameterisations, which must stay `None`).
+    #[test]
+    fn capped_heap_matches_trace_selection(
+        curve in arb_curve(),
+        q in 0.5f64..30.0,
+        factor in 0.0f64..2.0,
+        cap in 0usize..40,
+    ) {
+        let capped = fnpr_core::algorithm1_capped_scaled(&curve, q, cap, factor).unwrap();
+        let (outcome, trace) = fnpr_core::algorithm1_trace_scaled(&curve, q, factor).unwrap();
+        match outcome {
+            BoundOutcome::Divergent { .. } => prop_assert_eq!(capped, None),
+            BoundOutcome::Converged(bound) => {
+                let mut charges: Vec<f64> = trace.iter().map(|w| w.delay).collect();
+                charges.sort_by(|a, b| b.total_cmp(a));
+                let expected: f64 = charges.iter().take(cap).sum();
+                let capped = capped.expect("trace converged");
+                prop_assert_eq!(capped.total_delay.to_bits(), expected.to_bits());
+                prop_assert_eq!(
+                    capped.charged_windows,
+                    charges.iter().take(cap).filter(|&&d| d > 0.0).count()
+                );
+                prop_assert_eq!(capped.cap, cap);
+                prop_assert_eq!(&capped.uncapped, &bound);
+                // The cap is a refinement: never above the plain total.
+                prop_assert!(capped.total_delay <= bound.total_delay + 1e-9);
+            }
+        }
+    }
 }

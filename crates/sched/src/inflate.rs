@@ -13,7 +13,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::edf::edf_schedulable_with_npr;
 use crate::error::SchedError;
-use crate::rta::rta_floating_npr;
+use crate::rta::{
+    floating_npr_blocking, response_time_analysis, response_time_analysis_warm, rta_floating_npr,
+    RtaResult,
+};
 use crate::task::TaskSet;
 use crate::util::floor_div;
 
@@ -328,6 +331,41 @@ pub fn fp_schedulable_with_delay_scaled(
         return Ok(false);
     };
     Ok(rta_floating_npr(&inflated)?.schedulable())
+}
+
+/// The full RTA behind [`fp_schedulable_with_delay_scaled`], optionally
+/// **warm-started** from a previous probe's response times — the
+/// [`crate::delay_tolerance`] bisection primitive. `None` when any
+/// inflation diverges (the set is unschedulable under the method before the
+/// RTA even runs).
+///
+/// `warm` carries per-task response times from a probe at a *smaller or
+/// equal* scale factor; inflated WCETs grow with the factor, so those times
+/// lower-bound the current fixpoints and the iteration resumes instead of
+/// re-climbing from `Ci + Bi` ([`response_time_analysis_warm`] — which also
+/// re-verifies any warm rejection cold, so decisions cannot drift even if
+/// that monotonicity were ever violated).
+///
+/// # Errors
+///
+/// As [`fp_schedulable_with_delay_scaled`], plus validation of `warm`.
+pub fn fp_rta_with_delay_scaled(
+    tasks: &TaskSet,
+    method: DelayMethod,
+    factor: f64,
+    warm: Option<&[f64]>,
+) -> Result<Option<RtaResult>, SchedError> {
+    let Some(inflated) = inflated_taskset_scaled(tasks, method, factor)? else {
+        return Ok(None);
+    };
+    // Blocking terms depend only on the `Qi`s, which inflation leaves
+    // untouched — identical across every probe of a bisection.
+    let blocking = floating_npr_blocking(&inflated);
+    let rta = match warm {
+        Some(warm) => response_time_analysis_warm(&inflated, &blocking, warm)?,
+        None => response_time_analysis(&inflated, &blocking)?,
+    };
+    Ok(Some(rta))
 }
 
 /// EDF floating-NPR schedulability with delay-inflated WCETs.

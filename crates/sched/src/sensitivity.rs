@@ -10,7 +10,7 @@ use fnpr_core::DelayCurve;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SchedError;
-use crate::inflate::{fp_schedulable_with_delay_scaled, DelayMethod};
+use crate::inflate::{fp_rta_with_delay_scaled, DelayMethod};
 use crate::task::{Task, TaskSet};
 
 /// Result of the delay-scale bisection.
@@ -97,10 +97,30 @@ pub fn delay_tolerance(
     // to `scale_delay_curves` + `fp_schedulable_with_delay` (the lazy and
     // eager bound kernels are bit-identical; property-tested in fnpr-core
     // and `tests/properties.rs`).
-    let accepts = |scale: f64| -> Result<bool, SchedError> {
-        fp_schedulable_with_delay_scaled(tasks, method, scale)
+    //
+    // Each *accepted* probe additionally hands its response-time fixpoints
+    // to the next probe as warm starts: inflated WCETs grow with the scale,
+    // so the accepted times lower-bound every later probe's fixpoints and
+    // the RTA resumes mid-climb instead of restarting from `Ci + Bi` —
+    // decision-identical to the cold path by construction
+    // (`response_time_analysis_warm` re-verifies warm rejections cold).
+    let mut warm: Option<Vec<f64>> = None;
+    let accepts = |scale: f64, warm: &mut Option<Vec<f64>>| -> Result<bool, SchedError> {
+        let Some(rta) = fp_rta_with_delay_scaled(tasks, method, scale, warm.as_deref())? else {
+            return Ok(false); // some inflation diverged
+        };
+        if !rta.schedulable() {
+            return Ok(false);
+        }
+        *warm = Some(
+            rta.response_times
+                .iter()
+                .map(|r| r.expect("schedulable RTA has a time per task"))
+                .collect(),
+        );
+        Ok(true)
     };
-    if !accepts(0.0)? {
+    if !accepts(0.0, &mut warm)? {
         return Ok(DelayTolerance {
             max_scale: 0.0,
             precision,
@@ -109,7 +129,7 @@ pub fn delay_tolerance(
     }
     let mut lo = 0.0;
     let mut hi = upper;
-    if accepts(hi)? {
+    if accepts(hi, &mut warm)? {
         return Ok(DelayTolerance {
             max_scale: hi,
             precision,
@@ -118,7 +138,7 @@ pub fn delay_tolerance(
     }
     while hi - lo > precision {
         let mid = 0.5 * (lo + hi);
-        if accepts(mid)? {
+        if accepts(mid, &mut warm)? {
             lo = mid;
         } else {
             hi = mid;
@@ -215,5 +235,72 @@ mod tests {
         let ts = set(0.1);
         assert!(delay_tolerance(&ts, DelayMethod::Algorithm1, 0.0, 0.01).is_err());
         assert!(delay_tolerance(&ts, DelayMethod::Algorithm1, 1.0, f64::NAN).is_err());
+    }
+
+    /// The warm-started bisection is decision-identical to a cold one: a
+    /// reference bisection that re-runs the full RTA from scratch per probe
+    /// must find the exact same `max_scale` (bitwise — the probes and the
+    /// branch sequence are the same) for every method.
+    #[test]
+    fn warm_started_bisection_matches_the_cold_path() {
+        use crate::inflate::fp_schedulable_with_delay_scaled;
+
+        fn cold_tolerance(
+            tasks: &TaskSet,
+            method: DelayMethod,
+            upper: f64,
+            precision: f64,
+        ) -> DelayTolerance {
+            let accepts =
+                |scale: f64| fp_schedulable_with_delay_scaled(tasks, method, scale).unwrap();
+            if !accepts(0.0) {
+                return DelayTolerance {
+                    max_scale: 0.0,
+                    precision,
+                    base_infeasible: true,
+                };
+            }
+            let (mut lo, mut hi) = (0.0, upper);
+            if accepts(hi) {
+                return DelayTolerance {
+                    max_scale: hi,
+                    precision,
+                    base_infeasible: false,
+                };
+            }
+            while hi - lo > precision {
+                let mid = 0.5 * (lo + hi);
+                if accepts(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            DelayTolerance {
+                max_scale: lo,
+                precision,
+                base_infeasible: false,
+            }
+        }
+
+        let sets = [set(0.05), set(0.1), set(0.3), set(0.6)];
+        for tasks in &sets {
+            for method in [
+                DelayMethod::Eq4,
+                DelayMethod::Algorithm1,
+                DelayMethod::Algorithm1Capped,
+            ] {
+                for (upper, precision) in [(20.0, 0.01), (4.0, 0.001), (0.5, 0.05)] {
+                    let warm = delay_tolerance(tasks, method, upper, precision).unwrap();
+                    let cold = cold_tolerance(tasks, method, upper, precision);
+                    assert_eq!(
+                        warm.max_scale.to_bits(),
+                        cold.max_scale.to_bits(),
+                        "{method:?} upper {upper} precision {precision}"
+                    );
+                    assert_eq!(warm.base_infeasible, cold.base_infeasible);
+                }
+            }
+        }
     }
 }

@@ -143,28 +143,42 @@ fn baseline_dir() -> PathBuf {
 }
 
 /// The `BENCH_FAIL_ON_REGRESSION` threshold (a fraction, e.g. `0.30`), or
-/// `None` when gating is off. Malformed or non-positive values warn and
-/// fall back to 0.30 rather than silently disabling (or distorting) the
-/// gate the caller asked for.
+/// `None` when gating is off. See [`parse_regression_threshold`] for the
+/// handling of malformed values.
 fn regression_threshold() -> Option<f64> {
     let raw = std::env::var("BENCH_FAIL_ON_REGRESSION").ok()?;
-    match raw.parse::<f64>() {
-        Ok(value) if value > 0.0 => {
-            if value >= 1.0 {
-                eprintln!(
-                    "warning: BENCH_FAIL_ON_REGRESSION={raw} is a fraction; \
-                     gating at {:.0}%",
-                    value * 100.0
-                );
-            }
-            Some(value)
+    Some(parse_regression_threshold(&raw))
+}
+
+/// Default regression gate when `BENCH_FAIL_ON_REGRESSION` is set but
+/// unusable: 30%.
+const DEFAULT_REGRESSION_THRESHOLD: f64 = 0.30;
+
+/// Parses a `BENCH_FAIL_ON_REGRESSION` value into a gating fraction in
+/// `(0, 1)`. Anything else — unparsable text, non-positive or non-finite
+/// numbers, **and values ≥ 1.0** — warns and falls back to the 0.30
+/// default. A value like `30` almost certainly means "30%", and quietly
+/// gating at 3000% would produce a threshold that can never fire: the
+/// caller asked for a gate, so they get a working one.
+fn parse_regression_threshold(raw: &str) -> f64 {
+    match raw.trim().parse::<f64>() {
+        Ok(value) if value > 0.0 && value < 1.0 => value,
+        Ok(value) if value >= 1.0 => {
+            eprintln!(
+                "warning: BENCH_FAIL_ON_REGRESSION={raw} is not a fraction below 1 \
+                 (did you mean {}?); gating at the default {:.0}%",
+                value / 100.0,
+                DEFAULT_REGRESSION_THRESHOLD * 100.0
+            );
+            DEFAULT_REGRESSION_THRESHOLD
         }
         _ => {
             eprintln!(
                 "warning: BENCH_FAIL_ON_REGRESSION={raw:?} is not a positive \
-                 fraction; gating at the default 30%"
+                 fraction; gating at the default {:.0}%",
+                DEFAULT_REGRESSION_THRESHOLD * 100.0
             );
-            Some(0.30)
+            DEFAULT_REGRESSION_THRESHOLD
         }
     }
 }
@@ -674,6 +688,26 @@ mod tests {
         assert_eq!(name, "a");
         assert_eq!((*old_m, *new_m), (1.0e-3, 1.5e-3));
         assert!((pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_threshold_parsing_gates_sanely() {
+        // In-range fractions pass through.
+        assert_eq!(parse_regression_threshold("0.30"), 0.30);
+        assert_eq!(parse_regression_threshold("0.05"), 0.05);
+        assert_eq!(parse_regression_threshold(" 0.5 "), 0.5);
+        // `30` used to be accepted as a 3000% gate — a threshold that can
+        // never fire. Values >= 1.0 are malformed and fall back to 0.30.
+        assert_eq!(parse_regression_threshold("30"), 0.30);
+        assert_eq!(parse_regression_threshold("1.0"), 0.30);
+        assert_eq!(parse_regression_threshold("1"), 0.30);
+        assert_eq!(parse_regression_threshold("inf"), 0.30);
+        // Non-positive and unparsable values fall back too.
+        assert_eq!(parse_regression_threshold("0"), 0.30);
+        assert_eq!(parse_regression_threshold("-0.2"), 0.30);
+        assert_eq!(parse_regression_threshold("NaN"), 0.30);
+        assert_eq!(parse_regression_threshold("thirty"), 0.30);
+        assert_eq!(parse_regression_threshold(""), 0.30);
     }
 
     #[test]
