@@ -19,6 +19,7 @@ use fnpr_campaign::spec::{AcceptanceSpec, GridSpec};
 use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("acceptance_ratio");
     let sets_per_point: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -58,6 +59,7 @@ fn main() {
 
     if report.summary.dominance_violations > 0 {
         eprintln!("FAIL: acceptance dominance (no-delay >= Alg.1 >= Eq.4) violated");
+        obs.flush();
         std::process::exit(1);
     }
     eprintln!(
@@ -65,4 +67,5 @@ fn main() {
          ({} sets on {} threads, taskset memo {} hits / {} misses)",
         report.summary.instances, outcome.threads, outcome.memo.hits, outcome.memo.misses
     );
+    obs.flush();
 }

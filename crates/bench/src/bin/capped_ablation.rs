@@ -14,6 +14,7 @@ use fnpr_core::{algorithm1, algorithm1_capped};
 use fnpr_synth::figure4_all;
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("capped_ablation");
     println!("curve,q,cap,capped,plain,windows");
     let caps = [0usize, 1, 2, 5, 10, 20, 50, 100, usize::MAX];
     let mut failures = 0usize;
@@ -60,7 +61,9 @@ fn main() {
     }
     if failures > 0 {
         eprintln!("{failures} capped-ablation check(s) failed");
+        obs.flush();
         std::process::exit(1);
     }
     eprintln!("capped ablation: monotone in N, dominated by plain, saturates at the window count");
+    obs.flush();
 }

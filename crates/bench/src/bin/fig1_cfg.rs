@@ -10,6 +10,7 @@
 use fnpr_cfg::{dot, fixtures, GraphTiming, StartOffsets};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("fig1_cfg");
     let cfg = fixtures::figure1_cfg();
     let offsets = StartOffsets::analyze(&cfg).expect("Figure 1 graph is acyclic");
 
@@ -36,7 +37,9 @@ fn main() {
 
     if mismatches > 0 {
         eprintln!("{mismatches} offset(s) deviate from the published Figure 1(b)");
+        obs.flush();
         std::process::exit(1);
     }
     eprintln!("all 11 start offsets match the published Figure 1(b)");
+    obs.flush();
 }

@@ -14,6 +14,7 @@ use fnpr_core::{algorithm1, exact_worst_case, naive_bound, DelayCurve};
 use fnpr_sim::{render_timeline, simulate, Scenario, SimConfig, TraceEvent};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("fig2_runtime");
     // The module-documentation example of the paper's Section V discussion:
     // a flat curve where spacing alone suggests few preemption points.
     let curve = DelayCurve::constant(3.0, 40.0).expect("static curve");
@@ -92,4 +93,5 @@ fn main() {
          Algorithm 1 ({:.2}) safely covers the run",
         victim.cumulative_delay, naive.total_delay, alg1.total_delay
     );
+    obs.flush();
 }

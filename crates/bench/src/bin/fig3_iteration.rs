@@ -11,6 +11,7 @@
 use fnpr_core::{algorithm1_trace, DelayCurve};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("fig3_iteration");
     // A two-phase curve like the paper's sketch: rising cost, then decay.
     let curve =
         DelayCurve::from_breakpoints([(0.0, 2.0), (30.0, 7.0), (55.0, 3.0), (90.0, 1.0)], 130.0)
@@ -63,4 +64,5 @@ fn main() {
         let v = curve.value_at(p);
         eprintln!("  p={:>7.2} |{} {v:.2}", p, "#".repeat(scale(v)));
     }
+    obs.flush();
 }

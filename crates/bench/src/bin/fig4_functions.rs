@@ -10,6 +10,7 @@
 use fnpr_synth::{figure4_all, FIGURE4_MAX, FIGURE4_WCET};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("fig4_functions");
     let curves = figure4_all();
     println!("t,gaussian_1,gaussian_2,two_local_maxima");
     let mut t = 0.0;
@@ -44,7 +45,9 @@ fn main() {
         failures += 1;
     }
     if failures > 0 {
+        obs.flush();
         std::process::exit(1);
     }
     eprintln!("all Figure 4 invariants hold");
+    obs.flush();
 }

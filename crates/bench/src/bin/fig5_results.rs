@@ -16,6 +16,7 @@ use fnpr_core::{algorithm1, eq4_bound, DelayCurve};
 use fnpr_synth::{figure4_all, flat_adversarial, FIGURE4_MAX, FIGURE4_WCET};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("fig5_results");
     let with_flat = std::env::args().any(|a| a == "--with-flat");
     let mut curves: Vec<(String, DelayCurve)> = figure4_all()
         .into_iter()
@@ -198,7 +199,9 @@ fn main() {
 
     if failures > 0 {
         eprintln!("{failures} shape check(s) FAILED");
+        obs.flush();
         std::process::exit(1);
     }
     eprintln!("all Figure 5 shape checks passed");
+    obs.flush();
 }

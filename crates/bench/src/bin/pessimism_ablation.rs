@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("pessimism_ablation");
     let trials: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -87,4 +88,5 @@ fn main() {
              some trial (both bounds remain sound)"
         );
     }
+    obs.flush();
 }

@@ -20,6 +20,7 @@ use fnpr_campaign::spec::SoundnessSpec;
 use fnpr_campaign::{run_campaign, CampaignSpec, WorkloadKind};
 
 fn main() {
+    let obs = fnpr_bench::ObsSession::from_env("soundness_sweep");
     let trials: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -75,4 +76,5 @@ fn main() {
     if s.naive_unsound == 0 {
         eprintln!("WARN: no naive violation observed — enlarge the sweep");
     }
+    obs.flush();
 }

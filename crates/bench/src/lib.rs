@@ -19,6 +19,85 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Telemetry wiring for the figure/sweep binaries.
+///
+/// [`ObsSession::from_env`] arms `fnpr-obs` when the environment asks for
+/// artifacts — `FNPR_METRICS=PATH` for a [`fnpr_obs::MetricsReport`] JSON
+/// snapshot, `FNPR_TRACE_OUT=PATH` for a Chrome trace — and
+/// [`ObsSession::flush`] writes them. Call `flush` at every exit of
+/// `main` (including the `process::exit(1)` shape-check failure paths,
+/// which skip destructors). With neither variable set, both calls are
+/// no-ops and the binaries run exactly as before.
+pub struct ObsSession {
+    label: String,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    started: Instant,
+}
+
+impl ObsSession {
+    /// Arms telemetry from `FNPR_METRICS` / `FNPR_TRACE_OUT`.
+    #[must_use]
+    pub fn from_env(label: &str) -> Self {
+        Self::new(
+            label,
+            std::env::var_os("FNPR_METRICS").map(PathBuf::from),
+            std::env::var_os("FNPR_TRACE_OUT").map(PathBuf::from),
+        )
+    }
+
+    /// Arms telemetry for explicit targets (what `from_env` resolves to;
+    /// also the testable entry point).
+    #[must_use]
+    pub fn new(label: &str, metrics: Option<PathBuf>, trace: Option<PathBuf>) -> Self {
+        if metrics.is_some() || trace.is_some() {
+            fnpr_obs::set_enabled(true);
+        }
+        if trace.is_some() {
+            fnpr_obs::set_trace_collection(true);
+        }
+        Self {
+            label: label.to_string(),
+            metrics,
+            trace,
+            started: Instant::now(),
+        }
+    }
+
+    /// Writes whichever artifacts were requested, reporting each on
+    /// stderr. Write failures warn rather than abort: telemetry must
+    /// never turn a successful figure run into a failing one.
+    pub fn flush(&self) {
+        if let Some(path) = &self.metrics {
+            let report = fnpr_obs::MetricsReport::gather(
+                &self.label,
+                fnpr_obs::gauge("campaign.points.total").value(),
+                fnpr_obs::counter("campaign.points.done").value(),
+                self.started.elapsed().as_secs_f64(),
+            );
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => eprintln!("wrote metrics snapshot to {}", path.display()),
+                Err(e) => eprintln!(
+                    "warning: could not write metrics to {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+        if let Some(path) = &self.trace {
+            match fnpr_obs::write_chrome_trace(path) {
+                Ok(()) => eprintln!(
+                    "wrote Chrome trace to {} (open in Perfetto / chrome://tracing)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
 /// The Figure 5 sweep grid: `Q` values from just above the curve maximum to
 /// half the task length (the paper's x-axis runs to 2000 with `C = 4000`).
 #[must_use]
@@ -125,6 +204,36 @@ pub fn ascii_log_chart(series: &[(char, &[(f64, f64)])], width: usize, height: u
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obs_session_writes_requested_artifacts() {
+        let dir = std::env::temp_dir().join(format!("fnpr_bench_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.json");
+        let session = ObsSession::new(
+            "obs-session-test",
+            Some(metrics.clone()),
+            Some(trace.clone()),
+        );
+        fnpr_obs::counter("bench.obs.session.test").incr();
+        drop(fnpr_obs::span("bench.obs.session", "bench"));
+        session.flush();
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(metrics_text.contains("\"label\": \"obs-session-test\""));
+        assert!(metrics_text.contains("\"bench.obs.session.test\": 1"));
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""));
+        assert!(trace_text.contains("bench.obs.session"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_session_without_targets_writes_nothing() {
+        // No paths: flush is a no-op and must not enable anything new or
+        // touch the filesystem.
+        ObsSession::new("idle", None, None).flush();
+    }
 
     #[test]
     fn grid_is_increasing_and_spans_the_axis() {

@@ -57,6 +57,7 @@ impl CrpdAnalysis {
         accesses: &AccessMap,
         config: &CacheConfig,
     ) -> Result<Self, CacheError> {
+        fnpr_obs::counter!("cache.crpd.analyses").incr();
         let ucb = UcbAnalysis::analyze(cfg, accesses, config)?;
         Ok(Self {
             ucb,

@@ -7,6 +7,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fnpr_campaign::{run_campaign, CampaignSpec};
 
+/// `FNPR_OBS=1 cargo bench -p fnpr-campaign` runs the same grid with the
+/// full counter/span stack live — diff the medians against a default run
+/// to measure instrumentation overhead (budget: ≤ 5%).
+fn obs_from_env() {
+    if std::env::var_os("FNPR_OBS").is_some() {
+        fnpr_obs::set_enabled(true);
+    }
+}
+
 fn thread_grid() -> Vec<usize> {
     let max = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     let mut grid = vec![1];
@@ -17,6 +26,7 @@ fn thread_grid() -> Vec<usize> {
 }
 
 fn bench_acceptance(c: &mut Criterion) {
+    obs_from_env();
     let spec = CampaignSpec::parse(
         r#"
 seed = 2012
@@ -45,6 +55,7 @@ utilizations = { values = [0.4, 0.6, 0.8] }
 }
 
 fn bench_soundness(c: &mut Criterion) {
+    obs_from_env();
     let spec = CampaignSpec::parse(
         r#"
 seed = 2012
@@ -71,6 +82,7 @@ trials_per_shard = 4
 }
 
 fn bench_multicore(c: &mut Criterion) {
+    obs_from_env();
     let spec = CampaignSpec::parse(
         r#"
 seed = 2012
@@ -102,6 +114,7 @@ sim_per_point = 1
 }
 
 fn bench_cfg_pipeline(c: &mut Criterion) {
+    obs_from_env();
     let spec = CampaignSpec::parse(
         r#"
 seed = 2012

@@ -40,7 +40,7 @@ impl AcceptanceEngine {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            taskset_memo: Memo::new(),
+            taskset_memo: Memo::named("taskset"),
         }
     }
 }

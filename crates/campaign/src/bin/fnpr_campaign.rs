@@ -24,6 +24,8 @@ struct RunArgs {
     csv: Option<String>,
     json: Option<String>,
     store: Option<String>,
+    metrics: Option<String>,
+    trace: Option<String>,
     quiet: bool,
 }
 
@@ -61,6 +63,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut csv = None;
     let mut json = None;
     let mut store = None;
+    let mut metrics = None;
+    let mut trace = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -78,6 +82,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--json" => json = Some(it.next().ok_or("--json needs a path")?.clone()),
             "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--trace-out" => trace = Some(it.next().ok_or("--trace-out needs a path")?.clone()),
             "--quiet" => quiet = true,
             other if spec.is_none() && !other.starts_with('-') => {
                 spec = Some(PathBuf::from(other));
@@ -91,6 +97,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         csv,
         json,
         store,
+        metrics,
+        trace,
         quiet,
     })
 }
@@ -100,6 +108,23 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         Ok(campaign) => campaign,
         Err(e) => return usage_error(&e.to_string()),
     };
+    // Telemetry: CLI flags win over the spec's [telemetry] table. The
+    // whole subsystem is a write-only side channel — aggregates are
+    // byte-identical with telemetry on or off (property-tested in
+    // tests/determinism.rs) — so enabling it by default costs nothing but
+    // relaxed atomic increments.
+    let metrics_target = args
+        .metrics
+        .clone()
+        .or_else(|| campaign.telemetry.metrics.clone());
+    let trace_target = args
+        .trace
+        .clone()
+        .or_else(|| campaign.telemetry.trace.clone());
+    let progress_on = !args.quiet && campaign.telemetry.progress.unwrap_or(true);
+    fnpr_obs::set_enabled(metrics_target.is_some() || trace_target.is_some() || progress_on);
+    fnpr_obs::set_trace_collection(trace_target.is_some());
+    fnpr_obs::set_progress(progress_on);
     // CLI --store wins over the spec's [store] table.
     let store_target = args.store.clone().or_else(|| campaign.store_path.clone());
     let store = match &store_target {
@@ -134,6 +159,26 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Telemetry artifacts (side channels; never part of the aggregates).
+    if let Some(path) = &metrics_target {
+        let snapshot = fnpr_obs::MetricsReport::gather(
+            &campaign.name,
+            fnpr_obs::gauge("campaign.points.total").value(),
+            fnpr_obs::counter("campaign.points.done").value(),
+            started.elapsed().as_secs_f64(),
+        );
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("fnpr-campaign: writing metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &trace_target {
+        if let Err(e) = fnpr_obs::write_chrome_trace(Path::new(path)) {
+            eprintln!("fnpr-campaign: writing trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if !args.quiet {
         let s = &report.summary;
         eprintln!(
@@ -165,6 +210,12 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         }
         if let Some(json) = &json_target {
             eprintln!("wrote JSON aggregate to {json}");
+        }
+        if let Some(metrics) = &metrics_target {
+            eprintln!("wrote metrics snapshot to {metrics}");
+        }
+        if let Some(trace) = &trace_target {
+            eprintln!("wrote Chrome trace to {trace} (open in Perfetto / chrome://tracing)");
         }
     }
     if report.summary.dominance_violations > 0 || report.summary.sim_violations > 0 {
@@ -312,6 +363,9 @@ fn open_existing_store(path: &Path) -> Result<ResultStore, ExitCode> {
 /// `store stats`: open the store (validating every line) and report the
 /// live entry counts per table plus load-time health.
 fn cmd_store_stats(path: &Path) -> ExitCode {
+    // Counters on (load-time invalid/stale lines register in the obs
+    // registry too); never any stderr chatter from this subcommand.
+    fnpr_obs::set_enabled(true);
     let store = match open_existing_store(path) {
         Ok(store) => store,
         Err(code) => return code,
@@ -340,22 +394,27 @@ fn cmd_store_stats(path: &Path) -> ExitCode {
 /// `store gc`: rewrite the log with only live (valid, current-fingerprint,
 /// newest-per-key) entries.
 fn cmd_store_gc(path: &Path) -> ExitCode {
+    // Counters on: the gc pass reports scanned/dropped/bytes-reclaimed
+    // through the obs registry as well as the printed summary.
+    fnpr_obs::set_enabled(true);
     let store = match open_existing_store(path) {
         Ok(store) => store,
         Err(code) => return code,
     };
-    let before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     let stats = store.stats();
     match store.gc() {
-        Ok(kept) => {
-            let after = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        Ok(report) => {
             println!(
-                "gc {}: kept {kept} entries, dropped {} invalid + {} stale lines, \
-                 {before} -> {after} bytes",
+                "gc {}: kept {} entries, dropped {} invalid + {} stale lines, \
+                 {} -> {} bytes",
                 path.display(),
+                report.kept,
                 stats.invalid_entries,
                 stats.stale_entries,
+                report.bytes_before,
+                report.bytes_after,
             );
+            eprintln!("gc summary: {}", report.summary());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -374,11 +433,17 @@ fn usage_error(msg: &str) -> ExitCode {
 const USAGE: &str = "\
 usage:
   fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
-                    [--store PATH] [--quiet]
+                    [--store PATH] [--metrics PATH] [--trace-out PATH] [--quiet]
   fnpr-campaign grid <spec>
   fnpr-campaign store stats <PATH>
   fnpr-campaign store gc <PATH>
   fnpr-campaign example-spec
+
+telemetry (write-only; aggregates are byte-identical with it on or off):
+  --metrics PATH     write a versioned JSON snapshot of all counters/spans
+  --trace-out PATH   write a Chrome trace-event JSON of per-shard spans
+                     (open in Perfetto or chrome://tracing)
+  --quiet            also suppresses the live progress line
 ";
 
 const EXAMPLE_SPEC: &str = r#"# fnpr-campaign scenario spec (TOML; JSON works too)
@@ -413,4 +478,12 @@ json = "campaign.json"         # omit to skip JSON
 # `fnpr-campaign store stats|gc <PATH>`.
 # [store]
 # path = "campaign.fnprstore"
+
+# Optional: observability (write-only side channel; never changes results).
+# CLI `--metrics` / `--trace-out` override the paths; `--quiet` suppresses
+# the live progress line.
+# [telemetry]
+# metrics = "campaign_metrics.json"
+# trace = "campaign_trace.json"
+# progress = true
 "#;

@@ -91,9 +91,9 @@ impl CfgEngine {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            program_memo: Memo::new(),
-            curve_memo: Memo::new(),
-            bound_memo: Memo::new(),
+            program_memo: Memo::named("program"),
+            curve_memo: Memo::named("curve"),
+            bound_memo: Memo::named("bound"),
         }
     }
 }

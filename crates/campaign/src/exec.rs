@@ -12,12 +12,51 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use fnpr_obs::ProgressMeter;
+
 /// Resolves the worker-thread count: explicit request, else all cores.
 #[must_use]
 pub fn resolve_threads(requested: Option<usize>) -> NonZeroUsize {
     requested
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+}
+
+/// The label the next [`parallel_map`] uses for its live progress line
+/// (typically the campaign name). `None` — the default — disables the
+/// meter entirely; the campaign runner installs the label around a run and
+/// clears it afterwards.
+static PROGRESS_LABEL: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs (or clears) the progress-line label for subsequent
+/// [`parallel_map`] calls on this process.
+pub fn set_progress_label(label: Option<String>) {
+    *PROGRESS_LABEL.lock().expect("progress label poisoned") = label;
+}
+
+/// Builds the live meter for a map over `count` shards, if telemetry, the
+/// progress display and a label are all present.
+fn build_meter(count: usize) -> Option<ProgressMeter> {
+    if !fnpr_obs::enabled() || !fnpr_obs::progress_enabled() {
+        return None;
+    }
+    let label = PROGRESS_LABEL
+        .lock()
+        .expect("progress label poisoned")
+        .clone()?;
+    Some(
+        ProgressMeter::new(label, count as u64)
+            .with_ratio(
+                "memo",
+                fnpr_obs::counter("campaign.memo.hit"),
+                fnpr_obs::counter("campaign.memo.miss"),
+            )
+            .with_ratio(
+                "store",
+                fnpr_obs::counter("campaign.store.points.restored"),
+                fnpr_obs::counter("campaign.store.points.computed"),
+            ),
+    )
 }
 
 /// Runs `work(i)` for every `i in 0..count` on `threads` workers and
@@ -42,6 +81,14 @@ where
     let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let failed = AtomicUsize::new(usize::MAX);
 
+    // Write-only telemetry: the gauge/counters/spans/meter observe the map
+    // but never influence claiming order or results.
+    fnpr_obs::gauge!("campaign.points.total").set(count as u64);
+    let claimed = fnpr_obs::counter!("campaign.shards.claimed");
+    let retired = fnpr_obs::counter!("campaign.shards.retired");
+    let done = fnpr_obs::counter!("campaign.points.done");
+    let meter = build_meter(count);
+
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -56,11 +103,20 @@ where
                 if i >= count {
                     return;
                 }
-                let result = work(i);
+                claimed.incr();
+                let result = {
+                    let _span = fnpr_obs::span_shard("campaign.shard", "campaign", i as u64);
+                    work(i)
+                };
                 if result.is_err() {
                     failed.fetch_min(i, Ordering::Relaxed);
                 }
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
+                retired.incr();
+                done.incr();
+                if let Some(meter) = &meter {
+                    meter.tick();
+                }
             });
         }
     });

@@ -63,7 +63,7 @@ pub use error::CampaignError;
 pub use memo::MemoStats;
 pub use report::{CampaignReport, StoreStats, Summary};
 pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
-pub use store::ResultStore;
+pub use store::{GcReport, ResultStore};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -139,6 +139,8 @@ pub fn run_campaign_with_store(
 ) -> Result<CampaignOutcome, CampaignError> {
     let threads = exec::resolve_threads(threads_override.or(campaign.threads));
     let scenario = format!("{:016x}", campaign.scenario_hash());
+    let _run_span = fnpr_obs::span("campaign.run", "campaign");
+    exec::set_progress_label(Some(campaign.name.clone()));
     let (methods, acceptance_points, soundness_shards, multicore_points, cfg_points, memo) =
         match &campaign.workload {
             Workload::Acceptance(params) => {
@@ -200,6 +202,7 @@ pub fn run_campaign_with_store(
                 )
             }
         };
+    exec::set_progress_label(None);
     let summary = report::summarize(
         &acceptance_points,
         &soundness_shards,

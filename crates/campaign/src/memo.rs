@@ -29,12 +29,24 @@ use std::sync::Mutex;
 /// between worker threads, not a concurrent-map benchmark.
 const SHARDS: usize = 16;
 
+/// The observability side channel of a named memo: per-table and aggregate
+/// hit/miss counters in the global [`fnpr_obs`] registry. Write-only — the
+/// deterministic aggregates never read these.
+#[derive(Clone, Copy)]
+struct MemoObs {
+    hit: fnpr_obs::Counter,
+    miss: fnpr_obs::Counter,
+    all_hit: fnpr_obs::Counter,
+    all_miss: fnpr_obs::Counter,
+}
+
 /// A sharded, thread-safe memo table from 128-bit scenario hashes to
 /// results.
 pub struct Memo<V> {
     shards: Vec<Mutex<HashMap<u128, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Option<MemoObs>,
 }
 
 impl<V: Clone> Memo<V> {
@@ -45,7 +57,25 @@ impl<V: Clone> Memo<V> {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// An empty table that additionally mirrors its hit/miss counts into
+    /// the global telemetry registry, under `campaign.memo.<table>.hit` /
+    /// `.miss` plus the cross-table aggregates `campaign.memo.hit` /
+    /// `campaign.memo.miss`. Purely a side channel: the [`Self::stats`]
+    /// counters and all campaign outputs are unaffected.
+    #[must_use]
+    pub fn named(table: &str) -> Self {
+        let mut memo = Self::new();
+        memo.obs = Some(MemoObs {
+            hit: fnpr_obs::counter(&format!("campaign.memo.{table}.hit")),
+            miss: fnpr_obs::counter(&format!("campaign.memo.{table}.miss")),
+            all_hit: fnpr_obs::counter("campaign.memo.hit"),
+            all_miss: fnpr_obs::counter("campaign.memo.miss"),
+        });
+        memo
     }
 
     /// Returns the cached value for `key`, or computes, stores and returns
@@ -58,6 +88,10 @@ impl<V: Clone> Memo<V> {
         let shard = &self.shards[(key as u64 as usize) % SHARDS];
         if let Some(v) = shard.lock().expect("memo shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs {
+                obs.hit.incr();
+                obs.all_hit.incr();
+            }
             return v.clone();
         }
         // Compute outside the lock: analyses can be orders of magnitude
@@ -65,6 +99,10 @@ impl<V: Clone> Memo<V> {
         // unrelated keys.
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs {
+            obs.miss.incr();
+            obs.all_miss.incr();
+        }
         shard
             .lock()
             .expect("memo shard poisoned")
@@ -156,6 +194,23 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!(memo.stats(), MemoStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn named_memo_mirrors_counts_into_the_obs_registry() {
+        // Delta assertions on a uniquely named table keep this robust
+        // against other tests sharing the process-global registry.
+        fnpr_obs::set_enabled(true);
+        let hit = fnpr_obs::counter("campaign.memo.test_memo_mirror.hit");
+        let miss = fnpr_obs::counter("campaign.memo.test_memo_mirror.miss");
+        let (h0, m0) = (hit.value(), miss.value());
+        let memo: Memo<u8> = Memo::named("test_memo_mirror");
+        for _ in 0..3 {
+            memo.get_or_insert_with(9, || 4);
+        }
+        assert_eq!(memo.stats(), MemoStats { hits: 2, misses: 1 });
+        assert_eq!(hit.value() - h0, 2);
+        assert_eq!(miss.value() - m0, 1);
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl MulticoreEngine {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            taskset_memo: Memo::new(),
+            taskset_memo: Memo::named("taskset"),
         }
     }
 }

@@ -195,15 +195,27 @@ pub struct StoreStats {
 
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hit rates via the one shared percentage helper (`fnpr_obs`), so
+        // this line and the live progress meter can never disagree on
+        // rounding. CI greps pin the `N points restored, M points
+        // computed` prefix — keep it stable.
         write!(
             f,
-            "{} points restored, {} points computed; \
-             {} bounds restored, {} bounds computed \
-             ({} invalid, {} stale entries, {} write errors)",
+            "{} points restored, {} points computed ({:.1}% restored); \
+             {} bounds restored, {} bounds computed ({:.1}% restored); \
+             {} invalid, {} stale entries, {} write errors",
             self.points_restored,
             self.points_computed,
+            fnpr_obs::percent(
+                self.points_restored,
+                self.points_restored + self.points_computed
+            ),
             self.bounds_restored,
             self.bounds_computed,
+            fnpr_obs::percent(
+                self.bounds_restored,
+                self.bounds_restored + self.bounds_computed
+            ),
             self.invalid_entries,
             self.stale_entries,
             self.write_errors,
@@ -519,6 +531,54 @@ mod tests {
             cfg: vec![],
             summary,
         }
+    }
+
+    #[test]
+    fn store_stats_display_pins_the_stderr_format() {
+        // The CI smoke job greps for "8 points computed" (cold run) and
+        // "8 points restored, 0 points computed" (warm run) — the exact
+        // rendering of this line is load-bearing.
+        let cold = StoreStats {
+            points_restored: 0,
+            points_computed: 8,
+            bounds_restored: 0,
+            bounds_computed: 16,
+            invalid_entries: 0,
+            stale_entries: 0,
+            write_errors: 0,
+        };
+        let line = cold.to_string();
+        assert!(
+            line.contains("8 points computed"),
+            "cold grep broke: {line}"
+        );
+        assert_eq!(
+            line,
+            "0 points restored, 8 points computed (0.0% restored); \
+             0 bounds restored, 16 bounds computed (0.0% restored); \
+             0 invalid, 0 stale entries, 0 write errors"
+        );
+
+        let warm = StoreStats {
+            points_restored: 8,
+            points_computed: 0,
+            bounds_restored: 12,
+            bounds_computed: 4,
+            invalid_entries: 1,
+            stale_entries: 2,
+            write_errors: 3,
+        };
+        let line = warm.to_string();
+        assert!(
+            line.contains("8 points restored, 0 points computed"),
+            "warm grep broke: {line}"
+        );
+        assert_eq!(
+            line,
+            "8 points restored, 0 points computed (100.0% restored); \
+             12 bounds restored, 4 bounds computed (75.0% restored); \
+             1 invalid, 2 stale entries, 3 write errors"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl SoundnessEngine {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            bounds_memo: Memo::new(),
+            bounds_memo: Memo::named("bounds"),
         }
     }
 }

@@ -86,6 +86,8 @@ pub struct CampaignSpec {
     pub output: Option<OutputSpec>,
     /// Persistent result store ([`crate::store`]).
     pub store: Option<StoreSpec>,
+    /// Observability settings ([`TelemetrySpec`]).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 /// A one-dimensional sweep axis: either an explicit `values` list or an
@@ -304,6 +306,24 @@ pub struct StoreSpec {
     pub path: Option<String>,
 }
 
+/// Optional observability settings (the `fnpr-obs` side channel): where to
+/// write the metrics snapshot and Chrome trace, and whether to paint the
+/// live progress line. The CLI's `--metrics`/`--trace-out` flags override
+/// the paths. Like `[output]` and `[store]`, telemetry is **not** part of
+/// [`Campaign::scenario_hash`] — observing a run cannot change what it
+/// computes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Metrics-snapshot JSON path (absent: not emitted unless `--metrics`
+    /// is given).
+    pub metrics: Option<String>,
+    /// Chrome trace-event JSON path (absent: spans are counted but not
+    /// buffered unless `--trace-out` is given).
+    pub trace: Option<String>,
+    /// Live stderr progress line (default true; `--quiet` suppresses).
+    pub progress: Option<bool>,
+}
+
 /// A validated campaign: defaults applied, grids expanded, invariants
 /// checked. This is what [`crate::run_campaign`] executes.
 #[derive(Debug, Clone)]
@@ -322,6 +342,9 @@ pub struct Campaign {
     /// outputs, this is **not** part of [`Campaign::scenario_hash`] — where
     /// results are cached cannot change what they are.
     pub store_path: Option<String>,
+    /// Observability settings (raw; the CLI applies them). Excluded from
+    /// [`Campaign::scenario_hash`] like the outputs and the store path.
+    pub telemetry: TelemetrySpec,
 }
 
 /// Validated workload parameters.
@@ -541,6 +564,7 @@ impl CampaignSpec {
             workload,
             output: self.output.clone().unwrap_or_default(),
             store_path,
+            telemetry: self.telemetry.clone().unwrap_or_default(),
         })
     }
 
@@ -1575,6 +1599,46 @@ accesses_per_block = [0, 2]
             let err = CampaignSpec::parse(text).unwrap().validate().unwrap_err();
             assert!(err.to_string().contains("path"), "bad message: {err}");
         }
+    }
+
+    #[test]
+    fn telemetry_spec_round_trips_with_defaults() {
+        let spec = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
+             [telemetry]\nmetrics = \"m.json\"\ntrace = \"t.json\"\nprogress = false\n",
+        )
+        .unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.telemetry.metrics.as_deref(), Some("m.json"));
+        assert_eq!(campaign.telemetry.trace.as_deref(), Some("t.json"));
+        assert_eq!(campaign.telemetry.progress, Some(false));
+        // Absent table: everything off/default.
+        let spec =
+            CampaignSpec::parse("workload = \"soundness\"\n[soundness]\ntrials = 3\n").unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.telemetry.metrics, None);
+        assert_eq!(campaign.telemetry.trace, None);
+        assert_eq!(campaign.telemetry.progress, None);
+    }
+
+    #[test]
+    fn telemetry_stays_out_of_the_scenario_hash() {
+        // Observing a run cannot change what it computes: warm/cold,
+        // traced/untraced runs must report the same scenario id.
+        let base = CampaignSpec {
+            seed: Some(5),
+            ..CampaignSpec::default()
+        };
+        let mut with_telemetry = base.clone();
+        with_telemetry.telemetry = Some(TelemetrySpec {
+            metrics: Some("m.json".into()),
+            trace: Some("t.json".into()),
+            progress: Some(false),
+        });
+        assert_eq!(
+            base.validate().unwrap().scenario_hash(),
+            with_telemetry.validate().unwrap().scenario_hash()
+        );
     }
 
     #[test]

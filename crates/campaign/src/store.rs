@@ -288,7 +288,10 @@ impl ResultStore {
             // invalid above); terminate it so healing appends start on a
             // fresh line instead of gluing onto the wreckage.
             file.write_all(b"\n")?;
+            fnpr_obs::counter!("campaign.store.healed").incr();
         }
+        fnpr_obs::counter!("campaign.store.invalid").add(invalid);
+        fnpr_obs::counter!("campaign.store.stale").add(stale);
         Ok(Self {
             path: path.to_path_buf(),
             fingerprint,
@@ -397,18 +400,33 @@ impl ResultStore {
         Ok(v)
     }
 
-    /// Bumps the restored/computed counter pair for `table`.
+    /// Bumps the restored/computed counter pair for `table` (and mirrors
+    /// the event into the global telemetry registry — a write-only side
+    /// channel, never read back into aggregates).
     pub fn count(&self, table: StoreTable, restored: bool) {
         let counter = match (table.is_points(), restored) {
-            (true, true) => &self.points_restored,
-            (true, false) => &self.points_computed,
-            (false, true) => &self.bounds_restored,
-            (false, false) => &self.bounds_computed,
+            (true, true) => {
+                fnpr_obs::counter!("campaign.store.points.restored").incr();
+                &self.points_restored
+            }
+            (true, false) => {
+                fnpr_obs::counter!("campaign.store.points.computed").incr();
+                &self.points_computed
+            }
+            (false, true) => {
+                fnpr_obs::counter!("campaign.store.bounds.restored").incr();
+                &self.bounds_restored
+            }
+            (false, false) => {
+                fnpr_obs::counter!("campaign.store.bounds.computed").incr();
+                &self.bounds_computed
+            }
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn count_write_error(&self, why: &str) {
+        fnpr_obs::counter!("campaign.store.write_errors").incr();
         self.write_errors.fetch_add(1, Ordering::Relaxed);
         if !self.warned_write.swap(true, Ordering::Relaxed) {
             eprintln!(
@@ -452,17 +470,27 @@ impl ResultStore {
     /// (superseded appends), invalid, stale and unknown-version lines are
     /// dropped. The rewrite goes through a sibling temp file + rename, so a
     /// crash mid-gc leaves either the old or the new file, never a torn
-    /// one. Returns the number of entries kept.
+    /// one. Returns what was scanned, kept, dropped and reclaimed.
     ///
     /// # Errors
     ///
     /// I/O failures writing or renaming the new file.
-    pub fn gc(&self) -> std::io::Result<usize> {
+    pub fn gc(&self) -> std::io::Result<GcReport> {
         // The file lock is held across the whole rewrite, and `put` holds
         // it across both its append *and* its index insert — so every
         // entry on disk is indexed by the time this snapshot runs, and no
         // concurrent put can land a line the rewrite would drop.
         let mut file = self.file.lock().expect("store file poisoned");
+        let (scanned, bytes_before) = match std::fs::read(&self.path) {
+            Ok(bytes) => {
+                let lines = String::from_utf8_lossy(&bytes)
+                    .lines()
+                    .filter(|l| !l.is_empty())
+                    .count();
+                (lines, bytes.len() as u64)
+            }
+            Err(_) => (0, 0),
+        };
         let mut live: Vec<((u32, u128), String)> = Vec::new();
         for shard in &self.entries {
             let entries = shard.lock().expect("store index poisoned");
@@ -476,14 +504,62 @@ impl ResultStore {
             out.push_str(&format_record(tag, key, self.fingerprint, &payload));
         }
         let tmp = self.path.with_extension("gc-tmp");
-        std::fs::write(&tmp, out)?;
+        std::fs::write(&tmp, &out)?;
         std::fs::rename(&tmp, &self.path)?;
         // Reopen the append handle on the fresh file.
         *file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
-        Ok(kept)
+        let report = GcReport {
+            scanned,
+            kept,
+            dropped: scanned.saturating_sub(kept),
+            bytes_before,
+            bytes_after: out.len() as u64,
+        };
+        fnpr_obs::counter!("campaign.store.gc.scanned").add(report.scanned as u64);
+        fnpr_obs::counter!("campaign.store.gc.dropped").add(report.dropped as u64);
+        fnpr_obs::counter!("campaign.store.gc.bytes_reclaimed").add(report.bytes_reclaimed());
+        Ok(report)
+    }
+}
+
+/// What one [`ResultStore::gc`] pass scanned, kept and reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Non-empty lines in the log before the rewrite.
+    pub scanned: usize,
+    /// Live entries written back.
+    pub kept: usize,
+    /// Lines dropped (superseded duplicates, invalid, stale, unknown
+    /// versions and torn-tail terminators).
+    pub dropped: usize,
+    /// Log size in bytes before the rewrite.
+    pub bytes_before: u64,
+    /// Log size in bytes after the rewrite.
+    pub bytes_after: u64,
+}
+
+impl GcReport {
+    /// Bytes the rewrite gave back (0 if the log somehow grew).
+    #[must_use]
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+
+    /// The one-line human summary the CLI prints on stderr.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "scanned {} lines, kept {} entries, dropped {}; {} -> {} bytes ({} reclaimed)",
+            self.scanned,
+            self.kept,
+            self.dropped,
+            self.bytes_before,
+            self.bytes_after,
+            self.bytes_reclaimed()
+        )
     }
 }
 
@@ -704,7 +780,7 @@ mod tests {
         let again = ResultStore::open_with_fingerprint(&path, 222).unwrap();
         assert_eq!(again.get::<f64>(StoreTable::Bounds, 5), Some(2.0));
         assert_eq!(again.stats().stale_entries, 1);
-        assert_eq!(again.gc().unwrap(), 1);
+        assert_eq!(again.gc().unwrap().kept, 1);
         let clean = ResultStore::open_with_fingerprint(&path, 222).unwrap();
         assert_eq!(clean.stats().stale_entries, 0);
         assert_eq!(clean.get::<f64>(StoreTable::Bounds, 5), Some(2.0));
@@ -737,9 +813,24 @@ mod tests {
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(4.0));
         let lines_before = std::fs::read_to_string(&path).unwrap().lines().count();
         assert_eq!(lines_before, 5);
-        assert_eq!(store.gc().unwrap(), 1);
+        let bytes_before = std::fs::metadata(&path).unwrap().len();
+        let report = store.gc().unwrap();
         let lines_after = std::fs::read_to_string(&path).unwrap().lines().count();
         assert_eq!(lines_after, 1);
+        // The report reflects exactly what the rewrite did.
+        assert_eq!((report.scanned, report.kept, report.dropped), (5, 1, 4));
+        assert_eq!(report.bytes_before, bytes_before);
+        assert_eq!(report.bytes_after, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(
+            report.bytes_reclaimed(),
+            report.bytes_before - report.bytes_after
+        );
+        let summary = report.summary();
+        assert!(
+            summary.contains("scanned 5 lines, kept 1 entries, dropped 4"),
+            "{summary}"
+        );
+        assert!(summary.contains("reclaimed"), "{summary}");
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(4.0));
         // The append handle still works after the rename.
         store.put(StoreTable::Bounds, 10, &7.0f64);

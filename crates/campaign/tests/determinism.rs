@@ -5,9 +5,12 @@
 //! *extended* grid computes only the new points while its aggregates stay
 //! byte-identical to a cold full run.
 
+use std::collections::BTreeMap;
+
 use fnpr_campaign::store::ResultStore;
 use fnpr_campaign::{run_campaign, run_campaign_with_store, CampaignSpec, WorkloadKind};
 use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
 
 mod common;
 
@@ -165,6 +168,28 @@ deadline_factor = [1.0, 1.0]
     .expect("template parses")
 }
 
+/// Runs with the full telemetry stack live (counters + span/trace
+/// collection). The point of the telemetry-invariance property: this
+/// function and [`render`] must be interchangeable.
+fn render_with_telemetry(spec: &CampaignSpec, threads: usize) -> (String, String) {
+    fnpr_obs::set_enabled(true);
+    fnpr_obs::set_trace_collection(true);
+    let out = render(spec, threads);
+    // Drain the trace buffer so repeated proptest cases cannot grow it
+    // without bound, and stop collecting between cases. Counters stay
+    // enabled: tests in this binary run concurrently, and flipping the
+    // global switch off here could drop increments another test is
+    // asserting on — telemetry state must never matter for outputs, which
+    // is exactly what the caller asserts.
+    let events = fnpr_obs::take_trace_events();
+    assert!(
+        !events.is_empty(),
+        "trace collection was on but no spans were recorded"
+    );
+    fnpr_obs::set_trace_collection(false);
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -187,6 +212,25 @@ proptest! {
     #[test]
     fn multicore_aggregates_are_thread_invariant(spec in arb_multicore_spec()) {
         assert_thread_invariant(&spec);
+    }
+
+    /// Telemetry is a write-only side channel: with counters, spans and
+    /// trace collection all live, CSV/JSON aggregates stay byte-identical
+    /// to a telemetry-off run at 1, 2 and 8 threads. This is the contract
+    /// that lets every layer instrument its hot paths without threatening
+    /// the determinism guarantees above.
+    #[test]
+    fn telemetry_never_touches_aggregates(spec in arb_acceptance_spec()) {
+        let baseline = render(&spec, 1);
+        for threads in [1usize, 2, 8] {
+            let traced = render_with_telemetry(&spec, threads);
+            prop_assert_eq!(
+                &traced,
+                &baseline,
+                "aggregates changed with telemetry on at {} threads",
+                threads
+            );
+        }
     }
 
     /// CFG campaigns: identical aggregates at 1, 2 and 8 threads — the
@@ -249,6 +293,112 @@ proptest! {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Serde mirror of the `--metrics` snapshot document. `fnpr-obs` writes
+/// the file with a hand-rolled, dependency-free emitter; parsing it back
+/// through the workspace serde shim pins the format to plain standard
+/// JSON that any consumer can read.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct MetricsDoc {
+    schema_version: u64,
+    label: String,
+    points_total: u64,
+    points_done: u64,
+    elapsed_seconds: f64,
+    span_count: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramDoc>,
+}
+
+/// Mirror of `fnpr_obs::HistogramSnapshot` for [`MetricsDoc`].
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct HistogramDoc {
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The `--metrics` JSON round-trips through the serde shim: the
+/// hand-rolled writer's output parses into [`MetricsDoc`], survives a
+/// re-serialize/re-parse cycle, and preserves every field — including a
+/// label that needs JSON escaping.
+#[test]
+fn metrics_snapshot_round_trips_through_the_serde_shim() {
+    let report = fnpr_obs::MetricsReport {
+        schema_version: fnpr_obs::METRICS_SCHEMA_VERSION,
+        label: "determinism \"quoted\" \\ label".to_string(),
+        points_total: 42,
+        points_done: 40,
+        elapsed_seconds: 1.25,
+        span_count: 7,
+        counters: BTreeMap::from([
+            ("campaign.memo.hit".to_string(), 31),
+            ("campaign.points.done".to_string(), 40),
+        ]),
+        gauges: BTreeMap::from([("campaign.points.total".to_string(), 42)]),
+        histograms: BTreeMap::from([(
+            "campaign.shard.points".to_string(),
+            fnpr_obs::HistogramSnapshot {
+                count: 5,
+                sum: 40,
+                max: 16,
+            },
+        )]),
+    };
+    let json = report.to_json();
+    let doc: MetricsDoc = serde_json::from_str(&json).expect("metrics JSON parses via serde");
+    assert_eq!(doc.schema_version, fnpr_obs::METRICS_SCHEMA_VERSION);
+    assert_eq!(doc.label, report.label);
+    assert_eq!((doc.points_total, doc.points_done), (42, 40));
+    assert_eq!(doc.elapsed_seconds, 1.25);
+    assert_eq!(doc.span_count, 7);
+    assert_eq!(doc.counters.get("campaign.memo.hit"), Some(&31));
+    assert_eq!(doc.gauges.get("campaign.points.total"), Some(&42));
+    let hist = doc.histograms.get("campaign.shard.points").unwrap();
+    assert_eq!((hist.count, hist.sum, hist.max), (5, 40, 16));
+    // Fixpoint: a shim re-serialize / re-parse cycle loses nothing.
+    let again: MetricsDoc = serde_json::from_str(&serde_json::to_string(&doc)).expect("re-parse");
+    assert_eq!(again, doc);
+}
+
+/// A live-registry snapshot also parses: enable telemetry, run a real
+/// campaign, and feed `MetricsReport::gather` output through the same
+/// mirror — the keys instrumented across the workspace show up.
+#[test]
+fn gathered_metrics_parse_and_carry_campaign_counters() {
+    fnpr_obs::set_enabled(true);
+    let spec = CampaignSpec::parse(
+        r#"
+seed = 7
+workload = "soundness"
+[soundness]
+trials = 8
+trials_per_shard = 2
+"#,
+    )
+    .unwrap();
+    let campaign = spec.validate().unwrap();
+    run_campaign(&campaign, Some(2)).unwrap();
+    let report = fnpr_obs::MetricsReport::gather(
+        "gather-test",
+        fnpr_obs::gauge("campaign.points.total").value(),
+        fnpr_obs::counter("campaign.points.done").value(),
+        0.25,
+    );
+    let doc: MetricsDoc = serde_json::from_str(&report.to_json()).expect("gathered JSON parses");
+    assert_eq!(doc.label, "gather-test");
+    for key in [
+        "campaign.shards.claimed",
+        "campaign.shards.retired",
+        "campaign.points.done",
+    ] {
+        assert!(
+            doc.counters.get(key).is_some_and(|&v| v > 0),
+            "expected live counter {key} in gathered snapshot"
+        );
     }
 }
 

@@ -163,6 +163,51 @@ fn cfg_smoke_spec_runs_the_real_pipeline_end_to_end() {
     assert_eq!(&parsed, report);
 }
 
+/// The checked-in `--trace-out` sample (produced by `fnpr-campaign run
+/// examples/campaign_smoke.toml --trace-out …`) validates as Chrome
+/// trace-event JSON: a `traceEvents` array of `ph: "X"` complete events
+/// with the fields Perfetto / `chrome://tracing` require.
+#[test]
+fn sample_trace_artifact_is_valid_chrome_trace_json() {
+    use serde::Value;
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/trace_sample.json");
+    let text = std::fs::read_to_string(&path).expect("sample trace artifact is checked in");
+    let doc = serde_json::parse_value(&text).expect("sample trace parses as JSON");
+    let Value::Map(entries) = doc else {
+        panic!("trace document must be a JSON object");
+    };
+    let events = entries
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents key");
+    let Value::Seq(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!events.is_empty(), "sample trace has no events");
+    let mut saw_run_span = false;
+    for event in events {
+        let Value::Map(fields) = event else {
+            panic!("each trace event must be an object");
+        };
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match field("ph") {
+            Some(Value::Str(ph)) => assert_eq!(ph, "X", "shim emits complete events only"),
+            other => panic!("bad ph field: {other:?}"),
+        }
+        for required in ["ts", "dur", "pid", "tid"] {
+            assert!(
+                matches!(field(required), Some(Value::Int(n)) if *n >= 0),
+                "event missing integer {required}"
+            );
+        }
+        if matches!(field("name"), Some(Value::Str(name)) if name == "campaign.run") {
+            saw_run_span = true;
+        }
+    }
+    assert!(saw_run_span, "sample trace lacks the campaign.run span");
+}
+
 #[test]
 fn memoization_pays_on_the_smoke_grid() {
     let campaign = CampaignSpec::load(&smoke_spec_path())

@@ -208,6 +208,7 @@ pub fn reduce_loops(
     cfg: &Cfg,
     bounds: &BTreeMap<BlockId, LoopBound>,
 ) -> Result<ReducedCfg, CfgError> {
+    fnpr_obs::counter!("cfg.loops.reductions").incr();
     let mut current = cfg.clone();
     let mut members: Vec<Vec<BlockId>> = (0..cfg.len()).map(|i| vec![BlockId(i)]).collect();
     loop {

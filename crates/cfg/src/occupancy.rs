@@ -27,6 +27,7 @@ impl Occupancy {
     /// Returns [`CfgError::Cyclic`] if the graph has a cycle (reduce loops
     /// first).
     pub fn analyze(cfg: &Cfg) -> Result<Self, CfgError> {
+        fnpr_obs::counter!("cfg.occupancy.analyses").incr();
         let offsets = StartOffsets::analyze(cfg)?;
         Ok(Self::from_offsets(cfg, &offsets))
     }

@@ -386,6 +386,8 @@ fn run_from<S: FnMut(WindowRecord)>(
     // Line 5: iterate while the next progression point is inside the task.
     while next_progress < wcet {
         if windows >= limit {
+            fnpr_obs::counter!("core.alg1.limit_exceeded").incr();
+            note_alg1_run(windows);
             return Err(AnalysisError::IterationLimit { limit });
         }
         // Line 6.
@@ -408,6 +410,8 @@ fn run_from<S: FnMut(WindowRecord)>(
                 delay,
                 next_progress: progress + q - delay,
             });
+            fnpr_obs::counter!("core.alg1.divergent").incr();
+            note_alg1_run(windows);
             return Ok(BoundOutcome::Divergent {
                 at_progress: progress,
                 window_delay: delay,
@@ -428,12 +432,21 @@ fn run_from<S: FnMut(WindowRecord)>(
         });
         windows += 1;
     }
+    note_alg1_run(windows);
     Ok(BoundOutcome::Converged(DelayBound {
         total_delay,
         windows,
         q,
         wcet,
     }))
+}
+
+/// Telemetry flush for one Algorithm 1 run: a single counter update per
+/// run (never per window), so the kernel's hot loop stays untouched and
+/// the disabled path costs two untaken branches per *run*.
+fn note_alg1_run(windows: usize) {
+    fnpr_obs::counter!("core.alg1.runs").incr();
+    fnpr_obs::counter!("core.alg1.windows").add(windows as u64);
 }
 
 /// The pre-cursor per-call implementation of Algorithm 1, retained as the

@@ -159,6 +159,7 @@ fn eq4_iterate<S: FnMut(Eq4Step)>(
     // A zero per-preemption delay converges immediately to C.
     if max_delay == 0.0 {
         let preemptions = preemption_count(wcet, q);
+        note_eq4_run(0);
         return Ok(BoundOutcome::Converged(DelayBound {
             total_delay: 0.0,
             windows: preemptions as usize,
@@ -170,6 +171,8 @@ fn eq4_iterate<S: FnMut(Eq4Step)>(
     // one charge of max_delay, i.e. max_delay < q. With max_delay >= q the
     // series grows at least geometrically.
     if max_delay >= q {
+        fnpr_obs::counter!("core.eq4.divergent").incr();
+        note_eq4_run(0);
         return Ok(BoundOutcome::Divergent {
             at_progress: wcet,
             window_delay: max_delay,
@@ -187,6 +190,7 @@ fn eq4_iterate<S: FnMut(Eq4Step)>(
             inflated: next,
         });
         if next == current {
+            note_eq4_run(index + 1);
             return Ok(BoundOutcome::Converged(DelayBound {
                 total_delay: current - wcet,
                 windows: preemptions as usize,
@@ -196,7 +200,16 @@ fn eq4_iterate<S: FnMut(Eq4Step)>(
         }
         current = next;
     }
+    fnpr_obs::counter!("core.eq4.limit_exceeded").incr();
+    note_eq4_run(limit);
     Err(AnalysisError::IterationLimit { limit })
+}
+
+/// Telemetry flush for one Eq. 4 fixpoint run: a single counter update
+/// per run, never per iteration.
+fn note_eq4_run(iterations: usize) {
+    fnpr_obs::counter!("core.eq4.runs").incr();
+    fnpr_obs::counter!("core.eq4.iterations").add(iterations as u64);
 }
 
 /// `⌈x/q⌉` as used by Eq. 4, robust against the representation noise of

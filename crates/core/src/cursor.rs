@@ -99,6 +99,10 @@ pub(crate) struct CurveCursor<'c> {
     /// `(segment index, viewed value)` with values non-increasing front to
     /// back; the front is the earliest maximal segment still in the window.
     deque: VecDeque<(usize, f64)>,
+    /// Segment-pointer advances this cursor performed (telemetry only:
+    /// accumulated locally — a plain register increment — and flushed to
+    /// the `core.cursor.segment_advances` counter once, on drop).
+    advances: u64,
 }
 
 impl<'c> CurveCursor<'c> {
@@ -111,6 +115,7 @@ impl<'c> CurveCursor<'c> {
             cross: 0,
             pushed: None,
             deque: VecDeque::new(),
+            advances: 0,
         }
     }
 
@@ -159,6 +164,7 @@ impl<'c> CurveCursor<'c> {
         // `progress` only moves forward across calls).
         while self.lo + 1 < n && starts[self.lo + 1] <= progress {
             self.lo += 1;
+            self.advances += 1;
         }
         // Retire deque segments that end at or before the new window start.
         while let Some(&(k, _)) = self.deque.front() {
@@ -205,6 +211,7 @@ impl<'c> CurveCursor<'c> {
                 break;
             }
             k += 1;
+            self.advances += 1;
         }
         self.cross = k;
         if crossing.is_none() {
@@ -213,6 +220,7 @@ impl<'c> CurveCursor<'c> {
             let from = self.pushed.map_or(0, |p| p + 1);
             for (j, &raw) in values.iter().enumerate().skip(from) {
                 self.offer(j, self.view.apply(raw));
+                self.advances += 1;
             }
         }
         let p_cross = crossing.unwrap_or(wcet).min(wcet);
@@ -226,6 +234,14 @@ impl<'c> CurveCursor<'c> {
             delay,
             p_max: starts[front].max(progress),
         }
+    }
+}
+
+impl Drop for CurveCursor<'_> {
+    fn drop(&mut self) {
+        // One telemetry flush per cursor lifetime (one Algorithm 1 run),
+        // self-gated: free when telemetry is off.
+        fnpr_obs::counter!("core.cursor.segment_advances").add(self.advances);
     }
 }
 

@@ -62,6 +62,7 @@ fn blocking_term(tasks: &TaskSet, i: usize, policy: Policy) -> f64 {
 #[must_use]
 pub fn global_edf_density(tasks: &TaskSet, m: usize) -> bool {
     assert!(m >= 1, "need at least one core");
+    fnpr_obs::counter!("multicore.global.tests").incr();
     let density = |i: usize, task: &Task| {
         (task.wcet() + blocking_term(tasks, i, Policy::Edf)) / task.deadline().min(task.period())
     };

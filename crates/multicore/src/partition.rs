@@ -95,6 +95,7 @@ where
     F: FnMut(usize, &TaskSet) -> Result<bool, SchedError>,
 {
     assert!(m >= 1, "need at least one core");
+    fnpr_obs::counter!("multicore.partition.attempts").incr();
     // Heaviest-first ordering (ties broken by index for determinism).
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     order.sort_by(|&a, &b| {

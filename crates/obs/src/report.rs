@@ -1,0 +1,202 @@
+//! The `MetricsReport` snapshot: everything the registry knows, as
+//! versioned JSON (the CLI's `--metrics PATH`).
+//!
+//! The writer is hand-rolled (this crate is dependency-free) but emits
+//! plain standard JSON with real objects for the name → value maps, so
+//! any consumer — including the workspace's own serde shim, which
+//! `fnpr-campaign`'s determinism suite round-trips the file through —
+//! can parse it.
+
+use std::collections::BTreeMap;
+
+use crate::span::json_string;
+
+/// Version of the metrics JSON layout. Bump on breaking shape changes so
+/// downstream dashboards can dispatch.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// Aggregate view of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// A point-in-time snapshot of the whole registry plus run-level context,
+/// serialized by [`MetricsReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Layout version ([`METRICS_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// What ran (e.g. the campaign name).
+    pub label: String,
+    /// Total work items of the run (0 when unknown).
+    pub points_total: u64,
+    /// Work items finished.
+    pub points_done: u64,
+    /// Wall-clock seconds of the run.
+    pub elapsed_seconds: f64,
+    /// Spans finished (see [`crate::span_count`]).
+    pub span_count: u64,
+    /// Every registered counter.
+    pub counters: BTreeMap<String, u64>,
+    /// Every registered gauge.
+    pub gauges: BTreeMap<String, u64>,
+    /// Every registered histogram.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// Snapshots the registry now, stamping the run-level context fields.
+    #[must_use]
+    pub fn gather(label: &str, points_total: u64, points_done: u64, elapsed_seconds: f64) -> Self {
+        Self {
+            schema_version: METRICS_SCHEMA_VERSION,
+            label: label.to_string(),
+            points_total,
+            points_done,
+            elapsed_seconds,
+            span_count: crate::span_count(),
+            counters: crate::counters_snapshot(),
+            gauges: crate::gauges_snapshot(),
+            histograms: crate::histograms_snapshot(),
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON (objects keyed by
+    /// metric name, keys sorted — the maps are `BTreeMap`s).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"label\": {},\n", json_string(&self.label)));
+        out.push_str(&format!("  \"points_total\": {},\n", self.points_total));
+        out.push_str(&format!("  \"points_done\": {},\n", self.points_done));
+        out.push_str(&format!(
+            "  \"elapsed_seconds\": {},\n",
+            json_f64(self.elapsed_seconds)
+        ));
+        out.push_str(&format!("  \"span_count\": {},\n", self.span_count));
+        push_map(&mut out, "counters", &self.counters, |v| v.to_string());
+        out.push_str(",\n");
+        push_map(&mut out, "gauges", &self.gauges, |v| v.to_string());
+        out.push_str(",\n");
+        push_map(&mut out, "histograms", &self.histograms, |h| {
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}}}",
+                h.count, h.sum, h.max
+            )
+        });
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Appends `"name": { "key": value, ... }` (no trailing newline/comma).
+fn push_map<V>(
+    out: &mut String,
+    name: &str,
+    map: &BTreeMap<String, V>,
+    render: impl Fn(&V) -> String,
+) {
+    out.push_str(&format!("  {}: {{", json_string(name)));
+    for (i, (key, value)) in map.iter().enumerate() {
+        let comma = if i + 1 < map.len() { "," } else { "" };
+        out.push_str(&format!(
+            "\n    {}: {}{comma}",
+            json_string(key),
+            render(value)
+        ));
+    }
+    if map.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+/// JSON-safe float rendering: `Display` for finite values (shortest
+/// round-trip), `0` for non-finite ones (JSON has no NaN/inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` prints integral floats without a dot; keep them
+        // unambiguously floats for typed consumers.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+/// `part` as a percentage of `total` (0.0 when `total` is 0) — the one
+/// shared definition of "hit rate" every stderr report uses.
+#[must_use]
+pub fn percent(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_contains_required_keys() {
+        let _read = crate::testsync::FLAG.read().unwrap();
+        crate::set_enabled(true);
+        crate::counter("test.report.key").add(3);
+        let report = MetricsReport::gather("unit-test", 10, 7, 1.25);
+        let json = report.to_json();
+        for key in [
+            "\"schema_version\": 1",
+            "\"label\": \"unit-test\"",
+            "\"points_total\": 10",
+            "\"points_done\": 7",
+            "\"elapsed_seconds\": 1.25",
+            "\"span_count\":",
+            "\"counters\": {",
+            "\"test.report.key\": 3",
+            "\"gauges\": {",
+            "\"histograms\": {",
+        ] {
+            assert!(json.contains(key), "missing {key:?} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_f64_always_renders_a_number() {
+        assert_eq!(json_f64(1.25), "1.25");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn percent_is_safe_at_zero_total() {
+        assert_eq!(percent(0, 0), 0.0);
+        assert_eq!(percent(1, 2), 50.0);
+        assert_eq!(percent(8, 8), 100.0);
+    }
+
+    #[test]
+    fn empty_maps_render_as_empty_objects() {
+        let mut out = String::new();
+        push_map(&mut out, "m", &BTreeMap::<String, u64>::new(), |v| {
+            v.to_string()
+        });
+        assert_eq!(out, "  \"m\": {}");
+    }
+}

@@ -148,9 +148,20 @@ impl PreparedProgram {
         cfg: &Cfg,
         loop_bounds: &BTreeMap<BlockId, LoopBound>,
     ) -> Result<Self, PipelineError> {
-        let reduced = reduce_loops(cfg, loop_bounds)?;
-        let occupancy = Occupancy::analyze(&reduced.cfg)?;
-        let timing = GraphTiming::analyze(&reduced.cfg)?;
+        let _prepare = fnpr_obs::span("pipeline.prepare", "pipeline");
+        let reduced = {
+            let _s = fnpr_obs::span("pipeline.loop_reduction", "pipeline");
+            reduce_loops(cfg, loop_bounds)?
+        };
+        let occupancy = {
+            let _s = fnpr_obs::span("pipeline.occupancy", "pipeline");
+            Occupancy::analyze(&reduced.cfg)?
+        };
+        let timing = {
+            let _s = fnpr_obs::span("pipeline.timing", "pipeline");
+            GraphTiming::analyze(&reduced.cfg)?
+        };
+        fnpr_obs::counter!("pipeline.programs.prepared").incr();
         Ok(Self {
             cfg: cfg.clone(),
             reduced,
@@ -198,10 +209,14 @@ impl PreparedProgram {
         ecb: &EcbSet,
     ) -> Result<TaskAnalysis, PipelineError> {
         // CRPD on the original graph (the dataflow handles cycles).
-        let crpd = CrpdAnalysis::analyze(&self.cfg, accesses, cache)?;
+        let crpd = {
+            let _s = fnpr_obs::span("pipeline.crpd", "pipeline");
+            CrpdAnalysis::analyze(&self.cfg, accesses, cache)?
+        };
         let crpd_per_block: Vec<f64> = (0..self.cfg.len())
             .map(|b| crpd.crpd_against(BlockId(b), ecb))
             .collect();
+        let _curve_span = fnpr_obs::span("pipeline.curve", "pipeline");
         // fi(t) = max CRPD over the blocks possibly executing at t; a
         // super-block inherits the max of its members.
         let windows = self.occupancy.value_windows(|reduced_block| {
@@ -211,6 +226,7 @@ impl PreparedProgram {
                 .fold(0.0, f64::max)
         });
         let curve = DelayCurve::from_windows(windows, self.occupancy.wcet())?;
+        fnpr_obs::counter!("pipeline.curves.derived").incr();
         Ok(TaskAnalysis {
             curve,
             timing: self.timing,

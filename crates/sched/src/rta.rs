@@ -169,7 +169,9 @@ fn fixpoint_from(
 ) -> Result<Option<f64>, SchedError> {
     let ti = tasks.task(i);
     let mut r = start;
+    fnpr_obs::counter!("sched.rta.fixpoints").incr();
     for _ in 0..DEFAULT_MAX_ITERATIONS {
+        fnpr_obs::counter!("sched.rta.iterations").incr();
         if r > ti.deadline() + TIME_TOLERANCE {
             return Ok(None);
         }

@@ -232,6 +232,7 @@ impl Engine<'_> {
     }
 
     fn dispatch(&mut self, job: usize) {
+        fnpr_obs::counter!("sim.dispatches").incr();
         self.running = Some(job);
         let state = &mut self.jobs[job];
         if state.start.is_none() {
@@ -278,6 +279,7 @@ impl Engine<'_> {
     /// Charges the preemption delay and returns the job to the ready queue.
     fn preempt(&mut self, job: usize) {
         debug_assert_eq!(self.running, Some(job));
+        fnpr_obs::counter!("sim.preemptions").incr();
         let task = self.jobs[job].task;
         let progress = self.jobs[job].progress;
         let delay = self.scenario.tasks[task]

@@ -503,7 +503,9 @@ impl MultiEngine<'_> {
             let migrated = self.last_core[job].is_some_and(|c| c != core);
             if migrated {
                 self.migrations[job] += 1;
+                fnpr_obs::counter!("sim.migrations").incr();
             }
+            fnpr_obs::counter!("sim.dispatches").incr();
             self.last_core[job] = Some(core);
             self.running[core] = Some(job);
             debug_assert!(self.npr_expiry[core].is_none(), "stale region");
@@ -557,6 +559,7 @@ impl MultiEngine<'_> {
             .as_ref()
             .map_or(0.0, |curve| curve.value_at(progress));
         self.jobs[job].charge_preemption(delay);
+        fnpr_obs::counter!("sim.preemptions").incr();
         self.trace(MultiTraceEvent::Preempted {
             at: self.now,
             job,

@@ -98,6 +98,7 @@ pub fn random_program<R: Rng>(
     rng: &mut R,
     params: &ProgramGenParams,
 ) -> Result<GeneratedProgram, CfgError> {
+    fnpr_obs::counter!("synth.programs.generated").incr();
     let mut labels = 0usize;
     let program = gen_region(rng, params, params.max_depth, &mut labels);
     let compiled = compile(&program, params.block_bytes)?;

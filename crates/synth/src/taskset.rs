@@ -97,6 +97,7 @@ impl Default for TaskSetParams {
 /// deadline below the WCET after applying the factor — rare with sensible
 /// parameters; callers typically resample).
 pub fn random_taskset<R: Rng>(rng: &mut R, params: &TaskSetParams) -> Result<TaskSet, SchedError> {
+    fnpr_obs::counter!("synth.tasksets.generated").incr();
     let utilizations = uunifast(rng, params.n, params.utilization);
     let (lo, hi) = params.period_range;
     let mut tasks = Vec::with_capacity(params.n);

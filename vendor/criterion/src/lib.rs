@@ -107,7 +107,7 @@ impl Drop for Criterion {
         // with stale baselines.
         let dir = baseline_dir();
         let mut regressed = false;
-        for group in self.completed.drain(..) {
+        for group in merge_groups(std::mem::take(&mut self.completed)) {
             regressed |= flush_group_to(&dir, &group);
         }
         if regressed {
@@ -181,6 +181,44 @@ fn parse_regression_threshold(raw: &str) -> f64 {
             DEFAULT_REGRESSION_THRESHOLD
         }
     }
+}
+
+/// Folds slash-qualified groups into their stem before flushing:
+/// `campaign_throughput/acceptance` and `campaign_throughput/soundness`
+/// both land in one `BENCH_campaign_throughput.json`, with the qualifier
+/// folded into each benchmark name (`acceptance/threads/1`) so entries
+/// from different sub-groups cannot collide and the `Throughput` rate of
+/// each rides along. Groups without a slash (`bound_kernel`) pass through
+/// untouched. First-seen stem order is preserved so the flush and its
+/// delta report stay deterministic.
+fn merge_groups(groups: Vec<GroupResult>) -> Vec<GroupResult> {
+    let mut merged: Vec<GroupResult> = Vec::new();
+    for group in groups {
+        let (stem, qualifier) = match group.name.split_once('/') {
+            Some((stem, qualifier)) => (stem.to_string(), Some(qualifier.to_string())),
+            None => (group.name.clone(), None),
+        };
+        let benchmarks: Vec<BenchStat> = group
+            .benchmarks
+            .into_iter()
+            .map(|stat| match &qualifier {
+                Some(q) => BenchStat {
+                    name: format!("{q}/{}", stat.name),
+                    ..stat
+                },
+                None => stat,
+            })
+            .collect();
+        if let Some(existing) = merged.iter_mut().find(|g| g.name == stem) {
+            existing.benchmarks.extend(benchmarks);
+        } else {
+            merged.push(GroupResult {
+                name: stem,
+                benchmarks,
+            });
+        }
+    }
+    merged
 }
 
 /// `bound_kernel curves` → `bound_kernel_curves` (safe file-name stem).
@@ -708,6 +746,43 @@ mod tests {
         assert_eq!(parse_regression_threshold("NaN"), 0.30);
         assert_eq!(parse_regression_threshold("thirty"), 0.30);
         assert_eq!(parse_regression_threshold(""), 0.30);
+    }
+
+    #[test]
+    fn slash_qualified_groups_merge_into_their_stem() {
+        let groups = vec![
+            GroupResult {
+                name: "campaign_throughput/acceptance".into(),
+                benchmarks: vec![stat("threads/1", 1.0e-3, Some(48_000.0))],
+            },
+            GroupResult {
+                name: "bound_kernel".into(),
+                benchmarks: vec![stat("cursor/1536", 1.0e-6, None)],
+            },
+            GroupResult {
+                name: "campaign_throughput/soundness".into(),
+                benchmarks: vec![stat("threads/1", 2.0e-3, Some(32_000.0))],
+            },
+        ];
+        let merged = merge_groups(groups);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "campaign_throughput");
+        let names: Vec<_> = merged[0]
+            .benchmarks
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert_eq!(names, ["acceptance/threads/1", "soundness/threads/1"]);
+        // The Throughput::Elements rate rides into the merged group.
+        assert_eq!(merged[0].benchmarks[0].rate_per_second, Some(48_000.0));
+        assert_eq!(merged[1].name, "bound_kernel");
+        assert_eq!(merged[1].benchmarks[0].name, "cursor/1536");
+        // The merged group formats to a single parsable baseline file
+        // under the stem name.
+        let text = format_baseline(&merged[0].name, &merged[0].benchmarks);
+        assert!(text.contains("\"group\": \"campaign_throughput\""));
+        assert!(text.contains("\"rate_per_second\": 4.8e4"));
+        assert_eq!(parse_baseline(&text).len(), 2);
     }
 
     #[test]
