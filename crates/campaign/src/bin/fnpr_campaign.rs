@@ -2,21 +2,23 @@
 //!
 //! ```text
 //! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
-//!                   [--store PATH] [--quiet]
+//!                   [--store PATH] [--ledger PATH] [--quiet]
 //! fnpr-campaign grid <spec>          # show the expanded scenario grid
+//! fnpr-campaign history <LEDGER>     # trend tables over the run ledger
 //! fnpr-campaign store stats <PATH>   # inspect a result store
 //! fnpr-campaign store gc <PATH>      # compact a result store
 //! fnpr-campaign example-spec         # print a template TOML spec
 //! ```
 //!
 //! Exit codes: 0 on success, 1 on usage/spec errors, 2 when the run
-//! completed but the paper's dominance/soundness claims were violated.
+//! completed but the paper's dominance/soundness claims were violated —
+//! or, for `history --check`, when a performance regression was detected.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fnpr_campaign::store::ResultStore;
-use fnpr_campaign::{run_campaign_with_store, CampaignSpec, Workload};
+use fnpr_campaign::{history, run_campaign_with_store, CampaignSpec, Workload};
 
 struct RunArgs {
     spec: PathBuf,
@@ -26,7 +28,15 @@ struct RunArgs {
     store: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
+    ledger: Option<String>,
     quiet: bool,
+}
+
+struct HistoryArgs {
+    ledger: PathBuf,
+    check: bool,
+    max_regression_pct: f64,
+    html: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -39,6 +49,10 @@ fn main() -> ExitCode {
         Some("grid") => match args.get(1) {
             Some(path) => cmd_grid(&PathBuf::from(path)),
             None => usage_error("`grid` needs a spec path"),
+        },
+        Some("history") => match parse_history_args(&args[1..]) {
+            Ok(history) => cmd_history(&history),
+            Err(msg) => usage_error(&msg),
         },
         Some("store") => match (args.get(1).map(String::as_str), args.get(2)) {
             (Some("stats"), Some(path)) => cmd_store_stats(Path::new(path)),
@@ -65,6 +79,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut store = None;
     let mut metrics = None;
     let mut trace = None;
+    let mut ledger = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -84,6 +99,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--trace-out" => trace = Some(it.next().ok_or("--trace-out needs a path")?.clone()),
+            "--ledger" => ledger = Some(it.next().ok_or("--ledger needs a path")?.clone()),
             "--quiet" => quiet = true,
             other if spec.is_none() && !other.starts_with('-') => {
                 spec = Some(PathBuf::from(other));
@@ -99,7 +115,42 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         store,
         metrics,
         trace,
+        ledger,
         quiet,
+    })
+}
+
+fn parse_history_args(args: &[String]) -> Result<HistoryArgs, String> {
+    let mut ledger = None;
+    let mut check = false;
+    let mut max_regression_pct = history::HistoryOptions::default().max_regression * 100.0;
+    let mut html = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--max-regression" => {
+                let v = it.next().ok_or("--max-regression needs a percentage")?;
+                let pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad percentage {v:?}"))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err("--max-regression must be a positive percentage".into());
+                }
+                max_regression_pct = pct;
+            }
+            "--html" => html = Some(it.next().ok_or("--html needs a path")?.clone()),
+            other if ledger.is_none() && !other.starts_with('-') => {
+                ledger = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(HistoryArgs {
+        ledger: ledger.ok_or("`history` needs a ledger path")?,
+        check,
+        max_regression_pct,
+        html,
     })
 }
 
@@ -121,10 +172,34 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         .trace
         .clone()
         .or_else(|| campaign.telemetry.trace.clone());
+    let ledger_target = args
+        .ledger
+        .clone()
+        .or_else(|| campaign.telemetry.ledger.clone());
     let progress_on = !args.quiet && campaign.telemetry.progress.unwrap_or(true);
-    fnpr_obs::set_enabled(metrics_target.is_some() || trace_target.is_some() || progress_on);
+    fnpr_obs::set_enabled(
+        metrics_target.is_some()
+            || trace_target.is_some()
+            || ledger_target.is_some()
+            || progress_on,
+    );
     fnpr_obs::set_trace_collection(trace_target.is_some());
     fnpr_obs::set_progress(progress_on);
+    // Fail fast on unwritable telemetry targets: a multi-hour campaign must
+    // not discover a bad --metrics path only when it tries to write the
+    // snapshot at the end.
+    for (flag, target) in [
+        ("--metrics", &metrics_target),
+        ("--trace-out", &trace_target),
+        ("--ledger", &ledger_target),
+    ] {
+        if let Some(path) = target {
+            if let Err(e) = probe_writable(Path::new(path)) {
+                eprintln!("fnpr-campaign: {flag} target {path} is not writable: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // CLI --store wins over the spec's [store] table.
     let store_target = args.store.clone().or_else(|| campaign.store_path.clone());
     let store = match &store_target {
@@ -160,13 +235,17 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
     }
 
     // Telemetry artifacts (side channels; never part of the aggregates).
+    // The metrics snapshot carries the scenario hash and store path so a
+    // snapshot joins against its run-ledger row without guessing.
     if let Some(path) = &metrics_target {
         let snapshot = fnpr_obs::MetricsReport::gather(
             &campaign.name,
             fnpr_obs::gauge("campaign.points.total").value(),
             fnpr_obs::counter("campaign.points.done").value(),
             started.elapsed().as_secs_f64(),
-        );
+        )
+        .with_scenario(&report.scenario)
+        .with_store_path(store_target.as_deref());
         if let Err(e) = std::fs::write(path, snapshot.to_json()) {
             eprintln!("fnpr-campaign: writing metrics: {e}");
             return ExitCode::FAILURE;
@@ -175,6 +254,14 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
     if let Some(path) = &trace_target {
         if let Err(e) = fnpr_obs::write_chrome_trace(Path::new(path)) {
             eprintln!("fnpr-campaign: writing trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &ledger_target {
+        let record =
+            fnpr_campaign::ledger_record(&campaign, &outcome, started.elapsed().as_secs_f64());
+        if let Err(e) = fnpr_obs::append_record(Path::new(path), &record) {
+            eprintln!("fnpr-campaign: appending run record to {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -217,6 +304,9 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         if let Some(trace) = &trace_target {
             eprintln!("wrote Chrome trace to {trace} (open in Perfetto / chrome://tracing)");
         }
+        if let Some(ledger) = &ledger_target {
+            eprintln!("appended run record to {ledger} (trend with `fnpr-campaign history`)");
+        }
     }
     if report.summary.dominance_violations > 0 || report.summary.sim_violations > 0 {
         eprintln!(
@@ -226,6 +316,23 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         return ExitCode::from(2);
     }
     ExitCode::SUCCESS
+}
+
+/// Verifies a telemetry target path is writable before the campaign runs,
+/// by opening it in non-destructive append mode (creating parent
+/// directories and the file if absent — exactly what the real write will
+/// do later, minus the bytes).
+fn probe_writable(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map(drop)
 }
 
 /// Writes `content` to a file, or to stdout when the target is `-`/absent
@@ -338,6 +445,51 @@ fn cmd_grid(path: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `history`: read the run ledger, trend each scenario against its
+/// trailing median, and (under `--check`) gate on regressions the way the
+/// run path gates on the paper's claims — exit code 2.
+fn cmd_history(args: &HistoryArgs) -> ExitCode {
+    let view = match fnpr_obs::read_ledger(&args.ledger) {
+        Ok(view) => view,
+        Err(e) => {
+            eprintln!(
+                "fnpr-campaign: cannot read ledger {}: {e}",
+                args.ledger.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = history::HistoryOptions {
+        max_regression: args.max_regression_pct / 100.0,
+        ..history::HistoryOptions::default()
+    };
+    let trends = history::analyze(&view, &options);
+    print!("{}", history::render_table(&trends, &options));
+    if view.invalid > 0 || view.stale > 0 {
+        eprintln!(
+            "ledger {}: skipped {} invalid and {} stale line(s)",
+            args.ledger.display(),
+            view.invalid,
+            view.stale
+        );
+    }
+    if let Some(path) = &args.html {
+        if let Err(e) = std::fs::write(path, history::render_html(&trends, &options)) {
+            eprintln!("fnpr-campaign: writing history dashboard: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote history dashboard to {path}");
+    }
+    if args.check && history::any_regression(&trends) {
+        eprintln!(
+            "FAIL: regression beyond {:.1}% detected (see table above)",
+            args.max_regression_pct
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
 /// Opens an *existing* store for the introspection subcommands: unlike
 /// `run` (where first use legitimately creates the file), `stats`/`gc` on
 /// a missing path is almost certainly a typo — creating an empty store
@@ -433,17 +585,28 @@ fn usage_error(msg: &str) -> ExitCode {
 const USAGE: &str = "\
 usage:
   fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
-                    [--store PATH] [--metrics PATH] [--trace-out PATH] [--quiet]
+                    [--store PATH] [--metrics PATH] [--trace-out PATH]
+                    [--ledger PATH] [--quiet]
   fnpr-campaign grid <spec>
+  fnpr-campaign history <LEDGER> [--check] [--max-regression PCT] [--html PATH]
   fnpr-campaign store stats <PATH>
   fnpr-campaign store gc <PATH>
   fnpr-campaign example-spec
 
 telemetry (write-only; aggregates are byte-identical with it on or off):
-  --metrics PATH     write a versioned JSON snapshot of all counters/spans
+  --metrics PATH     write a versioned JSON snapshot of all counters/spans,
+                     including p50/p90/p99 latency percentiles
   --trace-out PATH   write a Chrome trace-event JSON of per-shard spans
                      (open in Perfetto or chrome://tracing)
+  --ledger PATH      append one run record (throughput, percentiles, hit
+                     rates) to a checksummed JSONL run ledger
   --quiet            also suppresses the live progress line
+
+history (regression watch over a run ledger):
+  --check            exit 2 when a scenario's latest run regressed vs its
+                     trailing median
+  --max-regression PCT  allowed throughput drop / p99 rise (default 20)
+  --html PATH        write a self-contained dashboard with SVG sparklines
 ";
 
 const EXAMPLE_SPEC: &str = r#"# fnpr-campaign scenario spec (TOML; JSON works too)
@@ -480,10 +643,12 @@ json = "campaign.json"         # omit to skip JSON
 # path = "campaign.fnprstore"
 
 # Optional: observability (write-only side channel; never changes results).
-# CLI `--metrics` / `--trace-out` override the paths; `--quiet` suppresses
-# the live progress line.
+# CLI `--metrics` / `--trace-out` / `--ledger` override the paths; `--quiet`
+# suppresses the live progress line. The ledger accumulates one record per
+# run — trend and gate it with `fnpr-campaign history`.
 # [telemetry]
 # metrics = "campaign_metrics.json"
 # trace = "campaign_trace.json"
+# ledger = "LEDGER.jsonl"
 # progress = true
 "#;

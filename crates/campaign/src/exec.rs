@@ -34,6 +34,31 @@ pub fn set_progress_label(label: Option<String>) {
     *PROGRESS_LABEL.lock().expect("progress label poisoned") = label;
 }
 
+/// The histogram name the next [`parallel_map`] records per-shard wall
+/// times into (e.g. `campaign.point.micros.acceptance`), on top of the
+/// always-on `campaign.shard.micros` roll-up. The campaign runner installs
+/// the workload-specific name around a run and clears it afterwards.
+static POINT_HISTOGRAM: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs (or clears) the per-point timing histogram for subsequent
+/// [`parallel_map`] calls on this process.
+pub fn set_point_histogram(name: Option<String>) {
+    *POINT_HISTOGRAM.lock().expect("point histogram poisoned") = name;
+}
+
+/// Resolves the installed per-point histogram handle, if telemetry is on
+/// and a name is installed.
+fn point_histogram() -> Option<fnpr_obs::Histogram> {
+    if !fnpr_obs::enabled() {
+        return None;
+    }
+    let name = POINT_HISTOGRAM
+        .lock()
+        .expect("point histogram poisoned")
+        .clone()?;
+    Some(fnpr_obs::histogram(&name))
+}
+
 /// Builds the live meter for a map over `count` shards, if telemetry, the
 /// progress display and a label are all present.
 fn build_meter(count: usize) -> Option<ProgressMeter> {
@@ -87,6 +112,13 @@ where
     let claimed = fnpr_obs::counter!("campaign.shards.claimed");
     let retired = fnpr_obs::counter!("campaign.shards.retired");
     let done = fnpr_obs::counter!("campaign.points.done");
+    // Wall-time distributions: every shard into the cross-workload
+    // roll-up (straggler shards show up as the max/p99 gap), plus the
+    // workload-specific histogram when the runner installed one. Timing
+    // is taken only while telemetry is enabled, so the disabled cost
+    // stays one relaxed load.
+    let shard_micros = fnpr_obs::histogram!("campaign.shard.micros");
+    let point_micros = point_histogram();
     let meter = build_meter(count);
 
     std::thread::scope(|scope| {
@@ -104,10 +136,18 @@ where
                     return;
                 }
                 claimed.incr();
+                let started = fnpr_obs::enabled().then(std::time::Instant::now);
                 let result = {
                     let _span = fnpr_obs::span_shard("campaign.shard", "campaign", i as u64);
                     work(i)
                 };
+                if let Some(started) = started {
+                    let micros = started.elapsed().as_micros() as u64;
+                    shard_micros.record(micros);
+                    if let Some(h) = point_micros {
+                        h.record(micros);
+                    }
+                }
                 if result.is_err() {
                     failed.fetch_min(i, Ordering::Relaxed);
                 }

@@ -52,6 +52,7 @@ pub mod acceptance;
 pub mod cfg_workload;
 pub mod error;
 pub mod exec;
+pub mod history;
 pub mod memo;
 pub mod multicore;
 pub mod report;
@@ -60,6 +61,7 @@ pub mod spec;
 pub mod store;
 
 pub use error::CampaignError;
+pub use history::{HistoryOptions, ScenarioTrend};
 pub use memo::MemoStats;
 pub use report::{CampaignReport, StoreStats, Summary};
 pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
@@ -102,6 +104,57 @@ pub struct CampaignOutcome {
     pub threads: usize,
 }
 
+/// Builds the run-ledger record for a finished campaign run — the
+/// longitudinal row `fnpr-campaign history` trends and gates on (see
+/// [`fnpr_obs::ledger`]). The latency percentiles come from the
+/// workload's per-point timing histogram
+/// (`campaign.point.micros.<workload>`), so they are meaningful only when
+/// telemetry was enabled for the run (zeros otherwise); the CLI arms
+/// telemetry whenever a ledger target is set.
+#[must_use]
+pub fn ledger_record(
+    campaign: &Campaign,
+    outcome: &CampaignOutcome,
+    wall_seconds: f64,
+) -> fnpr_obs::RunRecord {
+    let report = &outcome.report;
+    let grid_points = (report.acceptance.len()
+        + report.soundness.len()
+        + report.multicore.len()
+        + report.cfg.len()) as u64;
+    let timing = fnpr_obs::histogram(&format!(
+        "campaign.point.micros.{}",
+        campaign.workload_kind().key()
+    ))
+    .snapshot();
+    let store = outcome.store.unwrap_or_default();
+    fnpr_obs::RunRecord {
+        schema: fnpr_obs::LEDGER_SCHEMA_VERSION,
+        unix_seconds: fnpr_obs::ledger::unix_now(),
+        name: campaign.name.clone(),
+        scenario: report.scenario.clone(),
+        workload: campaign.workload_kind().key().to_string(),
+        grid_points,
+        threads: outcome.threads as u64,
+        wall_seconds,
+        points_per_sec: if wall_seconds > 0.0 {
+            grid_points as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        memo_hits: outcome.memo.hits,
+        memo_misses: outcome.memo.misses,
+        points_restored: store.points_restored,
+        points_computed: store.points_computed,
+        bounds_restored: store.bounds_restored,
+        bounds_computed: store.bounds_computed,
+        p50_us: timing.p50,
+        p90_us: timing.p90,
+        p99_us: timing.p99,
+        max_us: timing.max,
+    }
+}
+
 /// Runs a validated campaign. `threads_override` (e.g. from the CLI) wins
 /// over the spec's `threads`; both absent means all cores.
 ///
@@ -141,6 +194,10 @@ pub fn run_campaign_with_store(
     let scenario = format!("{:016x}", campaign.scenario_hash());
     let _run_span = fnpr_obs::span("campaign.run", "campaign");
     exec::set_progress_label(Some(campaign.name.clone()));
+    exec::set_point_histogram(Some(format!(
+        "campaign.point.micros.{}",
+        campaign.workload_kind().key()
+    )));
     let (methods, acceptance_points, soundness_shards, multicore_points, cfg_points, memo) =
         match &campaign.workload {
             Workload::Acceptance(params) => {
@@ -203,6 +260,7 @@ pub fn run_campaign_with_store(
             }
         };
     exec::set_progress_label(None);
+    exec::set_point_histogram(None);
     let summary = report::summarize(
         &acceptance_points,
         &soundness_shards,

@@ -31,6 +31,22 @@ pub enum WorkloadKind {
     Cfg,
 }
 
+impl WorkloadKind {
+    /// The spec-file key for this workload (the `workload = "..."` value
+    /// and the name of its parameter table) — also the suffix of its
+    /// per-point timing histogram (`campaign.point.micros.<key>`) and the
+    /// `workload` field of run-ledger records.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            WorkloadKind::Acceptance => "acceptance",
+            WorkloadKind::Soundness => "soundness",
+            WorkloadKind::Multicore => "multicore",
+            WorkloadKind::Cfg => "cfg",
+        }
+    }
+}
+
 /// How tasks reach cores in the multicore workload: one of the partitioned
 /// bin-packing heuristics, or global scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -320,6 +336,10 @@ pub struct TelemetrySpec {
     /// Chrome trace-event JSON path (absent: spans are counted but not
     /// buffered unless `--trace-out` is given).
     pub trace: Option<String>,
+    /// Run-ledger path (`LEDGER.jsonl`; absent: no run record is appended
+    /// unless `--ledger` is given). See [`fnpr_obs::ledger`] and the
+    /// `fnpr-campaign history` subcommand.
+    pub ledger: Option<String>,
     /// Live stderr progress line (default true; `--quiet` suppresses).
     pub progress: Option<bool>,
 }
@@ -504,12 +524,11 @@ impl CampaignSpec {
         let (value, index) = toml::parse_document_spanned(&text)?;
         let spec: CampaignSpec =
             serde::Deserialize::from_value(&value).map_err(|e| index.annotate(e))?;
-        let workload_table = match spec.workload.or_else(|| spec.inferred_workload()) {
-            Some(WorkloadKind::Soundness) => "soundness",
-            Some(WorkloadKind::Multicore) => "multicore",
-            Some(WorkloadKind::Cfg) => "cfg",
-            Some(WorkloadKind::Acceptance) | None => "acceptance",
-        };
+        let workload_table = spec
+            .workload
+            .or_else(|| spec.inferred_workload())
+            .unwrap_or(WorkloadKind::Acceptance)
+            .key();
         spec.validate().map_err(|e| match e {
             CampaignError::Spec(msg) => {
                 let annotated = backquoted_key(&msg)
@@ -1605,12 +1624,14 @@ accesses_per_block = [0, 2]
     fn telemetry_spec_round_trips_with_defaults() {
         let spec = CampaignSpec::parse(
             "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
-             [telemetry]\nmetrics = \"m.json\"\ntrace = \"t.json\"\nprogress = false\n",
+             [telemetry]\nmetrics = \"m.json\"\ntrace = \"t.json\"\n\
+             ledger = \"LEDGER.jsonl\"\nprogress = false\n",
         )
         .unwrap();
         let campaign = spec.validate().unwrap();
         assert_eq!(campaign.telemetry.metrics.as_deref(), Some("m.json"));
         assert_eq!(campaign.telemetry.trace.as_deref(), Some("t.json"));
+        assert_eq!(campaign.telemetry.ledger.as_deref(), Some("LEDGER.jsonl"));
         assert_eq!(campaign.telemetry.progress, Some(false));
         // Absent table: everything off/default.
         let spec =
@@ -1618,6 +1639,7 @@ accesses_per_block = [0, 2]
         let campaign = spec.validate().unwrap();
         assert_eq!(campaign.telemetry.metrics, None);
         assert_eq!(campaign.telemetry.trace, None);
+        assert_eq!(campaign.telemetry.ledger, None);
         assert_eq!(campaign.telemetry.progress, None);
     }
 
@@ -1633,6 +1655,7 @@ accesses_per_block = [0, 2]
         with_telemetry.telemetry = Some(TelemetrySpec {
             metrics: Some("m.json".into()),
             trace: Some("t.json".into()),
+            ledger: Some("LEDGER.jsonl".into()),
             progress: Some(false),
         });
         assert_eq!(

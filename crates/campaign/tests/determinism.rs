@@ -169,12 +169,22 @@ deadline_factor = [1.0, 1.0]
 }
 
 /// Runs with the full telemetry stack live (counters + span/trace
-/// collection). The point of the telemetry-invariance property: this
-/// function and [`render`] must be interchangeable.
-fn render_with_telemetry(spec: &CampaignSpec, threads: usize) -> (String, String) {
+/// collection), and appends the run's ledger record to `ledger` the way
+/// the CLI does after a `--ledger` run. The point of the
+/// telemetry-invariance property: this function and [`render`] must be
+/// interchangeable.
+fn render_with_telemetry(
+    spec: &CampaignSpec,
+    threads: usize,
+    ledger: &std::path::Path,
+) -> (String, String) {
     fnpr_obs::set_enabled(true);
     fnpr_obs::set_trace_collection(true);
-    let out = render(spec, threads);
+    let campaign = spec.validate().expect("generated specs are valid");
+    let outcome = run_campaign(&campaign, Some(threads)).expect("campaign runs");
+    let record = fnpr_campaign::ledger_record(&campaign, &outcome, 0.5);
+    fnpr_obs::append_record(ledger, &record).expect("ledger appends");
+    let out = (outcome.report.to_csv(), outcome.report.to_json());
     // Drain the trace buffer so repeated proptest cases cannot grow it
     // without bound, and stop collecting between cases. Counters stay
     // enabled: tests in this binary run concurrently, and flipping the
@@ -214,16 +224,18 @@ proptest! {
         assert_thread_invariant(&spec);
     }
 
-    /// Telemetry is a write-only side channel: with counters, spans and
-    /// trace collection all live, CSV/JSON aggregates stay byte-identical
-    /// to a telemetry-off run at 1, 2 and 8 threads. This is the contract
-    /// that lets every layer instrument its hot paths without threatening
-    /// the determinism guarantees above.
+    /// Telemetry is a write-only side channel: with counters, spans, trace
+    /// collection AND run-ledger appends all live, CSV/JSON aggregates
+    /// stay byte-identical to a telemetry-off run at 1, 2 and 8 threads.
+    /// This is the contract that lets every layer instrument its hot paths
+    /// without threatening the determinism guarantees above.
     #[test]
     fn telemetry_never_touches_aggregates(spec in arb_acceptance_spec()) {
+        let dir = common::scratch_dir("telemetry_prop");
+        let ledger = dir.join("LEDGER.jsonl");
         let baseline = render(&spec, 1);
         for threads in [1usize, 2, 8] {
-            let traced = render_with_telemetry(&spec, threads);
+            let traced = render_with_telemetry(&spec, threads, &ledger);
             prop_assert_eq!(
                 &traced,
                 &baseline,
@@ -231,6 +243,18 @@ proptest! {
                 threads
             );
         }
+        // The side channel itself is healthy: three valid records of one
+        // scenario, percentiles ordered and clamped to the observed max.
+        let view = fnpr_obs::read_ledger(&ledger).expect("ledger reads back");
+        prop_assert_eq!(view.records.len(), 3);
+        prop_assert_eq!((view.invalid, view.stale), (0, 0));
+        let scenario = &view.records[0].scenario;
+        for r in &view.records {
+            prop_assert_eq!(&r.scenario, scenario);
+            prop_assert!(r.p50_us <= r.p90_us && r.p90_us <= r.p99_us);
+            prop_assert!(r.p99_us <= r.max_us as f64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// CFG campaigns: identical aggregates at 1, 2 and 8 threads — the
@@ -304,6 +328,8 @@ proptest! {
 struct MetricsDoc {
     schema_version: u64,
     label: String,
+    scenario: String,
+    store_path: Option<String>,
     points_total: u64,
     points_done: u64,
     elapsed_seconds: f64,
@@ -319,6 +345,9 @@ struct HistogramDoc {
     count: u64,
     sum: u64,
     max: u64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
 }
 
 /// The `--metrics` JSON round-trips through the serde shim: the
@@ -327,9 +356,14 @@ struct HistogramDoc {
 /// label that needs JSON escaping.
 #[test]
 fn metrics_snapshot_round_trips_through_the_serde_shim() {
+    // Five samples of 8 in bucket 4 ([8, 15]), with an observed max of 15.
+    let mut buckets = [0u64; 64];
+    buckets[4] = 5;
     let report = fnpr_obs::MetricsReport {
         schema_version: fnpr_obs::METRICS_SCHEMA_VERSION,
         label: "determinism \"quoted\" \\ label".to_string(),
+        scenario: "59ef3a68c946026a".to_string(),
+        store_path: Some("campaign.fnprstore".to_string()),
         points_total: 42,
         points_done: 40,
         elapsed_seconds: 1.25,
@@ -341,24 +375,31 @@ fn metrics_snapshot_round_trips_through_the_serde_shim() {
         gauges: BTreeMap::from([("campaign.points.total".to_string(), 42)]),
         histograms: BTreeMap::from([(
             "campaign.shard.points".to_string(),
-            fnpr_obs::HistogramSnapshot {
-                count: 5,
-                sum: 40,
-                max: 16,
-            },
+            fnpr_obs::HistogramSnapshot::from_parts(5, 40, 15, &buckets),
         )]),
     };
     let json = report.to_json();
     let doc: MetricsDoc = serde_json::from_str(&json).expect("metrics JSON parses via serde");
     assert_eq!(doc.schema_version, fnpr_obs::METRICS_SCHEMA_VERSION);
     assert_eq!(doc.label, report.label);
+    assert_eq!(doc.scenario, "59ef3a68c946026a");
+    assert_eq!(doc.store_path.as_deref(), Some("campaign.fnprstore"));
     assert_eq!((doc.points_total, doc.points_done), (42, 40));
     assert_eq!(doc.elapsed_seconds, 1.25);
     assert_eq!(doc.span_count, 7);
     assert_eq!(doc.counters.get("campaign.memo.hit"), Some(&31));
     assert_eq!(doc.gauges.get("campaign.points.total"), Some(&42));
     let hist = doc.histograms.get("campaign.shard.points").unwrap();
-    assert_eq!((hist.count, hist.sum, hist.max), (5, 40, 16));
+    assert_eq!((hist.count, hist.sum, hist.max), (5, 40, 15));
+    // The percentiles survive the shim as plain numbers with the
+    // histogram's ordering intact.
+    assert!(hist.p50 <= hist.p90 && hist.p90 <= hist.p99);
+    assert!(hist.p99 <= hist.max as f64);
+    assert!(
+        hist.p50 >= 8.0,
+        "p50 below the sampled bucket: {}",
+        hist.p50
+    );
     // Fixpoint: a shim re-serialize / re-parse cycle loses nothing.
     let again: MetricsDoc = serde_json::from_str(&serde_json::to_string(&doc)).expect("re-parse");
     assert_eq!(again, doc);
@@ -387,9 +428,13 @@ trials_per_shard = 2
         fnpr_obs::gauge("campaign.points.total").value(),
         fnpr_obs::counter("campaign.points.done").value(),
         0.25,
-    );
+    )
+    .with_scenario(&format!("{:016x}", campaign.scenario_hash()))
+    .with_store_path(None);
     let doc: MetricsDoc = serde_json::from_str(&report.to_json()).expect("gathered JSON parses");
     assert_eq!(doc.label, "gather-test");
+    assert_eq!(doc.scenario, format!("{:016x}", campaign.scenario_hash()));
+    assert_eq!(doc.store_path, None, "absent store must read back as None");
     for key in [
         "campaign.shards.claimed",
         "campaign.shards.retired",
@@ -400,6 +445,14 @@ trials_per_shard = 2
             "expected live counter {key} in gathered snapshot"
         );
     }
+    // The always-on shard roll-up carries live, ordered percentiles.
+    let shard = doc
+        .histograms
+        .get("campaign.shard.micros")
+        .expect("shard timing histogram in gathered snapshot");
+    assert!(shard.count > 0);
+    assert!(shard.p50 <= shard.p90 && shard.p90 <= shard.p99);
+    assert!(shard.p99 <= shard.max as f64);
 }
 
 /// The memo layer must not leak scheduling into results: running the same

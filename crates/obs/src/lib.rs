@@ -22,7 +22,11 @@
 //!   export to Chrome trace-event JSON ([`write_chrome_trace`], loadable
 //!   in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev));
 //! * a [`MetricsReport`] snapshot serialized to versioned JSON
-//!   (the CLI's `--metrics PATH`);
+//!   (the CLI's `--metrics PATH`), histograms carrying
+//!   bucket-interpolated p50/p90/p99;
+//! * an append-only, checksummed run [`ledger`] (`LEDGER.jsonl`; the
+//!   CLI's `--ledger PATH`) — one [`RunRecord`] per campaign run, the
+//!   longitudinal data `fnpr-campaign history` trends and gates on;
 //! * a rate-limited [`ProgressMeter`] line on stderr (points done/total,
 //!   points/sec, ETA, hit-rates; the CLI's `--quiet` suppresses it).
 //!
@@ -34,10 +38,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod ledger;
 pub mod progress;
 pub mod report;
 pub mod span;
 
+pub use ledger::{
+    append_record, read_ledger, LedgerView, RunRecord, LEDGER_FORMAT, LEDGER_SCHEMA_VERSION,
+};
 pub use progress::{progress_enabled, set_progress, ProgressMeter};
 pub use report::{percent, HistogramSnapshot, MetricsReport, METRICS_SCHEMA_VERSION};
 pub use span::{
@@ -175,14 +183,20 @@ impl Histogram {
         self.cells.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The current aggregate view.
+    /// The current aggregate view, including bucket-interpolated
+    /// percentiles (see [`HistogramSnapshot::from_parts`]).
     #[must_use]
     pub fn snapshot(self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            count: self.cells.count.load(Ordering::Relaxed),
-            sum: self.cells.sum.load(Ordering::Relaxed),
-            max: self.cells.max.load(Ordering::Relaxed),
+        let mut buckets = [0u64; 64];
+        for (slot, cell) in buckets.iter_mut().zip(&self.cells.buckets) {
+            *slot = cell.load(Ordering::Relaxed);
         }
+        HistogramSnapshot::from_parts(
+            self.cells.count.load(Ordering::Relaxed),
+            self.cells.sum.load(Ordering::Relaxed),
+            self.cells.max.load(Ordering::Relaxed),
+            &buckets,
+        )
     }
 }
 

@@ -83,18 +83,11 @@ impl ProgressMeter {
             return;
         }
         let elapsed_ms = self.started.elapsed().as_millis() as u64;
-        let last = self.last_paint_ms.load(Ordering::Relaxed);
-        let finished = done >= self.total;
-        if !finished && elapsed_ms.saturating_sub(last) < PRINT_INTERVAL_MS {
-            return;
-        }
-        // One winner per interval; losers skip (their point is already
-        // counted, the next repaint covers it).
-        if self
-            .last_paint_ms
-            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
+        // `fetch_add` hands out each value exactly once, so exactly one
+        // tick observes `done == total` — the one that must paint the
+        // newline-terminated 100% line.
+        let finished = done == self.total;
+        if !self.should_paint(finished, elapsed_ms) {
             return;
         }
         let line = self.render(done, elapsed_ms);
@@ -103,6 +96,27 @@ impl ProgressMeter {
         } else {
             eprint!("\r{line}");
         }
+    }
+
+    /// The repaint decision. Intermediate ticks race through the CAS rate
+    /// limiter (one winner per [`PRINT_INTERVAL_MS`]); the finishing tick
+    /// bypasses it unconditionally — a racing intermediate painter used to
+    /// be able to steal the CAS from the final tick, leaving the terminal
+    /// stuck below 100% for the rest of its days.
+    fn should_paint(&self, finished: bool, elapsed_ms: u64) -> bool {
+        if finished {
+            self.last_paint_ms.store(elapsed_ms, Ordering::Relaxed);
+            return true;
+        }
+        let last = self.last_paint_ms.load(Ordering::Relaxed);
+        if elapsed_ms.saturating_sub(last) < PRINT_INTERVAL_MS {
+            return false;
+        }
+        // One winner per interval; losers skip (their point is already
+        // counted, the next repaint covers it).
+        self.last_paint_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// Renders the progress line for `done` items after `elapsed_ms`
@@ -161,6 +175,28 @@ mod tests {
         let line = meter.render(0, 0);
         assert!(line.contains("0/0 points (0.0%)"), "{line}");
         assert!(line.contains("ETA 0.0s"), "{line}");
+    }
+
+    #[test]
+    fn final_tick_paints_despite_the_rate_limiter() {
+        let meter = ProgressMeter::new("final", 4);
+        // A repaint lands at 200ms (wins the CAS)...
+        assert!(meter.should_paint(false, 200));
+        // ...so a tick 1ms later is inside the interval and skips...
+        assert!(!meter.should_paint(false, 201));
+        // ...but the finishing tick paints unconditionally, interval or
+        // not — a run must never end showing less than 100%.
+        assert!(meter.should_paint(true, 201));
+    }
+
+    #[test]
+    fn intermediate_ticks_stay_rate_limited_after_the_fix() {
+        let meter = ProgressMeter::new("limited", 100);
+        assert!(meter.should_paint(false, PRINT_INTERVAL_MS));
+        for ms in PRINT_INTERVAL_MS..2 * PRINT_INTERVAL_MS {
+            assert!(!meter.should_paint(false, ms), "repainted at {ms}ms");
+        }
+        assert!(meter.should_paint(false, 2 * PRINT_INTERVAL_MS));
     }
 
     #[test]

@@ -13,10 +13,20 @@ use crate::span::json_string;
 
 /// Version of the metrics JSON layout. Bump on breaking shape changes so
 /// downstream dashboards can dispatch.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — counters/gauges/histograms (count/sum/max) + run context.
+/// * v2 — histograms gained `p50`/`p90`/`p99`; the report gained
+///   `scenario` and `store_path` so a snapshot can be joined to its run
+///   ledger row and warm store.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// Aggregate view of one histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// The percentiles are estimates interpolated inside the power-of-two
+/// buckets, so they carry at most one octave of error — plenty for
+/// "did the tail move?" trend questions, and cheap enough to keep the
+/// record path to three relaxed atomic adds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSnapshot {
     /// Observations recorded.
     pub count: u64,
@@ -24,6 +34,68 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from raw cells, deriving p50/p90/p99 by linear
+    /// interpolation within the power-of-two buckets (bucket `i >= 1`
+    /// spans `[2^(i-1), 2^i - 1]`; bucket 0 is exactly zero). Percentile
+    /// ranks are computed against the bucket total (not `count`) so a
+    /// snapshot racing concurrent `record` calls stays internally
+    /// consistent, and every estimate is clamped to the observed `max`.
+    #[must_use]
+    pub fn from_parts(count: u64, sum: u64, max: u64, buckets: &[u64; 64]) -> Self {
+        Self {
+            count,
+            sum,
+            max,
+            p50: bucket_quantile(buckets, max, 0.50),
+            p90: bucket_quantile(buckets, max, 0.90),
+            p99: bucket_quantile(buckets, max, 0.99),
+        }
+    }
+}
+
+/// The value range a power-of-two bucket covers (inclusive).
+fn bucket_range(index: usize) -> (f64, f64) {
+    match index {
+        0 => (0.0, 0.0),
+        63 => (2f64.powi(62), u64::MAX as f64),
+        i => (2f64.powi(i as i32 - 1), 2f64.powi(i as i32) - 1.0),
+    }
+}
+
+/// Quantile `q` (in `[0, 1]`) estimated from power-of-two bucket counts:
+/// walk buckets until the cumulative count covers rank `q * total`, then
+/// interpolate linearly inside that bucket's value range. Returns 0 for an
+/// empty histogram.
+fn bucket_quantile(buckets: &[u64; 64], max: u64, q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = q * total as f64;
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cumulative as f64;
+        cumulative += n;
+        if (cumulative as f64) >= target {
+            let (lo, hi) = bucket_range(i);
+            let fraction = ((target - before) / n as f64).clamp(0.0, 1.0);
+            let estimate = lo + fraction * (hi - lo);
+            return estimate.min(max as f64);
+        }
+    }
+    max as f64
 }
 
 /// A point-in-time snapshot of the whole registry plus run-level context,
@@ -34,6 +106,12 @@ pub struct MetricsReport {
     pub schema_version: u64,
     /// What ran (e.g. the campaign name).
     pub label: String,
+    /// Scenario identity (the campaign's scenario hash as hex; empty when
+    /// the producer has no scenario notion, e.g. the figure binaries).
+    /// Joins the snapshot to its run-ledger row.
+    pub scenario: String,
+    /// Result-store path of the run, when one was attached.
+    pub store_path: Option<String>,
     /// Total work items of the run (0 when unknown).
     pub points_total: u64,
     /// Work items finished.
@@ -57,6 +135,8 @@ impl MetricsReport {
         Self {
             schema_version: METRICS_SCHEMA_VERSION,
             label: label.to_string(),
+            scenario: String::new(),
+            store_path: None,
             points_total,
             points_done,
             elapsed_seconds,
@@ -67,6 +147,21 @@ impl MetricsReport {
         }
     }
 
+    /// Stamps the scenario identity (builder-style, for producers that
+    /// have one — see the `scenario` field).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: &str) -> Self {
+        self.scenario = scenario.to_string();
+        self
+    }
+
+    /// Stamps the result-store path (builder-style).
+    #[must_use]
+    pub fn with_store_path(mut self, store_path: Option<&str>) -> Self {
+        self.store_path = store_path.map(str::to_string);
+        self
+    }
+
     /// Serializes the report as pretty-printed JSON (objects keyed by
     /// metric name, keys sorted — the maps are `BTreeMap`s).
     #[must_use]
@@ -75,6 +170,17 @@ impl MetricsReport {
         out.push_str("{\n");
         out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         out.push_str(&format!("  \"label\": {},\n", json_string(&self.label)));
+        out.push_str(&format!(
+            "  \"scenario\": {},\n",
+            json_string(&self.scenario)
+        ));
+        out.push_str(&format!(
+            "  \"store_path\": {},\n",
+            match &self.store_path {
+                Some(path) => json_string(path),
+                None => "null".to_string(),
+            }
+        ));
         out.push_str(&format!("  \"points_total\": {},\n", self.points_total));
         out.push_str(&format!("  \"points_done\": {},\n", self.points_done));
         out.push_str(&format!(
@@ -88,8 +194,13 @@ impl MetricsReport {
         out.push_str(",\n");
         push_map(&mut out, "histograms", &self.histograms, |h| {
             format!(
-                "{{\"count\": {}, \"sum\": {}, \"max\": {}}}",
-                h.count, h.sum, h.max
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                h.max,
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99)
             )
         });
         out.push_str("\n}\n");
@@ -122,7 +233,7 @@ fn push_map<V>(
 
 /// JSON-safe float rendering: `Display` for finite values (shortest
 /// round-trip), `0` for non-finite ones (JSON has no NaN/inf).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `Display` prints integral floats without a dot; keep them
@@ -157,11 +268,15 @@ mod tests {
         let _read = crate::testsync::FLAG.read().unwrap();
         crate::set_enabled(true);
         crate::counter("test.report.key").add(3);
-        let report = MetricsReport::gather("unit-test", 10, 7, 1.25);
+        let report = MetricsReport::gather("unit-test", 10, 7, 1.25)
+            .with_scenario("00000000deadbeef")
+            .with_store_path(Some("results.fnprstore"));
         let json = report.to_json();
         for key in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"label\": \"unit-test\"",
+            "\"scenario\": \"00000000deadbeef\"",
+            "\"store_path\": \"results.fnprstore\"",
             "\"points_total\": 10",
             "\"points_done\": 7",
             "\"elapsed_seconds\": 1.25",
@@ -173,6 +288,75 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key:?} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn absent_store_path_renders_as_null() {
+        let report = MetricsReport::gather("unit-test", 0, 0, 0.0);
+        assert!(report.to_json().contains("\"store_path\": null"));
+        assert!(report.to_json().contains("\"scenario\": \"\""));
+    }
+
+    #[test]
+    fn histogram_json_carries_percentiles() {
+        let _read = crate::testsync::FLAG.read().unwrap();
+        crate::set_enabled(true);
+        let h = crate::histogram("test.report.histo.percentiles");
+        for v in [1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let report = MetricsReport::gather("unit-test", 0, 0, 0.0);
+        let json = report.to_json();
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(json.contains(key), "missing {key:?} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_an_empty_histogram_are_zero() {
+        let snap = HistogramSnapshot::from_parts(0, 0, 0, &[0; 64]);
+        assert_eq!((snap.p50, snap.p90, snap.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped_to_max() {
+        let mut buckets = [0u64; 64];
+        // 90 small values (bucket 4: [8, 15]) and 10 large ones
+        // (bucket 10: [512, 1023], observed max 600).
+        buckets[4] = 90;
+        buckets[10] = 10;
+        let snap = HistogramSnapshot::from_parts(100, 0, 600, &buckets);
+        assert!(snap.p50 >= 8.0 && snap.p50 <= 15.0, "p50 = {}", snap.p50);
+        assert!(snap.p90 <= snap.p99, "p90 {} > p99 {}", snap.p90, snap.p99);
+        assert!(snap.p50 <= snap.p90);
+        assert!(snap.p99 <= 600.0, "p99 {} beyond observed max", snap.p99);
+        assert!(snap.p99 >= 512.0, "p99 {} below the tail bucket", snap.p99);
+    }
+
+    #[test]
+    fn quantiles_interpolate_inside_a_single_bucket() {
+        let mut buckets = [0u64; 64];
+        buckets[7] = 100; // [64, 127]
+        let snap = HistogramSnapshot::from_parts(100, 0, 127, &buckets);
+        assert!(snap.p50 > 64.0 && snap.p50 < 127.0, "p50 = {}", snap.p50);
+        assert!(snap.p90 > snap.p50);
+    }
+
+    #[test]
+    fn zero_only_histogram_quantiles_are_zero() {
+        let mut buckets = [0u64; 64];
+        buckets[0] = 5;
+        let snap = HistogramSnapshot::from_parts(5, 0, 0, &buckets);
+        assert_eq!((snap.p50, snap.p90, snap.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn top_bucket_quantile_stays_finite() {
+        let mut buckets = [0u64; 64];
+        buckets[63] = 4;
+        let snap = HistogramSnapshot::from_parts(4, 0, u64::MAX, &buckets);
+        assert!(snap.p99.is_finite());
+        assert!(snap.p99 <= u64::MAX as f64);
     }
 
     #[test]

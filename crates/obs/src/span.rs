@@ -311,4 +311,97 @@ mod tests {
         assert_eq!(json_string("x\ny"), "\"x\\ny\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
+
+    #[test]
+    fn json_string_escapes_every_control_and_specials_exhaustively() {
+        // Every C0 control plus the two mandatory escapes: the output must
+        // contain no raw control bytes and no unescaped quote/backslash.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let escaped = json_string(&format!("a{c}b"));
+            assert!(
+                !escaped.chars().any(|c| (c as u32) < 0x20),
+                "raw control {code:#x} leaked: {escaped:?}"
+            );
+            assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+        }
+        // \r and \t take their short forms, not \uXXXX.
+        assert_eq!(json_string("\r"), "\"\\r\"");
+        assert_eq!(json_string("\t"), "\"\\t\"");
+        // Multi-byte characters pass through unescaped (JSON is UTF-8).
+        assert_eq!(json_string("héllo 日本"), "\"héllo 日本\"");
+    }
+
+    #[test]
+    fn hostile_names_produce_valid_trace_json() {
+        // Adversarial span/category names: quotes, backslashes (Windows
+        // paths), embedded newlines and control characters. The emitted
+        // document must stay structurally valid JSON — balanced quotes on
+        // every line, no raw control bytes, one object per event line.
+        let events = vec![
+            TraceEvent {
+                name: "say \"hi\"",
+                cat: "back\\slash",
+                ts_us: 0,
+                dur_us: 1,
+                tid: 1,
+                shard: None,
+            },
+            TraceEvent {
+                name: "multi\nline\tname",
+                cat: "ctl\u{1}\u{1f}cat",
+                ts_us: 1,
+                dur_us: 2,
+                tid: 2,
+                shard: Some(7),
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(
+            !json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+            "raw control characters leaked into the document"
+        );
+        for line in json.lines().filter(|l| l.starts_with('{') && l.len() > 2) {
+            let mut unescaped_quotes = 0usize;
+            let mut escaped = false;
+            for c in line.chars() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    unescaped_quotes += 1;
+                }
+            }
+            assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes in {line:?}");
+        }
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("multi\\nline\\tname"));
+        assert!(json.contains("ctl\\u0001\\u001fcat"));
+    }
+
+    #[test]
+    fn hostile_names_round_trip_through_the_ledger_parser() {
+        // The workspace keeps one JSON grammar: what `json_string` emits,
+        // the ledger's flat parser must read back verbatim. This pins the
+        // escaping pair from the consuming side, for every tricky shape.
+        for name in [
+            "say \"hi\"",
+            "back\\slash\\",
+            "multi\nline",
+            "tab\tand\rcr",
+            "ctl\u{1}\u{1f}",
+            "héllo 日本",
+            "",
+        ] {
+            let record = crate::RunRecord {
+                name: name.to_string(),
+                ..crate::RunRecord::default()
+            };
+            let parsed = crate::RunRecord::from_json(&record.to_json())
+                .unwrap_or_else(|| panic!("unparseable for {name:?}"));
+            assert_eq!(parsed.name, name);
+        }
+    }
 }
