@@ -1,0 +1,812 @@
+//! Pluggable executor backends: *where* grid shards run.
+//!
+//! [`crate::exec::parallel_map`] fixes the execution semantics — shards
+//! claimed in index order, results slotted by shard, abort at the first
+//! error, aggregates a pure function of `(seed, coords)`. This module puts
+//! a seam in front of it: an [`ExecutorBackend`] decides where each shard's
+//! computation physically happens, and because every shard's RNG streams
+//! are pure functions of the campaign seed and grid coordinates (never of
+//! the claiming thread **or process**), any backend produces byte-identical
+//! aggregates.
+//!
+//! Two backends ship today:
+//!
+//! * [`LocalThreads`] — the original in-process `std::thread` pool,
+//!   verbatim behind the trait;
+//! * [`ProcessPool`] — re-invokes the current binary as `worker`
+//!   subprocesses, one per worker slot, striping shards across them
+//!   (`shard i → worker i % workers`). Workers receive a [`WorkerJob`] as
+//!   JSON on stdin and stream stdio-framed results back; any shard a
+//!   worker fails to deliver (torn pipe, crashed worker, undecodable
+//!   payload) silently falls back to computing in the coordinator, so the
+//!   process backend is never *less* reliable than the local one.
+//!
+//! The coordinator is the **only** canonical-store writer: workers open
+//! the store in delta mode ([`crate::store::ResultStore::open_delta`]) and
+//! write private shard files that [`crate::run_campaign_with_store`]
+//! merges after the run.
+//!
+//! # Worker wire protocol (`FNPRW1`)
+//!
+//! One frame per line on the worker's stdout:
+//!
+//! ```text
+//! FNPRW1 ok <shard> <len> <sum:16hex> <payload-json>
+//! FNPRW1 raw <shard>
+//! FNPRW1 err <shard> <len> <sum:16hex> <message>
+//! FNPRW1 done <len> <sum:16hex> <stats-json>
+//! ```
+//!
+//! `ok` carries one shard result as compact (single-line) JSON, length- and
+//! checksum-guarded like the result store's records. `raw` reports a shard
+//! whose value does not survive a JSON round-trip (e.g. NaN inside — JSON
+//! has no NaN); the coordinator recomputes it locally so results match the
+//! local backend bit for bit. `err` ships a shard failure; the coordinator
+//! surfaces the lowest-indexed one, mirroring `parallel_map`. `done` is the
+//! worker's final frame, carrying its store/memo counters for the
+//! coordinator to absorb into the run's [`crate::CampaignOutcome`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CampaignError;
+use crate::exec::parallel_map;
+use crate::memo::{MemoStats, ScenarioHasher};
+use crate::report::StoreStats;
+use crate::spec::{CampaignSpec, Workload};
+use crate::store::ResultStore;
+use crate::{acceptance, cfg_workload, multicore, soundness};
+
+/// Magic token of the worker wire protocol; bump on any frame change.
+pub const FRAME_FORMAT: &str = "FNPRW1";
+
+/// Domain tag for frame checksums.
+const TAG_FRAME: u64 = 0x4652_414d; // "FRAM"
+
+/// Environment variable naming the worker executable. Defaults to
+/// `std::env::current_exe()` — the normal case, where the coordinator *is*
+/// the `fnpr-campaign` binary. Library consumers (tests, other binaries)
+/// set this to a real `fnpr-campaign` build.
+pub const WORKER_EXE_ENV: &str = "FNPR_CAMPAIGN_WORKER_EXE";
+
+/// Where shards of a campaign run execute. The contract every backend must
+/// honor (pinned by the determinism suite): results come back in shard
+/// order, bit-identical to [`parallel_map`] at any parallelism, and the
+/// lowest-indexed shard failure is the one reported.
+pub trait ExecutorBackend {
+    /// Short backend identifier (`"local"`, `"process"`) for reports and
+    /// telemetry.
+    fn name(&self) -> &'static str;
+
+    /// How many shards may run at once (threads or worker processes).
+    fn parallelism(&self) -> usize;
+
+    /// Runs `work(i)` for every `i in 0..count` and returns results in
+    /// index order. `work` must be pure per shard: the backend may run it
+    /// anywhere, locally or in a subprocess computing the identical
+    /// function from the shipped spec.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing shard.
+    fn run<T>(
+        &self,
+        count: usize,
+        work: &(dyn Fn(usize) -> Result<T, CampaignError> + Sync),
+    ) -> Result<Vec<T>, CampaignError>
+    where
+        T: Send + Serialize + Deserialize + PartialEq;
+}
+
+/// The original in-process backend: [`parallel_map`] on a scoped
+/// `std::thread` pool, moved behind the trait unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalThreads {
+    /// Worker-thread count.
+    pub threads: NonZeroUsize,
+}
+
+impl ExecutorBackend for LocalThreads {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.threads.get()
+    }
+
+    fn run<T>(
+        &self,
+        count: usize,
+        work: &(dyn Fn(usize) -> Result<T, CampaignError> + Sync),
+    ) -> Result<Vec<T>, CampaignError>
+    where
+        T: Send + Serialize + Deserialize + PartialEq,
+    {
+        parallel_map(count, self.threads, work)
+    }
+}
+
+/// Store and memo counters one worker ships home in its `done` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Points/shards the worker restored from the canonical store.
+    pub points_restored: u64,
+    /// Points/shards the worker computed (written to its delta).
+    pub points_computed: u64,
+    /// Bounds entries restored.
+    pub bounds_restored: u64,
+    /// Bounds entries computed.
+    pub bounds_computed: u64,
+    /// Refused/failed store writes in the worker.
+    pub write_errors: u64,
+    /// In-process memo hits.
+    pub memo_hits: u64,
+    /// In-process memo misses.
+    pub memo_misses: u64,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: &WorkerStats) {
+        self.points_restored += other.points_restored;
+        self.points_computed += other.points_computed;
+        self.bounds_restored += other.bounds_restored;
+        self.bounds_computed += other.bounds_computed;
+        self.write_errors += other.write_errors;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// The store-counter half, shaped for [`crate::CampaignOutcome`].
+    /// `invalid`/`stale` stay zero deliberately: workers load the same
+    /// canonical files as the coordinator, so absorbing their load-time
+    /// counts would double-report every bad line.
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            points_restored: self.points_restored,
+            points_computed: self.points_computed,
+            bounds_restored: self.bounds_restored,
+            bounds_computed: self.bounds_computed,
+            invalid_entries: 0,
+            stale_entries: 0,
+            write_errors: self.write_errors,
+        }
+    }
+
+    /// The memo-counter half.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo_hits,
+            misses: self.memo_misses,
+        }
+    }
+}
+
+/// One worker subprocess's assignment, shipped as JSON on its stdin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerJob {
+    /// The full campaign spec (JSON text, parseable by
+    /// [`CampaignSpec::parse`]). The worker re-validates it and rebuilds
+    /// the identical grid; shard indices below refer to that grid.
+    pub spec: String,
+    /// The shard indices this worker computes, in the order to emit them.
+    pub shards: Vec<usize>,
+    /// Canonical store to read through (never written by workers).
+    pub canonical_store: Option<String>,
+    /// Private delta directory for this worker's writes.
+    pub delta_store: Option<String>,
+}
+
+/// The multi-process backend: shards striped across `workers` subprocesses
+/// of the current binary, results streamed back over stdio frames.
+pub struct ProcessPool {
+    /// Worker-process count.
+    pub workers: NonZeroUsize,
+    /// The spec text shipped to workers (JSON).
+    spec_json: String,
+    /// Canonical store path workers read through.
+    canonical_store: Option<PathBuf>,
+    /// Root under which per-worker delta directories are created.
+    delta_root: Option<PathBuf>,
+    /// Sum of worker `done`-frame stats, for the outcome.
+    absorbed: Mutex<WorkerStats>,
+}
+
+impl ProcessPool {
+    /// A pool of `workers` over `spec_json` (the campaign spec as JSON
+    /// text). When the run has a store, `canonical_store` is the sharded
+    /// store directory and `delta_root` the directory under which each
+    /// worker gets a private `worker-<w>` delta subdirectory.
+    #[must_use]
+    pub fn new(
+        workers: NonZeroUsize,
+        spec_json: String,
+        canonical_store: Option<PathBuf>,
+        delta_root: Option<PathBuf>,
+    ) -> Self {
+        Self {
+            workers,
+            spec_json,
+            canonical_store,
+            delta_root,
+            absorbed: Mutex::new(WorkerStats::default()),
+        }
+    }
+
+    /// Worker counters absorbed so far (all `done` frames seen).
+    #[must_use]
+    pub fn absorbed(&self) -> WorkerStats {
+        *self.absorbed.lock().expect("absorbed stats poisoned")
+    }
+
+    /// The per-worker delta directory for worker slot `w`.
+    fn delta_dir(&self, w: usize) -> Option<PathBuf> {
+        self.delta_root
+            .as_ref()
+            .map(|root| root.join(format!("worker-{w}")))
+    }
+
+    /// The worker executable: [`WORKER_EXE_ENV`] override, else this
+    /// process's own binary.
+    fn worker_exe() -> std::io::Result<PathBuf> {
+        match std::env::var_os(WORKER_EXE_ENV) {
+            Some(exe) if !exe.is_empty() => Ok(PathBuf::from(exe)),
+            _ => std::env::current_exe(),
+        }
+    }
+}
+
+impl ExecutorBackend for ProcessPool {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers.get()
+    }
+
+    fn run<T>(
+        &self,
+        count: usize,
+        work: &(dyn Fn(usize) -> Result<T, CampaignError> + Sync),
+    ) -> Result<Vec<T>, CampaignError>
+    where
+        T: Send + Serialize + Deserialize + PartialEq,
+    {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.get().min(count);
+        fnpr_obs::gauge!("campaign.points.total").set(count as u64);
+        let done_counter = fnpr_obs::counter!("campaign.points.done");
+        let shipped = fnpr_obs::counter!("campaign.backend.shards.shipped");
+        let fallback = fnpr_obs::counter!("campaign.backend.shards.fallback");
+        let raw_frames = fnpr_obs::counter!("campaign.backend.shards.raw");
+        let spawned = fnpr_obs::counter!("campaign.backend.workers.spawned");
+        let meter = crate::exec::build_meter(count);
+
+        // One result slot per shard, filled from worker frames; anything
+        // still empty afterwards is computed locally.
+        let slots: Vec<Mutex<Option<Result<T, CampaignError>>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+
+        let exe = match Self::worker_exe() {
+            Ok(exe) => Some(exe),
+            Err(e) => {
+                eprintln!(
+                    "fnpr-campaign: warning: cannot resolve worker executable ({e}); \
+                     computing every shard in the coordinator"
+                );
+                None
+            }
+        };
+        if let Some(exe) = &exe {
+            let meter = &meter;
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    // Striped partition: worker w owns shards w, w+workers, …
+                    // — a pure function of (shard, workers), so placement
+                    // never depends on timing.
+                    let shards: Vec<usize> = (w..count).step_by(workers).collect();
+                    let job = WorkerJob {
+                        spec: self.spec_json.clone(),
+                        shards,
+                        canonical_store: self
+                            .canonical_store
+                            .as_ref()
+                            .map(|p| p.display().to_string()),
+                        delta_store: self.delta_dir(w).map(|p| p.display().to_string()),
+                    };
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut child = match std::process::Command::new(exe)
+                            .arg("worker")
+                            .stdin(std::process::Stdio::piped())
+                            .stdout(std::process::Stdio::piped())
+                            .spawn()
+                        {
+                            Ok(child) => child,
+                            Err(e) => {
+                                eprintln!(
+                                    "fnpr-campaign: warning: worker {w} failed to spawn ({e}); \
+                                     its shards fall back to the coordinator"
+                                );
+                                return;
+                            }
+                        };
+                        spawned.incr();
+                        // Ship the job, close stdin so the worker sees EOF.
+                        if let Some(mut stdin) = child.stdin.take() {
+                            let _ = stdin.write_all(serde_json::to_string(&job).as_bytes());
+                        }
+                        if let Some(stdout) = child.stdout.take() {
+                            for line in BufReader::new(stdout).lines() {
+                                let Ok(line) = line else { break };
+                                match parse_frame(&line) {
+                                    Some(Frame::Ok { shard, payload }) if shard < count => {
+                                        if let Ok(v) = serde_json::from_str::<T>(&payload) {
+                                            *slots[shard].lock().expect("backend slot poisoned") =
+                                                Some(Ok(v));
+                                            shipped.incr();
+                                            done_counter.incr();
+                                            if let Some(meter) = meter {
+                                                meter.tick();
+                                            }
+                                        }
+                                    }
+                                    Some(Frame::Err { shard, message }) if shard < count => {
+                                        *slots[shard].lock().expect("backend slot poisoned") =
+                                            Some(Err(CampaignError::Analysis(message)));
+                                        done_counter.incr();
+                                        if let Some(meter) = meter {
+                                            meter.tick();
+                                        }
+                                    }
+                                    Some(Frame::Done { stats }) => {
+                                        self.absorbed
+                                            .lock()
+                                            .expect("absorbed stats poisoned")
+                                            .absorb(&stats);
+                                    }
+                                    // `raw` marks a shard whose value cannot
+                                    // ride JSON losslessly; the slot stays
+                                    // empty so the fallback pass recomputes
+                                    // it bit-exactly.
+                                    Some(Frame::Raw { shard }) if shard < count => {
+                                        raw_frames.incr();
+                                    }
+                                    // Out-of-range shards and malformed
+                                    // lines likewise fall back.
+                                    _ => {}
+                                }
+                            }
+                        }
+                        let _ = child.wait();
+                    });
+                }
+            });
+        }
+
+        // Fallback + assembly, in shard order so the lowest-indexed error
+        // wins exactly as in `parallel_map`.
+        let mut out = Vec::with_capacity(count);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let result = match slot.into_inner().expect("backend slot poisoned") {
+                Some(result) => result,
+                None => {
+                    fallback.incr();
+                    done_counter.incr();
+                    if let Some(meter) = &meter {
+                        meter.tick();
+                    }
+                    work(i)
+                }
+            };
+            match result {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The runtime backend selection ([`ExecutorBackend`] has a generic
+/// method, so dispatch is by enum rather than `dyn`).
+pub enum Executor {
+    /// In-process threads.
+    Local(LocalThreads),
+    /// Worker subprocesses.
+    Process(ProcessPool),
+}
+
+impl Executor {
+    /// A local-threads executor.
+    #[must_use]
+    pub fn local(threads: NonZeroUsize) -> Self {
+        Executor::Local(LocalThreads { threads })
+    }
+
+    /// A process-pool executor; see [`ProcessPool::new`].
+    #[must_use]
+    pub fn process(
+        workers: NonZeroUsize,
+        spec_json: String,
+        canonical_store: Option<PathBuf>,
+        delta_root: Option<PathBuf>,
+    ) -> Self {
+        Executor::Process(ProcessPool::new(
+            workers,
+            spec_json,
+            canonical_store,
+            delta_root,
+        ))
+    }
+
+    /// Backend identifier for reports and telemetry.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Executor::Local(b) => b.name(),
+            Executor::Process(b) => b.name(),
+        }
+    }
+
+    /// Threads or worker processes.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        match self {
+            Executor::Local(b) => b.parallelism(),
+            Executor::Process(b) => b.parallelism(),
+        }
+    }
+
+    /// Dispatches to the backend's [`ExecutorBackend::run`].
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing shard.
+    pub fn run<T>(
+        &self,
+        count: usize,
+        work: &(dyn Fn(usize) -> Result<T, CampaignError> + Sync),
+    ) -> Result<Vec<T>, CampaignError>
+    where
+        T: Send + Serialize + Deserialize + PartialEq,
+    {
+        match self {
+            Executor::Local(b) => b.run(count, work),
+            Executor::Process(b) => b.run(count, work),
+        }
+    }
+
+    /// Worker counters absorbed from `done` frames (zero for local).
+    #[must_use]
+    pub fn absorbed(&self) -> WorkerStats {
+        match self {
+            Executor::Local(_) => WorkerStats::default(),
+            Executor::Process(b) => b.absorbed(),
+        }
+    }
+}
+
+/// A parsed worker frame.
+enum Frame {
+    Ok { shard: usize, payload: String },
+    Err { shard: usize, message: String },
+    Raw { shard: usize },
+    Done { stats: WorkerStats },
+}
+
+/// Checksum guarding one frame's text body against pipe corruption and
+/// interleaving accidents.
+fn frame_checksum(kind: u64, shard: u64, body: &str) -> u64 {
+    ScenarioHasher::new(TAG_FRAME)
+        .word(kind)
+        .word(shard)
+        .str(body)
+        .finish()
+}
+
+/// Formats an `ok` frame.
+fn format_ok_frame(shard: usize, payload: &str) -> String {
+    format!(
+        "{FRAME_FORMAT} ok {shard} {len} {sum:016x} {payload}\n",
+        len = payload.len(),
+        sum = frame_checksum(1, shard as u64, payload),
+    )
+}
+
+/// Formats an `err` frame; the message is flattened to one line.
+fn format_err_frame(shard: usize, message: &str) -> String {
+    let message = message.replace(['\n', '\r'], " ");
+    format!(
+        "{FRAME_FORMAT} err {shard} {len} {sum:016x} {message}\n",
+        len = message.len(),
+        sum = frame_checksum(2, shard as u64, &message),
+    )
+}
+
+/// Formats a `raw` frame (shard value does not round-trip through JSON;
+/// the coordinator recomputes it locally).
+fn format_raw_frame(shard: usize) -> String {
+    format!("{FRAME_FORMAT} raw {shard}\n")
+}
+
+/// Formats the final `done` frame carrying the worker's counters.
+fn format_done_frame(stats: &WorkerStats) -> String {
+    let payload = serde_json::to_string(stats);
+    format!(
+        "{FRAME_FORMAT} done {len} {sum:016x} {payload}\n",
+        len = payload.len(),
+        sum = frame_checksum(3, 0, &payload),
+    )
+}
+
+/// Parses one worker stdout line; `None` for anything malformed (the
+/// coordinator treats those shards as undelivered and recomputes).
+fn parse_frame(line: &str) -> Option<Frame> {
+    let rest = line.strip_prefix(FRAME_FORMAT)?.strip_prefix(' ')?;
+    let (kind, rest) = rest.split_once(' ')?;
+    match kind {
+        "ok" | "err" => {
+            let mut parts = rest.splitn(4, ' ');
+            let shard: usize = parts.next()?.parse().ok()?;
+            let len: usize = parts.next()?.parse().ok()?;
+            let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let body = parts.next()?;
+            let kind_word = if kind == "ok" { 1 } else { 2 };
+            if body.len() != len || frame_checksum(kind_word, shard as u64, body) != sum {
+                return None;
+            }
+            Some(if kind == "ok" {
+                Frame::Ok {
+                    shard,
+                    payload: body.to_string(),
+                }
+            } else {
+                Frame::Err {
+                    shard,
+                    message: body.to_string(),
+                }
+            })
+        }
+        "raw" => Some(Frame::Raw {
+            shard: rest.trim().parse().ok()?,
+        }),
+        "done" => {
+            let mut parts = rest.splitn(3, ' ');
+            let len: usize = parts.next()?.parse().ok()?;
+            let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let body = parts.next()?;
+            if body.len() != len || frame_checksum(3, 0, body) != sum {
+                return None;
+            }
+            Some(Frame::Done {
+                stats: serde_json::from_str(body).ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Emits one frame per assigned shard: `ok` for values that survive the
+/// JSON round-trip, `raw` for values that do not, `err` for shard
+/// failures. Every shard gets exactly one frame, in assignment order.
+fn emit_shards<T>(
+    shards: &[usize],
+    out: &mut dyn Write,
+    compute: impl Fn(usize) -> Result<T, CampaignError>,
+) -> std::io::Result<()>
+where
+    T: Serialize + Deserialize + PartialEq,
+{
+    for &i in shards {
+        let frame = match compute(i) {
+            Ok(v) => {
+                let payload = serde_json::to_string(&v);
+                // Same two-sided self-check as the result store: ship only
+                // values the coordinator will decode to the identical value
+                // (and identical bytes in the rendered aggregates).
+                match serde_json::from_str::<T>(&payload) {
+                    Ok(rt) if rt == v && serde_json::to_string(&rt) == payload => {
+                        format_ok_frame(i, &payload)
+                    }
+                    _ => format_raw_frame(i),
+                }
+            }
+            Err(e) => format_err_frame(i, &e.to_string()),
+        };
+        out.write_all(frame.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// The worker-subprocess entry point: parse the [`WorkerJob`] from
+/// `job_json`, rebuild the campaign, compute the assigned shards and
+/// stream frames to `out`. Telemetry stays off (the coordinator owns the
+/// progress line and metric exports); the worker never spawns further
+/// workers — shards compute directly, whatever `[executor]` says.
+///
+/// # Errors
+///
+/// Job/spec parse and validation failures, and I/O errors writing frames.
+/// The coordinator treats a worker that dies this way as undelivered
+/// shards and recomputes them locally.
+pub fn run_worker(job_json: &str, out: &mut dyn Write) -> Result<(), CampaignError> {
+    let job: WorkerJob = serde_json::from_str(job_json)?;
+    let campaign = CampaignSpec::parse(&job.spec)?.validate()?;
+    let store = match (&job.canonical_store, &job.delta_store) {
+        (Some(canonical), Some(delta)) => Some(ResultStore::open_delta(
+            Path::new(canonical),
+            Path::new(delta),
+        )?),
+        _ => None,
+    };
+    let store = store.as_ref();
+    let seed = campaign.seed;
+    let memo = match &campaign.workload {
+        Workload::Acceptance(params) => {
+            let engine = acceptance::AcceptanceEngine::new();
+            emit_shards(&job.shards, out, |i| {
+                acceptance::compute_shard(params, seed, i, &engine, store)
+            })?;
+            engine.taskset_memo.stats()
+        }
+        Workload::Soundness(params) => {
+            let engine = soundness::SoundnessEngine::new();
+            emit_shards(&job.shards, out, |i| {
+                soundness::compute_shard(params, seed, i, &engine, store)
+            })?;
+            engine.bounds_memo.stats()
+        }
+        Workload::Multicore(params) => {
+            let engine = multicore::MulticoreEngine::new();
+            emit_shards(&job.shards, out, |i| {
+                multicore::compute_shard(params, seed, i, &engine, store)
+            })?;
+            engine.taskset_memo.stats()
+        }
+        Workload::Cfg(params) => {
+            let engine = cfg_workload::CfgEngine::new();
+            emit_shards(&job.shards, out, |i| {
+                cfg_workload::compute_shard(params, seed, i, &engine, store)
+            })?;
+            engine.program_memo.stats() + engine.curve_memo.stats()
+        }
+    };
+    let store_stats = store.map(ResultStore::stats).unwrap_or_default();
+    let stats = WorkerStats {
+        points_restored: store_stats.points_restored,
+        points_computed: store_stats.points_computed,
+        bounds_restored: store_stats.bounds_restored,
+        bounds_computed: store_stats.bounds_computed,
+        write_errors: store_stats.write_errors,
+        memo_hits: memo.hits,
+        memo_misses: memo.misses,
+    };
+    out.write_all(format_done_frame(&stats).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_backend_matches_parallel_map() {
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::local(NonZeroUsize::new(threads).unwrap());
+            assert_eq!(exec.name(), "local");
+            let out: Vec<u64> = exec.run(20, &|i| Ok(i as u64 * 3)).unwrap();
+            assert_eq!(out, (0..20).map(|i| i * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let ok = format_ok_frame(7, "{\"x\":1.5}");
+        match parse_frame(ok.trim_end()) {
+            Some(Frame::Ok { shard, payload }) => {
+                assert_eq!(shard, 7);
+                assert_eq!(payload, "{\"x\":1.5}");
+            }
+            _ => panic!("ok frame did not parse: {ok}"),
+        }
+        let err = format_err_frame(3, "analysis failure:\nmultiline");
+        match parse_frame(err.trim_end()) {
+            Some(Frame::Err { shard, message }) => {
+                assert_eq!(shard, 3);
+                assert_eq!(message, "analysis failure: multiline");
+            }
+            _ => panic!("err frame did not parse: {err}"),
+        }
+        match parse_frame(format_raw_frame(9).trim_end()) {
+            Some(Frame::Raw { shard }) => assert_eq!(shard, 9),
+            _ => panic!("raw frame did not parse"),
+        }
+        let stats = WorkerStats {
+            points_computed: 4,
+            memo_hits: 11,
+            ..WorkerStats::default()
+        };
+        match parse_frame(format_done_frame(&stats).trim_end()) {
+            Some(Frame::Done { stats: parsed }) => assert_eq!(parsed, stats),
+            _ => panic!("done frame did not parse"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_parse_to_none() {
+        let ok = format_ok_frame(7, "{\"x\":1.5}");
+        let line = ok.trim_end();
+        // Flip payload bytes, truncate, garble the checksum: all invalid.
+        assert!(parse_frame(&line.replace("1.5", "2.5")).is_none());
+        assert!(parse_frame(&line[..line.len() - 2]).is_none());
+        assert!(parse_frame(&line.replace(" ok ", " err ")).is_none());
+        assert!(parse_frame("FNPRW9 ok 1 1 0 x").is_none());
+        assert!(parse_frame("").is_none());
+        assert!(parse_frame("FNPRW1 done 1 0 x").is_none());
+    }
+
+    #[test]
+    fn emit_ships_ok_raw_and_err_frames() {
+        let mut out = Vec::new();
+        emit_shards(&[0, 1, 2], &mut out, |i| match i {
+            0 => Ok(1.5f64),
+            1 => Ok(f64::NAN), // no JSON round-trip → raw
+            _ => Err(CampaignError::Analysis("boom".into())),
+        })
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(matches!(
+            parse_frame(lines[0]),
+            Some(Frame::Ok { shard: 0, .. })
+        ));
+        assert!(matches!(
+            parse_frame(lines[1]),
+            Some(Frame::Raw { shard: 1 })
+        ));
+        match parse_frame(lines[2]) {
+            Some(Frame::Err { shard, message }) => {
+                assert_eq!(shard, 2);
+                assert!(message.contains("boom"));
+            }
+            _ => panic!("expected err frame: {}", lines[2]),
+        }
+    }
+
+    #[test]
+    fn worker_stats_absorb_and_split() {
+        let mut total = WorkerStats::default();
+        total.absorb(&WorkerStats {
+            points_computed: 3,
+            bounds_restored: 2,
+            memo_hits: 5,
+            memo_misses: 1,
+            ..WorkerStats::default()
+        });
+        total.absorb(&WorkerStats {
+            points_restored: 4,
+            write_errors: 1,
+            memo_hits: 2,
+            ..WorkerStats::default()
+        });
+        let store = total.store_stats();
+        assert_eq!(store.points_computed, 3);
+        assert_eq!(store.points_restored, 4);
+        assert_eq!(store.bounds_restored, 2);
+        assert_eq!(store.write_errors, 1);
+        assert_eq!((store.invalid_entries, store.stale_entries), (0, 0));
+        let memo = total.memo_stats();
+        assert_eq!((memo.hits, memo.misses), (7, 1));
+    }
+}

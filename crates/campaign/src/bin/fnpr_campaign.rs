@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
+//!                   [--backend local|process] [--workers N]
 //!                   [--store PATH] [--ledger PATH] [--quiet]
 //! fnpr-campaign grid <spec>          # show the expanded scenario grid
 //! fnpr-campaign history <LEDGER>     # trend tables over the run ledger
@@ -10,6 +11,9 @@
 //! fnpr-campaign example-spec         # print a template TOML spec
 //! ```
 //!
+//! There is also a hidden `worker` subcommand: the process backend's
+//! subprocess entry point (job JSON on stdin, result frames on stdout).
+//!
 //! Exit codes: 0 on success, 1 on usage/spec errors, 2 when the run
 //! completed but the paper's dominance/soundness claims were violated —
 //! or, for `history --check`, when a performance regression was detected.
@@ -17,12 +21,16 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fnpr_campaign::store::ResultStore;
-use fnpr_campaign::{history, run_campaign_with_store, CampaignSpec, Workload};
+use fnpr_campaign::store::{GcPolicy, ResultStore};
+use fnpr_campaign::{
+    history, run_campaign_with_options, BackendChoice, CampaignSpec, ExecOptions, Workload,
+};
 
 struct RunArgs {
     spec: PathBuf,
     threads: Option<usize>,
+    backend: Option<BackendChoice>,
+    workers: Option<usize>,
     csv: Option<String>,
     json: Option<String>,
     store: Option<String>,
@@ -56,9 +64,14 @@ fn main() -> ExitCode {
         },
         Some("store") => match (args.get(1).map(String::as_str), args.get(2)) {
             (Some("stats"), Some(path)) => cmd_store_stats(Path::new(path)),
-            (Some("gc"), Some(path)) => cmd_store_gc(Path::new(path)),
+            (Some("gc"), Some(path)) => match parse_gc_policy(&args[3..]) {
+                Ok(policy) => cmd_store_gc(Path::new(path), &policy),
+                Err(msg) => usage_error(&msg),
+            },
             _ => usage_error("`store` needs `stats <PATH>` or `gc <PATH>`"),
         },
+        // Hidden: the process backend's subprocess entry point.
+        Some("worker") => cmd_worker(),
         Some("example-spec") => {
             print!("{}", EXAMPLE_SPEC);
             ExitCode::SUCCESS
@@ -74,6 +87,8 @@ fn main() -> ExitCode {
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut spec = None;
     let mut threads = None;
+    let mut backend = None;
+    let mut workers = None;
     let mut csv = None;
     let mut json = None;
     let mut store = None;
@@ -94,6 +109,23 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 threads = Some(n);
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                backend =
+                    Some(BackendChoice::parse(v).ok_or_else(|| {
+                        format!("--backend must be `local` or `process`, not {v:?}")
+                    })?);
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad worker count {v:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                workers = Some(n);
+            }
             "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--json" => json = Some(it.next().ok_or("--json needs a path")?.clone()),
             "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
@@ -110,6 +142,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     Ok(RunArgs {
         spec: spec.ok_or("`run` needs a spec path")?,
         threads,
+        backend,
+        workers,
         csv,
         json,
         store,
@@ -213,7 +247,12 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         None => None,
     };
     let started = std::time::Instant::now();
-    let outcome = match run_campaign_with_store(&campaign, args.threads, store.as_ref()) {
+    let options = ExecOptions {
+        threads: args.threads,
+        backend: args.backend,
+        workers: args.workers,
+    };
+    let outcome = match run_campaign_with_options(&campaign, &options, store.as_ref()) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("fnpr-campaign: {e}");
@@ -269,7 +308,7 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
     if !args.quiet {
         let s = &report.summary;
         eprintln!(
-            "campaign {:?} (scenario {}): {} shards, {} instances in {:.2?} on {} threads",
+            "campaign {:?} (scenario {}): {} shards, {} instances in {:.2?} on {} {} workers",
             report.name,
             report.scenario,
             report.acceptance.len()
@@ -279,6 +318,7 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
             s.instances,
             started.elapsed(),
             outcome.threads,
+            outcome.backend,
         );
         eprintln!(
             "memo: {} hits / {} misses; pessimism mean {:.3}x max {:.3}x; \
@@ -490,12 +530,12 @@ fn cmd_history(args: &HistoryArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Opens an *existing* store for the introspection subcommands: unlike
-/// `run` (where first use legitimately creates the file), `stats`/`gc` on
-/// a missing path is almost certainly a typo — creating an empty store
+/// Refuses the introspection subcommands on a missing path: unlike `run`
+/// (where first use legitimately creates the store), `stats`/`gc` on a
+/// missing path is almost certainly a typo — creating an empty store
 /// there and reporting it healthy would mislead far worse than erroring.
-fn open_existing_store(path: &Path) -> Result<ResultStore, ExitCode> {
-    if !path.is_file() {
+fn require_existing_store(path: &Path) -> Result<(), ExitCode> {
+    if !path.exists() {
         eprintln!(
             "fnpr-campaign: result store {} does not exist \
              (runs create it via --store or the spec's [store] table)",
@@ -503,32 +543,83 @@ fn open_existing_store(path: &Path) -> Result<ResultStore, ExitCode> {
         );
         return Err(ExitCode::FAILURE);
     }
-    ResultStore::open(path).map_err(|e| {
-        eprintln!(
-            "fnpr-campaign: cannot open result store {}: {e}",
-            path.display()
-        );
-        ExitCode::FAILURE
-    })
+    Ok(())
 }
 
-/// `store stats`: open the store (validating every line) and report the
-/// live entry counts per table plus load-time health.
+/// `store gc` retention flags: `--max-age-days F` and `--max-bytes N` on
+/// top of the always-on structural compaction.
+fn parse_gc_policy(args: &[String]) -> Result<GcPolicy, String> {
+    let mut policy = GcPolicy::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-age-days" => {
+                let v = it.next().ok_or("--max-age-days needs a value")?;
+                let days = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad age {v:?} (days)"))?;
+                if !days.is_finite() || days < 0.0 {
+                    return Err("--max-age-days must be a non-negative number".into());
+                }
+                policy.max_age_days = Some(days);
+            }
+            "--max-bytes" => {
+                let v = it.next().ok_or("--max-bytes needs a value")?;
+                policy.max_bytes = Some(v.parse::<u64>().map_err(|_| format!("bad size {v:?}"))?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(policy)
+}
+
+/// `store stats`: open the store **read-only** (validating every line —
+/// a legacy single-file store is served in place, never migrated) and
+/// report per-shard file sizes and record counts plus live entry totals.
 fn cmd_store_stats(path: &Path) -> ExitCode {
     // Counters on (load-time invalid/stale lines register in the obs
     // registry too); never any stderr chatter from this subcommand.
     fnpr_obs::set_enabled(true);
-    let store = match open_existing_store(path) {
+    if let Err(code) = require_existing_store(path) {
+        return code;
+    }
+    let store = match ResultStore::open_read_only(path) {
         Ok(store) => store,
-        Err(code) => return code,
+        Err(e) => {
+            eprintln!(
+                "fnpr-campaign: cannot open result store {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
     };
-    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let files = store.shard_files();
+    let size: u64 = files.iter().map(|f| f.bytes).sum();
     println!("store: {}", path.display());
+    println!(
+        "layout: {}",
+        if store.is_sharded() {
+            "sharded directory (one log per table)"
+        } else {
+            "legacy single file (next writable open migrates it)"
+        }
+    );
     println!("file size: {size} bytes");
     println!(
         "analysis fingerprint: {:016x}",
         fnpr_campaign::store::analysis_fingerprint()
     );
+    for f in &files {
+        let name = f
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| f.path.display().to_string());
+        println!(
+            "  shard {:<24} {:>10} bytes {:>8} records",
+            name, f.bytes, f.records
+        );
+    }
     let mut total = 0usize;
     for (table, count) in store.table_counts() {
         println!("  {:<26} {count}", table.label());
@@ -543,18 +634,28 @@ fn cmd_store_stats(path: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `store gc`: rewrite the log with only live (valid, current-fingerprint,
-/// newest-per-key) entries.
-fn cmd_store_gc(path: &Path) -> ExitCode {
+/// `store gc`: rewrite each shard log with only live (valid,
+/// current-fingerprint, newest-per-key) entries, then apply the optional
+/// age/size retention policy (oldest entries evicted first).
+fn cmd_store_gc(path: &Path, policy: &GcPolicy) -> ExitCode {
     // Counters on: the gc pass reports scanned/dropped/bytes-reclaimed
     // through the obs registry as well as the printed summary.
     fnpr_obs::set_enabled(true);
-    let store = match open_existing_store(path) {
+    if let Err(code) = require_existing_store(path) {
+        return code;
+    }
+    let store = match ResultStore::open(path) {
         Ok(store) => store,
-        Err(code) => return code,
+        Err(e) => {
+            eprintln!(
+                "fnpr-campaign: cannot open result store {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
     };
     let stats = store.stats();
-    match store.gc() {
+    match store.gc_with(*policy) {
         Ok(report) => {
             println!(
                 "gc {}: kept {} entries, dropped {} invalid + {} stale lines, \
@@ -566,11 +667,36 @@ fn cmd_store_gc(path: &Path) -> ExitCode {
                 report.bytes_before,
                 report.bytes_after,
             );
+            if policy.max_age_days.is_some() || policy.max_bytes.is_some() {
+                println!("evicted {} live entries (retention policy)", report.evicted);
+            }
             eprintln!("gc summary: {}", report.summary());
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("fnpr-campaign: gc failed on {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The hidden `worker` subcommand: read one job (JSON) from stdin, stream
+/// result frames to stdout. Spawned only by the process backend; errors
+/// land on stderr (inherited from the coordinator) and the coordinator
+/// recomputes the undelivered shards.
+fn cmd_worker() -> ExitCode {
+    use std::io::Read;
+    let mut job = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut job) {
+        eprintln!("fnpr-campaign worker: reading job from stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match fnpr_campaign::run_worker(&job, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fnpr-campaign worker: {e}");
             ExitCode::FAILURE
         }
     }
@@ -585,13 +711,25 @@ fn usage_error(msg: &str) -> ExitCode {
 const USAGE: &str = "\
 usage:
   fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
+                    [--backend local|process] [--workers N]
                     [--store PATH] [--metrics PATH] [--trace-out PATH]
                     [--ledger PATH] [--quiet]
   fnpr-campaign grid <spec>
   fnpr-campaign history <LEDGER> [--check] [--max-regression PCT] [--html PATH]
   fnpr-campaign store stats <PATH>
-  fnpr-campaign store gc <PATH>
+  fnpr-campaign store gc <PATH> [--max-age-days F] [--max-bytes N]
   fnpr-campaign example-spec
+
+execution (aggregates are byte-identical on every backend):
+  --backend local    in-process worker threads (the default)
+  --backend process  worker subprocesses of this binary; the store is
+                     delta-shipped (workers write private shards, the
+                     coordinator merges them after the run)
+  --workers N        worker-process count (default: the thread count)
+
+store gc retention (on top of the always-on structural compaction):
+  --max-age-days F   evict live entries older than F days
+  --max-bytes N      evict oldest live entries until the store fits N bytes
 
 telemetry (write-only; aggregates are byte-identical with it on or off):
   --metrics PATH     write a versioned JSON snapshot of all counters/spans,
@@ -641,6 +779,15 @@ json = "campaign.json"         # omit to skip JSON
 # `fnpr-campaign store stats|gc <PATH>`.
 # [store]
 # path = "campaign.fnprstore"
+
+# Optional: run shards in worker subprocesses instead of in-process
+# threads. Placement cannot change results (every RNG stream is a pure
+# function of seed + grid coordinates), so this table — like [output],
+# [store] and [telemetry] — is not part of the scenario hash. CLI
+# `--backend` / `--workers` override.
+# [executor]
+# backend = "process"          # or "local" (the default)
+# workers = 4                  # default: the resolved thread count
 
 # Optional: observability (write-only side channel; never changes results).
 # CLI `--metrics` / `--trace-out` / `--ledger` override the paths; `--quiet`

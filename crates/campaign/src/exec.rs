@@ -60,8 +60,10 @@ fn point_histogram() -> Option<fnpr_obs::Histogram> {
 }
 
 /// Builds the live meter for a map over `count` shards, if telemetry, the
-/// progress display and a label are all present.
-fn build_meter(count: usize) -> Option<ProgressMeter> {
+/// progress display and a label are all present. Shared with the process
+/// backend ([`crate::backend`]), whose coordinator ticks it per received
+/// shard frame.
+pub(crate) fn build_meter(count: usize) -> Option<ProgressMeter> {
     if !fnpr_obs::enabled() || !fnpr_obs::progress_enabled() {
         return None;
     }

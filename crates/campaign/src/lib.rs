@@ -49,6 +49,7 @@
 #![warn(clippy::all)]
 
 pub mod acceptance;
+pub mod backend;
 pub mod cfg_workload;
 pub mod error;
 pub mod exec;
@@ -60,12 +61,13 @@ pub mod soundness;
 pub mod spec;
 pub mod store;
 
+pub use backend::{run_worker, Executor, ExecutorBackend, WorkerStats, WORKER_EXE_ENV};
 pub use error::CampaignError;
 pub use history::{HistoryOptions, ScenarioTrend};
 pub use memo::MemoStats;
 pub use report::{CampaignReport, StoreStats, Summary};
 pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
-pub use store::{GcReport, ResultStore};
+pub use store::{GcPolicy, GcReport, MergeReport, ResultStore};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -98,10 +100,48 @@ pub struct CampaignOutcome {
     pub memo: MemoStats,
     /// Result-store counters, when a store was attached (not part of the
     /// deterministic surface: a warm run restores what a cold run
-    /// computes, with byte-identical aggregates either way).
+    /// computes, with byte-identical aggregates either way). Under the
+    /// process backend this folds in every worker's counters.
     pub store: Option<StoreStats>,
-    /// Worker threads actually used.
+    /// Worker threads (local backend) or worker processes actually used.
     pub threads: usize,
+    /// Which executor backend ran the shards (`"local"` / `"process"`) —
+    /// informational, like the counters: backend choice cannot change the
+    /// report.
+    pub backend: &'static str,
+}
+
+/// Execution overrides from the CLI, winning over the spec's `threads` key
+/// and `[executor]` table. `Default` means "whatever the spec says".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Worker-thread count (local backend), overriding `threads`.
+    pub threads: Option<usize>,
+    /// Backend selection, overriding `[executor] backend`.
+    pub backend: Option<BackendChoice>,
+    /// Worker-process count, overriding `[executor] workers`.
+    pub workers: Option<usize>,
+}
+
+/// A parsed backend selector (`[executor] backend` / CLI `--backend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// In-process threads ([`backend::LocalThreads`]).
+    Local,
+    /// Worker subprocesses ([`backend::ProcessPool`]).
+    Process,
+}
+
+impl BackendChoice {
+    /// Parses `"local"` / `"process"`; `None` otherwise.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "local" => Some(BackendChoice::Local),
+            "process" => Some(BackendChoice::Process),
+            _ => None,
+        }
+    }
 }
 
 /// Builds the run-ledger record for a finished campaign run — the
@@ -190,7 +230,108 @@ pub fn run_campaign_with_store(
     threads_override: Option<usize>,
     store: Option<&ResultStore>,
 ) -> Result<CampaignOutcome, CampaignError> {
-    let threads = exec::resolve_threads(threads_override.or(campaign.threads));
+    run_campaign_with_options(
+        campaign,
+        &ExecOptions {
+            threads: threads_override,
+            ..ExecOptions::default()
+        },
+        store,
+    )
+}
+
+/// Builds the executor a run will use: CLI overrides win over the spec's
+/// `[executor]` table, and the process backend is wired with the
+/// re-serialized source spec plus (when a store is attached) the canonical
+/// store path and a run-private delta root under it.
+fn build_executor(
+    campaign: &Campaign,
+    options: &ExecOptions,
+    store: Option<&ResultStore>,
+) -> (Executor, Option<std::path::PathBuf>) {
+    let choice = options
+        .backend
+        .or_else(|| {
+            campaign
+                .executor
+                .backend
+                .as_deref()
+                .and_then(BackendChoice::parse)
+        })
+        .unwrap_or(BackendChoice::Local);
+    let threads = exec::resolve_threads(options.threads.or(campaign.threads));
+    match choice {
+        BackendChoice::Local => (Executor::local(threads), None),
+        BackendChoice::Process => {
+            let workers = options
+                .workers
+                .or(campaign.executor.workers)
+                .and_then(std::num::NonZeroUsize::new)
+                .unwrap_or(threads);
+            let spec_json = serde_json::to_string(&campaign.source);
+            let (canonical, delta_root) = match store {
+                Some(s) => {
+                    let root = s
+                        .path()
+                        .join(".deltas")
+                        .join(format!("job-{}", std::process::id()));
+                    (Some(s.path().to_path_buf()), Some(root))
+                }
+                None => (None, None),
+            };
+            (
+                Executor::process(workers, spec_json, canonical, delta_root.clone()),
+                delta_root,
+            )
+        }
+    }
+}
+
+/// Merges every worker's private delta directory under `delta_root` into
+/// the canonical store (sorted, so merge order — and therefore which
+/// duplicate wins — is deterministic), then removes the delta tree.
+fn merge_worker_deltas(store: &ResultStore, delta_root: &std::path::Path) -> std::io::Result<()> {
+    let mut dirs: Vec<std::path::PathBuf> = match std::fs::read_dir(delta_root) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        // No directory at all: no worker got far enough to write one.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    dirs.sort();
+    for dir in dirs {
+        store.merge_delta(&dir)?;
+    }
+    std::fs::remove_dir_all(delta_root)?;
+    // Drop the shared `.deltas` parent too when this was the last job in
+    // it; a concurrent job's directory keeps it alive (remove_dir refuses
+    // non-empty directories), which is exactly right.
+    if let Some(parent) = delta_root.parent() {
+        let _ = std::fs::remove_dir(parent);
+    }
+    Ok(())
+}
+
+/// [`run_campaign`] with full execution options and an explicit store.
+///
+/// Under the process backend the run is coordinated here: shards stripe
+/// across worker subprocesses, workers write store entries to private
+/// delta directories, and after the run the deltas are merged into the
+/// canonical store and the workers' counters folded into the outcome.
+///
+/// # Errors
+///
+/// Propagates the first shard failure, and I/O errors merging worker
+/// deltas.
+pub fn run_campaign_with_options(
+    campaign: &Campaign,
+    options: &ExecOptions,
+    store: Option<&ResultStore>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let (executor, delta_root) = build_executor(campaign, options, store);
     let scenario = format!("{:016x}", campaign.scenario_hash());
     let _run_span = fnpr_obs::span("campaign.run", "campaign");
     exec::set_progress_label(Some(campaign.name.clone()));
@@ -202,7 +343,7 @@ pub fn run_campaign_with_store(
         match &campaign.workload {
             Workload::Acceptance(params) => {
                 let engine = acceptance::AcceptanceEngine::new();
-                let points = acceptance::run(params, campaign.seed, threads, &engine, store)?;
+                let points = acceptance::run(params, campaign.seed, &executor, &engine, store)?;
                 let methods: Vec<String> = params
                     .methods
                     .iter()
@@ -219,7 +360,7 @@ pub fn run_campaign_with_store(
             }
             Workload::Soundness(params) => {
                 let engine = soundness::SoundnessEngine::new();
-                let shards = soundness::run(params, campaign.seed, threads, &engine, store)?;
+                let shards = soundness::run(params, campaign.seed, &executor, &engine, store)?;
                 (
                     Vec::new(),
                     Vec::new(),
@@ -231,7 +372,7 @@ pub fn run_campaign_with_store(
             }
             Workload::Multicore(params) => {
                 let engine = multicore::MulticoreEngine::new();
-                let points = multicore::run(params, campaign.seed, threads, &engine, store)?;
+                let points = multicore::run(params, campaign.seed, &executor, &engine, store)?;
                 let methods: Vec<String> = params
                     .methods
                     .iter()
@@ -248,7 +389,7 @@ pub fn run_campaign_with_store(
             }
             Workload::Cfg(params) => {
                 let engine = cfg_workload::CfgEngine::new();
-                let points = cfg_workload::run(params, campaign.seed, threads, &engine, store)?;
+                let points = cfg_workload::run(params, campaign.seed, &executor, &engine, store)?;
                 (
                     Vec::new(),
                     Vec::new(),
@@ -261,6 +402,24 @@ pub fn run_campaign_with_store(
         };
     exec::set_progress_label(None);
     exec::set_point_histogram(None);
+    // Process backend: land every worker's private delta in the canonical
+    // store (append + dedup by key), then fold the workers' counters into
+    // the run's — a warm re-run must see every point the fleet computed.
+    if let (Some(store), Some(delta_root)) = (store, &delta_root) {
+        merge_worker_deltas(store, delta_root)?;
+    }
+    let absorbed = executor.absorbed();
+    let memo = memo + absorbed.memo_stats();
+    let store_totals = store.map(|s| {
+        let mut totals = s.stats();
+        let worker = absorbed.store_stats();
+        totals.points_restored += worker.points_restored;
+        totals.points_computed += worker.points_computed;
+        totals.bounds_restored += worker.bounds_restored;
+        totals.bounds_computed += worker.bounds_computed;
+        totals.write_errors += worker.write_errors;
+        totals
+    });
     let summary = report::summarize(
         &acceptance_points,
         &soundness_shards,
@@ -282,7 +441,8 @@ pub fn run_campaign_with_store(
             summary,
         },
         memo,
-        store: store.map(ResultStore::stats),
-        threads: threads.get(),
+        store: store_totals,
+        threads: executor.parallelism(),
+        backend: executor.name(),
     })
 }

@@ -24,10 +24,10 @@ use fnpr_synth::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::num::NonZeroUsize;
 
+use crate::backend::Executor;
 use crate::error::CampaignError;
-use crate::exec::{parallel_map, stream_seed};
+use crate::exec::stream_seed;
 use crate::memo::{Memo, ScenarioHasher};
 use crate::report::MulticorePoint;
 use crate::spec::{
@@ -73,7 +73,7 @@ struct Point {
     utilization: f64,
 }
 
-/// Runs the full grid on `threads` workers. Point order (and therefore
+/// Runs the full grid on the given executor. Point order (and therefore
 /// report order) is cores-major, then policies, allocations, utilizations.
 ///
 /// # Errors
@@ -82,10 +82,19 @@ struct Point {
 pub fn run(
     params: &MulticoreParams,
     campaign_seed: u64,
-    threads: NonZeroUsize,
+    executor: &Executor,
     engine: &MulticoreEngine,
     store: Option<&ResultStore>,
 ) -> Result<Vec<MulticorePoint>, CampaignError> {
+    let grid = grid(params);
+    executor.run(grid.len(), &|i| {
+        compute_grid_point(params, campaign_seed, grid[i], engine, store)
+    })
+}
+
+/// The flat shard list: cores-major, then policies, allocations,
+/// utilizations — the shared coordinate system of every backend.
+fn grid(params: &MulticoreParams) -> Vec<Point> {
     let mut grid = Vec::new();
     for &m in &params.cores {
         for &policy in &params.policies {
@@ -101,17 +110,48 @@ pub fn run(
             }
         }
     }
-    parallel_map(grid.len(), threads, |i| {
-        let compute = || run_point(params, campaign_seed, grid[i], engine);
-        match store {
-            Some(s) => s.get_or_compute(
-                StoreTable::MulticorePoints,
-                point_key(params, campaign_seed, grid[i]),
-                compute,
-            ),
-            None => compute(),
-        }
-    })
+    grid
+}
+
+/// Computes one shard by its flat grid index — the worker-process entry
+/// point, addressing the identical grid a local run builds.
+///
+/// # Errors
+///
+/// Rejects out-of-range shards; otherwise propagates the point's failure.
+pub(crate) fn compute_shard(
+    params: &MulticoreParams,
+    campaign_seed: u64,
+    shard: usize,
+    engine: &MulticoreEngine,
+    store: Option<&ResultStore>,
+) -> Result<MulticorePoint, CampaignError> {
+    let grid = grid(params);
+    let point = *grid.get(shard).ok_or_else(|| {
+        CampaignError::Spec(format!(
+            "shard {shard} out of range (multicore grid has {} points)",
+            grid.len()
+        ))
+    })?;
+    compute_grid_point(params, campaign_seed, point, engine, store)
+}
+
+fn compute_grid_point(
+    params: &MulticoreParams,
+    campaign_seed: u64,
+    point: Point,
+    engine: &MulticoreEngine,
+    store: Option<&ResultStore>,
+) -> Result<MulticorePoint, CampaignError> {
+    let compute = || run_point(params, campaign_seed, point, engine);
+    match store {
+        Some(s) => s.get_or_compute(
+            StoreTable::MulticorePoints,
+            point_key(params, campaign_seed, point),
+            compute,
+        ),
+        None => compute(),
+    }
 }
 
 /// Content address of one finished grid point: campaign seed, every
@@ -460,6 +500,11 @@ fn taskset_key(
 mod tests {
     use super::*;
     use crate::spec::{CampaignSpec, Workload};
+    use std::num::NonZeroUsize;
+
+    fn local(threads: usize) -> Executor {
+        Executor::local(NonZeroUsize::new(threads).unwrap())
+    }
 
     fn small_params() -> MulticoreParams {
         let spec = CampaignSpec::parse(
@@ -485,7 +530,7 @@ sim_per_point = 2
     fn points_cover_the_grid_in_order() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
+        let points = run(&params, 7, &local(2), &engine, None).unwrap();
         // 1 core count x 2 policies x 4 allocations x 1 utilization.
         assert_eq!(points.len(), 8);
         assert_eq!(points[0].policy, "fp");
@@ -505,7 +550,7 @@ sim_per_point = 2
     fn simulator_never_beats_the_bound_and_counts_migrations() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 11, NonZeroUsize::new(4).unwrap(), &engine, None).unwrap();
+        let points = run(&params, 11, &local(4), &engine, None).unwrap();
         let mut checks = 0;
         for p in &points {
             assert_eq!(p.sim_violations, 0, "Theorem 1 violated on {p:?}");
@@ -524,7 +569,7 @@ sim_per_point = 2
     fn grid_rows_share_base_task_sets_via_memo() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let _ = run(&params, 7, NonZeroUsize::new(1).unwrap(), &engine, None).unwrap();
+        let _ = run(&params, 7, &local(1), &engine, None).unwrap();
         let stats = engine.taskset_memo.stats();
         assert!(
             stats.hits > 0,
@@ -538,7 +583,7 @@ sim_per_point = 2
     fn dominance_holds_on_the_small_grid() {
         let params = small_params();
         let engine = MulticoreEngine::new();
-        let points = run(&params, 7, NonZeroUsize::new(2).unwrap(), &engine, None).unwrap();
+        let points = run(&params, 7, &local(2), &engine, None).unwrap();
         for p in &points {
             // accepted = [none, eq4, alg1, capped].
             assert!(p.accepted[1] <= p.accepted[2], "Eq.4 beat Algorithm 1");

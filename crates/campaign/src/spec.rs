@@ -104,6 +104,8 @@ pub struct CampaignSpec {
     pub store: Option<StoreSpec>,
     /// Observability settings ([`TelemetrySpec`]).
     pub telemetry: Option<TelemetrySpec>,
+    /// Executor backend selection ([`ExecutorSpec`]).
+    pub executor: Option<ExecutorSpec>,
 }
 
 /// A one-dimensional sweep axis: either an explicit `values` list or an
@@ -344,6 +346,24 @@ pub struct TelemetrySpec {
     pub progress: Option<bool>,
 }
 
+/// How campaign shards execute: the in-process thread pool (the default)
+/// or a pool of worker subprocesses re-invoking the current binary
+/// ([`crate::backend`]). Because every shard's RNG stream is a pure
+/// function of the campaign seed and its grid coordinates, backend choice
+/// (and worker count) cannot change any aggregate — so, like `[output]`,
+/// `[store]` and `[telemetry]`, this table is **not** part of
+/// [`Campaign::scenario_hash`]. The CLI's `--backend`/`--workers` flags
+/// override both fields.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutorSpec {
+    /// `"local"` (in-process threads, the default) or `"process"`
+    /// (worker subprocesses with delta stores).
+    pub backend: Option<String>,
+    /// Worker-process count for the process backend (default: the
+    /// resolved thread count).
+    pub workers: Option<usize>,
+}
+
 /// A validated campaign: defaults applied, grids expanded, invariants
 /// checked. This is what [`crate::run_campaign`] executes.
 #[derive(Debug, Clone)]
@@ -365,6 +385,14 @@ pub struct Campaign {
     /// Observability settings (raw; the CLI applies them). Excluded from
     /// [`Campaign::scenario_hash`] like the outputs and the store path.
     pub telemetry: TelemetrySpec,
+    /// Executor backend selection (raw; the runner applies defaults).
+    /// Excluded from [`Campaign::scenario_hash`] — where shards run
+    /// cannot change what they compute.
+    pub executor: ExecutorSpec,
+    /// The raw spec this campaign validated from: the process backend
+    /// re-serializes it as the worker job payload, so workers re-validate
+    /// the *identical* scenario.
+    pub source: CampaignSpec,
 }
 
 /// Validated workload parameters.
@@ -563,6 +591,17 @@ impl CampaignSpec {
         if let Some(0) = self.threads {
             return Err(CampaignError::Spec("`threads` must be >= 1".into()));
         }
+        let executor = self.executor.clone().unwrap_or_default();
+        if let Some(backend) = executor.backend.as_deref() {
+            if backend != "local" && backend != "process" {
+                return Err(CampaignError::Spec(format!(
+                    "`backend` must be \"local\" or \"process\", not \"{backend}\""
+                )));
+            }
+        }
+        if let Some(0) = executor.workers {
+            return Err(CampaignError::Spec("`workers` must be >= 1".into()));
+        }
         let store_path = match &self.store {
             None => None,
             Some(store) => match &store.path {
@@ -584,6 +623,8 @@ impl CampaignSpec {
             output: self.output.clone().unwrap_or_default(),
             store_path,
             telemetry: self.telemetry.clone().unwrap_or_default(),
+            executor,
+            source: self.clone(),
         })
     }
 
@@ -1680,6 +1721,79 @@ accesses_per_block = [0, 2]
             base.validate().unwrap().scenario_hash(),
             with_store.validate().unwrap().scenario_hash()
         );
+    }
+
+    #[test]
+    fn executor_spec_round_trips_and_validates() {
+        let spec = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
+             [executor]\nbackend = \"process\"\nworkers = 3\n",
+        )
+        .unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.executor.backend.as_deref(), Some("process"));
+        assert_eq!(campaign.executor.workers, Some(3));
+        // Absent table: everything defaulted (local threads).
+        let spec =
+            CampaignSpec::parse("workload = \"soundness\"\n[soundness]\ntrials = 3\n").unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.executor.backend, None);
+        assert_eq!(campaign.executor.workers, None);
+        // Unknown backends and zero workers are spec errors.
+        let err = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[executor]\nbackend = \"mpi\"\n",
+        )
+        .unwrap()
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("backend"), "bad message: {err}");
+        let err = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[executor]\nworkers = 0\n",
+        )
+        .unwrap()
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("workers"), "bad message: {err}");
+    }
+
+    #[test]
+    fn executor_stays_out_of_the_scenario_hash() {
+        // Placement cannot change results: every shard's streams are pure
+        // functions of (seed, coords), so local and process runs of the
+        // same spec must report the same scenario id.
+        let base = CampaignSpec {
+            seed: Some(5),
+            ..CampaignSpec::default()
+        };
+        let mut with_executor = base.clone();
+        with_executor.executor = Some(ExecutorSpec {
+            backend: Some("process".into()),
+            workers: Some(4),
+        });
+        assert_eq!(
+            base.validate().unwrap().scenario_hash(),
+            with_executor.validate().unwrap().scenario_hash()
+        );
+    }
+
+    #[test]
+    fn spec_json_round_trip_preserves_the_scenario() {
+        // The process backend ships the source spec to workers as JSON:
+        // serialize → parse → validate must land on the same scenario.
+        let spec = CampaignSpec::parse(
+            "name = \"wire\"\nseed = 99\nworkload = \"multicore\"\n\
+             [multicore]\nsets_per_point = 5\ncores = [2]\ntasks_per_core = 2\n\
+             utilizations = { values = [0.4] }\n\
+             [executor]\nbackend = \"process\"\nworkers = 2\n",
+        )
+        .unwrap();
+        let json = serde_json::to_string(&spec);
+        let reparsed = CampaignSpec::parse(&json).unwrap();
+        let a = spec.validate().unwrap();
+        let b = reparsed.validate().unwrap();
+        assert_eq!(a.scenario_hash(), b.scenario_hash());
+        assert_eq!(a.name, b.name);
+        assert_eq!(b.executor.backend.as_deref(), Some("process"));
     }
 
     #[test]

@@ -9,22 +9,45 @@
 //!
 //! # Layout
 //!
-//! One append-only text log. Each record is a single line:
+//! The store is a **directory** holding one append-only text log per
+//! [`StoreTable`] (point tables plus the shared `(curve, Q)` bounds table),
+//! so million-entry sweeps load per-table and concurrent writer *processes*
+//! never contend on one file. A legacy single-file store (every table
+//! multiplexed into one log) is migrated to the sharded layout transparently
+//! on the first writable open; [`ResultStore::open_read_only`] reads either
+//! layout without side effects.
+//!
+//! Each record is a single line:
 //!
 //! ```text
-//! FNPR1 <tag:8hex> <key:32hex> <fingerprint:16hex> <len> <sum:16hex> <payload>
+//! FNPR2 <tag:8hex> <key:32hex> <fingerprint:16hex> <stamp> <len> <sum:16hex> <payload>
 //! ```
 //!
-//! * `FNPR1` — the store **format version**; unknown versions are ignored;
-//! * `tag` — the [`StoreTable`] the entry belongs to (one store file holds
-//!   every table; notably the `(curve, Q)` bounds table is *shared* between
-//!   the `[cfg]` and soundness workloads);
+//! * `FNPR2` — the record **format version**; `FNPR1` (the stampless
+//!   predecessor) still parses with `stamp = 0`, unknown versions are
+//!   ignored;
+//! * `tag` — the [`StoreTable`] the entry belongs to (notably the
+//!   `(curve, Q)` bounds table is *shared* between the `[cfg]` and
+//!   soundness workloads);
 //! * `key` — the 128-bit content address (structural scenario hash);
 //! * `fingerprint` — the [`analysis_fingerprint`] of the writer; entries
 //!   from a different analysis version are treated as stale and recomputed;
+//! * `stamp` — unix seconds at write time, driving the `store gc` age/size
+//!   retention policies (never read into results);
 //! * `len`/`sum` — payload byte length and checksum, so truncated tails and
 //!   corrupted bytes are detected line-locally;
 //! * `payload` — the result as compact JSON (single line by construction).
+//!
+//! # Worker deltas
+//!
+//! Multi-process sweeps give each worker a [`ResultStore::open_delta`]
+//! view: the canonical store is read (read-only) to seed the index, and
+//! every write lands in the worker's **private delta directory** — same
+//! per-table layout, no cross-process contention. The coordinator then
+//! [`ResultStore::merge_delta`]s each worker's directory into the canonical
+//! store: records are appended and deduplicated by their 128-bit key
+//! (first losslessly-encoded record wins; torn delta tails and corrupt
+//! lines are skipped, never fatal).
 //!
 //! # Correctness contract
 //!
@@ -52,8 +75,13 @@ use crate::memo::ScenarioHasher;
 use crate::report::StoreStats;
 
 /// Magic token carrying the on-disk record format version. Bump on any
-/// record-layout change; old lines then read as invalid and recompute.
-pub const STORE_FORMAT: &str = "FNPR1";
+/// record-layout change; old lines then read as invalid (or, as with
+/// [`LEGACY_FORMAT`], keep a dedicated parse arm) and recompute.
+pub const STORE_FORMAT: &str = "FNPR2";
+
+/// The stampless PR-5 record format, still parsed (with `stamp = 0`) so
+/// existing stores keep restoring without a rewrite.
+pub const LEGACY_FORMAT: &str = "FNPR1";
 
 /// Version of the *result schemas* this crate writes (the point/bounds
 /// payload shapes). Folded into [`analysis_fingerprint`]; bump when a
@@ -78,10 +106,11 @@ pub fn analysis_fingerprint() -> u64 {
         .finish()
 }
 
-/// The tables a store file multiplexes. Each workload's finished grid
-/// points get their own table; [`StoreTable::Bounds`] is shared by every
-/// workload that caches `(curve, Q)` bound computations (ROADMAP follow-up
-/// (b): the `[cfg]` and soundness memos key into this one table).
+/// The tables a store multiplexes — one log file each under the store
+/// directory. Each workload's finished grid points get their own table;
+/// [`StoreTable::Bounds`] is shared by every workload that caches
+/// `(curve, Q)` bound computations (ROADMAP follow-up (b): the `[cfg]` and
+/// soundness memos key into this one table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StoreTable {
     /// Finished acceptance grid points.
@@ -128,6 +157,27 @@ impl StoreTable {
             StoreTable::CfgPoints => "cfg points",
             StoreTable::Bounds => "shared (curve, Q) bounds",
         }
+    }
+
+    /// The table's shard file name under a store directory.
+    #[must_use]
+    pub fn file_name(self) -> &'static str {
+        match self {
+            StoreTable::AcceptancePoints => "acceptance_points.tbl",
+            StoreTable::SoundnessShards => "soundness_shards.tbl",
+            StoreTable::MulticorePoints => "multicore_points.tbl",
+            StoreTable::CfgPoints => "cfg_points.tbl",
+            StoreTable::Bounds => "bounds.tbl",
+        }
+    }
+
+    /// Position in [`Self::ALL`] (file-handle and display index).
+    #[must_use]
+    pub fn index(self) -> usize {
+        StoreTable::ALL
+            .into_iter()
+            .position(|t| t == self)
+            .expect("every table is in ALL")
     }
 
     /// Whether entries of this table are whole grid points (they drive the
@@ -185,6 +235,7 @@ enum ParsedLine {
     Valid {
         tag: u32,
         key: u128,
+        stamp: u64,
         payload: String,
     },
     Stale,
@@ -196,15 +247,31 @@ enum ParsedLine {
 /// single index mutex would serialize them all.
 const INDEX_SHARDS: usize = 16;
 
+/// How this store handle touches disk.
+enum StoreMode {
+    /// The canonical sharded directory: reads and appends in place.
+    Sharded,
+    /// Index only — no append handles, no healing, no migration. Serves
+    /// `store stats` on either layout (including a legacy single file)
+    /// without side effects.
+    ReadOnly,
+    /// A worker's view: index seeded from the canonical store, appends
+    /// into a private delta directory for the coordinator to merge.
+    Delta { delta_dir: PathBuf },
+}
+
 /// The persistent, content-addressed result store: an in-memory index over
-/// an append-only log file. Shared by reference across worker threads;
-/// the index is sharded so lookups on distinct keys do not contend (the
-/// append-only file itself is necessarily a single writer).
+/// per-table append-only log files. Shared by reference across worker
+/// threads; the index is sharded so lookups on distinct keys do not contend
+/// (each table's append file is necessarily a single writer per process —
+/// cross-process writers use delta directories instead).
 pub struct ResultStore {
     path: PathBuf,
+    mode: StoreMode,
     fingerprint: u64,
     entries: Vec<Mutex<HashMap<(u32, u128), String>>>,
-    file: Mutex<File>,
+    /// Append handles in [`StoreTable::ALL`] order; `None` when read-only.
+    files: Option<Vec<Mutex<File>>>,
     // Counters (informational; never part of deterministic aggregates).
     points_restored: AtomicU64,
     points_computed: AtomicU64,
@@ -225,17 +292,28 @@ impl fmt::Debug for ResultStore {
     }
 }
 
+/// Counts accumulated while loading log files.
+#[derive(Default)]
+struct LoadCounts {
+    invalid: u64,
+    stale: u64,
+    healed: u64,
+}
+
 impl ResultStore {
     /// Opens (creating if absent) the store at `path` under the current
-    /// build's [`analysis_fingerprint`]. Existing content is indexed;
-    /// truncated, corrupt, unknown-version or wrong-fingerprint lines are
-    /// counted and skipped — they can only cause recomputation, never wrong
-    /// data.
+    /// build's [`analysis_fingerprint`]. `path` is the store *directory*
+    /// (one log file per table); a legacy single-file store at `path` is
+    /// migrated to the sharded layout first (the original is preserved as
+    /// `<path>.legacy` until the migration completes). Existing content is
+    /// indexed; truncated, corrupt, unknown-version or wrong-fingerprint
+    /// lines are counted and skipped — they can only cause recomputation,
+    /// never wrong data.
     ///
     /// # Errors
     ///
-    /// Real I/O failures only (unreadable existing file, uncreatable file);
-    /// corrupt *content* is not an error.
+    /// Real I/O failures only (unreadable existing files, uncreatable
+    /// directory); corrupt *content* is not an error.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         Self::open_with_fingerprint(path, analysis_fingerprint())
     }
@@ -247,71 +325,179 @@ impl ResultStore {
     ///
     /// As [`Self::open`].
     pub fn open_with_fingerprint(path: &Path, fingerprint: u64) -> std::io::Result<Self> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        migrate_legacy_if_needed(path)?;
+        std::fs::create_dir_all(path)?;
         let mut entries: Vec<HashMap<(u32, u128), String>> =
             (0..INDEX_SHARDS).map(|_| HashMap::new()).collect();
-        let mut invalid = 0u64;
-        let mut stale = 0u64;
-        let mut unterminated = false;
-        match std::fs::read(path) {
-            Ok(bytes) => {
-                unterminated = bytes.last().is_some_and(|&b| b != b'\n');
-                // Lossy decoding: a line with invalid UTF-8 cannot checksum
-                // correctly and parses as invalid, which is exactly right.
-                let text = String::from_utf8_lossy(&bytes);
-                for line in text.lines() {
-                    if line.is_empty() {
-                        continue;
-                    }
-                    match parse_record(line, fingerprint) {
-                        ParsedLine::Valid { tag, key, payload } => {
-                            // Later lines supersede earlier ones (append-only
-                            // upgrades, e.g. a bounds entry completed by a
-                            // soundness run).
-                            entries[index_shard(key)].insert((tag, key), payload);
-                        }
-                        ParsedLine::Stale => stale += 1,
-                        ParsedLine::Invalid => invalid += 1,
-                    }
-                }
+        let mut counts = LoadCounts::default();
+        let mut files = Vec::with_capacity(StoreTable::ALL.len());
+        for table in StoreTable::ALL {
+            let file_path = path.join(table.file_name());
+            let unterminated = load_log_file(&file_path, fingerprint, &mut entries, &mut counts)?;
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&file_path)?;
+            if unterminated {
+                // A crashed writer left a torn final line (already counted
+                // as invalid above); terminate it so healing appends start
+                // on a fresh line instead of gluing onto the wreckage.
+                file.write_all(b"\n")?;
+                counts.healed += 1;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+            files.push(Mutex::new(file));
         }
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-        if unterminated {
-            // A crashed writer left a torn final line (already counted as
-            // invalid above); terminate it so healing appends start on a
-            // fresh line instead of gluing onto the wreckage.
-            file.write_all(b"\n")?;
-            fnpr_obs::counter!("campaign.store.healed").incr();
+        counts.publish();
+        Ok(Self::assemble(
+            path,
+            StoreMode::Sharded,
+            fingerprint,
+            entries,
+            Some(files),
+            &counts,
+        ))
+    }
+
+    /// Opens the store at `path` for reading only — **no** migration, no
+    /// tail healing, no append handles; a legacy single-file store is read
+    /// in place. This is what `store stats` uses so inspecting a store
+    /// never mutates it. [`Self::put`] on a read-only store counts a write
+    /// error and drops the value.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures reading existing files.
+    pub fn open_read_only(path: &Path) -> std::io::Result<Self> {
+        Self::open_read_only_with_fingerprint(path, analysis_fingerprint())
+    }
+
+    /// [`Self::open_read_only`] with an explicit fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open_read_only`].
+    pub fn open_read_only_with_fingerprint(path: &Path, fingerprint: u64) -> std::io::Result<Self> {
+        let mut entries: Vec<HashMap<(u32, u128), String>> =
+            (0..INDEX_SHARDS).map(|_| HashMap::new()).collect();
+        let mut counts = LoadCounts::default();
+        load_store_tree(path, fingerprint, &mut entries, &mut counts)?;
+        counts.publish();
+        Ok(Self::assemble(
+            path,
+            StoreMode::ReadOnly,
+            fingerprint,
+            entries,
+            None,
+            &counts,
+        ))
+    }
+
+    /// Opens a worker's **delta view**: the canonical store at `canonical`
+    /// (either layout) seeds the index read-only, and every write appends
+    /// into `delta_dir` — same per-table layout, private to this worker, so
+    /// concurrent worker processes never contend on the canonical files.
+    /// The coordinator folds the delta back with [`Self::merge_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures reading the canonical store or creating the delta
+    /// directory.
+    pub fn open_delta(canonical: &Path, delta_dir: &Path) -> std::io::Result<Self> {
+        Self::open_delta_with_fingerprint(canonical, delta_dir, analysis_fingerprint())
+    }
+
+    /// [`Self::open_delta`] with an explicit fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open_delta`].
+    pub fn open_delta_with_fingerprint(
+        canonical: &Path,
+        delta_dir: &Path,
+        fingerprint: u64,
+    ) -> std::io::Result<Self> {
+        let mut entries: Vec<HashMap<(u32, u128), String>> =
+            (0..INDEX_SHARDS).map(|_| HashMap::new()).collect();
+        let mut counts = LoadCounts::default();
+        load_store_tree(canonical, fingerprint, &mut entries, &mut counts)?;
+        std::fs::create_dir_all(delta_dir)?;
+        let mut files = Vec::with_capacity(StoreTable::ALL.len());
+        for table in StoreTable::ALL {
+            let file_path = delta_dir.join(table.file_name());
+            // Delta entries written after the canonical load supersede it
+            // in the index, mirroring the within-process upgrade semantics.
+            let unterminated = load_log_file(&file_path, fingerprint, &mut entries, &mut counts)?;
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&file_path)?;
+            if unterminated {
+                file.write_all(b"\n")?;
+                counts.healed += 1;
+            }
+            files.push(Mutex::new(file));
         }
-        fnpr_obs::counter!("campaign.store.invalid").add(invalid);
-        fnpr_obs::counter!("campaign.store.stale").add(stale);
-        Ok(Self {
+        counts.publish();
+        Ok(Self::assemble(
+            canonical,
+            StoreMode::Delta {
+                delta_dir: delta_dir.to_path_buf(),
+            },
+            fingerprint,
+            entries,
+            Some(files),
+            &counts,
+        ))
+    }
+
+    fn assemble(
+        path: &Path,
+        mode: StoreMode,
+        fingerprint: u64,
+        entries: Vec<HashMap<(u32, u128), String>>,
+        files: Option<Vec<Mutex<File>>>,
+        counts: &LoadCounts,
+    ) -> Self {
+        Self {
             path: path.to_path_buf(),
+            mode,
             fingerprint,
             entries: entries.into_iter().map(Mutex::new).collect(),
-            file: Mutex::new(file),
+            files,
             points_restored: AtomicU64::new(0),
             points_computed: AtomicU64::new(0),
             bounds_restored: AtomicU64::new(0),
             bounds_computed: AtomicU64::new(0),
-            invalid_entries: AtomicU64::new(invalid),
-            stale_entries: AtomicU64::new(stale),
+            invalid_entries: AtomicU64::new(counts.invalid),
+            stale_entries: AtomicU64::new(counts.stale),
             write_errors: AtomicU64::new(0),
             warned_write: AtomicBool::new(false),
-        })
+        }
     }
 
-    /// The store's file path.
+    /// The canonical store path (the directory, or the legacy file for a
+    /// read-only legacy open).
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// `true` when this handle reads the sharded directory layout (as
+    /// opposed to a legacy single file opened read-only).
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        !self.path.is_file()
+    }
+
+    /// Where appends from this handle land: the delta directory for a
+    /// worker view, the store directory otherwise, `None` when read-only.
+    #[must_use]
+    pub fn write_dir(&self) -> Option<PathBuf> {
+        match &self.mode {
+            StoreMode::Sharded => Some(self.path.clone()),
+            StoreMode::ReadOnly => None,
+            StoreMode::Delta { delta_dir } => Some(delta_dir.clone()),
+        }
     }
 
     /// Fetches and decodes an entry; `None` on absence *or* undecodable
@@ -358,12 +544,22 @@ impl ResultStore {
                 return;
             }
         }
-        let line = format_record(table.tag(), key, self.fingerprint, &payload);
-        // Hold the file lock across the index insert too: `gc` snapshots
-        // the index under the file lock, so an entry must never be on disk
-        // without being indexed (the reverse order would let a concurrent
-        // gc rewrite the file without this line and then lose it).
-        let mut file = self.file.lock().expect("store file poisoned");
+        let Some(files) = &self.files else {
+            self.count_write_error("store is read-only");
+            return;
+        };
+        let line = format_record(
+            table.tag(),
+            key,
+            self.fingerprint,
+            fnpr_obs::ledger::unix_now(),
+            &payload,
+        );
+        // Hold the table's file lock across the index insert too: `gc`
+        // snapshots under the file locks, so an entry must never be on
+        // disk without being indexed (the reverse order would let a
+        // concurrent gc rewrite the file without this line and lose it).
+        let mut file = files[table.index()].lock().expect("store file poisoned");
         if let Err(e) = file.write_all(line.as_bytes()) {
             self.count_write_error(&e.to_string());
             return;
@@ -466,83 +662,358 @@ impl ResultStore {
         StoreTable::ALL.into_iter().zip(counts).collect()
     }
 
-    /// Rewrites the log keeping exactly the live entries: duplicates
-    /// (superseded appends), invalid, stale and unknown-version lines are
-    /// dropped. The rewrite goes through a sibling temp file + rename, so a
-    /// crash mid-gc leaves either the old or the new file, never a torn
-    /// one. Returns what was scanned, kept, dropped and reclaimed.
+    /// Per-shard file inventory for `store stats`: each table's file path,
+    /// on-disk size and live record count. A legacy single-file store
+    /// (read-only open) reports one row with `table = None` covering the
+    /// whole file.
+    #[must_use]
+    pub fn shard_files(&self) -> Vec<ShardFileInfo> {
+        if self.path.is_file() {
+            return vec![ShardFileInfo {
+                table: None,
+                path: self.path.clone(),
+                bytes: std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0),
+                records: self.table_counts().into_iter().map(|(_, n)| n).sum(),
+            }];
+        }
+        self.table_counts()
+            .into_iter()
+            .map(|(table, records)| {
+                let path = self.path.join(table.file_name());
+                ShardFileInfo {
+                    table: Some(table),
+                    path: path.clone(),
+                    bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                    records,
+                }
+            })
+            .collect()
+    }
+
+    /// Merges one worker's delta directory into this (writable, sharded)
+    /// store: every valid, current-fingerprint delta record whose key is
+    /// **not** already present is appended and indexed; duplicate keys keep
+    /// the first losslessly-encoded record (the canonical entry, or the
+    /// earliest merged delta line); torn tails, corrupt lines and stale
+    /// fingerprints are counted and skipped. Merging the same delta twice
+    /// is a no-op (everything dedupes), so re-merges after a coordinator
+    /// crash are safe.
     ///
     /// # Errors
     ///
-    /// I/O failures writing or renaming the new file.
-    pub fn gc(&self) -> std::io::Result<GcReport> {
-        // The file lock is held across the whole rewrite, and `put` holds
-        // it across both its append *and* its index insert — so every
-        // entry on disk is indexed by the time this snapshot runs, and no
-        // concurrent put can land a line the rewrite would drop.
-        let mut file = self.file.lock().expect("store file poisoned");
-        let (scanned, bytes_before) = match std::fs::read(&self.path) {
-            Ok(bytes) => {
-                let lines = String::from_utf8_lossy(&bytes)
-                    .lines()
-                    .filter(|l| !l.is_empty())
-                    .count();
-                (lines, bytes.len() as u64)
-            }
-            Err(_) => (0, 0),
+    /// Real I/O failures reading delta files or appending to the store;
+    /// also if this handle is read-only.
+    pub fn merge_delta(&self, delta_dir: &Path) -> std::io::Result<MergeReport> {
+        let Some(files) = &self.files else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "cannot merge into a read-only store",
+            ));
         };
-        let mut live: Vec<((u32, u128), String)> = Vec::new();
+        let mut report = MergeReport::default();
+        for table in StoreTable::ALL {
+            let delta_path = delta_dir.join(table.file_name());
+            let bytes = match std::fs::read(&delta_path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let text = String::from_utf8_lossy(&bytes);
+            // A torn final line (no trailing newline) parses as invalid
+            // below — merge heals around it rather than rejecting the
+            // whole delta.
+            for line in text.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_record(line, self.fingerprint) {
+                    ParsedLine::Valid {
+                        tag,
+                        key,
+                        stamp,
+                        payload,
+                    } => {
+                        if StoreTable::from_tag(tag) != Some(table) {
+                            // A record filed under the wrong table file
+                            // still merges into its own table; count it so
+                            // misplaced writers are visible.
+                            report.misfiled += 1;
+                        }
+                        // First losslessly-encoded record wins: hold the
+                        // file lock across the presence check, append and
+                        // index insert (same invariant as `put`).
+                        let target = StoreTable::from_tag(tag).map_or(table, |t| t);
+                        let mut file = files[target.index()].lock().expect("store file poisoned");
+                        let shard = &self.entries[index_shard(key)];
+                        let present = shard
+                            .lock()
+                            .expect("store index poisoned")
+                            .contains_key(&(tag, key));
+                        if present {
+                            report.duplicate += 1;
+                            continue;
+                        }
+                        let line = format_record(tag, key, self.fingerprint, stamp, &payload);
+                        file.write_all(line.as_bytes())?;
+                        shard
+                            .lock()
+                            .expect("store index poisoned")
+                            .insert((tag, key), payload);
+                        report.merged += 1;
+                    }
+                    ParsedLine::Stale => report.stale += 1,
+                    ParsedLine::Invalid => report.invalid += 1,
+                }
+            }
+        }
+        fnpr_obs::counter!("campaign.store.shard.delta.merged").add(report.merged);
+        fnpr_obs::counter!("campaign.store.shard.delta.duplicate").add(report.duplicate);
+        fnpr_obs::counter!("campaign.store.shard.delta.invalid").add(report.invalid);
+        fnpr_obs::counter!("campaign.store.shard.delta.stale").add(report.stale);
+        Ok(report)
+    }
+
+    /// [`Self::gc_with`] under the default (structural-only) policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::gc_with`].
+    pub fn gc(&self) -> std::io::Result<GcReport> {
+        self.gc_with(GcPolicy::default())
+    }
+
+    /// Rewrites every table file keeping exactly the live entries:
+    /// duplicates (superseded appends), invalid, stale and unknown-version
+    /// lines are dropped, then the retention `policy` evicts live entries
+    /// **oldest-first** (by write stamp; `FNPR1`-era records carry stamp 0
+    /// and evict first). Each rewrite goes through a sibling temp file +
+    /// rename, so a crash mid-gc leaves either the old or the new file,
+    /// never a torn one. Returns what was scanned, kept, dropped, evicted
+    /// and reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or renaming the new files; also if this handle
+    /// is read-only.
+    pub fn gc_with(&self, policy: GcPolicy) -> std::io::Result<GcReport> {
+        let Some(files) = &self.files else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "cannot gc a read-only store",
+            ));
+        };
+        // Hold every table's file lock across the whole rewrite; `put`
+        // holds the lock across both its append *and* its index insert —
+        // so every entry on disk is indexed by the time this snapshot
+        // runs, and no concurrent put can land a line the rewrite drops.
+        let mut guards: Vec<_> = files
+            .iter()
+            .map(|f| f.lock().expect("store file poisoned"))
+            .collect();
+        let mut scanned = 0usize;
+        let mut bytes_before = 0u64;
+        // Latest valid line per (tag, key), with its stamp — re-parsed
+        // from disk (not the index) because stamps only live in the files.
+        let mut live: HashMap<(u32, u128), (u64, String)> = HashMap::new();
+        for table in StoreTable::ALL {
+            let file_path = self.table_file_path(table);
+            let bytes = match std::fs::read(&file_path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            bytes_before += bytes.len() as u64;
+            let text = String::from_utf8_lossy(&bytes);
+            for line in text.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                scanned += 1;
+                if let ParsedLine::Valid {
+                    tag,
+                    key,
+                    stamp,
+                    payload,
+                } = parse_record(line, self.fingerprint)
+                {
+                    live.insert((tag, key), (stamp, payload));
+                }
+            }
+        }
+        let structurally_live = live.len();
+
+        // Retention: age cutoff first, then oldest-first size eviction.
+        let mut evicted = 0usize;
+        if let Some(days) = policy.max_age_days {
+            let cutoff =
+                fnpr_obs::ledger::unix_now().saturating_sub((days * 86_400.0).max(0.0) as u64);
+            let before = live.len();
+            live.retain(|_, (stamp, _)| *stamp >= cutoff);
+            evicted += before - live.len();
+        }
+        let mut records: Vec<((u32, u128), (u64, String))> = live.into_iter().collect();
+        // Deterministic order for both eviction and output (the map is a
+        // HashMap): oldest first, then (tag, key).
+        records.sort_by_key(|a| (a.1 .0, a.0));
+        if let Some(max_bytes) = policy.max_bytes {
+            let mut sizes: Vec<u64> = records
+                .iter()
+                .map(|((tag, key), (stamp, payload))| {
+                    format_record(*tag, *key, self.fingerprint, *stamp, payload).len() as u64
+                })
+                .collect();
+            let mut total: u64 = sizes.iter().sum();
+            while total > max_bytes && !records.is_empty() {
+                records.remove(0);
+                total -= sizes.remove(0);
+                evicted += 1;
+            }
+        }
+
+        // Rewrite each table file (sorted by (tag, key) for deterministic
+        // output), then swap in the index matching the survivors.
+        records.sort_by_key(|&((tag, key), _)| (tag, key));
+        let kept = records.len();
+        let mut per_table: Vec<String> = vec![String::new(); StoreTable::ALL.len()];
+        for ((tag, key), (stamp, payload)) in &records {
+            let idx = StoreTable::from_tag(*tag).map_or(0, StoreTable::index);
+            per_table[idx].push_str(&format_record(
+                *tag,
+                *key,
+                self.fingerprint,
+                *stamp,
+                payload,
+            ));
+        }
+        let mut bytes_after = 0u64;
+        for (i, table) in StoreTable::ALL.into_iter().enumerate() {
+            let file_path = self.table_file_path(table);
+            let tmp = path_with_suffix(&file_path, ".gc-tmp");
+            std::fs::write(&tmp, &per_table[i])?;
+            std::fs::rename(&tmp, &file_path)?;
+            bytes_after += per_table[i].len() as u64;
+            // Reopen the append handle on the fresh file.
+            *guards[i] = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&file_path)?;
+        }
         for shard in &self.entries {
-            let entries = shard.lock().expect("store index poisoned");
-            live.extend(entries.iter().map(|(k, v)| (*k, v.clone())));
+            shard.lock().expect("store index poisoned").clear();
         }
-        // Deterministic output order (the index shards are HashMaps).
-        live.sort_by_key(|&((tag, key), _)| (tag, key));
-        let kept = live.len();
-        let mut out = String::new();
-        for ((tag, key), payload) in live {
-            out.push_str(&format_record(tag, key, self.fingerprint, &payload));
+        for ((tag, key), (_, payload)) in records {
+            self.entries[index_shard(key)]
+                .lock()
+                .expect("store index poisoned")
+                .insert((tag, key), payload);
         }
-        let tmp = self.path.with_extension("gc-tmp");
-        std::fs::write(&tmp, &out)?;
-        std::fs::rename(&tmp, &self.path)?;
-        // Reopen the append handle on the fresh file.
-        *file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
         let report = GcReport {
             scanned,
             kept,
-            dropped: scanned.saturating_sub(kept),
+            dropped: scanned.saturating_sub(structurally_live),
+            evicted,
             bytes_before,
-            bytes_after: out.len() as u64,
+            bytes_after,
         };
         fnpr_obs::counter!("campaign.store.gc.scanned").add(report.scanned as u64);
         fnpr_obs::counter!("campaign.store.gc.dropped").add(report.dropped as u64);
+        fnpr_obs::counter!("campaign.store.gc.evicted").add(report.evicted as u64);
         fnpr_obs::counter!("campaign.store.gc.bytes_reclaimed").add(report.bytes_reclaimed());
         Ok(report)
     }
+
+    /// Where `table`'s log file lives for this handle's write view.
+    fn table_file_path(&self, table: StoreTable) -> PathBuf {
+        match &self.mode {
+            StoreMode::Delta { delta_dir } => delta_dir.join(table.file_name()),
+            _ => self.path.join(table.file_name()),
+        }
+    }
 }
 
-/// What one [`ResultStore::gc`] pass scanned, kept and reclaimed.
+impl LoadCounts {
+    fn publish(&self) {
+        fnpr_obs::counter!("campaign.store.invalid").add(self.invalid);
+        fnpr_obs::counter!("campaign.store.stale").add(self.stale);
+        fnpr_obs::counter!("campaign.store.healed").add(self.healed);
+    }
+}
+
+/// One row of [`ResultStore::shard_files`].
+#[derive(Debug, Clone)]
+pub struct ShardFileInfo {
+    /// The table this file holds; `None` for a legacy single-file store
+    /// (every table multiplexed together).
+    pub table: Option<StoreTable>,
+    /// The file's path.
+    pub path: PathBuf,
+    /// On-disk size in bytes (0 if the file does not exist yet).
+    pub bytes: u64,
+    /// Live (valid, current-fingerprint) records indexed from this file's
+    /// table(s).
+    pub records: usize,
+}
+
+/// Retention policy for [`ResultStore::gc_with`]: both knobs optional,
+/// both evicting *live* entries oldest-first on top of the structural
+/// cleanup (superseded/invalid/stale lines always drop).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GcPolicy {
+    /// Evict entries older than this many days (by write stamp).
+    pub max_age_days: Option<f64>,
+    /// Evict oldest entries until the store fits in this many bytes.
+    pub max_bytes: Option<u64>,
+}
+
+/// What one [`ResultStore::merge_delta`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Records appended to the canonical store.
+    pub merged: u64,
+    /// Records skipped because their key was already present (in the
+    /// canonical store or an earlier delta line).
+    pub duplicate: u64,
+    /// Unparseable lines skipped (torn tails, corruption, unknown
+    /// versions).
+    pub invalid: u64,
+    /// Well-formed lines from another analysis fingerprint, skipped.
+    pub stale: u64,
+    /// Valid records found in the wrong table's delta file (merged into
+    /// their own table regardless).
+    pub misfiled: u64,
+}
+
+impl MergeReport {
+    /// The one-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "merged {} records ({} duplicate, {} invalid, {} stale skipped)",
+            self.merged, self.duplicate, self.invalid, self.stale
+        )
+    }
+}
+
+/// What one [`ResultStore::gc_with`] pass scanned, kept and reclaimed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GcReport {
-    /// Non-empty lines in the log before the rewrite.
+    /// Non-empty lines across all table files before the rewrite.
     pub scanned: usize,
     /// Live entries written back.
     pub kept: usize,
-    /// Lines dropped (superseded duplicates, invalid, stale, unknown
-    /// versions and torn-tail terminators).
+    /// Lines dropped structurally (superseded duplicates, invalid, stale,
+    /// unknown versions and torn-tail terminators).
     pub dropped: usize,
-    /// Log size in bytes before the rewrite.
+    /// Live entries evicted by the retention policy (oldest-first).
+    pub evicted: usize,
+    /// Total table-file bytes before the rewrite.
     pub bytes_before: u64,
-    /// Log size in bytes after the rewrite.
+    /// Total table-file bytes after the rewrite.
     pub bytes_after: u64,
 }
 
 impl GcReport {
-    /// Bytes the rewrite gave back (0 if the log somehow grew).
+    /// Bytes the rewrite gave back (0 if the store somehow grew).
     #[must_use]
     pub fn bytes_reclaimed(&self) -> u64 {
         self.bytes_before.saturating_sub(self.bytes_after)
@@ -552,10 +1023,11 @@ impl GcReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "scanned {} lines, kept {} entries, dropped {}; {} -> {} bytes ({} reclaimed)",
+            "scanned {} lines, kept {} entries, dropped {}, evicted {}; {} -> {} bytes ({} reclaimed)",
             self.scanned,
             self.kept,
             self.dropped,
+            self.evicted,
             self.bytes_before,
             self.bytes_after,
             self.bytes_reclaimed()
@@ -563,17 +1035,153 @@ impl GcReport {
     }
 }
 
+/// Loads one log file into the index shards; returns whether the file
+/// ended mid-line (a torn tail the caller may heal). Missing files load as
+/// empty.
+fn load_log_file(
+    path: &Path,
+    fingerprint: u64,
+    entries: &mut [HashMap<(u32, u128), String>],
+    counts: &mut LoadCounts,
+) -> std::io::Result<bool> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    let unterminated = bytes.last().is_some_and(|&b| b != b'\n');
+    // Lossy decoding: a line with invalid UTF-8 cannot checksum correctly
+    // and parses as invalid, which is exactly right.
+    let text = String::from_utf8_lossy(&bytes);
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_record(line, fingerprint) {
+            ParsedLine::Valid {
+                tag, key, payload, ..
+            } => {
+                // Later lines supersede earlier ones (append-only upgrades,
+                // e.g. a bounds entry completed by a soundness run).
+                entries[index_shard(key)].insert((tag, key), payload);
+            }
+            ParsedLine::Stale => counts.stale += 1,
+            ParsedLine::Invalid => counts.invalid += 1,
+        }
+    }
+    Ok(unterminated)
+}
+
+/// Loads a store at `path` in either layout — a sharded directory or a
+/// legacy single file — without mutating anything.
+fn load_store_tree(
+    path: &Path,
+    fingerprint: u64,
+    entries: &mut [HashMap<(u32, u128), String>],
+    counts: &mut LoadCounts,
+) -> std::io::Result<()> {
+    if path.is_file() {
+        load_log_file(path, fingerprint, entries, counts)?;
+        return Ok(());
+    }
+    if path.is_dir() {
+        for table in StoreTable::ALL {
+            load_log_file(&path.join(table.file_name()), fingerprint, entries, counts)?;
+        }
+    }
+    Ok(())
+}
+
+/// Migrates a legacy single-file store at `path` into the sharded
+/// directory layout, in place. Crash-safe by ordering:
+///
+/// 1. the sharded files are written into `<path>.migrate-tmp`;
+/// 2. the legacy file is renamed to `<path>.legacy`;
+/// 3. the temp directory is renamed to `path`;
+/// 4. the `.legacy` backup is removed.
+///
+/// A crash between (2) and (3) is recovered on the next open by renaming
+/// the backup back; a crash between (3) and (4) just leaves a stray backup
+/// that the next open deletes. Parseable records of **any** fingerprint
+/// are carried over (stale entries remain gc-able, exactly as they were in
+/// the legacy file); unparseable lines are dropped and counted. `FNPR1`
+/// records are re-stamped with the migration time (their age was never
+/// recorded).
+fn migrate_legacy_if_needed(path: &Path) -> std::io::Result<()> {
+    let backup = path_with_suffix(path, ".legacy");
+    if backup.is_file() && !path.exists() {
+        // Crashed between steps (2) and (3): restore and redo.
+        std::fs::rename(&backup, path)?;
+    }
+    if path.is_dir() {
+        if backup.is_file() {
+            // Crashed between steps (3) and (4): migration completed.
+            std::fs::remove_file(&backup)?;
+        }
+        return Ok(());
+    }
+    if !path.is_file() {
+        return Ok(()); // Fresh store: nothing to migrate.
+    }
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let now = fnpr_obs::ledger::unix_now();
+    let mut per_table: Vec<String> = vec![String::new(); StoreTable::ALL.len()];
+    let mut migrated = 0u64;
+    let mut dropped = 0u64;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        // Carry over any well-formed record regardless of fingerprint:
+        // parse against an impossible fingerprint and accept `Stale` by
+        // re-parsing the actual fields.
+        match parse_any_fingerprint(line) {
+            Some((tag, key, fp, stamp, payload)) => {
+                let idx = StoreTable::from_tag(tag).map_or(0, StoreTable::index);
+                let stamp = if stamp == 0 { now } else { stamp };
+                per_table[idx].push_str(&format_record(tag, key, fp, stamp, &payload));
+                migrated += 1;
+            }
+            None => dropped += 1,
+        }
+    }
+    let tmp = path_with_suffix(path, ".migrate-tmp");
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)?;
+    }
+    std::fs::create_dir_all(&tmp)?;
+    for (i, table) in StoreTable::ALL.into_iter().enumerate() {
+        std::fs::write(tmp.join(table.file_name()), &per_table[i])?;
+    }
+    std::fs::rename(path, &backup)?;
+    std::fs::rename(&tmp, path)?;
+    std::fs::remove_file(&backup)?;
+    fnpr_obs::counter!("campaign.store.shard.migrated").add(migrated);
+    fnpr_obs::counter!("campaign.store.shard.migrate_dropped").add(dropped);
+    Ok(())
+}
+
+/// `path` with `suffix` appended to its final component (not an extension
+/// swap: `store.log` + `.legacy` = `store.log.legacy`, so sibling stores
+/// `store.log` / `store.db` can never collide on one backup name).
+fn path_with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
 /// Formats one record line (trailing newline included).
-fn format_record(tag: u32, key: u128, fingerprint: u64, payload: &str) -> String {
+fn format_record(tag: u32, key: u128, fingerprint: u64, stamp: u64, payload: &str) -> String {
     format!(
-        "{STORE_FORMAT} {tag:08x} {key:032x} {fingerprint:016x} {len} {sum:016x} {payload}\n",
+        "{STORE_FORMAT} {tag:08x} {key:032x} {fingerprint:016x} {stamp} {len} {sum:016x} {payload}\n",
         len = payload.len(),
-        sum = checksum(tag, key, fingerprint, payload),
+        sum = checksum_v2(tag, key, fingerprint, stamp, payload),
     )
 }
 
-/// Record checksum over **every** content-bearing field — table tag, key,
-/// fingerprint and payload text — so a bit flip anywhere in the line
+/// `FNPR1` record checksum over every content-bearing field — table tag,
+/// key, fingerprint and payload text — so a bit flip anywhere in the line
 /// (not just the payload) fails validation and counts as invalid, rather
 /// than indexing a well-formed payload under a corrupted key or
 /// misclassifying its analysis version.
@@ -582,6 +1190,17 @@ fn checksum(tag: u32, key: u128, fingerprint: u64, payload: &str) -> u64 {
         .word(u64::from(tag))
         .word128(key)
         .word(fingerprint)
+        .str(payload)
+        .finish()
+}
+
+/// `FNPR2` record checksum: the [`checksum`] fields plus the write stamp.
+fn checksum_v2(tag: u32, key: u128, fingerprint: u64, stamp: u64, payload: &str) -> u64 {
+    ScenarioHasher::new(TAG_CHECKSUM)
+        .word(u64::from(tag))
+        .word128(key)
+        .word(fingerprint)
+        .word(stamp)
         .str(payload)
         .finish()
 }
@@ -595,45 +1214,94 @@ fn index_shard(key: u128) -> usize {
 /// unknown format token, bad hex, wrong payload length (truncation), wrong
 /// checksum (corruption), unknown table tag — is [`ParsedLine::Invalid`];
 /// a well-formed line from another analysis version is
-/// [`ParsedLine::Stale`].
+/// [`ParsedLine::Stale`]. Both `FNPR2` (stamped) and legacy `FNPR1`
+/// (stamp 0) records parse.
 fn parse_record(line: &str, fingerprint: u64) -> ParsedLine {
-    let mut parts = line.splitn(7, ' ');
-    let (Some(magic), Some(tag), Some(key), Some(fp), Some(len), Some(sum), Some(payload)) = (
-        parts.next(),
-        parts.next(),
-        parts.next(),
-        parts.next(),
-        parts.next(),
-        parts.next(),
-        parts.next(),
-    ) else {
-        return ParsedLine::Invalid;
+    match parse_any_fingerprint(line) {
+        Some((tag, key, fp, stamp, payload)) => {
+            if fp != fingerprint {
+                ParsedLine::Stale
+            } else {
+                ParsedLine::Valid {
+                    tag,
+                    key,
+                    stamp,
+                    payload,
+                }
+            }
+        }
+        None => ParsedLine::Invalid,
+    }
+}
+
+/// The fingerprint-agnostic half of [`parse_record`]: structural and
+/// checksum validation only. `None` = invalid line.
+#[allow(clippy::type_complexity)]
+fn parse_any_fingerprint(line: &str) -> Option<(u32, u128, u64, u64, String)> {
+    let (magic, rest) = line.split_once(' ')?;
+    let v2 = match magic {
+        m if m == STORE_FORMAT => true,
+        m if m == LEGACY_FORMAT => false,
+        _ => return None,
     };
-    if magic != STORE_FORMAT {
-        return ParsedLine::Invalid;
-    }
-    let (Ok(tag), Ok(key), Ok(fp), Ok(len), Ok(sum)) = (
-        u32::from_str_radix(tag, 16),
-        u128::from_str_radix(key, 16),
-        u64::from_str_radix(fp, 16),
-        len.parse::<usize>(),
-        u64::from_str_radix(sum, 16),
-    ) else {
-        return ParsedLine::Invalid;
-    };
-    if StoreTable::from_tag(tag).is_none()
-        || payload.len() != len
-        || checksum(tag, key, fp, payload) != sum
-    {
-        return ParsedLine::Invalid;
-    }
-    if fp != fingerprint {
-        return ParsedLine::Stale;
-    }
-    ParsedLine::Valid {
-        tag,
-        key,
-        payload: payload.to_string(),
+    if v2 {
+        let mut parts = rest.splitn(7, ' ');
+        let (Some(tag), Some(key), Some(fp), Some(stamp), Some(len), Some(sum), Some(payload)) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return None;
+        };
+        let (Ok(tag), Ok(key), Ok(fp), Ok(stamp), Ok(len), Ok(sum)) = (
+            u32::from_str_radix(tag, 16),
+            u128::from_str_radix(key, 16),
+            u64::from_str_radix(fp, 16),
+            stamp.parse::<u64>(),
+            len.parse::<usize>(),
+            u64::from_str_radix(sum, 16),
+        ) else {
+            return None;
+        };
+        if StoreTable::from_tag(tag).is_none()
+            || payload.len() != len
+            || checksum_v2(tag, key, fp, stamp, payload) != sum
+        {
+            return None;
+        }
+        Some((tag, key, fp, stamp, payload.to_string()))
+    } else {
+        let mut parts = rest.splitn(6, ' ');
+        let (Some(tag), Some(key), Some(fp), Some(len), Some(sum), Some(payload)) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return None;
+        };
+        let (Ok(tag), Ok(key), Ok(fp), Ok(len), Ok(sum)) = (
+            u32::from_str_radix(tag, 16),
+            u128::from_str_radix(key, 16),
+            u64::from_str_radix(fp, 16),
+            len.parse::<usize>(),
+            u64::from_str_radix(sum, 16),
+        ) else {
+            return None;
+        };
+        if StoreTable::from_tag(tag).is_none()
+            || payload.len() != len
+            || checksum(tag, key, fp, payload) != sum
+        {
+            return None;
+        }
+        Some((tag, key, fp, 0, payload.to_string()))
     }
 }
 
@@ -643,6 +1311,11 @@ mod tests {
 
     fn temp_store_path(name: &str) -> PathBuf {
         crate::testutil::scratch_dir("store_unit").join(name)
+    }
+
+    /// The bounds table's log file under a sharded store directory.
+    fn bounds_file(store_dir: &Path) -> PathBuf {
+        store_dir.join(StoreTable::Bounds.file_name())
     }
 
     #[test]
@@ -659,6 +1332,8 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.invalid_entries, 0);
         assert_eq!(stats.stale_entries, 0);
+        assert!(store.is_sharded());
+        assert!(path.is_dir(), "a fresh store is a directory");
     }
 
     #[test]
@@ -674,6 +1349,9 @@ mod tests {
         assert_eq!(counts[&StoreTable::Bounds], 1);
         assert_eq!(counts[&StoreTable::CfgPoints], 1);
         assert_eq!(counts[&StoreTable::MulticorePoints], 0);
+        // And the sharded layout physically separates them.
+        assert!(bounds_file(&path).is_file());
+        assert!(path.join(StoreTable::CfgPoints.file_name()).is_file());
     }
 
     #[test]
@@ -700,9 +1378,11 @@ mod tests {
             store.put(StoreTable::Bounds, 1, &1.0f64);
             store.put(StoreTable::Bounds, 2, &2.0f64);
         }
-        // Chop the file mid-way through the last line (a crashed writer).
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        // Chop the table file mid-way through the last line (a crashed
+        // writer).
+        let tbl = bounds_file(&path);
+        let bytes = std::fs::read(&tbl).unwrap();
+        std::fs::write(&tbl, &bytes[..bytes.len() - 4]).unwrap();
         let store = ResultStore::open(&path).unwrap();
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 2), None, "truncated");
@@ -722,13 +1402,14 @@ mod tests {
         }
         // Prepend binary garbage, append an unknown-version line and a
         // checksum-corrupted copy of a valid line.
+        let tbl = bounds_file(&path);
         let mut bytes = vec![0xFFu8, 0xFE, 0x00, b'\n'];
-        let original = std::fs::read(&path).unwrap();
+        let original = std::fs::read(&tbl).unwrap();
         bytes.extend_from_slice(&original);
         bytes.extend_from_slice(b"FNPR9 00000000 0 0 1 0 x\n");
         let valid_line = String::from_utf8(original).unwrap();
         bytes.extend_from_slice(valid_line.replace("1.0", "9.0").as_bytes());
-        std::fs::write(&path, bytes).unwrap();
+        std::fs::write(&tbl, bytes).unwrap();
         let store = ResultStore::open(&path).unwrap();
         // The corrupted duplicate must NOT supersede the valid entry.
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
@@ -744,12 +1425,14 @@ mod tests {
             let store = ResultStore::open(&path).unwrap();
             store.put(StoreTable::Bounds, 0x1111, &1.0f64);
         }
-        let line = std::fs::read_to_string(&path).unwrap();
-        let fields: Vec<&str> = line.trim_end().splitn(7, ' ').collect();
+        let tbl = bounds_file(&path);
+        let line = std::fs::read_to_string(&tbl).unwrap();
+        let fields: Vec<&str> = line.trim_end().splitn(8, ' ').collect();
+        assert_eq!(fields.len(), 8, "FNPR2 records have 8 fields");
         for (field, replacement) in [(1, "42434e44"), (2, &"f".repeat(32)[..])] {
             let mut mutated = fields.clone();
             mutated[field] = replacement;
-            std::fs::write(&path, mutated.join(" ") + "\n").unwrap();
+            std::fs::write(&tbl, mutated.join(" ") + "\n").unwrap();
             let store = ResultStore::open(&path).unwrap();
             assert_eq!(
                 store.get::<f64>(StoreTable::Bounds, 0x1111),
@@ -762,6 +1445,33 @@ mod tests {
             );
             assert_eq!(store.stats().invalid_entries, 1, "field {field}");
         }
+    }
+
+    #[test]
+    fn legacy_fnpr1_records_still_parse() {
+        // A PR-5-era (stampless FNPR1) record must keep restoring, with
+        // stamp 0, until gc or migration rewrites it.
+        let path = temp_store_path("v1.log");
+        let store = ResultStore::open(&path).unwrap();
+        drop(store);
+        let tag = StoreTable::Bounds.tag();
+        let fp = analysis_fingerprint();
+        let payload = "4.25";
+        let v1 = format!(
+            "{LEGACY_FORMAT} {tag:08x} {key:032x} {fp:016x} {len} {sum:016x} {payload}\n",
+            key = 77u128,
+            len = payload.len(),
+            sum = checksum(tag, 77, fp, payload),
+        );
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(bounds_file(&path))
+            .unwrap()
+            .write_all(v1.as_bytes())
+            .unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 77), Some(4.25));
+        assert_eq!(store.stats().invalid_entries, 0);
     }
 
     #[test]
@@ -811,16 +1521,18 @@ mod tests {
             store.put(StoreTable::Bounds, 9, &(i as f64));
         }
         assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(4.0));
-        let lines_before = std::fs::read_to_string(&path).unwrap().lines().count();
+        let tbl = bounds_file(&path);
+        let lines_before = std::fs::read_to_string(&tbl).unwrap().lines().count();
         assert_eq!(lines_before, 5);
-        let bytes_before = std::fs::metadata(&path).unwrap().len();
+        let bytes_before = std::fs::metadata(&tbl).unwrap().len();
         let report = store.gc().unwrap();
-        let lines_after = std::fs::read_to_string(&path).unwrap().lines().count();
+        let lines_after = std::fs::read_to_string(&tbl).unwrap().lines().count();
         assert_eq!(lines_after, 1);
         // The report reflects exactly what the rewrite did.
         assert_eq!((report.scanned, report.kept, report.dropped), (5, 1, 4));
+        assert_eq!(report.evicted, 0);
         assert_eq!(report.bytes_before, bytes_before);
-        assert_eq!(report.bytes_after, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(report.bytes_after, std::fs::metadata(&tbl).unwrap().len());
         assert_eq!(
             report.bytes_reclaimed(),
             report.bytes_before - report.bytes_after
@@ -836,6 +1548,325 @@ mod tests {
         store.put(StoreTable::Bounds, 10, &7.0f64);
         let again = ResultStore::open(&path).unwrap();
         assert_eq!(again.get::<f64>(StoreTable::Bounds, 10), Some(7.0));
+    }
+
+    /// Appends a record with an explicit stamp (the normal `put` path
+    /// always stamps "now", which age/size-policy tests cannot wait out).
+    fn append_stamped(store_dir: &Path, table: StoreTable, key: u128, stamp: u64, payload: &str) {
+        let line = format_record(table.tag(), key, analysis_fingerprint(), stamp, payload);
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(store_dir.join(table.file_name()))
+            .unwrap()
+            .write_all(line.as_bytes())
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_age_policy_evicts_old_entries_oldest_first() {
+        let path = temp_store_path("gc_age.log");
+        drop(ResultStore::open(&path).unwrap());
+        let now = fnpr_obs::ledger::unix_now();
+        append_stamped(
+            &path,
+            StoreTable::Bounds,
+            1,
+            now.saturating_sub(40 * 86_400),
+            "1.0",
+        );
+        append_stamped(
+            &path,
+            StoreTable::Bounds,
+            2,
+            now.saturating_sub(3 * 86_400),
+            "2.0",
+        );
+        append_stamped(&path, StoreTable::CfgPoints, 3, 0, "3.0"); // FNPR1-era: oldest.
+        let store = ResultStore::open(&path).unwrap();
+        let report = store
+            .gc_with(GcPolicy {
+                max_age_days: Some(7.0),
+                max_bytes: None,
+            })
+            .unwrap();
+        assert_eq!((report.kept, report.evicted, report.dropped), (1, 2, 0));
+        // Evicted entries leave the index immediately, not just the files.
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), None);
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+        assert_eq!(store.get::<f64>(StoreTable::CfgPoints, 3), None);
+        let again = ResultStore::open(&path).unwrap();
+        assert_eq!(again.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+        assert!(
+            report.summary().contains("evicted 2"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn gc_size_policy_evicts_oldest_until_it_fits() {
+        let path = temp_store_path("gc_size.log");
+        drop(ResultStore::open(&path).unwrap());
+        // Three same-size records, stamps 10 < 20 < 30.
+        for (key, stamp) in [(1u128, 10u64), (2, 20), (3, 30)] {
+            append_stamped(&path, StoreTable::Bounds, key, stamp, "5.5");
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let one_line = format_record(
+            StoreTable::Bounds.tag(),
+            1,
+            analysis_fingerprint(),
+            10,
+            "5.5",
+        )
+        .len() as u64;
+        // Budget for exactly two records: the oldest (stamp 10) must go.
+        let report = store
+            .gc_with(GcPolicy {
+                max_age_days: None,
+                max_bytes: Some(2 * one_line),
+            })
+            .unwrap();
+        assert_eq!((report.kept, report.evicted), (2, 1));
+        assert!(report.bytes_after <= 2 * one_line);
+        assert_eq!(
+            store.get::<f64>(StoreTable::Bounds, 1),
+            None,
+            "oldest evicted"
+        );
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 2), Some(5.5));
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 3), Some(5.5));
+        // A zero budget empties the store without erroring.
+        let report = store
+            .gc_with(GcPolicy {
+                max_age_days: None,
+                max_bytes: Some(0),
+            })
+            .unwrap();
+        assert_eq!((report.kept, report.evicted), (0, 2));
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 3), None);
+    }
+
+    #[test]
+    fn legacy_single_file_migrates_transparently() {
+        // Build a sharded store, flatten it into a legacy single file
+        // (the legacy format is the same record lines, all tables in one
+        // log), and open that file: it must migrate to a directory and
+        // serve everything.
+        let dir = crate::testutil::scratch_dir("store_migrate");
+        let donor = dir.join("donor");
+        {
+            let store = ResultStore::open(&donor).unwrap();
+            store.put(StoreTable::Bounds, 1, &1.5f64);
+            store.put(StoreTable::AcceptancePoints, 2, &2.5f64);
+            store.put(StoreTable::CfgPoints, 3, &3.5f64);
+        }
+        let legacy = dir.join("store.log");
+        let mut flat = Vec::new();
+        for table in StoreTable::ALL {
+            if let Ok(bytes) = std::fs::read(donor.join(table.file_name())) {
+                flat.extend_from_slice(&bytes);
+            }
+        }
+        std::fs::write(&legacy, &flat).unwrap();
+        assert!(legacy.is_file());
+
+        let store = ResultStore::open(&legacy).unwrap();
+        assert!(legacy.is_dir(), "migration replaced the file with a dir");
+        assert!(
+            !path_with_suffix(&legacy, ".legacy").exists(),
+            "backup cleaned up"
+        );
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 1), Some(1.5));
+        assert_eq!(store.get::<f64>(StoreTable::AcceptancePoints, 2), Some(2.5));
+        assert_eq!(store.get::<f64>(StoreTable::CfgPoints, 3), Some(3.5));
+        // Migration is one-shot: a re-open is a plain sharded open.
+        drop(store);
+        let again = ResultStore::open(&legacy).unwrap();
+        assert_eq!(again.get::<f64>(StoreTable::CfgPoints, 3), Some(3.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_migration_recovers_from_the_backup() {
+        // Simulate a crash between backup-rename and dir-rename: only
+        // `<path>.legacy` exists. The next open must restore and migrate.
+        let dir = crate::testutil::scratch_dir("store_migrate_crash");
+        let donor = dir.join("donor");
+        {
+            let store = ResultStore::open(&donor).unwrap();
+            store.put(StoreTable::Bounds, 9, &9.5f64);
+        }
+        let legacy = dir.join("store.log");
+        let backup = path_with_suffix(&legacy, ".legacy");
+        std::fs::copy(donor.join(StoreTable::Bounds.file_name()), &backup).unwrap();
+        assert!(!legacy.exists());
+        let store = ResultStore::open(&legacy).unwrap();
+        assert!(legacy.is_dir());
+        assert!(!backup.exists());
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), Some(9.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_open_serves_legacy_files_without_migrating() {
+        let dir = crate::testutil::scratch_dir("store_ro");
+        let donor = dir.join("donor");
+        {
+            let store = ResultStore::open(&donor).unwrap();
+            store.put(StoreTable::Bounds, 4, &4.5f64);
+        }
+        let legacy = dir.join("legacy.log");
+        std::fs::copy(donor.join(StoreTable::Bounds.file_name()), &legacy).unwrap();
+        let before = std::fs::read(&legacy).unwrap();
+        let store = ResultStore::open_read_only(&legacy).unwrap();
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 4), Some(4.5));
+        assert!(!store.is_sharded());
+        // No migration, no healing, no writes: the file is untouched.
+        assert!(legacy.is_file());
+        assert_eq!(std::fs::read(&legacy).unwrap(), before);
+        // Writes are refused (counted), and the inventory is one row.
+        store.put(StoreTable::Bounds, 5, &5.5f64);
+        assert_eq!(store.stats().write_errors, 1);
+        assert_eq!(std::fs::read(&legacy).unwrap(), before);
+        let files = store.shard_files();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].table, None);
+        assert_eq!(files[0].records, 1);
+        assert_eq!(files[0].bytes, before.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_files_reports_per_table_sizes_and_counts() {
+        let path = temp_store_path("inventory.log");
+        let store = ResultStore::open(&path).unwrap();
+        store.put(StoreTable::Bounds, 1, &1.0f64);
+        store.put(StoreTable::Bounds, 2, &2.0f64);
+        store.put(StoreTable::MulticorePoints, 3, &3.0f64);
+        let files = store.shard_files();
+        assert_eq!(files.len(), StoreTable::ALL.len());
+        let by_table: HashMap<_, _> = files
+            .iter()
+            .map(|f| (f.table.unwrap(), (f.records, f.bytes)))
+            .collect();
+        assert_eq!(by_table[&StoreTable::Bounds].0, 2);
+        assert_eq!(by_table[&StoreTable::MulticorePoints].0, 1);
+        assert_eq!(by_table[&StoreTable::AcceptancePoints], (0, 0));
+        assert_eq!(
+            by_table[&StoreTable::Bounds].1,
+            std::fs::metadata(bounds_file(&path)).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn delta_store_reads_canonical_and_writes_privately() {
+        let dir = crate::testutil::scratch_dir("store_delta");
+        let canonical_path = dir.join("canonical");
+        {
+            let canonical = ResultStore::open(&canonical_path).unwrap();
+            canonical.put(StoreTable::Bounds, 1, &1.0f64);
+        }
+        let delta_dir = dir.join("delta-0");
+        let worker = ResultStore::open_delta(&canonical_path, &delta_dir).unwrap();
+        // Canonical entries are served read-through...
+        assert_eq!(worker.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
+        // ...and writes land in the delta directory only.
+        worker.put(StoreTable::Bounds, 2, &2.0f64);
+        assert_eq!(worker.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+        let canonical_bounds = std::fs::read_to_string(bounds_file(&canonical_path)).unwrap();
+        assert_eq!(canonical_bounds.lines().count(), 1, "canonical untouched");
+        let delta_bounds = std::fs::read_to_string(bounds_file(&delta_dir)).unwrap();
+        assert_eq!(delta_bounds.lines().count(), 1);
+
+        // Merge folds the delta in; a second merge dedupes everything.
+        let canonical = ResultStore::open(&canonical_path).unwrap();
+        let report = canonical.merge_delta(&delta_dir).unwrap();
+        assert_eq!((report.merged, report.duplicate), (1, 0));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+        let again = canonical.merge_delta(&delta_dir).unwrap();
+        assert_eq!((again.merged, again.duplicate), (0, 1));
+        // And the merged entry persists across reopen.
+        drop(canonical);
+        let reopened = ResultStore::open(&canonical_path).unwrap();
+        assert_eq!(reopened.get::<f64>(StoreTable::Bounds, 2), Some(2.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_dedups_by_key_keeping_the_first_lossless_record() {
+        let dir = crate::testutil::scratch_dir("store_merge_dedup");
+        let canonical_path = dir.join("canonical");
+        drop(ResultStore::open(&canonical_path).unwrap());
+        // Worker A wrote 7 → 1.0 first; worker B raced and wrote 7 → 9.0
+        // (cannot happen for deterministic points, but merge must still be
+        // well-defined): the first merged record wins, deterministically.
+        let delta_a = dir.join("delta-a");
+        let delta_b = dir.join("delta-b");
+        for d in [&delta_a, &delta_b] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        append_stamped(&delta_a, StoreTable::Bounds, 7, 100, "1.0");
+        append_stamped(&delta_b, StoreTable::Bounds, 7, 100, "9.0");
+        // A corrupt (not losslessly decodable) record for key 8 in delta A
+        // must lose to the valid one in delta B.
+        let broken = format_record(
+            StoreTable::Bounds.tag(),
+            8,
+            analysis_fingerprint(),
+            5,
+            "2.0",
+        )
+        .replace("2.0", "6.6");
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(bounds_file(&delta_a))
+            .unwrap()
+            .write_all(broken.as_bytes())
+            .unwrap();
+        append_stamped(&delta_b, StoreTable::Bounds, 8, 100, "8.0");
+
+        let canonical = ResultStore::open(&canonical_path).unwrap();
+        let a = canonical.merge_delta(&delta_a).unwrap();
+        assert_eq!((a.merged, a.invalid), (1, 1));
+        let b = canonical.merge_delta(&delta_b).unwrap();
+        assert_eq!((b.merged, b.duplicate), (1, 1));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 7), Some(1.0));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 8), Some(8.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_heals_around_torn_delta_tails() {
+        // A worker killed mid-append leaves an unterminated final line;
+        // the merge must take every complete record and skip the wreck —
+        // same framing tolerance as the FNPR1 corruption fixtures.
+        let dir = crate::testutil::scratch_dir("store_merge_torn");
+        let canonical_path = dir.join("canonical");
+        drop(ResultStore::open(&canonical_path).unwrap());
+        let delta = dir.join("delta-torn");
+        std::fs::create_dir_all(&delta).unwrap();
+        append_stamped(&delta, StoreTable::Bounds, 1, 50, "1.0");
+        append_stamped(&delta, StoreTable::Bounds, 2, 50, "2.0");
+        let tbl = bounds_file(&delta);
+        let bytes = std::fs::read(&tbl).unwrap();
+        std::fs::write(&tbl, &bytes[..bytes.len() - 4]).unwrap();
+
+        let canonical = ResultStore::open(&canonical_path).unwrap();
+        let report = canonical.merge_delta(&delta).unwrap();
+        assert_eq!((report.merged, report.invalid), (1, 1));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 1), Some(1.0));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 2), None);
+        // Stale (wrong-fingerprint) delta records are skipped too.
+        let stale_delta = dir.join("delta-stale");
+        std::fs::create_dir_all(&stale_delta).unwrap();
+        let line = format_record(StoreTable::Bounds.tag(), 3, 0xdead, 50, "3.0");
+        std::fs::write(bounds_file(&stale_delta), line).unwrap();
+        let report = canonical.merge_delta(&stale_delta).unwrap();
+        assert_eq!((report.merged, report.stale), (0, 1));
+        assert_eq!(canonical.get::<f64>(StoreTable::Bounds, 3), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! End-to-end contract of the pluggable executor backends: the process
+//! backend — real worker subprocesses, stdio frames, delta stores — must
+//! be **observably indistinguishable** from the in-process thread pool.
+//! Same CSV/JSON bytes at any worker count, same store counters once the
+//! coordinator folds in the workers' delta shards, across workloads.
+
+use fnpr_campaign::store::ResultStore;
+use fnpr_campaign::{
+    run_campaign_with_options, BackendChoice, Campaign, CampaignOutcome, CampaignSpec, ExecOptions,
+    WORKER_EXE_ENV,
+};
+
+mod common;
+
+/// Points the process backend at the real campaign binary. Cargo builds
+/// it for integration tests and bakes the path in at compile time; every
+/// test sets the same value, so concurrent setters cannot disagree.
+fn use_real_worker_binary() {
+    std::env::set_var(WORKER_EXE_ENV, env!("CARGO_BIN_EXE_fnpr-campaign"));
+}
+
+fn options(backend: BackendChoice, workers: usize) -> ExecOptions {
+    ExecOptions {
+        threads: Some(2),
+        backend: Some(backend),
+        workers: Some(workers),
+    }
+}
+
+fn run_with(
+    campaign: &Campaign,
+    opts: &ExecOptions,
+    store: Option<&ResultStore>,
+) -> CampaignOutcome {
+    run_campaign_with_options(campaign, opts, store).expect("campaign runs")
+}
+
+fn renderings(outcome: &CampaignOutcome) -> (String, String) {
+    (outcome.report.to_csv(), outcome.report.to_json())
+}
+
+fn acceptance_campaign() -> Campaign {
+    CampaignSpec::parse(
+        r#"
+name = "backend-e2e"
+seed = 23
+workload = "acceptance"
+[acceptance]
+sets_per_point = 4
+max_attempts_factor = 10
+utilizations = { values = [0.5, 0.7] }
+[acceptance.taskset]
+n = 4
+utilization = 0.0
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+"#,
+    )
+    .unwrap()
+    .validate()
+    .unwrap()
+}
+
+fn campaign_for(workload_toml: &str) -> Campaign {
+    CampaignSpec::parse(workload_toml)
+        .unwrap()
+        .validate()
+        .unwrap()
+}
+
+#[test]
+fn process_backend_matches_local_byte_for_byte() {
+    use_real_worker_binary();
+    let campaign = acceptance_campaign();
+    let local = run_with(&campaign, &options(BackendChoice::Local, 1), None);
+    assert_eq!(local.backend, "local");
+    let reference = renderings(&local);
+
+    for workers in [1usize, 2, 4] {
+        let outcome = run_with(&campaign, &options(BackendChoice::Process, workers), None);
+        assert_eq!(outcome.backend, "process");
+        assert_eq!(
+            renderings(&outcome),
+            reference,
+            "process backend drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn every_workload_survives_the_process_boundary() {
+    use_real_worker_binary();
+    let specs = [
+        "name = \"b-snd\"\nseed = 3\nworkload = \"soundness\"\n[soundness]\ntrials = 6\nsimulate = false\n",
+        r#"
+name = "b-multi"
+seed = 5
+workload = "multicore"
+[multicore]
+sets_per_point = 2
+max_attempts_factor = 10
+cores = [2]
+tasks_per_core = 2
+utilizations = { values = [0.4] }
+sim_per_point = 1
+simulate = false
+[multicore.taskset]
+n = 1
+utilization = 0.0
+period_range = [10.0, 100.0]
+deadline_factor = [1.0, 1.0]
+"#,
+        r#"
+name = "b-cfg"
+seed = 11
+workload = "cfg"
+[cfg]
+programs_per_point = 2
+depths = [2]
+loop_iterations = [3]
+footprints = [4]
+q_scales = { values = [0.5] }
+sets = [16]
+associativity = [1]
+line_bytes = [16]
+reload_cost = [10.0]
+"#,
+    ];
+    for toml in specs {
+        let campaign = campaign_for(toml);
+        let reference = renderings(&run_with(
+            &campaign,
+            &options(BackendChoice::Local, 1),
+            None,
+        ));
+        let process = run_with(&campaign, &options(BackendChoice::Process, 2), None);
+        assert_eq!(
+            renderings(&process),
+            reference,
+            "workload {:?} drifted across the process boundary",
+            campaign.name
+        );
+    }
+}
+
+#[test]
+fn worker_deltas_land_in_the_shared_store() {
+    use_real_worker_binary();
+    let campaign = acceptance_campaign();
+    let reference = renderings(&run_with(
+        &campaign,
+        &options(BackendChoice::Local, 1),
+        None,
+    ));
+    let path = common::scratch_dir("backend_e2e").join("delta.fnprstore");
+
+    // Cold process run: every point computed in some worker, shipped back
+    // as a delta shard, and merged into the canonical store.
+    let cold_store = ResultStore::open(&path).unwrap();
+    let cold = run_with(
+        &campaign,
+        &options(BackendChoice::Process, 2),
+        Some(&cold_store),
+    );
+    assert_eq!(renderings(&cold), reference, "cold process run drifted");
+    let stats = cold.store.unwrap();
+    assert_eq!(stats.points_computed, 4, "2 policies x 2 utilizations");
+    assert_eq!(stats.points_restored, 0);
+    assert!(
+        !path.join(".deltas").exists(),
+        "worker delta shards must be cleaned up after the merge"
+    );
+
+    // Warm local run over the same store: the merged deltas serve it all.
+    let warm_local_store = ResultStore::open(&path).unwrap();
+    let warm_local = run_with(
+        &campaign,
+        &options(BackendChoice::Local, 1),
+        Some(&warm_local_store),
+    );
+    assert_eq!(renderings(&warm_local), reference, "warm local run drifted");
+    let stats = warm_local.store.unwrap();
+    assert_eq!(stats.points_computed, 0, "worker deltas failed to merge");
+    assert_eq!(stats.points_restored, 4);
+
+    // Warm process run: workers restore from the canonical store, and the
+    // coordinator's outcome reflects their folded counters.
+    let warm_proc_store = ResultStore::open(&path).unwrap();
+    let warm_proc = run_with(
+        &campaign,
+        &options(BackendChoice::Process, 2),
+        Some(&warm_proc_store),
+    );
+    assert_eq!(
+        renderings(&warm_proc),
+        reference,
+        "warm process run drifted"
+    );
+    let stats = warm_proc.store.unwrap();
+    assert_eq!(stats.points_computed, 0, "warm workers recomputed points");
+    assert_eq!(stats.points_restored, 4);
+}
+
+#[test]
+fn spec_executor_table_selects_the_backend() {
+    use_real_worker_binary();
+    let campaign = campaign_for(
+        "name = \"b-spec\"\nseed = 3\nworkload = \"soundness\"\n[soundness]\ntrials = 4\n\
+         simulate = false\n[executor]\nbackend = \"process\"\nworkers = 2\n",
+    );
+    let reference = renderings(&run_with(
+        &campaign,
+        &options(BackendChoice::Local, 1),
+        None,
+    ));
+
+    // No CLI override: the [executor] table drives the choice.
+    let defaults = ExecOptions {
+        threads: Some(2),
+        ..Default::default()
+    };
+    let outcome = run_with(&campaign, &defaults, None);
+    assert_eq!(outcome.backend, "process");
+    assert_eq!(renderings(&outcome), reference);
+
+    // A CLI override beats the spec.
+    let overridden = run_with(&campaign, &options(BackendChoice::Local, 1), None);
+    assert_eq!(overridden.backend, "local");
+    assert_eq!(renderings(&overridden), reference);
+}

@@ -157,15 +157,16 @@ fn corrupted_store_content_recomputes_cleanly_and_heals() {
     let path = temp_store_path("corrupt.log");
     run_with(&campaign, Some(&ResultStore::open(&path).unwrap()), 2);
 
-    // Maul the file: truncate mid-line, splice garbage bytes, and flip one
-    // record to an unknown format version.
-    let mut bytes = std::fs::read(&path).unwrap();
+    // Maul the acceptance table's shard file: truncate mid-line, splice
+    // garbage bytes, and flip one record to an unknown format version.
+    let table = path.join(fnpr_campaign::store::StoreTable::AcceptancePoints.file_name());
+    let mut bytes = std::fs::read(&table).unwrap();
     bytes.truncate(bytes.len() - 11);
     let mut mauled = b"\x00\xff garbage that is not a record\n".to_vec();
     mauled.extend_from_slice(&bytes);
     let mut text = String::from_utf8_lossy(&mauled).into_owned();
-    text = text.replacen("FNPR1", "FNPR0", 1);
-    std::fs::write(&path, text).unwrap();
+    text = text.replacen("FNPR2", "FNPR0", 1);
+    std::fs::write(&table, text).unwrap();
 
     // The mauled store never crashes the run and never distorts results;
     // whatever was lost recomputes and is appended back.
