@@ -49,12 +49,15 @@
 use std::io::{BufRead, BufReader, Write};
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::CampaignError;
 use crate::exec::parallel_map;
+use crate::fault::{FaultPlan, WorkerFaults};
 use crate::memo::{MemoStats, ScenarioHasher};
 use crate::report::StoreStats;
 use crate::spec::{CampaignSpec, Workload};
@@ -201,6 +204,82 @@ pub struct WorkerJob {
     pub canonical_store: Option<String>,
     /// Private delta directory for this worker's writes.
     pub delta_store: Option<String>,
+    /// This worker's id — the `worker` coordinate of fault-injection
+    /// decisions ([`crate::fault`]). Replacement workers spawned by
+    /// redispatch get fresh ids, so their schedules are fresh but still
+    /// deterministic.
+    pub worker: usize,
+}
+
+/// Kill-on-drop guard around a worker subprocess: dropping it kills and
+/// reaps the child, so a panicking (or early-returning) coordinator never
+/// leaks zombie workers — whichever thread drops the guard last cleans
+/// up. Killing an already-exited child is a no-op; the `wait` reaps it.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Per-worker supervision state, shared between the supervisor thread
+/// (which owns the stdio) and the wave's watchdog thread (which kills on
+/// inactivity).
+struct WorkerWatch {
+    /// The live child, behind a mutex so supervisor and watchdog race
+    /// safely for the kill; `take()`-and-drop kills + reaps exactly once.
+    child: Mutex<Option<ChildGuard>>,
+    /// Last observed activity (spawn, job shipped, or frame received).
+    last_activity: Mutex<Instant>,
+    /// Set when the supervisor thread is finished with this worker.
+    done: AtomicBool,
+}
+
+impl WorkerWatch {
+    fn new() -> Self {
+        Self {
+            child: Mutex::new(None),
+            last_activity: Mutex::new(Instant::now()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn install(&self, child: ChildGuard) {
+        *self.child.lock().expect("worker guard poisoned") = Some(child);
+    }
+
+    fn touch(&self) {
+        *self.last_activity.lock().expect("worker clock poisoned") = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_activity
+            .lock()
+            .expect("worker clock poisoned")
+            .elapsed()
+    }
+
+    /// Kills and reaps the child if it is still registered; `true` when
+    /// this call actually killed it.
+    fn kill(&self) -> bool {
+        self.child
+            .lock()
+            .expect("worker guard poisoned")
+            .take()
+            .is_some()
+    }
+}
+
+/// Sets an [`AtomicBool`] on drop — marks a supervisor finished on every
+/// exit path (including panics), so the watchdog loop always terminates.
+struct SetOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for SetOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
 }
 
 /// The multi-process backend: shards striped across `workers` subprocesses
@@ -214,6 +293,18 @@ pub struct ProcessPool {
     canonical_store: Option<PathBuf>,
     /// Root under which per-worker delta directories are created.
     delta_root: Option<PathBuf>,
+    /// Watchdog inactivity bound: a worker producing no frame for this
+    /// long is killed and its unfinished shards reclaimed. `None`
+    /// disables the watchdog.
+    timeout: Option<Duration>,
+    /// Redispatch rounds for reclaimed shards before the coordinator
+    /// computes them locally.
+    max_retries: usize,
+    /// Threads for the coordinator's parallel fallback pass.
+    fallback_threads: NonZeroUsize,
+    /// Armed fault plan — coordinator side only logs the schedule and
+    /// counts planned events; workers execute it.
+    fault: Option<FaultPlan>,
     /// Sum of worker `done`-frame stats, for the outcome.
     absorbed: Mutex<WorkerStats>,
 }
@@ -223,6 +314,9 @@ impl ProcessPool {
     /// text). When the run has a store, `canonical_store` is the sharded
     /// store directory and `delta_root` the directory under which each
     /// worker gets a private `worker-<w>` delta subdirectory.
+    ///
+    /// Supervision defaults: no watchdog timeout, one redispatch round,
+    /// fallback parallelism equal to the worker count.
     #[must_use]
     pub fn new(
         workers: NonZeroUsize,
@@ -235,8 +329,35 @@ impl ProcessPool {
             spec_json,
             canonical_store,
             delta_root,
+            timeout: None,
+            max_retries: 1,
+            fallback_threads: workers,
+            fault: None,
             absorbed: Mutex::new(WorkerStats::default()),
         }
+    }
+
+    /// Sets the watchdog inactivity timeout and the redispatch budget.
+    #[must_use]
+    pub fn with_supervision(mut self, timeout: Option<Duration>, max_retries: usize) -> Self {
+        self.timeout = timeout;
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the thread count for the coordinator's local fallback pass.
+    #[must_use]
+    pub fn with_fallback_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.fallback_threads = threads;
+        self
+    }
+
+    /// Attaches an armed fault plan for schedule logging and
+    /// `campaign.fault.planned.*` counters.
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Worker counters absorbed so far (all `done` frames seen).
@@ -259,6 +380,130 @@ impl ProcessPool {
             Some(exe) if !exe.is_empty() => Ok(PathBuf::from(exe)),
             _ => std::env::current_exe(),
         }
+    }
+
+    /// Logs one wave's planned fault events to stderr (the chaos-CI
+    /// artifact) and counts them under `campaign.fault.planned.*`.
+    fn log_fault_schedule(&self, assignments: &[(usize, Vec<usize>)]) {
+        let Some(plan) = &self.fault else { return };
+        for (id, shards) in assignments {
+            for event in plan.schedule(*id as u64, shards) {
+                fnpr_obs::counter(&format!("campaign.fault.planned.{}", event.key())).incr();
+                eprintln!("fnpr-campaign: fault schedule: worker {id}: {event}");
+            }
+        }
+    }
+
+    /// Spawns worker `id`, ships its job, and drains its frames into
+    /// `slots`. The child is registered in `watch` so the wave watchdog
+    /// (or a drop during unwind) can kill it; a kill closes the child's
+    /// stdout, so the blocking read loop always terminates.
+    #[allow(clippy::too_many_arguments)]
+    fn supervise<T>(
+        &self,
+        exe: &Path,
+        id: usize,
+        shards: Vec<usize>,
+        watch: &WorkerWatch,
+        slots: &[Mutex<Option<Result<T, CampaignError>>>],
+        count: usize,
+        meter: Option<&fnpr_obs::ProgressMeter>,
+    ) where
+        T: Send + Serialize + Deserialize + PartialEq,
+    {
+        let done_counter = fnpr_obs::counter!("campaign.points.done");
+        let shipped = fnpr_obs::counter!("campaign.backend.shards.shipped");
+        let raw_frames = fnpr_obs::counter!("campaign.backend.shards.raw");
+        let job = WorkerJob {
+            spec: self.spec_json.clone(),
+            shards,
+            canonical_store: self
+                .canonical_store
+                .as_ref()
+                .map(|p| p.display().to_string()),
+            delta_store: self.delta_dir(id).map(|p| p.display().to_string()),
+            worker: id,
+        };
+        let mut child = match std::process::Command::new(exe)
+            .arg("worker")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => {
+                eprintln!(
+                    "fnpr-campaign: warning: worker {id} failed to spawn ({e}); \
+                     its shards fall back to the coordinator"
+                );
+                return;
+            }
+        };
+        fnpr_obs::counter!("campaign.backend.workers.spawned").incr();
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take();
+        watch.install(ChildGuard(child));
+        watch.touch();
+        // Ship the job, close stdin so the worker sees EOF. A broken
+        // pipe here means the worker never learned its assignment: kill
+        // it and reclaim the shards immediately rather than waiting on
+        // a child that will never frame.
+        if let Some(mut stdin) = stdin {
+            if let Err(e) = stdin.write_all(serde_json::to_string(&job).as_bytes()) {
+                fnpr_obs::counter!("campaign.backend.ship_failed").incr();
+                eprintln!(
+                    "fnpr-campaign: warning: worker {id}: shipping the job failed ({e}); \
+                     reclaiming its {} shard(s)",
+                    job.shards.len()
+                );
+                watch.kill();
+                return;
+            }
+        }
+        watch.touch();
+        if let Some(stdout) = stdout {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                watch.touch();
+                match parse_frame(&line) {
+                    Some(Frame::Ok { shard, payload }) if shard < count => {
+                        if let Ok(v) = serde_json::from_str::<T>(&payload) {
+                            *slots[shard].lock().expect("backend slot poisoned") = Some(Ok(v));
+                            shipped.incr();
+                            done_counter.incr();
+                            if let Some(meter) = meter {
+                                meter.tick();
+                            }
+                        }
+                    }
+                    Some(Frame::Err { shard, message }) if shard < count => {
+                        *slots[shard].lock().expect("backend slot poisoned") =
+                            Some(Err(CampaignError::Analysis(message)));
+                        done_counter.incr();
+                        if let Some(meter) = meter {
+                            meter.tick();
+                        }
+                    }
+                    Some(Frame::Done { stats }) => {
+                        self.absorbed
+                            .lock()
+                            .expect("absorbed stats poisoned")
+                            .absorb(&stats);
+                    }
+                    // `raw` marks a shard whose value cannot ride JSON
+                    // losslessly; the slot stays empty so the fallback
+                    // pass recomputes it bit-exactly.
+                    Some(Frame::Raw { shard }) if shard < count => {
+                        raw_frames.incr();
+                    }
+                    // Out-of-range shards and malformed lines likewise
+                    // fall back.
+                    _ => {}
+                }
+            }
+        }
+        // EOF: reap (kill is a no-op on an exited child).
+        watch.kill();
     }
 }
 
@@ -284,17 +529,21 @@ impl ExecutorBackend for ProcessPool {
         }
         let workers = self.workers.get().min(count);
         fnpr_obs::gauge!("campaign.points.total").set(count as u64);
-        let done_counter = fnpr_obs::counter!("campaign.points.done");
-        let shipped = fnpr_obs::counter!("campaign.backend.shards.shipped");
-        let fallback = fnpr_obs::counter!("campaign.backend.shards.fallback");
-        let raw_frames = fnpr_obs::counter!("campaign.backend.shards.raw");
-        let spawned = fnpr_obs::counter!("campaign.backend.workers.spawned");
         let meter = crate::exec::build_meter(count);
 
         // One result slot per shard, filled from worker frames; anything
-        // still empty afterwards is computed locally.
+        // still empty afterwards is redispatched and finally computed
+        // locally.
         let slots: Vec<Mutex<Option<Result<T, CampaignError>>>> =
             (0..count).map(|_| Mutex::new(None)).collect();
+        let missing = |slots: &[Mutex<Option<Result<T, CampaignError>>>]| -> Vec<usize> {
+            slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.lock().expect("backend slot poisoned").is_none())
+                .map(|(i, _)| i)
+                .collect()
+        };
 
         let exe = match Self::worker_exe() {
             Ok(exe) => Some(exe),
@@ -307,110 +556,111 @@ impl ExecutorBackend for ProcessPool {
             }
         };
         if let Some(exe) = &exe {
-            let meter = &meter;
-            std::thread::scope(|scope| {
-                for w in 0..workers {
-                    // Striped partition: worker w owns shards w, w+workers, …
-                    // — a pure function of (shard, workers), so placement
-                    // never depends on timing.
-                    let shards: Vec<usize> = (w..count).step_by(workers).collect();
-                    let job = WorkerJob {
-                        spec: self.spec_json.clone(),
-                        shards,
-                        canonical_store: self
-                            .canonical_store
-                            .as_ref()
-                            .map(|p| p.display().to_string()),
-                        delta_store: self.delta_dir(w).map(|p| p.display().to_string()),
-                    };
-                    let slots = &slots;
-                    scope.spawn(move || {
-                        let mut child = match std::process::Command::new(exe)
-                            .arg("worker")
-                            .stdin(std::process::Stdio::piped())
-                            .stdout(std::process::Stdio::piped())
-                            .spawn()
-                        {
-                            Ok(child) => child,
-                            Err(e) => {
-                                eprintln!(
-                                    "fnpr-campaign: warning: worker {w} failed to spawn ({e}); \
-                                     its shards fall back to the coordinator"
-                                );
-                                return;
-                            }
-                        };
-                        spawned.incr();
-                        // Ship the job, close stdin so the worker sees EOF.
-                        if let Some(mut stdin) = child.stdin.take() {
-                            let _ = stdin.write_all(serde_json::to_string(&job).as_bytes());
-                        }
-                        if let Some(stdout) = child.stdout.take() {
-                            for line in BufReader::new(stdout).lines() {
-                                let Ok(line) = line else { break };
-                                match parse_frame(&line) {
-                                    Some(Frame::Ok { shard, payload }) if shard < count => {
-                                        if let Ok(v) = serde_json::from_str::<T>(&payload) {
-                                            *slots[shard].lock().expect("backend slot poisoned") =
-                                                Some(Ok(v));
-                                            shipped.incr();
-                                            done_counter.incr();
-                                            if let Some(meter) = meter {
-                                                meter.tick();
-                                            }
-                                        }
+            // Wave 0 is the striped partition: worker w owns shards w,
+            // w+workers, … — a pure function of (shard, workers), so
+            // placement never depends on timing. Each retry wave
+            // re-stripes whatever dead or hung workers failed to deliver
+            // across replacement workers with fresh ids (fresh fault
+            // coordinates, still deterministic).
+            let mut assignments: Vec<(usize, Vec<usize>)> = (0..workers)
+                .map(|w| (w, (w..count).step_by(workers).collect()))
+                .collect();
+            let mut next_id = workers;
+            for round in 0.. {
+                self.log_fault_schedule(&assignments);
+                let watches: Vec<WorkerWatch> =
+                    assignments.iter().map(|_| WorkerWatch::new()).collect();
+                std::thread::scope(|scope| {
+                    if let Some(timeout) = self.timeout {
+                        let watches = &watches;
+                        let assignments = &assignments;
+                        scope.spawn(move || {
+                            while !watches.iter().all(|w| w.done.load(Ordering::Relaxed)) {
+                                for ((id, _), watch) in assignments.iter().zip(watches) {
+                                    if !watch.done.load(Ordering::Relaxed)
+                                        && watch.idle_for() > timeout
+                                        && watch.kill()
+                                    {
+                                        fnpr_obs::counter!("campaign.supervise.timeouts").incr();
+                                        eprintln!(
+                                            "fnpr-campaign: warning: worker {id} produced no \
+                                             frame for {:.1}s; killed (unfinished shards are \
+                                             redispatched or recomputed)",
+                                            timeout.as_secs_f64()
+                                        );
                                     }
-                                    Some(Frame::Err { shard, message }) if shard < count => {
-                                        *slots[shard].lock().expect("backend slot poisoned") =
-                                            Some(Err(CampaignError::Analysis(message)));
-                                        done_counter.incr();
-                                        if let Some(meter) = meter {
-                                            meter.tick();
-                                        }
-                                    }
-                                    Some(Frame::Done { stats }) => {
-                                        self.absorbed
-                                            .lock()
-                                            .expect("absorbed stats poisoned")
-                                            .absorb(&stats);
-                                    }
-                                    // `raw` marks a shard whose value cannot
-                                    // ride JSON losslessly; the slot stays
-                                    // empty so the fallback pass recomputes
-                                    // it bit-exactly.
-                                    Some(Frame::Raw { shard }) if shard < count => {
-                                        raw_frames.incr();
-                                    }
-                                    // Out-of-range shards and malformed
-                                    // lines likewise fall back.
-                                    _ => {}
                                 }
+                                std::thread::sleep(Duration::from_millis(20));
                             }
+                        });
+                    }
+                    for ((id, shards), watch) in assignments.iter().zip(&watches) {
+                        let slots = &slots;
+                        let meter = meter.as_ref();
+                        scope.spawn(move || {
+                            let _finished = SetOnDrop(&watch.done);
+                            self.supervise(exe, *id, shards.clone(), watch, slots, count, meter);
+                        });
+                    }
+                });
+                let unfilled = missing(&slots);
+                if unfilled.is_empty() || round >= self.max_retries {
+                    break;
+                }
+                let replacements = workers.min(unfilled.len());
+                fnpr_obs::counter!("campaign.supervise.retries").incr();
+                fnpr_obs::counter!("campaign.supervise.reclaimed").add(unfilled.len() as u64);
+                eprintln!(
+                    "fnpr-campaign: redispatching {} reclaimed shard(s) across {} replacement \
+                     worker(s) (retry {}/{})",
+                    unfilled.len(),
+                    replacements,
+                    round + 1,
+                    self.max_retries
+                );
+                assignments = (0..replacements)
+                    .map(|k| {
+                        let shards = unfilled.iter().copied().skip(k).step_by(replacements);
+                        (next_id + k, shards.collect())
+                    })
+                    .collect();
+                next_id += replacements;
+            }
+        }
+
+        // Parallel local fallback for anything workers never delivered —
+        // a dead worker degrades to multi-threaded coordinator compute.
+        let unfilled = missing(&slots);
+        if !unfilled.is_empty() {
+            let fallback = fnpr_obs::counter!("campaign.backend.shards.fallback");
+            let done_counter = fnpr_obs::counter!("campaign.points.done");
+            let threads = self.fallback_threads.get().min(unfilled.len());
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = unfilled.get(k) else { return };
+                        *slots[i].lock().expect("backend slot poisoned") = Some(work(i));
+                        fallback.incr();
+                        done_counter.incr();
+                        if let Some(meter) = &meter {
+                            meter.tick();
                         }
-                        let _ = child.wait();
+                        crate::fault::kill_switch_tick();
                     });
                 }
             });
         }
 
-        // Fallback + assembly, in shard order so the lowest-indexed error
-        // wins exactly as in `parallel_map`.
+        // Assembly in shard order, so the lowest-indexed error wins
+        // exactly as in `parallel_map`.
         let mut out = Vec::with_capacity(count);
-        for (i, slot) in slots.into_iter().enumerate() {
-            let result = match slot.into_inner().expect("backend slot poisoned") {
-                Some(result) => result,
-                None => {
-                    fallback.incr();
-                    done_counter.incr();
-                    if let Some(meter) = &meter {
-                        meter.tick();
-                    }
-                    work(i)
-                }
-            };
-            match result {
-                Ok(v) => out.push(v),
-                Err(e) => return Err(e),
+        for slot in slots {
+            match slot.into_inner().expect("backend slot poisoned") {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("the fallback pass fills every empty slot"),
             }
         }
         Ok(out)
@@ -422,8 +672,9 @@ impl ExecutorBackend for ProcessPool {
 pub enum Executor {
     /// In-process threads.
     Local(LocalThreads),
-    /// Worker subprocesses.
-    Process(ProcessPool),
+    /// Worker subprocesses (boxed: the pool carries spec + paths, far
+    /// larger than the local variant).
+    Process(Box<ProcessPool>),
 }
 
 impl Executor {
@@ -433,20 +684,11 @@ impl Executor {
         Executor::Local(LocalThreads { threads })
     }
 
-    /// A process-pool executor; see [`ProcessPool::new`].
+    /// A process-pool executor around an already-configured pool; see
+    /// [`ProcessPool::new`] and its `with_*` builders.
     #[must_use]
-    pub fn process(
-        workers: NonZeroUsize,
-        spec_json: String,
-        canonical_store: Option<PathBuf>,
-        delta_root: Option<PathBuf>,
-    ) -> Self {
-        Executor::Process(ProcessPool::new(
-            workers,
-            spec_json,
-            canonical_store,
-            delta_root,
-        ))
+    pub fn process(pool: ProcessPool) -> Self {
+        Executor::Process(Box::new(pool))
     }
 
     /// Backend identifier for reports and telemetry.
@@ -599,15 +841,23 @@ fn parse_frame(line: &str) -> Option<Frame> {
 /// Emits one frame per assigned shard: `ok` for values that survive the
 /// JSON round-trip, `raw` for values that do not, `err` for shard
 /// failures. Every shard gets exactly one frame, in assignment order.
+/// When a fault schedule is armed, each shard passes through its
+/// injection hooks: [`WorkerFaults::before_shard`] (stall/crash) before
+/// computing and [`WorkerFaults::mangle_frame`] (corrupt/truncate)
+/// before writing.
 fn emit_shards<T>(
     shards: &[usize],
     out: &mut dyn Write,
+    faults: Option<&WorkerFaults>,
     compute: impl Fn(usize) -> Result<T, CampaignError>,
 ) -> std::io::Result<()>
 where
     T: Serialize + Deserialize + PartialEq,
 {
     for &i in shards {
+        if let Some(faults) = faults {
+            faults.before_shard(i);
+        }
         let frame = match compute(i) {
             Ok(v) => {
                 let payload = serde_json::to_string(&v);
@@ -622,6 +872,10 @@ where
                 }
             }
             Err(e) => format_err_frame(i, &e.to_string()),
+        };
+        let frame = match faults {
+            Some(faults) => faults.mangle_frame(i, frame),
+            None => frame,
         };
         out.write_all(frame.as_bytes())?;
     }
@@ -642,6 +896,12 @@ where
 pub fn run_worker(job_json: &str, out: &mut dyn Write) -> Result<(), CampaignError> {
     let job: WorkerJob = serde_json::from_str(job_json)?;
     let campaign = CampaignSpec::parse(&job.spec)?.validate()?;
+    // Fault injection executes in the worker: decisions are pure
+    // functions of (fault_seed, worker, shard), armed only when both the
+    // spec carries a `[fault]` table and `FNPR_FAULT` says so.
+    let faults = crate::fault::active_plan(campaign.fault.as_ref())?
+        .map(|plan| WorkerFaults::new(plan, job.worker as u64));
+    let faults = faults.as_ref();
     let store = match (&job.canonical_store, &job.delta_store) {
         (Some(canonical), Some(delta)) => Some(ResultStore::open_delta(
             Path::new(canonical),
@@ -654,33 +914,38 @@ pub fn run_worker(job_json: &str, out: &mut dyn Write) -> Result<(), CampaignErr
     let memo = match &campaign.workload {
         Workload::Acceptance(params) => {
             let engine = acceptance::AcceptanceEngine::new();
-            emit_shards(&job.shards, out, |i| {
+            emit_shards(&job.shards, out, faults, |i| {
                 acceptance::compute_shard(params, seed, i, &engine, store)
             })?;
             engine.taskset_memo.stats()
         }
         Workload::Soundness(params) => {
             let engine = soundness::SoundnessEngine::new();
-            emit_shards(&job.shards, out, |i| {
+            emit_shards(&job.shards, out, faults, |i| {
                 soundness::compute_shard(params, seed, i, &engine, store)
             })?;
             engine.bounds_memo.stats()
         }
         Workload::Multicore(params) => {
             let engine = multicore::MulticoreEngine::new();
-            emit_shards(&job.shards, out, |i| {
+            emit_shards(&job.shards, out, faults, |i| {
                 multicore::compute_shard(params, seed, i, &engine, store)
             })?;
             engine.taskset_memo.stats()
         }
         Workload::Cfg(params) => {
             let engine = cfg_workload::CfgEngine::new();
-            emit_shards(&job.shards, out, |i| {
+            emit_shards(&job.shards, out, faults, |i| {
                 cfg_workload::compute_shard(params, seed, i, &engine, store)
             })?;
             engine.program_memo.stats() + engine.curve_memo.stats()
         }
     };
+    // Torn-tail injection: clip the delta store's newest log after the
+    // shards are flushed, exercising the coordinator's heal-on-merge.
+    if let Some(faults) = faults {
+        faults.after_shards(job.delta_store.as_deref().map(Path::new));
+    }
     let store_stats = store.map(ResultStore::stats).unwrap_or_default();
     let stats = WorkerStats {
         points_restored: store_stats.points_restored,
@@ -758,7 +1023,7 @@ mod tests {
     #[test]
     fn emit_ships_ok_raw_and_err_frames() {
         let mut out = Vec::new();
-        emit_shards(&[0, 1, 2], &mut out, |i| match i {
+        emit_shards(&[0, 1, 2], &mut out, None, |i| match i {
             0 => Ok(1.5f64),
             1 => Ok(f64::NAN), // no JSON round-trip → raw
             _ => Err(CampaignError::Analysis("boom".into())),
@@ -782,6 +1047,82 @@ mod tests {
             }
             _ => panic!("expected err frame: {}", lines[2]),
         }
+    }
+
+    /// Satellite: frame-protocol hostility. Every malformed variant of a
+    /// valid frame must parse to `None` (degrading that shard to the
+    /// fallback pass) — never panic, never decode to a different shard.
+    #[test]
+    fn hostile_frames_never_panic_and_never_misroute() {
+        let ok = format_ok_frame(7, "{\"x\":1.5}");
+        let line = ok.trim_end().to_string();
+
+        // Every prefix truncation of the line.
+        for cut in 0..line.len() {
+            let Some(prefix) = line.get(..cut) else {
+                continue;
+            };
+            assert!(
+                parse_frame(prefix).is_none(),
+                "truncated frame parsed: {prefix:?}"
+            );
+        }
+
+        // Every single-character substitution (checksum flips, shard
+        // renumbering, length edits, marker damage). The only survivor
+        // allowed is the unmodified line itself.
+        for (i, _) in line.char_indices() {
+            for sub in ['0', '9', 'z', ' '] {
+                let mut mutated = line.clone();
+                mutated.replace_range(i..i + 1, &sub.to_string());
+                if mutated == line {
+                    continue;
+                }
+                assert!(
+                    parse_frame(&mutated).is_none(),
+                    "checksum admitted a mutated frame: {mutated:?}"
+                );
+            }
+        }
+
+        // Oversized and absurd `len` fields must not slice out of bounds.
+        assert!(parse_frame("FNPRW1 ok 7 999999 0123456789abcdef {}").is_none());
+        assert!(parse_frame(&format!("FNPRW1 ok 7 {} 0123456789abcdef x", u64::MAX)).is_none());
+        assert!(parse_frame("FNPRW1 ok 18446744073709551616 1 0123456789abcdef x").is_none());
+
+        // Two frames interleaved mid-line (a torn pipe write).
+        let other = format_ok_frame(3, "{\"x\":9.0}");
+        let splice = format!("{}{}", &line[..line.len() / 2], other.trim_end());
+        assert!(parse_frame(&splice).is_none());
+
+        // Partial line glued to a complete one.
+        let glued = format!("{}{}", other.trim_end(), &line[..10]);
+        assert!(parse_frame(&glued).is_none());
+    }
+
+    /// Satellite: a worker whose frames are mangled by fault injection
+    /// still yields a run where every mangled shard falls back — pinned
+    /// here at the parse layer: mangled frames never parse.
+    #[test]
+    fn fault_mangled_frames_parse_to_none() {
+        let plan = FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let faults = WorkerFaults::new(plan, 0);
+        let frame = format_ok_frame(5, "{\"x\":2.5}");
+        let mangled = faults.mangle_frame(5, frame.clone());
+        assert_ne!(mangled, frame);
+        assert!(parse_frame(mangled.trim_end()).is_none());
+
+        let plan = FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::default()
+        };
+        let faults = WorkerFaults::new(plan, 0);
+        let mangled = faults.mangle_frame(5, frame.clone());
+        assert_ne!(mangled, frame);
+        assert!(parse_frame(mangled.trim_end()).is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
 //!                   [--backend local|process] [--workers N]
+//!                   [--timeout-secs F] [--max-retries N] [--resume]
 //!                   [--store PATH] [--ledger PATH] [--quiet]
 //! fnpr-campaign grid <spec>          # show the expanded scenario grid
 //! fnpr-campaign history <LEDGER>     # trend tables over the run ledger
@@ -31,6 +32,9 @@ struct RunArgs {
     threads: Option<usize>,
     backend: Option<BackendChoice>,
     workers: Option<usize>,
+    timeout_secs: Option<f64>,
+    max_retries: Option<usize>,
+    resume: bool,
     csv: Option<String>,
     json: Option<String>,
     store: Option<String>,
@@ -89,6 +93,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut threads = None;
     let mut backend = None;
     let mut workers = None;
+    let mut timeout_secs = None;
+    let mut max_retries = None;
+    let mut resume = false;
     let mut csv = None;
     let mut json = None;
     let mut store = None;
@@ -126,6 +133,24 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 workers = Some(n);
             }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a value")?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad timeout {v:?} (seconds)"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--timeout-secs must be a positive number of seconds".into());
+                }
+                timeout_secs = Some(secs);
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs a value")?;
+                max_retries = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad retry count {v:?}"))?,
+                );
+            }
+            "--resume" => resume = true,
             "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--json" => json = Some(it.next().ok_or("--json needs a path")?.clone()),
             "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
@@ -144,6 +169,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         threads,
         backend,
         workers,
+        timeout_secs,
+        max_retries,
+        resume,
         csv,
         json,
         store,
@@ -236,6 +264,13 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
     }
     // CLI --store wins over the spec's [store] table.
     let store_target = args.store.clone().or_else(|| campaign.store_path.clone());
+    if args.resume && store_target.is_none() {
+        eprintln!(
+            "fnpr-campaign: --resume needs a result store \
+             (--store PATH or the spec's [store] table)"
+        );
+        return ExitCode::FAILURE;
+    }
     let store = match &store_target {
         Some(path) => match ResultStore::open(Path::new(path)) {
             Ok(store) => Some(store),
@@ -246,11 +281,29 @@ fn cmd_run(args: &RunArgs) -> ExitCode {
         },
         None => None,
     };
+    // Crash-safe resume: the writable open above already swept dead jobs'
+    // orphaned deltas into the canonical store; surface what it found.
+    if let Some(store) = &store {
+        let sweep = store.orphan_sweep();
+        if sweep.swept_dirs > 0 || sweep.merged > 0 {
+            eprintln!(
+                "resume: merged {} record(s) from {} orphaned delta dir(s) ({} bytes reclaimed)",
+                sweep.merged, sweep.swept_dirs, sweep.bytes
+            );
+        }
+        if let Some(marker) = store.interrupted_run() {
+            eprintln!("resume: previous run was interrupted ({marker}); continuing from the store");
+        } else if args.resume && !args.quiet {
+            eprintln!("resume: no interrupted run found; warm-starting from the store");
+        }
+    }
     let started = std::time::Instant::now();
     let options = ExecOptions {
         threads: args.threads,
         backend: args.backend,
         workers: args.workers,
+        timeout_secs: args.timeout_secs,
+        max_retries: args.max_retries,
     };
     let outcome = match run_campaign_with_options(&campaign, &options, store.as_ref()) {
         Ok(outcome) => outcome,
@@ -631,6 +684,13 @@ fn cmd_store_stats(path: &Path) -> ExitCode {
         "skipped at load: {} invalid, {} stale (reclaim with `store gc`)",
         stats.invalid_entries, stats.stale_entries
     );
+    let (orphan_dirs, orphan_bytes) = store.orphaned_deltas();
+    if orphan_dirs > 0 {
+        println!(
+            "orphaned deltas: {orphan_dirs} job dir(s), {orphan_bytes} bytes \
+             (a writable open — any run, or `store gc` — merges dead jobs' deltas and reaps them)"
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -654,6 +714,21 @@ fn cmd_store_gc(path: &Path, policy: &GcPolicy) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The writable open swept dead jobs' orphaned deltas (merge + reap);
+    // report that alongside the compaction itself.
+    let sweep = store.orphan_sweep();
+    if sweep.swept_dirs > 0 || sweep.merged > 0 {
+        println!(
+            "orphan sweep: merged {} record(s) from {} dead job dir(s), reclaimed {} bytes",
+            sweep.merged, sweep.swept_dirs, sweep.bytes
+        );
+    }
+    if sweep.live_skipped > 0 {
+        println!(
+            "orphan sweep: left {} job dir(s) owned by live processes",
+            sweep.live_skipped
+        );
+    }
     let stats = store.stats();
     match store.gc_with(*policy) {
         Ok(report) => {
@@ -712,6 +787,7 @@ const USAGE: &str = "\
 usage:
   fnpr-campaign run <spec.toml|spec.json> [--threads N] [--csv PATH] [--json PATH]
                     [--backend local|process] [--workers N]
+                    [--timeout-secs F] [--max-retries N] [--resume]
                     [--store PATH] [--metrics PATH] [--trace-out PATH]
                     [--ledger PATH] [--quiet]
   fnpr-campaign grid <spec>
@@ -726,6 +802,15 @@ execution (aggregates are byte-identical on every backend):
                      delta-shipped (workers write private shards, the
                      coordinator merges them after the run)
   --workers N        worker-process count (default: the thread count)
+
+fault tolerance (process backend; recovery never changes the aggregates):
+  --timeout-secs F   watchdog: kill a worker that produces no frame for F
+                     seconds and reclaim its unfinished shards
+  --max-retries N    redispatch rounds for reclaimed shards before the
+                     coordinator computes them locally (default 1)
+  --resume           resume an interrupted campaign from its store: dead
+                     jobs' orphaned deltas are merged in, persisted points
+                     restore instead of recomputing (requires a store)
 
 store gc retention (on top of the always-on structural compaction):
   --max-age-days F   evict live entries older than F days
@@ -788,6 +873,26 @@ json = "campaign.json"         # omit to skip JSON
 # [executor]
 # backend = "process"          # or "local" (the default)
 # workers = 4                  # default: the resolved thread count
+# timeout_secs = 30.0          # watchdog: kill a worker silent this long
+# max_retries = 1              # redispatch rounds before local fallback
+
+# Optional: deterministic fault injection (testing/chaos-CI only). Inert
+# unless the FNPR_FAULT environment variable arms it (FNPR_FAULT=1 uses
+# this table; FNPR_FAULT="seed=7,crash=0.5" overrides it inline).
+# Injection sites are pure functions of (seed, worker, shard), so a
+# failure schedule replays byte-for-byte — and recovery is exercised
+# end-to-end while aggregates stay byte-identical to a clean run. Like
+# [executor], this table is not part of the scenario hash.
+# [fault]
+# seed = 7                     # failure-schedule seed
+# crash = 0.2                  # P(worker exits before computing a shard)
+# stall = 0.1                  # P(worker sleeps stall_ms before a shard)
+# stall_ms = 60000
+# corrupt = 0.1                # P(result frame corrupted in flight)
+# truncate = 0.1               # P(result frame truncated mid-line)
+# torn_delta = 0.5             # P(worker delta store loses its tail)
+# kill_after = 100             # abort the coordinator after N shards
+#                              # (crash-resume drills; then run --resume)
 
 # Optional: observability (write-only side channel; never changes results).
 # CLI `--metrics` / `--trace-out` / `--ledger` override the paths; `--quiet`

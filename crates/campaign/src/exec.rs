@@ -159,6 +159,9 @@ where
                 if let Some(meter) = &meter {
                     meter.tick();
                 }
+                // Crash-resume drills: an armed `kill_after` aborts the
+                // coordinator here, mid-campaign, with shards persisted.
+                crate::fault::kill_switch_tick();
             });
         }
     });

@@ -394,6 +394,7 @@ mod tests {
             points_computed: 0,
             bounds_restored: 0,
             bounds_computed: 0,
+            recovered_shards: 0,
             p50_us: p99_us / 4.0,
             p90_us: p99_us / 2.0,
             p99_us,

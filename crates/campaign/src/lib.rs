@@ -53,6 +53,7 @@ pub mod backend;
 pub mod cfg_workload;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod history;
 pub mod memo;
 pub mod multicore;
@@ -63,11 +64,12 @@ pub mod store;
 
 pub use backend::{run_worker, Executor, ExecutorBackend, WorkerStats, WORKER_EXE_ENV};
 pub use error::CampaignError;
+pub use fault::{FaultPlan, FaultSpec, FAULT_ENV};
 pub use history::{HistoryOptions, ScenarioTrend};
 pub use memo::MemoStats;
 pub use report::{CampaignReport, StoreStats, Summary};
 pub use spec::{Campaign, CampaignSpec, Workload, WorkloadKind};
-pub use store::{GcPolicy, GcReport, MergeReport, ResultStore};
+pub use store::{GcPolicy, GcReport, MergeReport, OrphanSweep, ResultStore};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -121,6 +123,12 @@ pub struct ExecOptions {
     pub backend: Option<BackendChoice>,
     /// Worker-process count, overriding `[executor] workers`.
     pub workers: Option<usize>,
+    /// Watchdog inactivity timeout in seconds (process backend),
+    /// overriding `[executor] timeout_secs`.
+    pub timeout_secs: Option<f64>,
+    /// Redispatch rounds for reclaimed shards (process backend),
+    /// overriding `[executor] max_retries`.
+    pub max_retries: Option<usize>,
 }
 
 /// A parsed backend selector (`[executor] backend` / CLI `--backend`).
@@ -188,6 +196,8 @@ pub fn ledger_record(
         points_computed: store.points_computed,
         bounds_restored: store.bounds_restored,
         bounds_computed: store.bounds_computed,
+        recovered_shards: fnpr_obs::counter("campaign.backend.shards.fallback").value()
+            + fnpr_obs::counter("campaign.supervise.reclaimed").value(),
         p50_us: timing.p50,
         p90_us: timing.p90,
         p99_us: timing.p99,
@@ -248,6 +258,7 @@ fn build_executor(
     campaign: &Campaign,
     options: &ExecOptions,
     store: Option<&ResultStore>,
+    fault: Option<FaultPlan>,
 ) -> (Executor, Option<std::path::PathBuf>) {
     let choice = options
         .backend
@@ -279,10 +290,19 @@ fn build_executor(
                 }
                 None => (None, None),
             };
-            (
-                Executor::process(workers, spec_json, canonical, delta_root.clone()),
-                delta_root,
-            )
+            let timeout = options
+                .timeout_secs
+                .or(campaign.executor.timeout_secs)
+                .map(std::time::Duration::from_secs_f64);
+            let max_retries = options
+                .max_retries
+                .or(campaign.executor.max_retries)
+                .unwrap_or(1);
+            let pool = backend::ProcessPool::new(workers, spec_json, canonical, delta_root.clone())
+                .with_supervision(timeout, max_retries)
+                .with_fallback_threads(threads)
+                .with_fault(fault);
+            (Executor::process(pool), delta_root)
         }
     }
 }
@@ -331,9 +351,20 @@ pub fn run_campaign_with_options(
     options: &ExecOptions,
     store: Option<&ResultStore>,
 ) -> Result<CampaignOutcome, CampaignError> {
-    let (executor, delta_root) = build_executor(campaign, options, store);
+    // Fault injection: armed only when the spec carries a `[fault]` table
+    // AND the FNPR_FAULT environment opts in (so a committed spec cannot
+    // sabotage production runs by itself).
+    let fault_plan = fault::active_plan(campaign.fault.as_ref())?;
+    fault::arm_kill_switch(fault_plan.as_ref().and_then(|p| p.kill_after));
+    let (executor, delta_root) = build_executor(campaign, options, store, fault_plan);
     let scenario = format!("{:016x}", campaign.scenario_hash());
     let _run_span = fnpr_obs::span("campaign.run", "campaign");
+    // Crash-safety marker: a run that dies before `end_run` leaves the
+    // marker behind, and the next writable open reports the interruption
+    // and sweeps this job's orphaned deltas into the canonical store.
+    if let Some(store) = store {
+        store.begin_run(&campaign.name);
+    }
     exec::set_progress_label(Some(campaign.name.clone()));
     exec::set_point_histogram(Some(format!(
         "campaign.point.micros.{}",
@@ -408,6 +439,10 @@ pub fn run_campaign_with_options(
     if let (Some(store), Some(delta_root)) = (store, &delta_root) {
         merge_worker_deltas(store, delta_root)?;
     }
+    if let Some(store) = store {
+        store.end_run();
+    }
+    fault::arm_kill_switch(None);
     let absorbed = executor.absorbed();
     let memo = memo + absorbed.memo_stats();
     let store_totals = store.map(|s| {

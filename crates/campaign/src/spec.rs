@@ -11,6 +11,7 @@ use fnpr_synth::{Policy, ProgramGenParams, TaskSetParams};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CampaignError;
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::memo::ScenarioHasher;
 
 /// Which experiment family a campaign runs.
@@ -106,6 +107,9 @@ pub struct CampaignSpec {
     pub telemetry: Option<TelemetrySpec>,
     /// Executor backend selection ([`ExecutorSpec`]).
     pub executor: Option<ExecutorSpec>,
+    /// Deterministic fault-injection schedule ([`FaultSpec`]); inert
+    /// unless the `FNPR_FAULT` environment variable arms it.
+    pub fault: Option<FaultSpec>,
 }
 
 /// A one-dimensional sweep axis: either an explicit `values` list or an
@@ -362,6 +366,13 @@ pub struct ExecutorSpec {
     /// Worker-process count for the process backend (default: the
     /// resolved thread count).
     pub workers: Option<usize>,
+    /// Watchdog inactivity timeout in seconds: a worker that ships no
+    /// frame for this long is killed and its unfinished shards are
+    /// redispatched. Absent: no watchdog (a hung worker hangs the run).
+    pub timeout_secs: Option<f64>,
+    /// Redispatch rounds for shards reclaimed from dead workers before
+    /// the coordinator computes them locally (default 1).
+    pub max_retries: Option<usize>,
 }
 
 /// A validated campaign: defaults applied, grids expanded, invariants
@@ -389,6 +400,11 @@ pub struct Campaign {
     /// Excluded from [`Campaign::scenario_hash`] — where shards run
     /// cannot change what they compute.
     pub executor: ExecutorSpec,
+    /// Fault-injection schedule, when the spec carries a `[fault]` table.
+    /// Excluded from [`Campaign::scenario_hash`]: every recovery path
+    /// recomputes the same pure functions, so an injected failure
+    /// schedule cannot change what a campaign computes.
+    pub fault: Option<FaultSpec>,
     /// The raw spec this campaign validated from: the process backend
     /// re-serializes it as the worker job payload, so workers re-validate
     /// the *identical* scenario.
@@ -602,6 +618,18 @@ impl CampaignSpec {
         if let Some(0) = executor.workers {
             return Err(CampaignError::Spec("`workers` must be >= 1".into()));
         }
+        if let Some(timeout) = executor.timeout_secs {
+            if !timeout.is_finite() || timeout <= 0.0 {
+                return Err(CampaignError::Spec(
+                    "`timeout_secs` must be a positive number of seconds".into(),
+                ));
+            }
+        }
+        if let Some(fault) = &self.fault {
+            // Validate the schedule now (fail fast on a bad table) even
+            // though injection only happens under FNPR_FAULT arming.
+            FaultPlan::from_spec(fault)?;
+        }
         let store_path = match &self.store {
             None => None,
             Some(store) => match &store.path {
@@ -624,6 +652,7 @@ impl CampaignSpec {
             store_path,
             telemetry: self.telemetry.clone().unwrap_or_default(),
             executor,
+            fault: self.fault.clone(),
             source: self.clone(),
         })
     }
@@ -1769,10 +1798,88 @@ accesses_per_block = [0, 2]
         with_executor.executor = Some(ExecutorSpec {
             backend: Some("process".into()),
             workers: Some(4),
+            timeout_secs: Some(30.0),
+            max_retries: Some(2),
         });
         assert_eq!(
             base.validate().unwrap().scenario_hash(),
             with_executor.validate().unwrap().scenario_hash()
+        );
+    }
+
+    #[test]
+    fn supervision_knobs_parse_and_validate() {
+        let spec = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
+             [executor]\nbackend = \"process\"\ntimeout_secs = 2.5\nmax_retries = 3\n",
+        )
+        .unwrap();
+        let campaign = spec.validate().unwrap();
+        assert_eq!(campaign.executor.timeout_secs, Some(2.5));
+        assert_eq!(campaign.executor.max_retries, Some(3));
+        for bad in ["0.0", "-1.0", "nan", "inf"] {
+            let err = CampaignSpec::parse(&format!(
+                "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
+                 [executor]\ntimeout_secs = {bad}\n"
+            ))
+            .unwrap()
+            .validate()
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("timeout_secs"),
+                "bad message for timeout_secs = {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_table_parses_validates_and_round_trips() {
+        let spec = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n\
+             [fault]\nseed = 7\ncrash = 0.25\nstall = 1.0\nstall_ms = 50\nkill_after = 4\n",
+        )
+        .unwrap();
+        let campaign = spec.validate().unwrap();
+        let fault = campaign.fault.as_ref().expect("fault table lost");
+        assert_eq!(fault.seed, Some(7));
+        assert_eq!(fault.crash, Some(0.25));
+        assert_eq!(fault.stall_ms, Some(50));
+        assert_eq!(fault.kill_after, Some(4));
+        // The table survives the worker-job JSON round trip.
+        let reparsed = CampaignSpec::parse(&serde_json::to_string(&spec)).unwrap();
+        assert_eq!(
+            reparsed.validate().unwrap().fault.as_ref().unwrap().crash,
+            Some(0.25)
+        );
+        // Probabilities outside [0, 1] are spec errors.
+        let err = CampaignSpec::parse(
+            "workload = \"soundness\"\n[soundness]\ntrials = 3\n[fault]\ncrash = 1.5\n",
+        )
+        .unwrap()
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("crash"), "bad message: {err}");
+    }
+
+    #[test]
+    fn fault_table_stays_out_of_the_scenario_hash() {
+        // Every recovery path recomputes the same pure functions, so an
+        // injected failure schedule cannot change what a campaign
+        // computes — faulted and clean runs share a scenario id.
+        let base = CampaignSpec {
+            seed: Some(5),
+            ..CampaignSpec::default()
+        };
+        let mut with_fault = base.clone();
+        with_fault.fault = Some(crate::fault::FaultSpec {
+            seed: Some(9),
+            crash: Some(0.5),
+            stall: Some(0.5),
+            ..crate::fault::FaultSpec::default()
+        });
+        assert_eq!(
+            base.validate().unwrap().scenario_hash(),
+            with_fault.validate().unwrap().scenario_hash()
         );
     }
 

@@ -247,6 +247,15 @@ enum ParsedLine {
 /// single index mutex would serialize them all.
 const INDEX_SHARDS: usize = 16;
 
+/// In-progress marker inside the store directory: written by
+/// [`ResultStore::begin_run`], removed by [`ResultStore::end_run`]. A
+/// marker left by a dead process means the previous run was interrupted.
+const INPROGRESS_FILE: &str = "campaign.inprogress";
+
+/// Directory under the store root holding per-job worker delta trees
+/// (`.deltas/job-<pid>/worker-<w>`).
+const DELTAS_DIR: &str = ".deltas";
+
 /// How this store handle touches disk.
 enum StoreMode {
     /// The canonical sharded directory: reads and appends in place.
@@ -281,6 +290,9 @@ pub struct ResultStore {
     stale_entries: AtomicU64,
     write_errors: AtomicU64,
     warned_write: AtomicBool,
+    /// What the opening orphan sweep found (writable sharded opens only;
+    /// default-empty for read-only and delta handles).
+    orphan_sweep: OrphanSweep,
 }
 
 impl fmt::Debug for ResultStore {
@@ -348,14 +360,19 @@ impl ResultStore {
             files.push(Mutex::new(file));
         }
         counts.publish();
-        Ok(Self::assemble(
+        let mut store = Self::assemble(
             path,
             StoreMode::Sharded,
             fingerprint,
             entries,
             Some(files),
             &counts,
-        ))
+        );
+        // Crash-safe resume: fold in whatever dead jobs left behind
+        // (worker deltas that were never merged, an in-progress marker
+        // from a killed coordinator) before anyone reads the index.
+        store.orphan_sweep = store.sweep_orphans();
+        Ok(store)
     }
 
     /// Opens the store at `path` for reading only — **no** migration, no
@@ -472,6 +489,7 @@ impl ResultStore {
             stale_entries: AtomicU64::new(counts.stale),
             write_errors: AtomicU64::new(0),
             warned_write: AtomicBool::new(false),
+            orphan_sweep: OrphanSweep::default(),
         }
     }
 
@@ -498,6 +516,136 @@ impl ResultStore {
             StoreMode::ReadOnly => None,
             StoreMode::Delta { delta_dir } => Some(delta_dir.clone()),
         }
+    }
+
+    /// Marks a run as in progress: writes the `campaign.inprogress`
+    /// marker (pid, start stamp, campaign name) into the store directory.
+    /// Best-effort and sharded-mode only — a store that cannot take the
+    /// marker still runs, it just cannot report interruptions later.
+    pub fn begin_run(&self, name: &str) {
+        if !matches!(self.mode, StoreMode::Sharded) {
+            return;
+        }
+        let content = format!(
+            "pid={} started={} name={}\n",
+            std::process::id(),
+            fnpr_obs::ledger::unix_now(),
+            name
+        );
+        let _ = std::fs::write(self.path.join(INPROGRESS_FILE), content);
+    }
+
+    /// Removes the in-progress marker written by [`Self::begin_run`] —
+    /// only when it is ours, so a concurrent job's marker survives.
+    pub fn end_run(&self) {
+        if !matches!(self.mode, StoreMode::Sharded) {
+            return;
+        }
+        let marker = self.path.join(INPROGRESS_FILE);
+        if let Ok(content) = std::fs::read_to_string(&marker) {
+            if marker_pid(content.trim()) == Some(std::process::id()) {
+                let _ = std::fs::remove_file(&marker);
+            }
+        }
+    }
+
+    /// What the opening orphan sweep merged and reaped (empty for
+    /// read-only and delta handles, which never sweep).
+    #[must_use]
+    pub fn orphan_sweep(&self) -> &OrphanSweep {
+        &self.orphan_sweep
+    }
+
+    /// The `campaign.inprogress` marker content of an interrupted
+    /// (dead-pid) previous run, observed and cleared by the opening
+    /// sweep.
+    #[must_use]
+    pub fn interrupted_run(&self) -> Option<&str> {
+        self.orphan_sweep.interrupted.as_deref()
+    }
+
+    /// Read-only inventory of `.deltas/job-*` trees still present under
+    /// the store: `(directories, total bytes)`. `store stats` reports
+    /// this instead of silently ignoring orphans; a writable open sweeps
+    /// the dead ones, so anything still here after that belongs to a
+    /// live job.
+    #[must_use]
+    pub fn orphaned_deltas(&self) -> (u64, u64) {
+        let mut dirs = 0;
+        let mut bytes = 0;
+        if let Ok(entries) = std::fs::read_dir(self.path.join(DELTAS_DIR)) {
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_dir() {
+                    dirs += 1;
+                    bytes += dir_bytes(&path);
+                }
+            }
+        }
+        (dirs, bytes)
+    }
+
+    /// Merges then reaps every `.deltas/job-<pid>` tree whose owning
+    /// process is dead, and collects (then clears) an in-progress marker
+    /// left by a dead coordinator. Delta liveness is conservative: our
+    /// own pid, any pid with a `/proc` entry, and any job directory
+    /// whose pid cannot be parsed or verified is treated as live and
+    /// left alone. A marker that cannot be parsed is cleared (nothing
+    /// live can reclaim it).
+    fn sweep_orphans(&self) -> OrphanSweep {
+        let mut sweep = OrphanSweep::default();
+        let deltas = self.path.join(DELTAS_DIR);
+        if let Ok(entries) = std::fs::read_dir(&deltas) {
+            let mut jobs: Vec<PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            jobs.sort();
+            for job in jobs {
+                match job_pid(&job) {
+                    Some(pid) if !pid_is_live(pid) => {
+                        sweep.bytes += dir_bytes(&job);
+                        let mut workers: Vec<PathBuf> = std::fs::read_dir(&job)
+                            .into_iter()
+                            .flatten()
+                            .filter_map(Result::ok)
+                            .map(|e| e.path())
+                            .filter(|p| p.is_dir())
+                            .collect();
+                        workers.sort();
+                        for worker in workers {
+                            // Merge is idempotent and torn-tail tolerant:
+                            // a half-written delta line counts as invalid
+                            // and the point recomputes, never corrupts.
+                            if let Ok(report) = self.merge_delta(&worker) {
+                                sweep.merged += report.merged;
+                            }
+                        }
+                        if std::fs::remove_dir_all(&job).is_ok() {
+                            sweep.swept_dirs += 1;
+                        }
+                    }
+                    _ => sweep.live_skipped += 1,
+                }
+            }
+            let _ = std::fs::remove_dir(&deltas);
+        }
+        let marker = self.path.join(INPROGRESS_FILE);
+        if let Ok(content) = std::fs::read_to_string(&marker) {
+            let content = content.trim().to_string();
+            match marker_pid(&content) {
+                Some(pid) if pid_is_live(pid) => {}
+                _ => {
+                    let _ = std::fs::remove_file(&marker);
+                    fnpr_obs::counter!("campaign.store.resume.interrupted").incr();
+                    sweep.interrupted = Some(content);
+                }
+            }
+        }
+        fnpr_obs::counter!("campaign.store.orphans.swept").add(sweep.swept_dirs);
+        fnpr_obs::counter!("campaign.store.orphans.merged").add(sweep.merged);
+        sweep
     }
 
     /// Fetches and decodes an entry; `None` on absence *or* undecodable
@@ -963,6 +1111,75 @@ pub struct GcPolicy {
     pub max_age_days: Option<f64>,
     /// Evict oldest entries until the store fits in this many bytes.
     pub max_bytes: Option<u64>,
+}
+
+/// What a writable open's orphan sweep merged and reaped (see
+/// [`ResultStore::orphan_sweep`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrphanSweep {
+    /// Dead `.deltas/job-<pid>` trees removed after merging.
+    pub swept_dirs: u64,
+    /// Records merged into the canonical store from dead jobs' deltas.
+    pub merged: u64,
+    /// Bytes the swept trees occupied before removal.
+    pub bytes: u64,
+    /// Job trees left alone because their owning process looks alive.
+    pub live_skipped: u64,
+    /// Content of a dead run's `campaign.inprogress` marker, when one was
+    /// found (and cleared): the previous run was interrupted and this
+    /// open is effectively a resume.
+    pub interrupted: Option<String>,
+}
+
+/// The pid embedded in a `.deltas/job-<pid>` directory name.
+fn job_pid(path: &Path) -> Option<u32> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("job-")?
+        .parse()
+        .ok()
+}
+
+/// The pid embedded in a `pid=<pid> …` in-progress marker line.
+fn marker_pid(content: &str) -> Option<u32> {
+    content
+        .split_whitespace()
+        .next()?
+        .strip_prefix("pid=")?
+        .parse()
+        .ok()
+}
+
+/// Conservative liveness: our own pid is live, a pid with a `/proc`
+/// entry is live, and on systems without `/proc` everything is live
+/// (sweeping can only be wrong in one direction — never reap a running
+/// job's deltas).
+fn pid_is_live(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Recursive byte total of a directory tree (best-effort; unreadable
+/// entries count zero).
+fn dir_bytes(path: &Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(path) {
+        for entry in entries.filter_map(Result::ok) {
+            let child = entry.path();
+            if child.is_dir() {
+                total += dir_bytes(&child);
+            } else if let Ok(meta) = entry.metadata() {
+                total += meta.len();
+            }
+        }
+    }
+    total
 }
 
 /// What one [`ResultStore::merge_delta`] pass did.
@@ -1898,5 +2115,120 @@ mod tests {
         store.put(StoreTable::Bounds, 1, &partial);
         store.put(StoreTable::Bounds, 1, &full);
         assert_eq!(store.get::<BoundsEntry>(StoreTable::Bounds, 1), Some(full));
+    }
+
+    /// A pid no live process can hold (kernels cap pids far below this),
+    /// so `job-<DEAD_PID>` trees and `pid=<DEAD_PID>` markers always look
+    /// dead to the liveness check.
+    const DEAD_PID: u32 = 99_999_999;
+
+    #[test]
+    fn dead_job_deltas_merge_and_reap_on_open() {
+        let path = temp_store_path("orphans.log");
+        ResultStore::open(&path).unwrap();
+        // A worker delta tree from a job whose coordinator died before
+        // merging.
+        let worker_dir = path
+            .join(DELTAS_DIR)
+            .join(format!("job-{DEAD_PID}"))
+            .join("worker-0");
+        {
+            let delta = ResultStore::open_delta(&path, &worker_dir).unwrap();
+            delta.put(StoreTable::Bounds, 5, &2.5f64);
+            delta.put(StoreTable::CfgPoints, 6, &3.5f64);
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let sweep = store.orphan_sweep();
+        assert_eq!(sweep.swept_dirs, 1);
+        assert_eq!(sweep.merged, 2);
+        assert!(sweep.bytes > 0);
+        assert_eq!(sweep.live_skipped, 0);
+        assert!(
+            !path.join(DELTAS_DIR).exists(),
+            "swept job dirs (and the empty .deltas parent) are removed"
+        );
+        // The orphaned results are restored, not recomputed.
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 5), Some(2.5));
+        assert_eq!(store.get::<f64>(StoreTable::CfgPoints, 6), Some(3.5));
+        assert_eq!(store.orphaned_deltas(), (0, 0));
+        // Idempotent: a third open has nothing left to sweep.
+        let again = ResultStore::open(&path).unwrap();
+        assert_eq!(*again.orphan_sweep(), OrphanSweep::default());
+    }
+
+    #[test]
+    fn live_job_deltas_are_left_alone() {
+        let path = temp_store_path("live_orphans.log");
+        ResultStore::open(&path).unwrap();
+        let job_dir = path
+            .join(DELTAS_DIR)
+            .join(format!("job-{}", std::process::id()));
+        {
+            let delta = ResultStore::open_delta(&path, &job_dir.join("worker-0")).unwrap();
+            delta.put(StoreTable::Bounds, 9, &1.0f64);
+        }
+        let store = ResultStore::open(&path).unwrap();
+        let sweep = store.orphan_sweep();
+        assert_eq!((sweep.swept_dirs, sweep.merged), (0, 0));
+        assert_eq!(sweep.live_skipped, 1);
+        assert!(job_dir.is_dir(), "a live job's deltas must survive");
+        assert_eq!(store.get::<f64>(StoreTable::Bounds, 9), None);
+        let (dirs, bytes) = store.orphaned_deltas();
+        assert_eq!(dirs, 1);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn dead_marker_reports_interrupted_and_clears() {
+        let path = temp_store_path("marker.log");
+        ResultStore::open(&path).unwrap();
+        let marker = path.join(INPROGRESS_FILE);
+        std::fs::write(&marker, format!("pid={DEAD_PID} started=123 name=doomed\n")).unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        let interrupted = store.interrupted_run().expect("interruption detected");
+        assert!(interrupted.contains("name=doomed"));
+        assert!(!marker.exists(), "dead markers are cleared once reported");
+        let again = ResultStore::open(&path).unwrap();
+        assert_eq!(again.interrupted_run(), None);
+    }
+
+    #[test]
+    fn begin_end_run_marker_lifecycle() {
+        let path = temp_store_path("marker_own.log");
+        let store = ResultStore::open(&path).unwrap();
+        let marker = path.join(INPROGRESS_FILE);
+        store.begin_run("alive");
+        assert!(marker.is_file());
+        // Another open while we run: our pid is live, so the marker is
+        // neither reported nor cleared.
+        let other = ResultStore::open(&path).unwrap();
+        assert_eq!(other.interrupted_run(), None);
+        assert!(marker.is_file(), "a live run's marker must survive");
+        store.end_run();
+        assert!(!marker.exists());
+        // end_run leaves someone else's marker alone.
+        std::fs::write(&marker, format!("pid={DEAD_PID} started=1 name=x\n")).unwrap();
+        store.end_run();
+        assert!(marker.exists());
+    }
+
+    #[test]
+    fn read_only_open_reports_orphans_without_touching() {
+        let path = temp_store_path("ro_orphans.log");
+        ResultStore::open(&path).unwrap();
+        let job_dir = path.join(DELTAS_DIR).join(format!("job-{DEAD_PID}"));
+        {
+            let delta = ResultStore::open_delta(&path, &job_dir.join("worker-0")).unwrap();
+            delta.put(StoreTable::Bounds, 3, &4.0f64);
+        }
+        let store = ResultStore::open_read_only(&path).unwrap();
+        assert_eq!(*store.orphan_sweep(), OrphanSweep::default());
+        let (dirs, bytes) = store.orphaned_deltas();
+        assert_eq!(dirs, 1);
+        assert!(bytes > 0);
+        assert!(
+            job_dir.is_dir(),
+            "a read-only open reports orphans but never sweeps them"
+        );
     }
 }

@@ -24,6 +24,7 @@ fn options(backend: BackendChoice, workers: usize) -> ExecOptions {
         threads: Some(2),
         backend: Some(backend),
         workers: Some(workers),
+        ..ExecOptions::default()
     }
 }
 

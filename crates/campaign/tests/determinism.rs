@@ -42,6 +42,7 @@ fn render_process(spec: &CampaignSpec, workers: usize) -> (String, String) {
         threads: Some(2),
         backend: Some(BackendChoice::Process),
         workers: Some(workers),
+        ..ExecOptions::default()
     };
     let outcome = run_campaign_with_options(&campaign, &options, None).expect("campaign runs");
     assert_eq!(outcome.backend, "process");

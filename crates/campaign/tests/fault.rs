@@ -1,0 +1,257 @@
+//! Fault-tolerance contract, end to end: campaigns run under the seeded
+//! fault harness — crashing, stalling, frame-mangling and delta-tearing
+//! workers — must produce **byte-identical** aggregates to a clean run,
+//! with recovery visible only in the `campaign.supervise.*` /
+//! `campaign.backend.*` counters.
+//!
+//! Every test arms injection with `FNPR_FAULT=1` (use-the-spec-table
+//! mode) and controls the schedule through each spec's own `[fault]`
+//! table; specs without a table stay clean, so concurrently running
+//! tests cannot leak faults into each other. The coordinator kill switch
+//! (`kill_after`) is exercised only by the CI resume drill — aborting
+//! the test process is not an option here.
+
+use std::time::{Duration, Instant};
+
+use fnpr_campaign::store::ResultStore;
+use fnpr_campaign::{
+    run_campaign_with_options, BackendChoice, Campaign, CampaignSpec, ExecOptions, FaultPlan,
+    FaultSpec, FAULT_ENV, WORKER_EXE_ENV,
+};
+use proptest::prelude::*;
+
+mod common;
+
+/// Arms spec-table fault injection and points the process backend at the
+/// real campaign binary. Every test sets the same values, so concurrent
+/// setters cannot disagree.
+fn arm_faults() {
+    std::env::set_var(FAULT_ENV, "1");
+    std::env::set_var(WORKER_EXE_ENV, env!("CARGO_BIN_EXE_fnpr-campaign"));
+}
+
+/// A small acceptance campaign (2 policies x 2 utilizations = 4 shards),
+/// optionally carrying a `[fault]` table. The table is excluded from the
+/// scenario hash, so the faulted and clean variants describe the same
+/// computation.
+fn campaign(seed: u64, fault_table: &str) -> Campaign {
+    CampaignSpec::parse(&format!(
+        r#"
+name = "fault-e2e"
+seed = {seed}
+workload = "acceptance"
+
+[acceptance]
+sets_per_point = 3
+max_attempts_factor = 10
+utilizations = {{ values = [0.5, 0.7] }}
+
+[acceptance.taskset]
+n = 4
+utilization = 0.0
+period_range = [10.0, 1000.0]
+deadline_factor = [1.0, 1.0]
+{fault_table}
+"#
+    ))
+    .expect("template parses")
+    .validate()
+    .expect("template validates")
+}
+
+fn render(campaign: &Campaign, options: &ExecOptions) -> (String, String) {
+    let outcome = run_campaign_with_options(campaign, options, None).expect("campaign runs");
+    (outcome.report.to_csv(), outcome.report.to_json())
+}
+
+fn process_options(workers: usize) -> ExecOptions {
+    ExecOptions {
+        threads: Some(2),
+        backend: Some(BackendChoice::Process),
+        workers: Some(workers),
+        ..ExecOptions::default()
+    }
+}
+
+fn local_options(threads: usize) -> ExecOptions {
+    ExecOptions {
+        threads: Some(threads),
+        backend: Some(BackendChoice::Local),
+        ..ExecOptions::default()
+    }
+}
+
+#[test]
+fn stalled_workers_are_reaped_by_the_watchdog() {
+    arm_faults();
+    fnpr_obs::set_enabled(true);
+    let clean = render(&campaign(41, ""), &local_options(1));
+
+    // Every worker stalls for 10s in front of every shard; the watchdog
+    // must reap them at ~300ms and the run complete via redispatch plus
+    // the parallel local fallback — long before any stall expires.
+    let faulted = campaign(41, "[fault]\nstall = 1.0\nstall_ms = 10000\n");
+    let options = ExecOptions {
+        timeout_secs: Some(0.3),
+        max_retries: Some(1),
+        ..process_options(2)
+    };
+    let timeouts = fnpr_obs::counter("campaign.supervise.timeouts").value();
+    let start = Instant::now();
+    let outcome = render(&faulted, &options);
+    let elapsed = start.elapsed();
+
+    assert_eq!(
+        outcome, clean,
+        "recovery from stalls changed the aggregates"
+    );
+    assert!(
+        fnpr_obs::counter("campaign.supervise.timeouts").value() > timeouts,
+        "watchdog reaped no one despite certain stalls"
+    );
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "run took {elapsed:?}: the watchdog did not unblock it (stalls are 10s)"
+    );
+}
+
+#[test]
+fn crashed_workers_are_redispatched_then_recovered_locally() {
+    arm_faults();
+    fnpr_obs::set_enabled(true);
+    let clean = render(&campaign(42, ""), &local_options(1));
+
+    // Every worker — including every replacement — crashes before its
+    // first shard, so the retry wave fires and the parallel fallback
+    // finishes the job.
+    let faulted = campaign(42, "[fault]\ncrash = 1.0\n");
+    let retries = fnpr_obs::counter("campaign.supervise.retries").value();
+    let reclaimed = fnpr_obs::counter("campaign.supervise.reclaimed").value();
+    assert_eq!(render(&faulted, &process_options(2)), clean);
+    assert!(
+        fnpr_obs::counter("campaign.supervise.retries").value() > retries,
+        "certain crashes triggered no retry wave"
+    );
+    assert!(
+        fnpr_obs::counter("campaign.supervise.reclaimed").value() >= reclaimed + 4,
+        "all four shards should have been reclaimed at least once"
+    );
+}
+
+#[test]
+fn mangled_frames_are_rejected_and_recomputed() {
+    arm_faults();
+    fnpr_obs::set_enabled(true);
+    let clean = render(&campaign(43, ""), &local_options(1));
+
+    let table = "[fault]\nseed = 5\ncorrupt = 0.7\ntruncate = 0.5\n";
+    let faulted = campaign(43, table);
+    // The schedule is pure, so we can prove it is non-trivial before
+    // running: at least one of the first wave's shards gets mangled.
+    let plan = FaultPlan::from_spec(&FaultSpec {
+        seed: Some(5),
+        corrupt: Some(0.7),
+        truncate: Some(0.5),
+        ..FaultSpec::default()
+    })
+    .unwrap();
+    assert!(
+        (0..2u64).any(|w| (0..4u64).any(|s| plan.corrupts_at(w, s) || plan.truncates_at(w, s))),
+        "chosen fault seed schedules no frame mangling; pick another"
+    );
+
+    let fallback = fnpr_obs::counter("campaign.backend.shards.fallback").value();
+    assert_eq!(render(&faulted, &process_options(2)), clean);
+    assert!(
+        fnpr_obs::counter("campaign.backend.shards.fallback").value() > fallback,
+        "mangled frames should force at least one local recompute"
+    );
+}
+
+#[test]
+fn torn_delta_tails_heal_in_the_shared_store() {
+    arm_faults();
+    let clean = render(&campaign(44, ""), &local_options(1));
+
+    // Every worker tears the tail off its delta store after its last
+    // shard. The shipped frames are intact (the report must not notice),
+    // and the merge + torn-tail healing absorb the damage: a warm run
+    // over the same store still renders the clean bytes.
+    let faulted = campaign(44, "[fault]\ntorn_delta = 1.0\n");
+    let path = common::scratch_dir("fault_torn").join("torn.fnprstore");
+
+    let cold_store = ResultStore::open(&path).unwrap();
+    let cold = run_campaign_with_options(&faulted, &process_options(2), Some(&cold_store))
+        .expect("cold faulted run");
+    assert_eq!(
+        (cold.report.to_csv(), cold.report.to_json()),
+        clean,
+        "torn delta tails changed the cold aggregates"
+    );
+    drop(cold_store);
+
+    let warm_store = ResultStore::open(&path).unwrap();
+    let warm = run_campaign_with_options(&faulted, &local_options(2), Some(&warm_store))
+        .expect("warm run over the healed store");
+    assert_eq!(
+        (warm.report.to_csv(), warm.report.to_json()),
+        clean,
+        "warm run over a torn store drifted"
+    );
+}
+
+/// One fault class per proptest case, spanning every injection site.
+fn arb_fault_table() -> impl Strategy<Value = String> {
+    (0u64..64, 0usize..5).prop_map(|(fault_seed, class)| match class {
+        0 => format!("[fault]\nseed = {fault_seed}\ncrash = 0.6\n"),
+        1 => format!("[fault]\nseed = {fault_seed}\nstall = 0.7\nstall_ms = 40\n"),
+        2 => format!("[fault]\nseed = {fault_seed}\ncorrupt = 0.7\ntruncate = 0.5\n"),
+        3 => format!("[fault]\nseed = {fault_seed}\ntorn_delta = 1.0\n"),
+        _ => format!(
+            "[fault]\nseed = {fault_seed}\ncrash = 0.3\nstall = 0.3\nstall_ms = 30\n\
+             corrupt = 0.3\ntruncate = 0.3\ntorn_delta = 0.5\n"
+        ),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The robustness headline: under any seeded fault schedule, at any
+    /// placement — local threads or real worker subprocesses, with or
+    /// without a delta store in the line of fire — the aggregates are
+    /// byte-identical to a clean single-threaded run.
+    #[test]
+    fn faulted_campaigns_never_change_aggregates(
+        seed in 0u64..1000,
+        fault_table in arb_fault_table(),
+    ) {
+        arm_faults();
+        let clean = render(&campaign(seed, ""), &local_options(1));
+        let faulted = campaign(seed, &fault_table);
+
+        for threads in [1usize, 8] {
+            prop_assert_eq!(
+                &render(&faulted, &local_options(threads)),
+                &clean,
+                "local@{} drifted under {:?}", threads, fault_table
+            );
+        }
+        // process@2 runs against a store so torn deltas hit real files.
+        let path = common::scratch_dir("fault_prop").join("prop.fnprstore");
+        let store = ResultStore::open(&path).unwrap();
+        let outcome = run_campaign_with_options(&faulted, &process_options(2), Some(&store))
+            .expect("faulted process run");
+        prop_assert_eq!(
+            &(outcome.report.to_csv(), outcome.report.to_json()),
+            &clean,
+            "process@2 (with store) drifted under {:?}", fault_table
+        );
+        drop(store);
+        prop_assert_eq!(
+            &render(&faulted, &process_options(4)),
+            &clean,
+            "process@4 drifted under {:?}", fault_table
+        );
+    }
+}

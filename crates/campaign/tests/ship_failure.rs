@@ -1,0 +1,61 @@
+//! Job-ship failure: a worker that dies before reading its job (here,
+//! `/bin/false`) makes the coordinator's `stdin.write_all` fail with a
+//! broken pipe. That must not be fatal — the coordinator logs it, bumps
+//! `campaign.backend.ship_failed`, reclaims the worker's shards and
+//! finishes the campaign locally with clean-run bytes.
+//!
+//! This lives in its own test binary: it points `WORKER_EXE_ENV` at
+//! `/bin/false` for the whole process, which would poison any process-
+//! backend test sharing the binary.
+
+use fnpr_campaign::{
+    run_campaign_with_options, BackendChoice, CampaignSpec, ExecOptions, WORKER_EXE_ENV,
+};
+
+#[test]
+fn failed_job_ship_falls_back_to_local_compute() {
+    if !std::path::Path::new("/bin/false").exists() {
+        eprintln!("skipping: /bin/false not available on this platform");
+        return;
+    }
+    // A multi-megabyte campaign name makes the serialized job far larger
+    // than any pipe buffer, so the ship cannot fit entirely in the kernel
+    // buffer before the worker exits: write_all must observe the failure.
+    let name = "x".repeat(2 * 1024 * 1024);
+    let campaign = CampaignSpec::parse(&format!(
+        "name = \"{name}\"\nseed = 9\nworkload = \"soundness\"\n[soundness]\ntrials = 4\n\
+         simulate = false\n"
+    ))
+    .unwrap()
+    .validate()
+    .unwrap();
+
+    let local = ExecOptions {
+        threads: Some(1),
+        backend: Some(BackendChoice::Local),
+        ..ExecOptions::default()
+    };
+    let baseline = run_campaign_with_options(&campaign, &local, None).expect("local baseline");
+
+    fnpr_obs::set_enabled(true);
+    std::env::set_var(WORKER_EXE_ENV, "/bin/false");
+    let shipped_failed = fnpr_obs::counter("campaign.backend.ship_failed").value();
+    let options = ExecOptions {
+        threads: Some(2),
+        backend: Some(BackendChoice::Process),
+        workers: Some(2),
+        ..ExecOptions::default()
+    };
+    let outcome = run_campaign_with_options(&campaign, &options, None)
+        .expect("ship failures must not fail the campaign");
+
+    assert_eq!(
+        (outcome.report.to_csv(), outcome.report.to_json()),
+        (baseline.report.to_csv(), baseline.report.to_json()),
+        "recovery from failed ships changed the aggregates"
+    );
+    assert!(
+        fnpr_obs::counter("campaign.backend.ship_failed").value() > shipped_failed,
+        "no ship failure recorded despite workers that never read their job"
+    );
+}

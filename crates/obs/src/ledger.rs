@@ -50,7 +50,10 @@ pub const LEDGER_FORMAT: &str = "FNPRL1";
 /// Version of the [`RunRecord`] payload schema. Folded into the line
 /// fingerprint; bump when fields change shape or meaning, and old rows
 /// become stale instead of being misread.
-pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added `recovered_shards` (shards delivered by supervision
+/// recovery — redispatch reclaims plus coordinator fallback).
+pub const LEDGER_SCHEMA_VERSION: u64 = 2;
 
 /// One run of a campaign, as recorded in the ledger. Every field is a
 /// flat scalar so the hand-rolled JSON writer/parser (this crate is
@@ -88,6 +91,10 @@ pub struct RunRecord {
     pub bounds_restored: u64,
     /// Shared `(curve, Q)` bounds computed fresh.
     pub bounds_computed: u64,
+    /// Shards that reached the aggregate through a recovery path
+    /// (redispatch after a worker death or timeout, plus coordinator
+    /// fallback compute). Zero for a healthy run.
+    pub recovered_shards: u64,
     /// Estimated median per-point wall time, microseconds.
     pub p50_us: f64,
     /// Estimated 90th-percentile per-point wall time, microseconds.
@@ -129,8 +136,8 @@ impl RunRecord {
         );
         let _ = write!(
             out,
-            ",\"bounds_restored\":{},\"bounds_computed\":{}",
-            self.bounds_restored, self.bounds_computed,
+            ",\"bounds_restored\":{},\"bounds_computed\":{},\"recovered_shards\":{}",
+            self.bounds_restored, self.bounds_computed, self.recovered_shards,
         );
         let _ = write!(
             out,
@@ -181,6 +188,7 @@ impl RunRecord {
             points_computed: u64_field("points_computed")?,
             bounds_restored: u64_field("bounds_restored")?,
             bounds_computed: u64_field("bounds_computed")?,
+            recovered_shards: u64_field("recovered_shards")?,
             p50_us: num_field("p50_us")?,
             p90_us: num_field("p90_us")?,
             p99_us: num_field("p99_us")?,
@@ -256,7 +264,7 @@ pub fn read_ledger(path: &Path) -> std::io::Result<LedgerView> {
             continue;
         }
         match parse_line(line) {
-            ParsedLine::Valid(record) => view.records.push(record),
+            ParsedLine::Valid(record) => view.records.push(*record),
             ParsedLine::Stale => view.stale += 1,
             ParsedLine::Invalid => view.invalid += 1,
         }
@@ -284,7 +292,7 @@ fn format_line(record: &RunRecord) -> String {
 }
 
 enum ParsedLine {
-    Valid(RunRecord),
+    Valid(Box<RunRecord>),
     Stale,
     Invalid,
 }
@@ -321,7 +329,7 @@ fn parse_line(line: &str) -> ParsedLine {
         return ParsedLine::Stale;
     }
     match RunRecord::from_json(payload) {
-        Some(record) => ParsedLine::Valid(record),
+        Some(record) => ParsedLine::Valid(Box::new(record)),
         None => ParsedLine::Invalid,
     }
 }
@@ -482,6 +490,7 @@ mod tests {
             points_computed: 8,
             bounds_restored: 1,
             bounds_computed: 7,
+            recovered_shards: 0,
             p50_us: 120.0,
             p90_us: 900.5,
             p99_us: 1800.25,
