@@ -16,6 +16,7 @@
 //! | `acceptance_ratio` | extension — schedulability acceptance ratios |
 //! | `soundness_sweep` | extension — Theorem 1 / Figure 2 at scale |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

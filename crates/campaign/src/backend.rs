@@ -241,6 +241,7 @@ impl WorkerWatch {
     fn new() -> Self {
         Self {
             child: Mutex::new(None),
+            // fnpr-lint: allow(wall_clock, "worker-liveness watchdog; never feeds an aggregate")
             last_activity: Mutex::new(Instant::now()),
             done: AtomicBool::new(false),
         }
@@ -251,6 +252,7 @@ impl WorkerWatch {
     }
 
     fn touch(&self) {
+        // fnpr-lint: allow(wall_clock, "worker-liveness watchdog; never feeds an aggregate")
         *self.last_activity.lock().expect("worker clock poisoned") = Instant::now();
     }
 
@@ -376,6 +378,7 @@ impl ProcessPool {
     /// The worker executable: [`WORKER_EXE_ENV`] override, else this
     /// process's own binary.
     fn worker_exe() -> std::io::Result<PathBuf> {
+        // fnpr-lint: allow(env_read, "test hook selecting the worker binary; results are unaffected")
         match std::env::var_os(WORKER_EXE_ENV) {
             Some(exe) if !exe.is_empty() => Ok(PathBuf::from(exe)),
             _ => std::env::current_exe(),

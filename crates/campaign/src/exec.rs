@@ -56,6 +56,7 @@ fn point_histogram() -> Option<fnpr_obs::Histogram> {
         .lock()
         .expect("point histogram poisoned")
         .clone()?;
+    // fnpr-lint: metric(histogram, "campaign.point.micros.{}")
     Some(fnpr_obs::histogram(&name))
 }
 
@@ -138,6 +139,7 @@ where
                     return;
                 }
                 claimed.incr();
+                // fnpr-lint: allow(wall_clock, "feeds the write-only shard-latency histogram, never a result")
                 let started = fnpr_obs::enabled().then(std::time::Instant::now);
                 let result = {
                     let _span = fnpr_obs::span_shard("campaign.shard", "campaign", i as u64);

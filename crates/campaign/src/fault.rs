@@ -274,6 +274,7 @@ impl FaultPlan {
 /// Is fault injection armed for this process? See [`FAULT_ENV`].
 #[must_use]
 pub fn armed() -> bool {
+    // fnpr-lint: allow(env_read, "chaos-test arming switch; injected faults are themselves seeded")
     match std::env::var(FAULT_ENV) {
         Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
         Err(_) => false,
@@ -330,6 +331,7 @@ fn parse_env_plan(text: &str) -> Result<FaultSpec, CampaignError> {
 /// [`CampaignError::Spec`] on an unparseable env payload or invalid
 /// probabilities.
 pub fn active_plan(spec: Option<&FaultSpec>) -> Result<Option<FaultPlan>, CampaignError> {
+    // fnpr-lint: allow(env_read, "chaos-test plan channel shared with workers; deterministic given the plan")
     let value = match std::env::var(FAULT_ENV) {
         Ok(v) => v,
         Err(_) => return Ok(None),

@@ -45,6 +45,7 @@
 //!
 //! The `fnpr-campaign` binary wraps this: `fnpr-campaign run <spec.toml>`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

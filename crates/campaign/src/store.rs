@@ -61,7 +61,7 @@
 //! floats are the one lossy case (JSON has no NaN/Inf); the self-check
 //! fails for them and the point simply stays uncached.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -962,7 +962,7 @@ impl ResultStore {
         let mut bytes_before = 0u64;
         // Latest valid line per (tag, key), with its stamp — re-parsed
         // from disk (not the index) because stamps only live in the files.
-        let mut live: HashMap<(u32, u128), (u64, String)> = HashMap::new();
+        let mut live: BTreeMap<(u32, u128), (u64, String)> = BTreeMap::new();
         for table in StoreTable::ALL {
             let file_path = self.table_file_path(table);
             let bytes = match std::fs::read(&file_path) {
@@ -1000,8 +1000,7 @@ impl ResultStore {
             evicted += before - live.len();
         }
         let mut records: Vec<((u32, u128), (u64, String))> = live.into_iter().collect();
-        // Deterministic order for both eviction and output (the map is a
-        // HashMap): oldest first, then (tag, key).
+        // Eviction and output order: oldest first, then (tag, key).
         records.sort_by_key(|a| (a.1 .0, a.0));
         if let Some(max_bytes) = policy.max_bytes {
             let mut sizes: Vec<u64> = records

@@ -54,6 +54,7 @@
 //! exactly that composition; the umbrella `fnpr` crate wires the three crates
 //! together.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,0 +1,486 @@
+//! A minimal hand-rolled Rust lexer — just enough syntax awareness for
+//! reliable token-level lints without a parser dependency.
+//!
+//! The hard part of "grep with guarantees" is knowing what is *code*:
+//! line comments, nested block comments, plain/raw/byte string literals,
+//! char literals and lifetimes all must be classified correctly or a lint
+//! will fire inside a doc comment (or miss a real call because a raw
+//! string swallowed the rest of the file). Everything else — numbers,
+//! identifiers, punctuation — is passed through as flat tokens with line
+//! numbers; the lint passes pattern-match on those.
+
+/// One lexical token (comments are reported separately, see [`Comment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident(String),
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime(String),
+    /// A string literal; `value` is the raw source slice between the
+    /// quotes (escape sequences are not processed — the lints only need
+    /// substring/equality checks on plain names and tags).
+    Str {
+        /// Whether this was a raw (`r"…"` / `r#"…"#`) literal.
+        raw: bool,
+        /// The uninterpreted contents between the delimiters.
+        value: String,
+    },
+    /// A char or byte literal (contents are irrelevant to every lint).
+    Char,
+    /// A numeric literal (digits plus any suffix characters).
+    Num(String),
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block), kept out of the token stream so pattern
+/// matching never trips over prose, but retained for directive parsing
+/// (`// fnpr-lint: …`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone comment applies to the *next* code line for directive
+    /// attachment; an inline one applies to its own line.
+    pub standalone: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Unterminated literals and comments are tolerated (the
+/// token simply extends to end of file): a lint tool must never panic on
+/// the code it inspects.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut last_tok_line = 0u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+                standalone: last_tok_line != line,
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let standalone = last_tok_line != line;
+            i += 2;
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i].iter().collect(),
+                standalone,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, br"…", b"…", b'…'.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let raw = c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'));
+            if raw {
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    let tok_line = line;
+                    j += 1;
+                    let content_start = j;
+                    let content_end;
+                    loop {
+                        match chars.get(j) {
+                            None => {
+                                content_end = j;
+                                break;
+                            }
+                            Some('"')
+                                if chars[j + 1..].iter().take_while(|&&h| h == '#').count()
+                                    >= hashes =>
+                            {
+                                content_end = j;
+                                j += 1 + hashes;
+                                break;
+                            }
+                            Some(&ch) => {
+                                if ch == '\n' {
+                                    line += 1;
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Str {
+                            raw: true,
+                            value: chars[content_start..content_end].iter().collect(),
+                        },
+                        line: tok_line,
+                    });
+                    last_tok_line = tok_line;
+                    i = j;
+                    continue;
+                }
+                // `r` / `br` not followed by a string: plain identifier.
+            } else if c == 'b' && matches!(chars.get(i + 1), Some('"') | Some('\'')) {
+                // Byte string / byte char: delegate to the plain handlers
+                // below by skipping the `b` prefix.
+                i += 1;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let tok_line = line;
+            let content_start = i + 1;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => break,
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            let content_end = i.min(chars.len());
+            if i < chars.len() {
+                i += 1; // closing quote
+            }
+            out.tokens.push(Token {
+                tok: Tok::Str {
+                    raw: false,
+                    value: chars[content_start..content_end].iter().collect(),
+                },
+                line: tok_line,
+            });
+            last_tok_line = tok_line;
+            continue;
+        }
+        // Char literal vs lifetime. After the quote, read an identifier
+        // run: if it is immediately closed by another quote this is a char
+        // literal (`'a'`, `'_'`); otherwise it is a lifetime (`'a`,
+        // `'static`). Escapes (`'\n'`) are always char literals.
+        if c == '\'' {
+            let tok_line = line;
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: skip the escape introducer AND the
+                // escaped character (it may itself be `'`), then scan to
+                // the closing quote.
+                i += 3;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(chars.len());
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: tok_line,
+                });
+                last_tok_line = tok_line;
+                continue;
+            }
+            let mut j = i + 1;
+            while chars.get(j).is_some_and(|&ch| is_ident_continue(ch)) {
+                j += 1;
+            }
+            if j > i + 1 && chars.get(j) != Some(&'\'') {
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime(chars[i + 1..j].iter().collect()),
+                    line: tok_line,
+                });
+                last_tok_line = tok_line;
+                i = j;
+                continue;
+            }
+            // Char literal: `'x'` (possibly multi-byte) — skip to close.
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(chars.len());
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line: tok_line,
+            });
+            last_tok_line = tok_line;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Num(chars[start..i].iter().collect()),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        last_tok_line = line;
+        i += 1;
+    }
+    out
+}
+
+impl Lexed {
+    /// The identifier text of token `idx`, if it is one.
+    #[must_use]
+    pub fn ident(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether token `idx` is the punctuation `c`.
+    #[must_use]
+    pub fn punct(&self, idx: usize) -> Option<char> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Whether tokens `idx..idx+2` spell `::`.
+    #[must_use]
+    pub fn is_path_sep(&self, idx: usize) -> bool {
+        self.punct(idx) == Some(':') && self.punct(idx + 1) == Some(':')
+    }
+
+    /// The string-literal value of token `idx`, if it is one.
+    #[must_use]
+    pub fn str_value(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Str { value, .. }) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Line of token `idx` (0 when out of range — callers only use this
+    /// on indices they just matched).
+    #[must_use]
+    pub fn line(&self, idx: usize) -> u32 {
+        self.tokens.get(idx).map_or(0, |t| t.line)
+    }
+
+    /// Index of the matching `}` for the `{` at `open` (token index), or
+    /// the last token if unbalanced.
+    #[must_use]
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for idx in open..self.tokens.len() {
+            match self.punct(idx) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return idx;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comment_is_not_code() {
+        let lexed = lex("let x = 1; // HashMap::new()\nlet y = 2;");
+        assert!(idents(&lexed).iter().all(|s| *s != "HashMap"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(!lexed.comments[0].standalone);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn after() {}");
+        assert_eq!(idents(&lexed), vec!["fn", "after"]);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let lexed = lex(r###"let s = r#"quote " and // not a comment"#; done"###);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Str { raw: true, .. }))
+                .count(),
+            1
+        );
+        assert!(lexed.comments.is_empty());
+        assert!(idents(&lexed).contains(&"done"));
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation() {
+        let lexed =
+            lex("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; let s: &'static str = \"\"; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Char))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_open_strings() {
+        let lexed = lex(r"let q = '\''; let b = '\\'; let n = '\n'; after");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Char))
+                .count(),
+            3
+        );
+        assert!(idents(&lexed).contains(&"after"));
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let lexed = lex("let s = \"line1\nline2\";\nfn g() {}");
+        let g_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("g".into()))
+            .unwrap()
+            .line;
+        assert_eq!(g_line, 3);
+    }
+
+    #[test]
+    fn standalone_vs_inline_comments() {
+        let lexed = lex("// standalone\nlet x = 1; // inline\n");
+        assert!(lexed.comments[0].standalone);
+        assert!(!lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn round_trip_token_text_survives() {
+        // The lints only need token *identity*; check a mixed line keeps
+        // every non-comment atom with its source text and line.
+        let lexed = lex("foo.iter(); bar::baz(\"name.x\")");
+        assert_eq!(idents(&lexed), vec!["foo", "iter", "bar", "baz"]);
+        assert_eq!(lexed.str_value(lexed.tokens.len() - 2), Some("name.x"));
+    }
+}

@@ -1,0 +1,270 @@
+//! fnpr-lint: workspace-native static analysis for the fnpr workspace.
+//!
+//! Four lint families, all built on the hand-rolled lexer in
+//! [`lexer`] (zero parser dependencies — the tool must build in the
+//! offline container and can never disagree with the vendored shims
+//! about syntax support):
+//!
+//! 1. **Determinism** (`hash_iter`, `wall_clock`, `entropy`, `env_read`)
+//!    — the reproducibility invariants behind every aggregate the
+//!    campaign layer produces.
+//! 2. **Telemetry** (`metric_name`, `metric_type`, `metric_registry`) —
+//!    metric names are well-shaped, single-typed and enumerated in the
+//!    checked-in `METRICS.md`.
+//! 3. **Wire formats** (`format_constant`) — magic tags and schema
+//!    versions have exactly one defining crate.
+//! 4. **Panic budget** (`unsafe_block`, `panic_budget`) — `unsafe` is
+//!    allowlisted, `unwrap()`/`expect()` in library code only ratchets
+//!    down.
+//!
+//! The entry point is [`check_workspace`]; the `fnpr-lint` binary wraps
+//! it as `fnpr-lint check [--json] [--fix-registry] [--fix-ratchet]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod lexer;
+pub mod lints;
+pub mod metrics;
+pub mod report;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use metrics::MetricUse;
+use report::{CheckOutcome, Finding, PANIC_BUDGET};
+use scan::SourceFile;
+
+/// The registry file name, at the workspace root.
+pub const REGISTRY_FILE: &str = "METRICS.md";
+
+/// The per-crate panic-budget ratchet file name (`crates/<c>/LINT_RATCHET`
+/// or `LINT_RATCHET` at the root for the root package).
+pub const RATCHET_FILE: &str = "LINT_RATCHET";
+
+/// Behavior switches for [`check_workspace`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CheckOptions {
+    /// Regenerate `METRICS.md` from the scanned metric uses (preserving
+    /// descriptions) instead of reporting registry drift.
+    pub fix_registry: bool,
+    /// Reseed every `LINT_RATCHET` file at the current `unwrap`/`expect`
+    /// counts instead of reporting budget overruns.
+    pub fix_ratchet: bool,
+}
+
+/// Runs every lint pass over the workspace rooted at `root`.
+///
+/// Findings come back sorted by (file, line, lint); `notes` carries
+/// non-failing observations such as ratchet slack. The run records
+/// `lint.files_scanned` and `lint.findings.<lint>` counters through
+/// fnpr-obs (visible when telemetry is enabled).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk, the source reads and the
+/// `--fix-*` writes.
+pub fn check_workspace(root: &Path, opts: CheckOptions) -> std::io::Result<CheckOutcome> {
+    let mut outcome = CheckOutcome::default();
+    let mut files = Vec::new();
+    for path in scan::collect_files(root)? {
+        files.push(scan::load_file(root, &path)?);
+    }
+    outcome.files_scanned = files.len();
+
+    let mut uses: Vec<MetricUse> = Vec::new();
+    let mut panic_sites: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    let mut format_sites = lints::FormatSites::default();
+    for file in &files {
+        file.report_bad_directives(&mut outcome.findings);
+        lints::determinism_pass(file, &mut outcome.findings);
+        lints::unsafe_pass(file, &mut outcome.findings);
+        lints::collect_panic_sites(file, &mut panic_sites);
+        lints::collect_format_sites(file, &mut format_sites);
+        metrics::collect_metric_uses(file, &mut uses, &mut outcome.findings);
+    }
+    lints::format_constant_findings(&format_sites, &mut outcome.findings);
+    metrics::check_type_conflicts(&uses, &mut outcome.findings);
+
+    check_panic_budgets(root, &files, &panic_sites, opts, &mut outcome)?;
+    reconcile_registry(root, &uses, opts, &mut outcome)?;
+
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+
+    fnpr_obs::counter("lint.files_scanned").add(outcome.files_scanned as u64);
+    for (lint, n) in outcome.counts() {
+        fnpr_obs::counter(&format!("lint.findings.{lint}")).add(n as u64);
+    }
+    Ok(outcome)
+}
+
+/// The ratchet path for `crate_name` under `root`.
+#[must_use]
+pub fn ratchet_path(root: &Path, crate_name: &str) -> PathBuf {
+    if crate_name == "fnpr" {
+        root.join(RATCHET_FILE)
+    } else {
+        root.join("crates").join(crate_name).join(RATCHET_FILE)
+    }
+}
+
+/// Parses `unwrap_expect = N` out of a ratchet file's text (`#` comments
+/// and blank lines ignored; absent key means 0).
+#[must_use]
+pub fn parse_ratchet(text: &str) -> u64 {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            if key.trim() == "unwrap_expect" {
+                return value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+fn check_panic_budgets(
+    root: &Path,
+    files: &[SourceFile],
+    panic_sites: &BTreeMap<String, Vec<(String, u32)>>,
+    opts: CheckOptions,
+    outcome: &mut CheckOutcome,
+) -> std::io::Result<()> {
+    // Every crate that has sites or an existing ratchet participates, so
+    // a crate dropping to zero sites still gets its slack reported.
+    let mut crates: Vec<&str> = panic_sites.keys().map(String::as_str).collect();
+    for file in files {
+        if !crates.contains(&file.crate_name.as_str()) {
+            crates.push(&file.crate_name);
+        }
+    }
+    crates.sort_unstable();
+    crates.dedup();
+    for crate_name in crates {
+        let sites = panic_sites.get(crate_name).map_or(&[][..], Vec::as_slice);
+        let count = sites.len() as u64;
+        let path = ratchet_path(root, crate_name);
+        let budget = match std::fs::read_to_string(&path) {
+            Ok(text) => Some(parse_ratchet(&text)),
+            Err(_) => None,
+        };
+        if opts.fix_ratchet {
+            if count > 0 || budget.is_some() {
+                std::fs::write(&path, render_ratchet(crate_name, count))?;
+                outcome
+                    .notes
+                    .push(format!("ratchet: {} reseeded at {count}", path.display()));
+            }
+            continue;
+        }
+        let budget = budget.unwrap_or(0);
+        if count > budget {
+            let mut sorted = sites.to_vec();
+            sorted.sort();
+            let (file, line) = sorted[0].clone();
+            outcome.findings.push(Finding::new(
+                PANIC_BUDGET,
+                &file,
+                line,
+                format!(
+                    "crate `{crate_name}` has {count} unwrap()/expect() call sites in \
+                     library code but its ratchet allows {budget}; handle the error, \
+                     add `// fnpr-lint: allow(panic_budget, …)` at a truly \
+                     infallible site, or consciously raise {}",
+                    rel_display(root, &path)
+                ),
+            ));
+        } else if count < budget {
+            outcome.notes.push(format!(
+                "ratchet slack: crate `{crate_name}` has {count} unwrap()/expect() \
+                 sites but {} allows {budget} — tighten it",
+                rel_display(root, &path)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a ratchet file for `crate_name` frozen at `count`.
+#[must_use]
+pub fn render_ratchet(crate_name: &str, count: u64) -> String {
+    format!(
+        "# fnpr-lint panic budget for `{crate_name}` (checked by the `panic_budget` lint).\n\
+         # Only lower this number; `fnpr-lint check --fix-ratchet` reseeds it.\n\
+         unwrap_expect = {count}\n"
+    )
+}
+
+fn reconcile_registry(
+    root: &Path,
+    uses: &[MetricUse],
+    opts: CheckOptions,
+    outcome: &mut CheckOutcome,
+) -> std::io::Result<()> {
+    let registry_path = root.join(REGISTRY_FILE);
+    let text = std::fs::read_to_string(&registry_path).unwrap_or_default();
+    let rows = metrics::parse_registry(&text);
+    if opts.fix_registry {
+        let mut names: BTreeMap<String, String> = BTreeMap::new();
+        for u in uses {
+            names
+                .entry(u.name.clone())
+                .or_insert_with(|| u.kind.clone());
+        }
+        let mut descriptions: BTreeMap<String, String> = BTreeMap::new();
+        for row in &rows {
+            if !row.desc.is_empty() {
+                descriptions.insert(row.name.clone(), row.desc.clone());
+            }
+        }
+        let rendered = metrics::render_registry(&names, &descriptions);
+        if rendered != text {
+            std::fs::write(&registry_path, rendered)?;
+            outcome.notes.push(format!(
+                "registry: {REGISTRY_FILE} regenerated ({} metrics)",
+                names.len()
+            ));
+        }
+    } else {
+        metrics::check_registry(&rows, uses, REGISTRY_FILE, &mut outcome.findings);
+    }
+    Ok(())
+}
+
+fn rel_display(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratchet_parses_and_defaults() {
+        assert_eq!(parse_ratchet("unwrap_expect = 7\n"), 7);
+        assert_eq!(parse_ratchet("# comment\nunwrap_expect=3"), 3);
+        assert_eq!(parse_ratchet(""), 0);
+        assert_eq!(parse_ratchet("other = 9"), 0);
+        assert_eq!(parse_ratchet(&render_ratchet("campaign", 12)), 12);
+    }
+
+    #[test]
+    fn ratchet_paths() {
+        let root = Path::new("/ws");
+        assert_eq!(
+            ratchet_path(root, "campaign"),
+            Path::new("/ws/crates/campaign/LINT_RATCHET")
+        );
+        assert_eq!(ratchet_path(root, "fnpr"), Path::new("/ws/LINT_RATCHET"));
+    }
+}

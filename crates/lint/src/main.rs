@@ -1,0 +1,110 @@
+//! The `fnpr-lint` CLI.
+//!
+//! ```text
+//! fnpr-lint check [--json] [--fix-registry] [--fix-ratchet] [--root PATH]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 on findings, 2 on usage or I/O
+//! errors. Human output is `file:line: [lint] message` per finding;
+//! `--json` emits the schema-v1 report on stdout instead (notes always go
+//! to stderr).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fnpr_lint::{check_workspace, CheckOptions};
+
+const USAGE: &str =
+    "usage: fnpr-lint check [--json] [--fix-registry] [--fix-ratchet] [--root PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    let mut opts = CheckOptions::default();
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-registry" => opts.fix_registry = true,
+            "--fix-ratchet" => opts.fix_ratchet = true,
+            "--root" => match it.next() {
+                Some(path) => root_arg = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.map_or_else(discover_root, Ok) {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!("fnpr-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    fnpr_obs::set_enabled(true);
+    let outcome = match check_workspace(&root, opts) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("fnpr-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for note in &outcome.notes {
+        eprintln!("note: {note}");
+    }
+    if json {
+        print!("{}", outcome.to_json());
+    } else {
+        for finding in &outcome.findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "fnpr-lint: {} files scanned, {} finding(s)",
+            outcome.files_scanned,
+            outcome.findings.len()
+        );
+    }
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn discover_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace Cargo.toml above {} (use --root)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

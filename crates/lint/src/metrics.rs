@@ -1,0 +1,557 @@
+//! Telemetry-name collection and the `METRICS.md` registry.
+//!
+//! Detection covers both spellings the workspace uses:
+//!
+//! * macro form — `counter!("name")`, `gauge!`, `histogram!`;
+//! * call form — `fnpr_obs::counter("name")` (a preceding `::` is
+//!   required, so `fn counter(name: &str)` *definitions* in fnpr-obs do
+//!   not match).
+//!
+//! Names resolve from a string literal, from `&format!("lit", …)` (the
+//! `{…}` placeholders stay in the name verbatim — that is what the
+//! registry rows carry), or from a same-line
+//! `// fnpr-lint: metric(<type>, "<name>")` declaration for genuinely
+//! dynamic arguments. Anything else is a `metric_name` finding. Args
+//! starting with `$` are skipped: those are the macro definitions inside
+//! fnpr-obs itself.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, METRIC_NAME, METRIC_REGISTRY, METRIC_TYPE};
+use crate::scan::SourceFile;
+
+/// The three instrument constructors.
+const INSTRUMENTS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// One metric construction site, with its resolved (possibly
+/// placeholder-bearing) name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricUse {
+    /// Registry name, e.g. `campaign.memo.{table}.hit`.
+    pub name: String,
+    /// `counter` | `gauge` | `histogram`.
+    pub kind: String,
+    /// Workspace-relative path of the use.
+    pub file: String,
+    /// 1-based line of the use.
+    pub line: u32,
+}
+
+/// Collects every metric use in `file`, emitting `metric_name` findings
+/// for malformed or undeclared-dynamic names. Test files and
+/// `#[cfg(test)]` regions are skipped — scratch metric names in tests do
+/// not belong in the registry.
+pub fn collect_metric_uses(
+    file: &SourceFile,
+    uses: &mut Vec<MetricUse>,
+    findings: &mut Vec<Finding>,
+) {
+    if file.is_test {
+        return;
+    }
+    let lexed = &file.lexed;
+    for i in 0..lexed.tokens.len() {
+        let Some(instr) = lexed.ident(i).filter(|m| INSTRUMENTS.contains(m)) else {
+            continue;
+        };
+        if file.in_test_region(i) {
+            continue;
+        }
+        // Macro form `counter!(` or call form `…::counter(`.
+        let open = if lexed.punct(i + 1) == Some('!') && lexed.punct(i + 2) == Some('(') {
+            i + 2
+        } else if lexed.punct(i + 1) == Some('(') && i >= 2 && lexed.is_path_sep(i - 2) {
+            i + 1
+        } else {
+            continue;
+        };
+        let line = lexed.line(i);
+        match resolve_name(file, open + 1) {
+            Resolved::Literal(name) => {
+                if metric_name_ok(&name) {
+                    uses.push(MetricUse {
+                        name,
+                        kind: instr.to_string(),
+                        file: file.rel_path.clone(),
+                        line,
+                    });
+                } else if !file.allowed(line, METRIC_NAME) {
+                    findings.push(Finding::new(
+                        METRIC_NAME,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "metric name `{name}` does not match \
+                             `^[a-z0-9_]+(\\.[a-z0-9_{{}}<>]+)+$`"
+                        ),
+                    ));
+                }
+            }
+            Resolved::MacroDefinition => {}
+            Resolved::Dynamic => {
+                let declared = file
+                    .metric_decls
+                    .get(&line)
+                    .and_then(|decls| decls.iter().find(|(kind, _)| kind == instr).cloned());
+                if let Some((kind, name)) = declared {
+                    if metric_name_ok(&name) {
+                        uses.push(MetricUse {
+                            name,
+                            kind,
+                            file: file.rel_path.clone(),
+                            line,
+                        });
+                    } else if !file.allowed(line, METRIC_NAME) {
+                        findings.push(Finding::new(
+                            METRIC_NAME,
+                            &file.rel_path,
+                            line,
+                            format!("declared metric name `{name}` is malformed"),
+                        ));
+                    }
+                } else if !file.allowed(line, METRIC_NAME) {
+                    findings.push(Finding::new(
+                        METRIC_NAME,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "dynamic `{instr}` name; add \
+                             `// fnpr-lint: metric({instr}, \"<name>\")` on this line \
+                             so the registry can carry it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+enum Resolved {
+    /// A compile-time-known name (string literal or `&format!` literal).
+    Literal(String),
+    /// `$`-prefixed arg: the macro definition body inside fnpr-obs.
+    MacroDefinition,
+    /// Anything else — needs a same-line declaration.
+    Dynamic,
+}
+
+/// Resolves the first argument starting at token `arg` (just past `(`).
+fn resolve_name(file: &SourceFile, arg: usize) -> Resolved {
+    let lexed = &file.lexed;
+    let mut j = arg;
+    if lexed.punct(j) == Some('$') {
+        return Resolved::MacroDefinition;
+    }
+    if lexed.punct(j) == Some('&') {
+        j += 1;
+    }
+    if let Some(value) = lexed.str_value(j) {
+        return Resolved::Literal(value.to_string());
+    }
+    // `format ! ( "lit" …`
+    if lexed.ident(j) == Some("format")
+        && lexed.punct(j + 1) == Some('!')
+        && lexed.punct(j + 2) == Some('(')
+    {
+        if let Some(value) = lexed.str_value(j + 3) {
+            return Resolved::Literal(normalize_placeholders(value));
+        }
+    }
+    Resolved::Dynamic
+}
+
+/// Rewrites positional/width format specs to bare `{}` so
+/// `{:>3}`-style specs cannot leak into registry names; named captures
+/// like `{table}` are kept verbatim.
+fn normalize_placeholders(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut rest = value;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let tail = &rest[open + 1..];
+        match tail.find('}') {
+            Some(close) => {
+                let inner = &tail[..close];
+                if inner.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                    out.push('{');
+                    out.push_str(inner);
+                    out.push('}');
+                } else {
+                    out.push_str("{}");
+                }
+                rest = &tail[close + 1..];
+            }
+            None => {
+                out.push('{');
+                rest = tail;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The registry name shape: `^[a-z0-9_]+(\.[a-z0-9_{}<>]+)+$` —
+/// dot-separated, at least two segments, first segment plain.
+#[must_use]
+pub fn metric_name_ok(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    if segments.len() < 2 || segments.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    let plain = |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_';
+    segments[0].chars().all(plain)
+        && segments[1..].iter().all(|s| {
+            s.chars()
+                .all(|c| plain(c) || matches!(c, '{' | '}' | '<' | '>'))
+        })
+}
+
+/// Emits `metric_type` findings for names used under two instrument
+/// types: every use disagreeing with the (file, line)-earliest one is
+/// flagged.
+pub fn check_type_conflicts(uses: &[MetricUse], findings: &mut Vec<Finding>) {
+    let mut by_name: BTreeMap<&str, Vec<&MetricUse>> = BTreeMap::new();
+    for u in uses {
+        by_name.entry(&u.name).or_default().push(u);
+    }
+    for (name, mut sites) in by_name {
+        sites.sort_by_key(|u| (&u.file, u.line));
+        let canonical = &sites[0].kind;
+        for site in &sites[1..] {
+            if &site.kind != canonical {
+                findings.push(Finding::new(
+                    METRIC_TYPE,
+                    &site.file,
+                    site.line,
+                    format!(
+                        "`{name}` used as a {} here but as a {canonical} at {}:{}",
+                        site.kind, sites[0].file, sites[0].line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// One parsed `METRICS.md` row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryRow {
+    /// Metric name (backtick-stripped).
+    pub name: String,
+    /// Declared instrument type.
+    pub kind: String,
+    /// Free-text description.
+    pub desc: String,
+    /// 1-based line in `METRICS.md`.
+    pub line: u32,
+}
+
+/// Parses the `| \`name\` | type | description |` rows out of the
+/// registry markdown. Non-table lines, headers and separators are
+/// ignored.
+#[must_use]
+pub fn parse_registry(text: &str) -> Vec<RegistryRow> {
+    let mut rows = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let Some(name) = cells[0].strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue; // header or separator row
+        };
+        rows.push(RegistryRow {
+            name: name.to_string(),
+            kind: cells[1].to_string(),
+            desc: cells[2].to_string(),
+            line: (idx + 1) as u32,
+        });
+    }
+    rows
+}
+
+/// Renders the registry for `metrics` (name → instrument type), grouped
+/// by first name segment, preserving `descriptions` for names that
+/// already had one.
+#[must_use]
+pub fn render_registry(
+    metrics: &BTreeMap<String, String>,
+    descriptions: &BTreeMap<String, String>,
+) -> String {
+    let mut out = String::from(
+        "# Metrics registry\n\n\
+         Every `counter!`/`gauge!`/`histogram!` name in the workspace must have a\n\
+         row here, and every row must still exist in code — `fnpr-lint check`\n\
+         fails on drift in either direction (`metric_registry`). Regenerate with\n\
+         `cargo run -p fnpr-lint -- check --fix-registry`; descriptions are\n\
+         preserved across regenerations. Names with `{…}` placeholders are\n\
+         instantiated per key at runtime.\n",
+    );
+    let mut by_group: BTreeMap<&str, Vec<(&String, &String)>> = BTreeMap::new();
+    for (name, kind) in metrics {
+        let group = name.split('.').next().unwrap_or(name);
+        by_group.entry(group).or_default().push((name, kind));
+    }
+    for (group, rows) in by_group {
+        out.push_str(&format!("\n## {group}\n\n"));
+        out.push_str("| metric | type | description |\n| --- | --- | --- |\n");
+        for (name, kind) in rows {
+            let desc = descriptions.get(name.as_str()).map_or("", String::as_str);
+            out.push_str(&format!("| `{name}` | {kind} | {desc} |\n"));
+        }
+    }
+    out
+}
+
+/// Reconciles registry rows against the code's metric uses: missing rows
+/// anchor at the first code use, stale rows and type mismatches at the
+/// `METRICS.md` row.
+pub fn check_registry(
+    rows: &[RegistryRow],
+    uses: &[MetricUse],
+    registry_rel_path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let mut first_use: BTreeMap<&str, &MetricUse> = BTreeMap::new();
+    for u in uses {
+        let entry = first_use.entry(&u.name).or_insert(u);
+        if (&u.file, u.line) < (&entry.file, entry.line) {
+            *entry = u;
+        }
+    }
+    let mut row_names: BTreeMap<&str, &RegistryRow> = BTreeMap::new();
+    for row in rows {
+        if let Some(previous) = row_names.insert(&row.name, row) {
+            findings.push(Finding::new(
+                METRIC_REGISTRY,
+                registry_rel_path,
+                row.line,
+                format!(
+                    "duplicate registry row for `{}` (first at line {})",
+                    row.name, previous.line
+                ),
+            ));
+        }
+    }
+    for (name, use_) in &first_use {
+        match row_names.get(name) {
+            None => findings.push(Finding::new(
+                METRIC_REGISTRY,
+                &use_.file,
+                use_.line,
+                format!(
+                    "metric `{name}` is not in {registry_rel_path}; run \
+                     `fnpr-lint check --fix-registry` and describe it"
+                ),
+            )),
+            Some(row) if row.kind != use_.kind => findings.push(Finding::new(
+                METRIC_TYPE,
+                registry_rel_path,
+                row.line,
+                format!(
+                    "registry declares `{name}` as a {} but code constructs a {} \
+                     at {}:{}",
+                    row.kind, use_.kind, use_.file, use_.line
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, row) in &row_names {
+        if !first_use.contains_key(name) {
+            findings.push(Finding::new(
+                METRIC_REGISTRY,
+                registry_rel_path,
+                row.line,
+                format!("stale registry row: `{name}` no longer appears in code"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::analyze_source;
+
+    fn collect(src: &str) -> (Vec<MetricUse>, Vec<Finding>) {
+        let file = analyze_source("crates/demo/src/lib.rs", src);
+        let mut uses = Vec::new();
+        let mut findings = Vec::new();
+        collect_metric_uses(&file, &mut uses, &mut findings);
+        (uses, findings)
+    }
+
+    #[test]
+    fn literal_macro_and_call_forms() {
+        let (uses, findings) = collect(
+            "fn f() {\n\
+             \u{20}   counter!(\"campaign.memo.hit\").add(1);\n\
+             \u{20}   fnpr_obs::gauge(\"campaign.queue.depth\").set(3);\n\
+             }\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(uses.len(), 2);
+        assert_eq!(uses[0].name, "campaign.memo.hit");
+        assert_eq!(uses[0].kind, "counter");
+        assert_eq!(uses[1].kind, "gauge");
+    }
+
+    #[test]
+    fn fn_definitions_and_macro_bodies_do_not_match() {
+        let (uses, findings) = collect(
+            "pub fn counter(name: &str) -> u64 { 0 }\n\
+             macro_rules! counter { ($name:expr) => { $crate::counter($name) }; }\n",
+        );
+        assert!(uses.is_empty(), "{uses:?}");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn format_literal_keeps_named_placeholders() {
+        let (uses, findings) = collect(
+            "fn f(table: &str) {\n\
+             \u{20}   fnpr_obs::counter(&format!(\"campaign.memo.{table}.hit\")).add(1);\n\
+             \u{20}   fnpr_obs::counter(&format!(\"campaign.fault.planned.{}\", k)).add(1);\n\
+             }\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(uses[0].name, "campaign.memo.{table}.hit");
+        assert_eq!(uses[1].name, "campaign.fault.planned.{}");
+    }
+
+    #[test]
+    fn dynamic_without_declaration_is_flagged() {
+        let (uses, findings) = collect("fn f(name: &str) { fnpr_obs::histogram(&name); }\n");
+        assert!(uses.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, METRIC_NAME);
+    }
+
+    #[test]
+    fn dynamic_with_declaration_resolves() {
+        let (uses, findings) = collect(
+            "fn f(name: &str) {\n\
+             \u{20}   // fnpr-lint: metric(histogram, \"campaign.point.micros.{}\")\n\
+             \u{20}   fnpr_obs::histogram(&name);\n\
+             }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(uses[0].name, "campaign.point.micros.{}");
+        assert_eq!(uses[0].kind, "histogram");
+    }
+
+    #[test]
+    fn bad_shapes_are_flagged() {
+        for bad in ["nodots", "Upper.case", "trailing.", ".leading", "mid..dle"] {
+            assert!(!metric_name_ok(bad), "{bad}");
+        }
+        for good in [
+            "campaign.memo.hit",
+            "lint.findings.{}",
+            "campaign.memo.{table}.miss",
+            "sim.queue.depth<core>",
+        ] {
+            assert!(metric_name_ok(good), "{good}");
+        }
+        let (_, findings) = collect("fn f() { counter!(\"NoDots\").add(1); }\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn type_conflicts_flag_the_later_site() {
+        let uses = vec![
+            MetricUse {
+                name: "a.b".into(),
+                kind: "counter".into(),
+                file: "crates/a/src/lib.rs".into(),
+                line: 4,
+            },
+            MetricUse {
+                name: "a.b".into(),
+                kind: "gauge".into(),
+                file: "crates/z/src/lib.rs".into(),
+                line: 9,
+            },
+        ];
+        let mut findings = Vec::new();
+        check_type_conflicts(&uses, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "crates/z/src/lib.rs");
+        assert_eq!(findings[0].lint, METRIC_TYPE);
+    }
+
+    #[test]
+    fn registry_round_trip_and_drift() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("campaign.memo.hit".to_string(), "counter".to_string());
+        metrics.insert("lint.files_scanned".to_string(), "counter".to_string());
+        let mut descriptions = BTreeMap::new();
+        descriptions.insert(
+            "campaign.memo.hit".to_string(),
+            "memo-table hits".to_string(),
+        );
+        let text = render_registry(&metrics, &descriptions);
+        let rows = parse_registry(&text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "campaign.memo.hit");
+        assert_eq!(rows[0].desc, "memo-table hits");
+
+        let uses = vec![MetricUse {
+            name: "campaign.memo.hit".into(),
+            kind: "counter".into(),
+            file: "crates/campaign/src/memo.rs".into(),
+            line: 73,
+        }];
+        let mut findings = Vec::new();
+        check_registry(&rows, &uses, "METRICS.md", &mut findings);
+        // `lint.files_scanned` row is stale relative to `uses`.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, METRIC_REGISTRY);
+        assert_eq!(findings[0].file, "METRICS.md");
+        assert!(findings[0].message.contains("stale"));
+
+        // Missing row: a use with no registry presence.
+        let extra = vec![
+            uses[0].clone(),
+            MetricUse {
+                name: "campaign.memo.miss".into(),
+                kind: "counter".into(),
+                file: "crates/campaign/src/memo.rs".into(),
+                line: 75,
+            },
+            MetricUse {
+                name: "lint.files_scanned".into(),
+                kind: "counter".into(),
+                file: "crates/lint/src/lib.rs".into(),
+                line: 10,
+            },
+        ];
+        let mut findings = Vec::new();
+        check_registry(&rows, &extra, "METRICS.md", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "crates/campaign/src/memo.rs");
+        assert_eq!(findings[0].line, 75);
+
+        // Type mismatch anchors at the registry row.
+        let mismatched = vec![
+            MetricUse {
+                name: "campaign.memo.hit".into(),
+                kind: "gauge".into(),
+                file: "crates/campaign/src/memo.rs".into(),
+                line: 73,
+            },
+            extra[2].clone(),
+        ];
+        let mut findings = Vec::new();
+        check_registry(&rows, &mismatched, "METRICS.md", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, METRIC_TYPE);
+        assert_eq!(findings[0].file, "METRICS.md");
+    }
+}

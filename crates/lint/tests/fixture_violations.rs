@@ -1,0 +1,74 @@
+//! End-to-end check over the seeded fixture workspace: every lint fires
+//! exactly once (twice for `format_constant`), at exactly the expected
+//! `file:line`, and the CLI exits non-zero with the JSON report.
+
+use std::path::{Path, PathBuf};
+
+use fnpr_lint::{check_workspace, CheckOptions};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+fn fixture_findings() -> Vec<(String, String, u32)> {
+    let outcome = check_workspace(&fixture_root(), CheckOptions::default())
+        .expect("fixture scan must succeed");
+    outcome
+        .findings
+        .iter()
+        .map(|f| (f.lint.to_string(), f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn every_seeded_violation_fires_at_its_exact_location() {
+    let expected: Vec<(String, String, u32)> = [
+        ("metric_registry", "METRICS.md", 6),
+        ("allow_syntax", "crates/demo/src/allow_bad.rs", 5),
+        ("wall_clock", "crates/demo/src/allow_bad.rs", 6),
+        ("entropy", "crates/demo/src/entropy.rs", 4),
+        ("env_read", "crates/demo/src/env_read.rs", 4),
+        ("hash_iter", "crates/demo/src/hash_iter.rs", 6),
+        ("metric_name", "crates/demo/src/metric_name.rs", 5),
+        ("metric_type", "crates/demo/src/metric_type.rs", 9),
+        ("panic_budget", "crates/demo/src/panic.rs", 5),
+        ("metric_registry", "crates/demo/src/registry.rs", 6),
+        ("unsafe_block", "crates/demo/src/unsafe_block.rs", 4),
+        ("wall_clock", "crates/demo/src/wall_clock.rs", 4),
+        ("format_constant", "crates/other/src/format_dup.rs", 4),
+        ("format_constant", "crates/other/src/format_dup.rs", 7),
+    ]
+    .into_iter()
+    .map(|(lint, file, line)| (lint.to_string(), file.to_string(), line))
+    .collect();
+    assert_eq!(fixture_findings(), expected);
+}
+
+#[test]
+fn every_lint_is_exercised_by_the_fixture_tree() {
+    let fired: std::collections::BTreeSet<String> = fixture_findings()
+        .into_iter()
+        .map(|(lint, _, _)| lint)
+        .collect();
+    for lint in fnpr_lint::report::LINTS {
+        assert!(fired.contains(*lint), "no fixture exercises `{lint}`");
+    }
+}
+
+#[test]
+fn cli_exits_nonzero_with_json_report_on_the_fixture_tree() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_fnpr-lint"))
+        .args(["check", "--json", "--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("fnpr-lint binary must run");
+    assert_eq!(output.status.code(), Some(1), "seeded tree must fail");
+    let json = String::from_utf8(output.stdout).expect("json output is utf-8");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(json.contains("\"hash_iter\": 1"), "{json}");
+    assert!(json.contains("\"format_constant\": 2"), "{json}");
+    assert!(json.contains("crates/demo/src/panic.rs"), "{json}");
+}

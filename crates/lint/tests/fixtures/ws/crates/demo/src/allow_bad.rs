@@ -1,0 +1,7 @@
+//! Seeded violation: an allow directive with no reason string (expected
+//! at line 5) — it must not suppress the wall_clock finding at line 6.
+
+pub fn stamp() -> std::time::Instant {
+    // fnpr-lint: allow(wall_clock)
+    std::time::Instant::now()
+}

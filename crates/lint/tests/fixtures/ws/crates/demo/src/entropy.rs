@@ -1,0 +1,6 @@
+//! Seeded violation: ambient randomness (expected at line 4).
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: env read (expected at line 4).
+
+pub fn threads() -> usize {
+    match std::env::var("FNPR_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,3 @@
+//! The legitimate home of the fixture's `FNPR2` tag.
+
+pub const STORE_FORMAT: &str = "FNPR2";

@@ -1,0 +1,7 @@
+//! Seeded violation: hash-map iteration (expected at line 6).
+
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: dynamic metric name without a declaration
+//! (expected at line 5).
+
+pub fn bump(name: &str) {
+    fnpr_obs::counter(name).incr();
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: one name under two instrument types (expected at
+//! line 9, conflicting with the counter use at line 5).
+
+pub fn observe(n: u64) {
+    fnpr_obs::counter("demo.conflict").add(n);
+}
+
+pub fn level(n: u64) {
+    fnpr_obs::gauge("demo.conflict").set(n);
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: an `unwrap()` in library code with no ratchet file
+//! for the crate (expected at line 5).
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: `demo.missing.metric` is not in the fixture
+//! `METRICS.md` (expected at line 6); `demo.used.total` is registered.
+
+pub fn record() {
+    fnpr_obs::counter("demo.used.total").incr();
+    fnpr_obs::counter("demo.missing.metric").incr();
+}

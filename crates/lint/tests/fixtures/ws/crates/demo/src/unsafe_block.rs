@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` outside the allowlist (expected at line 4).
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: wall clock (expected at line 4).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

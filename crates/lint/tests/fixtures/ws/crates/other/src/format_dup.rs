@@ -1,0 +1,8 @@
+//! Seeded violations: a second crate defining `FNPR2` (expected at
+//! line 4) and an inline tag literal (expected at line 7).
+
+pub const ALSO_STORE_FORMAT: &str = "FNPR2";
+
+pub fn frame() -> String {
+    format!("{} payload", "FNPR2 0001")
+}

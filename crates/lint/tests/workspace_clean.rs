@@ -1,0 +1,27 @@
+//! The real workspace must stay lint-clean: zero findings, registry in
+//! sync, ratchets honored. This is the same gate CI runs — if this test
+//! fails, run `cargo run -p fnpr-lint -- check` for the diagnostics.
+
+use std::path::Path;
+
+use fnpr_lint::{check_workspace, CheckOptions};
+
+#[test]
+fn the_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let outcome = check_workspace(root, CheckOptions::default()).expect("workspace scan");
+    assert!(
+        outcome.files_scanned > 100,
+        "suspiciously small scan ({} files) — wrong root?",
+        outcome.files_scanned
+    );
+    let rendered: Vec<String> = outcome.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        outcome.findings.is_empty(),
+        "fnpr-lint findings in the workspace:\n{}",
+        rendered.join("\n")
+    );
+}

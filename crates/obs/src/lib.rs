@@ -35,6 +35,7 @@
 //! `sim.migrations`. The README's "Observability" section lists the
 //! metrics each crate emits.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

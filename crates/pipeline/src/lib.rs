@@ -21,6 +21,7 @@
 //! campaign workload, design-space exploration) prepare each program once
 //! and re-derive curves per cache for a fraction of the cost.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
